@@ -1,0 +1,90 @@
+// Command fgexperiments regenerates the paper's evaluation figures
+// (Figures 2–13) on the simulated testbed and prints the prediction-error
+// tables the figures plot.
+//
+// Usage:
+//
+//	fgexperiments            # run every figure
+//	fgexperiments -fig 2     # run one figure
+//	fgexperiments -list      # list available figures
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"freerideg/internal/bench"
+)
+
+func main() {
+	figNum := flag.Int("fig", 0, "figure number to regenerate (0 = all)")
+	list := flag.Bool("list", false, "list available figures")
+	asJSON := flag.Bool("json", false, "emit figures as JSON instead of tables")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablations instead of figures")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.FigureIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	h, err := bench.NewHarness()
+	if err != nil {
+		fail(err)
+	}
+	if *ablations {
+		results, err := h.RunAblations()
+		if err != nil {
+			fail(err)
+		}
+		if *asJSON {
+			emitJSON(results)
+			return
+		}
+		if err := bench.RenderAblations(os.Stdout, results); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *figNum != 0 {
+		fig, err := h.Run(fmt.Sprintf("fig%d", *figNum))
+		if err != nil {
+			fail(err)
+		}
+		if *asJSON {
+			emitJSON(fig)
+			return
+		}
+		if err := bench.Render(os.Stdout, fig); err != nil {
+			fail(err)
+		}
+		return
+	}
+	figs, err := h.RunAll()
+	if err != nil {
+		fail(err)
+	}
+	if *asJSON {
+		emitJSON(figs)
+		return
+	}
+	if err := bench.RenderAll(os.Stdout, figs); err != nil {
+		fail(err)
+	}
+}
+
+func emitJSON(v interface{}) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fgexperiments:", err)
+	os.Exit(1)
+}

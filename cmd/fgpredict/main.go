@@ -1,0 +1,216 @@
+// Command fgpredict demonstrates the prediction workflow end to end: it
+// collects a base profile on one configuration of the simulated testbed,
+// seeds the prediction framework with it, predicts a target configuration
+// with all three model variants, and compares against the target's actual
+// (simulated) execution time.
+//
+// Example:
+//
+//	fgpredict -app em -size 350MB -base 1,1 -target 8,16 -target-size 1.4GB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"freerideg/internal/apps"
+	"freerideg/internal/bench"
+	"freerideg/internal/cliutil"
+	"freerideg/internal/core"
+	"freerideg/internal/stats"
+	"freerideg/internal/units"
+)
+
+func main() {
+	var (
+		app        = flag.String("app", "kmeans", "application: "+fmt.Sprint(apps.Names()))
+		size       = flag.String("size", "512MB", "base profile dataset size")
+		baseStr    = flag.String("base", "1,1", "base profile config as data,compute")
+		targetStr  = flag.String("target", "8,16", "target config as data,compute")
+		targetSize = flag.String("target-size", "", "target dataset size (default: base size)")
+		bwFlag     = flag.String("bw", "100MB", "bandwidth per storage node, per second")
+		targetBW   = flag.String("target-bw", "", "target bandwidth (default: base bandwidth)")
+		cluster    = flag.String("target-cluster", bench.PentiumCluster, "target cluster")
+		savePath   = flag.String("save", "", "write the base profile, calibrations, and factors to this JSON file")
+		loadPath   = flag.String("load", "", "read the base profile from this JSON file instead of profiling")
+	)
+	flag.Parse()
+
+	baseTotal, err := units.ParseBytes(*size)
+	if err != nil {
+		fail(err)
+	}
+	tgtTotal := baseTotal
+	if *targetSize != "" {
+		if tgtTotal, err = units.ParseBytes(*targetSize); err != nil {
+			fail(err)
+		}
+	}
+	bw, err := cliutil.ParseRate(*bwFlag)
+	if err != nil {
+		fail(err)
+	}
+	tgtBW := bw
+	if *targetBW != "" {
+		if tgtBW, err = cliutil.ParseRate(*targetBW); err != nil {
+			fail(err)
+		}
+	}
+	baseN, baseC, err := cliutil.ParseNodePair(*baseStr)
+	if err != nil {
+		fail(err)
+	}
+	tgtN, tgtC, err := cliutil.ParseNodePair(*targetStr)
+	if err != nil {
+		fail(err)
+	}
+
+	h, err := bench.NewHarness()
+	if err != nil {
+		fail(err)
+	}
+	a, err := apps.Get(*app)
+	if err != nil {
+		fail(err)
+	}
+	chunk := bench.ChunkFor(baseTotal)
+	var baseProfile core.Profile
+	if *loadPath != "" {
+		store, err := core.LoadStore(*loadPath)
+		if err != nil {
+			fail(err)
+		}
+		p, ok := store.Find(*app)
+		if !ok {
+			fail(fmt.Errorf("no profile for %q in %s", *app, *loadPath))
+		}
+		baseProfile = p
+		baseTotal = p.Config.DatasetBytes
+		chunk = bench.ChunkFor(baseTotal)
+		if *targetSize == "" {
+			tgtTotal = baseTotal
+		}
+		fmt.Printf("loaded base profile (%s) from %s: %v\n", *app, *loadPath, p.Config)
+	} else {
+		baseSpec, err := bench.DatasetChunked(*app, baseTotal, chunk)
+		if err != nil {
+			fail(err)
+		}
+		baseCost, err := a.Cost(baseSpec)
+		if err != nil {
+			fail(err)
+		}
+		baseCfg := core.Config{
+			Cluster: bench.PentiumCluster, DataNodes: baseN, ComputeNodes: baseC,
+			Bandwidth: bw, DatasetBytes: baseTotal,
+		}
+		baseRes, err := h.Grid().Simulate(baseCost, baseSpec, baseCfg)
+		if err != nil {
+			fail(err)
+		}
+		baseProfile = baseRes.Profile
+		fmt.Printf("base profile (%s): %v\n", *app, baseCfg)
+	}
+	fmt.Printf("  t_d=%v t_n=%v t_c=%v (T_ro=%v T_g=%v), RO/node=%v, %d iter\n",
+		rnd(baseProfile.Tdisk), rnd(baseProfile.Tnetwork), rnd(baseProfile.Tcompute),
+		rnd(baseProfile.Tro), rnd(baseProfile.Tglobal),
+		baseProfile.ROBytesPerNode, baseProfile.Iterations)
+
+	pred, err := core.NewPredictor(baseProfile, a.Model)
+	if err != nil {
+		fail(err)
+	}
+	for cl, cal := range h.Links() {
+		pred.Links[cl] = cal
+	}
+	if *cluster != bench.PentiumCluster {
+		// Cross-cluster prediction needs experimentally measured scaling
+		// factors (paper Section 3.4).
+		fmt.Println("note: cross-cluster prediction uses kmeans/knn/vortex scaling factors")
+		scal, err := crossScaling(h, baseN, baseC, bw, *cluster)
+		if err != nil {
+			fail(err)
+		}
+		pred.Scalings[*cluster] = scal
+	}
+
+	if *savePath != "" {
+		store := core.ProfileStore{
+			Profiles: []core.Profile{baseProfile},
+			Links:    h.Links(),
+			Scalings: pred.Scalings,
+		}
+		if err := core.SaveStore(*savePath, store); err != nil {
+			fail(err)
+		}
+		fmt.Printf("profile store written to %s\n", *savePath)
+	}
+
+	tgtSpec, err := bench.DatasetChunked(*app, tgtTotal, chunk)
+	if err != nil {
+		fail(err)
+	}
+	tgtCost, err := a.Cost(tgtSpec)
+	if err != nil {
+		fail(err)
+	}
+	tgtCfg := core.Config{
+		Cluster: *cluster, DataNodes: tgtN, ComputeNodes: tgtC,
+		Bandwidth: tgtBW, DatasetBytes: tgtTotal,
+	}
+	actual, err := h.Grid().Simulate(tgtCost, tgtSpec, tgtCfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("target: %v\n", tgtCfg)
+	fmt.Printf("  actual T_exec: %v\n", rnd(actual.Makespan))
+	for _, v := range core.Variants() {
+		p, err := pred.Predict(tgtCfg, v)
+		if err != nil {
+			fail(err)
+		}
+		e := stats.RelError(actual.Makespan.Seconds(), p.Texec().Seconds())
+		fmt.Printf("  %-24s predicted %v (error %.2f%%)\n", v.String()+":", rnd(p.Texec()), 100*e)
+	}
+}
+
+func crossScaling(h *bench.Harness, n, c int, bw units.Rate, target string) (core.Scaling, error) {
+	var onA, onB []core.Profile
+	for _, rep := range []string{"kmeans", "knn", "vortex"} {
+		a, err := apps.Get(rep)
+		if err != nil {
+			return core.Scaling{}, err
+		}
+		spec, err := bench.Dataset(rep, 256*units.MB)
+		if err != nil {
+			return core.Scaling{}, err
+		}
+		cost, err := a.Cost(spec)
+		if err != nil {
+			return core.Scaling{}, err
+		}
+		for _, cl := range []string{bench.PentiumCluster, target} {
+			cfg := core.Config{Cluster: cl, DataNodes: n, ComputeNodes: c,
+				Bandwidth: bw, DatasetBytes: spec.TotalBytes}
+			res, err := h.Grid().Simulate(cost, spec, cfg)
+			if err != nil {
+				return core.Scaling{}, err
+			}
+			if cl == bench.PentiumCluster {
+				onA = append(onA, res.Profile)
+			} else {
+				onB = append(onB, res.Profile)
+			}
+		}
+	}
+	return core.ComputeScaling(onA, onB)
+}
+
+func rnd(d time.Duration) time.Duration { return d.Round(time.Millisecond) }
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fgpredict:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command fgrun executes one application on the FREERIDE-G middleware and
+// prints the execution-time breakdown the prediction framework consumes.
+//
+// By default the run uses the simulated testbed (paper-scale datasets in
+// milliseconds of wall time); -local runs the real goroutine backend with
+// materialized data instead.
+//
+// Examples:
+//
+//	fgrun -app kmeans -size 1.4GB -data 2 -compute 8
+//	fgrun -app defect -size 130MB -data 1 -compute 4 -cluster opteron-infiniband
+//	fgrun -app vortex -size 8MB -local -compute 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"freerideg/internal/apps"
+	"freerideg/internal/bench"
+	"freerideg/internal/cliutil"
+	"freerideg/internal/core"
+	"freerideg/internal/middleware"
+	"freerideg/internal/units"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "kmeans", "application: "+fmt.Sprint(apps.Names()))
+		size    = flag.String("size", "512MB", "dataset size (e.g. 1.4GB)")
+		data    = flag.Int("data", 1, "storage (data server) nodes")
+		compute = flag.Int("compute", 1, "compute nodes (must be >= data nodes)")
+		bwFlag  = flag.String("bw", "100MB", "storage-to-compute bandwidth per node, per second")
+		cluster = flag.String("cluster", bench.PentiumCluster, "simulated cluster")
+		local   = flag.Bool("local", false, "run the real goroutine backend instead of the simulator")
+		trace   = flag.Bool("trace", false, "print the middleware phase trace (simulated runs)")
+	)
+	flag.Parse()
+
+	total, err := units.ParseBytes(*size)
+	if err != nil {
+		fail(err)
+	}
+	bw, err := cliutil.ParseRate(*bwFlag)
+	if err != nil {
+		fail(err)
+	}
+	a, err := apps.Get(*app)
+	if err != nil {
+		fail(err)
+	}
+	spec, err := bench.Dataset(*app, total)
+	if err != nil {
+		fail(err)
+	}
+
+	if *local {
+		kernel, err := a.NewKernel(spec)
+		if err != nil {
+			fail(err)
+		}
+		res, err := middleware.RunLocal(kernel, spec, *data, *compute)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("local run: %s on %v, %d data / %d compute goroutines\n",
+			*app, total, *data, *compute)
+		fmt.Printf("  wall time:   %v over %d pass(es)\n", res.Elapsed.Round(time.Millisecond), res.Iterations)
+		printProfile(res.Profile)
+		return
+	}
+
+	grid, err := middleware.NewGrid(middleware.PentiumMyrinet(), middleware.OpteronInfiniband())
+	if err != nil {
+		fail(err)
+	}
+	cfg := core.Config{
+		Cluster:      *cluster,
+		DataNodes:    *data,
+		ComputeNodes: *compute,
+		Bandwidth:    bw,
+		DatasetBytes: total,
+	}
+	cost, err := a.Cost(spec)
+	if err != nil {
+		fail(err)
+	}
+	opts := middleware.SimOptions{}
+	if *trace {
+		opts.Trace = os.Stdout
+	}
+	res, err := grid.SimulateOpts(cost, spec, cfg, opts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("simulated run: %s on %v\n", *app, cfg)
+	fmt.Printf("  makespan:    %v\n", res.Makespan.Round(time.Millisecond))
+	printProfile(res.Profile)
+}
+
+func printProfile(p core.Profile) {
+	fmt.Printf("  T_disk:      %v\n", p.Tdisk.Round(time.Millisecond))
+	fmt.Printf("  T_network:   %v\n", p.Tnetwork.Round(time.Millisecond))
+	fmt.Printf("  T_compute:   %v (T_ro %v, T_g %v)\n",
+		p.Tcompute.Round(time.Millisecond), p.Tro.Round(time.Millisecond), p.Tglobal.Round(time.Millisecond))
+	fmt.Printf("  T_exec:      %v\n", p.Texec().Round(time.Millisecond))
+	fmt.Printf("  RO per node: %v, broadcast %v, %d iteration(s)\n",
+		p.ROBytesPerNode, p.BroadcastBytes, p.Iterations)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fgrun:", err)
+	os.Exit(1)
+}

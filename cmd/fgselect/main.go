@@ -1,0 +1,143 @@
+// Command fgselect demonstrates the resource selection framework: a
+// dataset replicated at several repository sites, a set of compute offers
+// from two clusters, measured site-to-cluster bandwidths, and an
+// application profile. It ranks every feasible (replica, configuration)
+// pair by predicted execution time and picks the cheapest — the decision
+// the FREERIDE-G middleware automates.
+//
+// Example:
+//
+//	fgselect -app kmeans -size 1.4GB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/apps"
+	"freerideg/internal/bench"
+	"freerideg/internal/core"
+	"freerideg/internal/grid"
+	"freerideg/internal/units"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "kmeans", "application: "+fmt.Sprint(apps.Names()))
+		size     = flag.String("size", "1.4GB", "dataset size")
+		deadline = flag.Duration("deadline", 0, "plan the cheapest configuration meeting this deadline instead of the fastest")
+	)
+	flag.Parse()
+
+	total, err := units.ParseBytes(*size)
+	if err != nil {
+		fail(err)
+	}
+	h, err := bench.NewHarness()
+	if err != nil {
+		fail(err)
+	}
+	a, err := apps.Get(*app)
+	if err != nil {
+		fail(err)
+	}
+	spec, err := bench.Dataset(*app, total)
+	if err != nil {
+		fail(err)
+	}
+	cost, err := a.Cost(spec)
+	if err != nil {
+		fail(err)
+	}
+
+	// Base profile: 1-1 on the Pentium cluster.
+	baseCfg := core.Config{
+		Cluster:      bench.PentiumCluster,
+		DataNodes:    1,
+		ComputeNodes: 1,
+		Bandwidth:    100 * units.MBPerSec,
+		DatasetBytes: total,
+	}
+	baseRes, err := h.Grid().Simulate(cost, spec, baseCfg)
+	if err != nil {
+		fail(err)
+	}
+	pred, err := core.NewPredictor(baseRes.Profile, a.Model)
+	if err != nil {
+		fail(err)
+	}
+	for cl, cal := range h.Links() {
+		pred.Links[cl] = cal
+	}
+
+	// Grid information service: two replicas, three compute offers.
+	svc := grid.NewService()
+	for _, site := range []struct {
+		name  string
+		nodes int
+		bw    units.Rate // to the Pentium cluster
+	}{
+		{"osu-repository", 4, 100 * units.MBPerSec},
+		{"remote-mirror", 8, 25 * units.MBPerSec},
+	} {
+		layout, err := adr.Partition(spec, site.nodes, adr.RoundRobin)
+		if err != nil {
+			fail(err)
+		}
+		if err := svc.Replicas.Register(adr.Replica{
+			Site: site.name, Cluster: bench.PentiumCluster,
+			StorageNodes: site.nodes, Layout: layout,
+		}); err != nil {
+			fail(err)
+		}
+		if err := svc.SetBandwidth(site.name, bench.PentiumCluster, site.bw); err != nil {
+			fail(err)
+		}
+	}
+	for _, nodes := range []int{4, 8, 16} {
+		if err := svc.AddOffer(grid.ComputeOffer{Cluster: bench.PentiumCluster, Nodes: nodes}); err != nil {
+			fail(err)
+		}
+	}
+
+	sel := &grid.Selector{Predictor: pred, Variant: core.GlobalReduction}
+	if *deadline > 0 {
+		cand, err := grid.PlanCapacity(sel, svc, spec.Name, *deadline)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("cheapest configuration meeting %v: %s with %d storage / %d compute nodes (predicted %v)\n",
+			*deadline, cand.Replica.Site, cand.Config.DataNodes, cand.Config.ComputeNodes,
+			cand.Prediction.Texec().Round(time.Millisecond))
+		return
+	}
+	ranked, err := sel.Rank(svc, spec.Name)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("resource selection for %s on %v (%d candidates):\n", *app, total, len(ranked))
+	for i, cand := range ranked {
+		marker := " "
+		if i == 0 {
+			marker = "*"
+		}
+		fmt.Printf("%s %-16s %2d storage / %2d compute @ %-12v predicted %v\n",
+			marker, cand.Replica.Site, cand.Config.DataNodes, cand.Config.ComputeNodes,
+			cand.Config.Bandwidth, cand.Prediction.Texec().Round(time.Millisecond))
+	}
+	best := ranked[0]
+	actual, err := h.Grid().Simulate(cost, spec, best.Config)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("selected %s with %d compute nodes; actual simulated T_exec %v\n",
+		best.Replica.Site, best.Config.ComputeNodes, actual.Makespan.Round(time.Millisecond))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fgselect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package freerideg is a reproduction of "A Performance Prediction
+// Framework for Grid-Based Data Mining Applications" (Glimcher & Agrawal,
+// IPPS 2007): the FREERIDE-G grid middleware for generalized-reduction
+// data mining, a profile-based performance prediction framework, the five
+// applications the paper evaluates, a discrete-event testbed that stands
+// in for the paper's physical clusters, and an experiment harness that
+// regenerates every figure of the evaluation.
+//
+// Start with DESIGN.md for the system inventory, README.md for usage, and
+// EXPERIMENTS.md for paper-vs-measured results. The top-level benchmarks
+// in bench_test.go regenerate each figure (go test -bench Fig -benchmem).
+package freerideg

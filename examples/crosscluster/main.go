@@ -1,0 +1,122 @@
+// Cross-cluster prediction (paper Section 3.4): a molecular defect
+// detection profile is collected on the 700 MHz Pentium/Myrinet cluster,
+// component scaling factors to the 2.4 GHz Opteron/Infiniband cluster are
+// measured with three representative applications, and execution times on
+// the Opteron cluster are predicted without ever profiling defect
+// detection there.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"freerideg/internal/apps"
+	"freerideg/internal/bench"
+	"freerideg/internal/core"
+	"freerideg/internal/stats"
+	"freerideg/internal/units"
+)
+
+func main() {
+	h, err := bench.NewHarness()
+	if err != nil {
+		log.Fatal(err)
+	}
+	const app = "defect"
+	total := 130 * units.MB
+
+	a, err := apps.Get(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := bench.Dataset(app, total)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost, err := a.Cost(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Profile defect detection on the Pentium cluster.
+	mk := func(cluster string, n, c int) core.Config {
+		return core.Config{
+			Cluster: cluster, DataNodes: n, ComputeNodes: c,
+			Bandwidth: 100 * units.MBPerSec, DatasetBytes: total,
+		}
+	}
+	base, err := h.Grid().Simulate(cost, spec, mk(bench.PentiumCluster, 4, 4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("base profile on %s: T_exec %v\n",
+		bench.PentiumCluster, base.Profile.Texec().Round(time.Millisecond))
+
+	// 2. Measure scaling factors with three representative applications
+	// run on identical configurations on both clusters.
+	var onA, onB []core.Profile
+	for _, rep := range []string{"kmeans", "knn", "em"} {
+		ra, err := apps.Get(rep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rspec, err := bench.Dataset(rep, 256*units.MB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rcost, err := ra.Cost(rspec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, cluster := range []string{bench.PentiumCluster, bench.OpteronCluster} {
+			cfg := core.Config{
+				Cluster: cluster, DataNodes: 4, ComputeNodes: 4,
+				Bandwidth: 100 * units.MBPerSec, DatasetBytes: rspec.TotalBytes,
+			}
+			res, err := h.Grid().Simulate(rcost, rspec, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if cluster == bench.PentiumCluster {
+				onA = append(onA, res.Profile)
+			} else {
+				onB = append(onB, res.Profile)
+			}
+		}
+	}
+	scaling, err := core.ComputeScaling(onA, onB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scaling factors Pentium -> Opteron: s_d=%.3f s_n=%.3f s_c=%.3f\n",
+		scaling.Disk, scaling.Network, scaling.Compute)
+
+	// 3. Predict Opteron configurations and compare with simulated truth.
+	pred, err := core.NewPredictor(base.Profile, a.Model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for cl, cal := range h.Links() {
+		pred.Links[cl] = cal
+	}
+	pred.Scalings[bench.OpteronCluster] = scaling
+
+	fmt.Println("\npredictions on the Opteron cluster (never profiled there):")
+	for _, nc := range [][2]int{{1, 1}, {2, 4}, {4, 4}, {4, 16}, {8, 16}} {
+		cfg := mk(bench.OpteronCluster, nc[0], nc[1])
+		p, err := pred.Predict(cfg, core.GlobalReduction)
+		if err != nil {
+			log.Fatal(err)
+		}
+		actual, err := h.Grid().Simulate(cost, spec, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := stats.RelError(actual.Makespan.Seconds(), p.Texec().Seconds())
+		fmt.Printf("  %d-%-2d predicted %-10v actual %-10v error %5.2f%%\n",
+			nc[0], nc[1],
+			p.Texec().Round(time.Millisecond),
+			actual.Makespan.Round(time.Millisecond), 100*e)
+	}
+}

@@ -1,0 +1,79 @@
+// Quickstart: run a data mining application on the FREERIDE-G middleware
+// for real (goroutine backend), collect its profile, and use the
+// prediction framework to estimate how the same run would behave with
+// more compute nodes — then check the estimate against a real run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/apps/kmeans"
+	"freerideg/internal/core"
+	"freerideg/internal/middleware"
+	"freerideg/internal/units"
+)
+
+func main() {
+	// A small Gaussian-mixture dataset, generated deterministically chunk
+	// by chunk — no files needed.
+	spec := adr.DatasetSpec{
+		Name:       "quickstart-points",
+		TotalBytes: 8 * units.MB,
+		ElemBytes:  128, // 16 dimensions x 8 bytes
+		ChunkBytes: 256 * units.KB,
+		Kind:       "points",
+		Dims:       16,
+		Seed:       2026,
+	}
+
+	// 1. Run k-means for real on 1 data server and 1 compute goroutine.
+	kern, err := kmeans.New(spec, kmeans.Params{K: 16, MaxIter: 8, Epsilon: 1e-3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res1, err := middleware.RunLocal(kern, spec, 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1-1 run: %v over %d passes (t_d=%v t_n=%v t_c=%v)\n",
+		res1.Elapsed.Round(time.Millisecond), res1.Iterations,
+		res1.Profile.Tdisk.Round(time.Millisecond),
+		res1.Profile.Tnetwork.Round(time.Millisecond),
+		res1.Profile.Tcompute.Round(time.Millisecond))
+	fmt.Printf("first center after clustering: %.1f ...\n", kern.Centers()[0][:4])
+
+	// 2. Seed the prediction framework with the 1-1 profile and predict a
+	// 1-4 run (same data, four compute goroutines).
+	pred, err := core.NewPredictor(res1.Profile, kmeans.Model())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// In-process "interconnect": calibrate with a nominal memory-speed
+	// link so the reduction-communication terms stay tiny, as they are in
+	// a shared-memory run.
+	pred.Links[middleware.LocalCluster] = core.LinkCalibration{W: 1e-9, L: 50 * time.Microsecond}
+
+	target := res1.Profile.Config
+	target.ComputeNodes = 4
+	p, err := pred.Predict(target, core.GlobalReduction)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted 1-4 T_exec: %v\n", p.Texec().Round(time.Millisecond))
+
+	// 3. Run 1-4 for real and compare.
+	kern2, err := kmeans.New(spec, kmeans.Params{K: 16, MaxIter: 8, Epsilon: 1e-3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res4, err := middleware.RunLocal(kern2, spec, 1, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("actual    1-4 T_exec: %v\n", res4.Profile.Texec().Round(time.Millisecond))
+	fmt.Println("(real wall-clock runs are noisy; the paper's evaluation uses the")
+	fmt.Println(" simulated testbed — see cmd/fgexperiments)")
+}

@@ -1,0 +1,3 @@
+module freerideg
+
+go 1.22

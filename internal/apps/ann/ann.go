@@ -1,0 +1,299 @@
+// Package ann implements artificial neural network training as a
+// FREERIDE-G generalized reduction — the last of the paper's Section 2.2
+// examples of the middleware's application class (apriori, k-means, kNN,
+// and ANNs). Each pass is one epoch of batch gradient descent: every node
+// accumulates the loss gradient of its local data in the reduction object,
+// and the global reduction applies the combined gradient to the weights.
+//
+// The network is a one-hidden-layer tanh/softmax classifier; the training
+// labels are the generating mixture component of each point (the points
+// dataset is a labeled Gaussian mixture). The gradient vector's size is
+// fixed by the architecture, so the reduction object is constant-class and
+// the global reduction (merging c gradients) is linear-constant — like
+// k-means.
+package ann
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/datagen"
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+// Params configures a training run.
+type Params struct {
+	// Hidden is the hidden layer width.
+	Hidden int
+	// Epochs is the fixed number of passes.
+	Epochs int
+	// LearningRate scales the batch gradient step.
+	LearningRate float64
+}
+
+// DefaultParams trains a 16-unit hidden layer for 12 epochs.
+func DefaultParams() Params { return Params{Hidden: 16, Epochs: 12, LearningRate: 1.5} }
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Hidden < 1 {
+		return fmt.Errorf("ann: Hidden = %d", p.Hidden)
+	}
+	if p.Epochs < 1 {
+		return fmt.Errorf("ann: Epochs = %d", p.Epochs)
+	}
+	if p.LearningRate <= 0 {
+		return fmt.Errorf("ann: LearningRate = %g", p.LearningRate)
+	}
+	return nil
+}
+
+// Kernel is one training run. Weight layout:
+//
+//	W1 [hidden][dims+1] (input->hidden, +bias), W2 [classes][hidden+1].
+type Kernel struct {
+	params  Params
+	dims    int
+	classes int
+	centers [][]float64 // mixture centers = labeling function
+	w1, w2  []float64
+	loss    float64
+	count   float64
+	iter    int
+}
+
+// gradLen is the reduction object length: all weight gradients plus a
+// loss cell and an example-count cell.
+func gradLen(d, h, g int) int { return h*(d+1) + g*(h+1) + 2 }
+
+// New creates a kernel with weights seeded from the dataset seed.
+func New(spec adr.DatasetSpec, params Params) (*Kernel, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Kind != "points" {
+		return nil, fmt.Errorf("ann: dataset kind %q, want points", spec.Kind)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x616e6e)) // "ann"
+	k := &Kernel{
+		params:  params,
+		dims:    spec.Dims,
+		classes: datagen.MixtureComponents,
+		centers: (datagen.Points{}).Centers(spec),
+	}
+	k.w1 = make([]float64, params.Hidden*(spec.Dims+1))
+	k.w2 = make([]float64, k.classes*(params.Hidden+1))
+	for i := range k.w1 {
+		k.w1[i] = rng.NormFloat64() * 0.3
+	}
+	for i := range k.w2 {
+		k.w2[i] = rng.NormFloat64() * 0.3
+	}
+	return k, nil
+}
+
+// Name implements reduction.Kernel.
+func (k *Kernel) Name() string { return "ann" }
+
+// Iterations implements reduction.Kernel.
+func (k *Kernel) Iterations() int { return k.params.Epochs }
+
+// Loss reports the mean cross-entropy of the last completed epoch.
+func (k *Kernel) Loss() float64 {
+	if k.count == 0 {
+		return math.Inf(1)
+	}
+	return k.loss / k.count
+}
+
+// NewObject returns a zeroed gradient accumulator.
+func (k *Kernel) NewObject() reduction.Object {
+	return reduction.NewVectorObject(gradLen(k.dims, k.params.Hidden, k.classes))
+}
+
+// label reports a point's class: the nearest generating mixture center.
+func (k *Kernel) label(pt []float64) int {
+	best, bestDist := 0, math.Inf(1)
+	for ci, c := range k.centers {
+		var sum float64
+		for j := range c {
+			diff := pt[j] - c[j]
+			sum += diff * diff
+		}
+		if sum < bestDist {
+			best, bestDist = ci, sum
+		}
+	}
+	return best
+}
+
+// forward computes hidden activations and class probabilities.
+func (k *Kernel) forward(x []float64, hidden, probs []float64) {
+	h, d, g := k.params.Hidden, k.dims, k.classes
+	for i := 0; i < h; i++ {
+		sum := k.w1[i*(d+1)+d] // bias
+		for j := 0; j < d; j++ {
+			sum += k.w1[i*(d+1)+j] * x[j]
+		}
+		hidden[i] = math.Tanh(sum)
+	}
+	maxLogit := math.Inf(-1)
+	for c := 0; c < g; c++ {
+		sum := k.w2[c*(h+1)+h] // bias
+		for i := 0; i < h; i++ {
+			sum += k.w2[c*(h+1)+i] * hidden[i]
+		}
+		probs[c] = sum
+		if sum > maxLogit {
+			maxLogit = sum
+		}
+	}
+	var denom float64
+	for c := 0; c < g; c++ {
+		probs[c] = math.Exp(probs[c] - maxLogit)
+		denom += probs[c]
+	}
+	for c := 0; c < g; c++ {
+		probs[c] /= denom
+	}
+}
+
+// ProcessChunk accumulates the batch gradient over one chunk.
+func (k *Kernel) ProcessChunk(p reduction.Payload, obj reduction.Object) error {
+	acc, ok := obj.(*reduction.VectorObject)
+	if !ok {
+		return fmt.Errorf("ann: unexpected object %T", obj)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Fields != k.dims {
+		return fmt.Errorf("ann: payload has %d fields, want %d", p.Fields, k.dims)
+	}
+	h, d, g := k.params.Hidden, k.dims, k.classes
+	if len(acc.V) != gradLen(d, h, g) {
+		return fmt.Errorf("ann: object has %d cells, want %d", len(acc.V), gradLen(d, h, g))
+	}
+	x := make([]float64, d)
+	hidden := make([]float64, h)
+	probs := make([]float64, g)
+	dHidden := make([]float64, h)
+	g2off := h * (d + 1)
+	for e := int64(0); e < p.Chunk.Elems; e++ {
+		pt := p.Elem(e)
+		for j := 0; j < d; j++ {
+			x[j] = pt[j] / 100 // inputs live in [0,100]; normalize
+		}
+		k.forward(x, hidden, probs)
+		label := k.label(pt)
+		acc.V[len(acc.V)-2] += -math.Log(math.Max(probs[label], 1e-12))
+		acc.V[len(acc.V)-1]++
+		// Backward: softmax cross-entropy.
+		for i := range dHidden {
+			dHidden[i] = 0
+		}
+		for c := 0; c < g; c++ {
+			delta := probs[c]
+			if c == label {
+				delta--
+			}
+			base := g2off + c*(h+1)
+			for i := 0; i < h; i++ {
+				acc.V[base+i] += delta * hidden[i]
+				dHidden[i] += delta * k.w2[c*(h+1)+i]
+			}
+			acc.V[base+h] += delta
+		}
+		for i := 0; i < h; i++ {
+			dh := dHidden[i] * (1 - hidden[i]*hidden[i])
+			base := i * (d + 1)
+			for j := 0; j < d; j++ {
+				acc.V[base+j] += dh * x[j]
+			}
+			acc.V[base+d] += dh
+		}
+	}
+	return nil
+}
+
+// GlobalReduce applies the combined gradient — one synchronous batch
+// gradient-descent step.
+func (k *Kernel) GlobalReduce(merged reduction.Object) (bool, error) {
+	acc, ok := merged.(*reduction.VectorObject)
+	if !ok {
+		return false, fmt.Errorf("ann: unexpected object %T", merged)
+	}
+	h, d, g := k.params.Hidden, k.dims, k.classes
+	if len(acc.V) != gradLen(d, h, g) {
+		return false, fmt.Errorf("ann: merged object has %d cells, want %d", len(acc.V), gradLen(d, h, g))
+	}
+	n := acc.V[len(acc.V)-1]
+	if n <= 0 {
+		return false, fmt.Errorf("ann: no examples accumulated")
+	}
+	step := k.params.LearningRate / n
+	g2off := h * (d + 1)
+	for i := range k.w1 {
+		k.w1[i] -= step * acc.V[i]
+	}
+	for i := range k.w2 {
+		k.w2[i] -= step * acc.V[g2off+i]
+	}
+	k.loss = acc.V[len(acc.V)-2]
+	k.count = n
+	k.iter++
+	return k.iter >= k.params.Epochs, nil
+}
+
+// Classify predicts the class of a point.
+func (k *Kernel) Classify(pt []float64) int {
+	x := make([]float64, k.dims)
+	for j := range x {
+		x[j] = pt[j] / 100
+	}
+	hidden := make([]float64, k.params.Hidden)
+	probs := make([]float64, k.classes)
+	k.forward(x, hidden, probs)
+	best := 0
+	for c := range probs {
+		if probs[c] > probs[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Model returns the scaling classes: constant reduction object (the
+// gradient's size is the architecture's), linear-constant global
+// reduction.
+func Model() core.AppModel {
+	return core.AppModel{RO: core.ROConstant, Global: core.GlobalLinearConstant}
+}
+
+// Cost returns the analytic work model consumed by the simulated backend.
+func Cost(spec adr.DatasetSpec, params Params) (reduction.CostModel, error) {
+	if err := params.Validate(); err != nil {
+		return reduction.CostModel{}, err
+	}
+	d, h, g := spec.Dims, params.Hidden, datagen.MixtureComponents
+	weights := gradLen(d, h, g)
+	return reduction.CostModel{
+		Name: "ann",
+		Mix:  reduction.WorkMix{Flop: 0.8, Mem: 0.12, Branch: 0.08},
+		// Forward + backward: ~4 ops per weight per example, plus the
+		// labeling distance scan.
+		OpsPerElem: float64(4*weights + 3*g*d),
+		Iterations: params.Epochs,
+		ROBytesPerNode: func(totalElems int64, c int) units.Bytes {
+			return units.Bytes(8 * weights) // constant class
+		},
+		GlobalOps: func(totalElems int64, c int) float64 {
+			return float64(4 * c * weights)
+		},
+		BroadcastBytes: units.Bytes(8 * weights), // updated weights
+	}, nil
+}

@@ -1,0 +1,195 @@
+package ann
+
+import (
+	"math"
+	"testing"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/datagen"
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+func testSpec() adr.DatasetSpec {
+	return adr.DatasetSpec{
+		Name:       "pts",
+		TotalBytes: units.MB,
+		ElemBytes:  128,
+		ChunkBytes: 128 * units.KB,
+		Kind:       "points",
+		Dims:       16,
+		Seed:       47,
+	}
+}
+
+// drive runs all epochs, splitting chunks into `splits` objects per pass,
+// and returns the per-epoch mean losses.
+func drive(t *testing.T, k *Kernel, spec adr.DatasetSpec, splits int) []float64 {
+	t.Helper()
+	gen := datagen.Points{}
+	layout, err := adr.Partition(spec, 1, adr.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var losses []float64
+	for pass := 0; pass < k.Iterations(); pass++ {
+		objs := make([]reduction.Object, splits)
+		for i := range objs {
+			objs[i] = k.NewObject()
+		}
+		for i, c := range layout.Chunks() {
+			p := reduction.Payload{Chunk: c, Fields: spec.Dims, Values: gen.ChunkValues(spec, c)}
+			if err := k.ProcessChunk(p, objs[i%splits]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 1; i < splits; i++ {
+			if err := objs[0].Merge(objs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		done, err := k.GlobalReduce(objs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses = append(losses, k.Loss())
+		if done {
+			break
+		}
+	}
+	return losses
+}
+
+// accuracy measures training accuracy against the generating labels.
+func accuracy(t *testing.T, k *Kernel, spec adr.DatasetSpec) float64 {
+	t.Helper()
+	gen := datagen.Points{}
+	layout, _ := adr.Partition(spec, 1, adr.RoundRobin)
+	var hit, total int64
+	for _, c := range layout.Chunks() {
+		vals := gen.ChunkValues(spec, c)
+		for e := int64(0); e < c.Elems; e++ {
+			pt := vals[e*int64(spec.Dims) : (e+1)*int64(spec.Dims)]
+			if k.Classify(pt) == k.label(pt) {
+				hit++
+			}
+			total++
+		}
+	}
+	return float64(hit) / float64(total)
+}
+
+func TestLossDecreases(t *testing.T) {
+	spec := testSpec()
+	k, err := New(spec, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses := drive(t, k, spec, 1)
+	if len(losses) < 3 {
+		t.Fatalf("only %d epochs ran", len(losses))
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: %v -> %v", losses[0], losses[len(losses)-1])
+	}
+}
+
+func TestLearnsSeparableMixture(t *testing.T) {
+	spec := testSpec()
+	k, err := New(spec, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, k, spec, 1)
+	if acc := accuracy(t, k, spec); acc < 0.9 {
+		t.Fatalf("training accuracy %.2f after %d epochs, want >= 0.9 on a separable mixture",
+			acc, DefaultParams().Epochs)
+	}
+}
+
+func TestSplitMergeMatchesSingle(t *testing.T) {
+	spec := testSpec()
+	params := Params{Hidden: 8, Epochs: 3, LearningRate: 1}
+	k1, _ := New(spec, params)
+	l1 := drive(t, k1, spec, 1)
+	k4, _ := New(spec, params)
+	l4 := drive(t, k4, spec, 4)
+	for i := range l1 {
+		if math.Abs(l1[i]-l4[i]) > 1e-9*(math.Abs(l1[i])+1) {
+			t.Fatalf("epoch %d loss differs between 1-way (%v) and 4-way (%v) accumulation", i, l1[i], l4[i])
+		}
+	}
+}
+
+func TestGradientObjectConstantSize(t *testing.T) {
+	spec := testSpec()
+	k, _ := New(spec, DefaultParams())
+	obj := k.NewObject()
+	before := obj.Bytes()
+	gen := datagen.Points{}
+	layout, _ := adr.Partition(spec, 1, adr.RoundRobin)
+	c := layout.Chunks()[0]
+	p := reduction.Payload{Chunk: c, Fields: spec.Dims, Values: gen.ChunkValues(spec, c)}
+	if err := k.ProcessChunk(p, obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj.Bytes() != before {
+		t.Fatalf("gradient object grew from %v to %v", before, obj.Bytes())
+	}
+	cost, err := Cost(spec, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.ROBytesPerNode(1, 1) != before {
+		t.Fatalf("cost RO %v != real object %v", cost.ROBytesPerNode(1, 1), before)
+	}
+}
+
+func TestModelAndCostClasses(t *testing.T) {
+	m := Model()
+	if m.RO != core.ROConstant || m.Global != core.GlobalLinearConstant {
+		t.Fatalf("Model() = %+v", m)
+	}
+	cost, err := Cost(testSpec(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cost.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cost.ROBytesPerNode(1e6, 1) != cost.ROBytesPerNode(4e6, 8) {
+		t.Error("constant-class RO varied")
+	}
+	if cost.GlobalOps(1e6, 16) <= cost.GlobalOps(1e6, 2) {
+		t.Error("GlobalOps not increasing in node count")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := (Params{Hidden: 0, Epochs: 1, LearningRate: 1}).Validate(); err == nil {
+		t.Error("zero hidden accepted")
+	}
+	if err := (Params{Hidden: 1, Epochs: 0, LearningRate: 1}).Validate(); err == nil {
+		t.Error("zero epochs accepted")
+	}
+	if err := (Params{Hidden: 1, Epochs: 1, LearningRate: 0}).Validate(); err == nil {
+		t.Error("zero learning rate accepted")
+	}
+	bad := testSpec()
+	bad.Kind = "lattice"
+	if _, err := New(bad, DefaultParams()); err == nil {
+		t.Error("lattice dataset accepted")
+	}
+	k, _ := New(testSpec(), DefaultParams())
+	if err := k.ProcessChunk(reduction.Payload{}, reduction.NewFloatsObject(1)); err == nil {
+		t.Error("wrong object type accepted")
+	}
+	if _, err := k.GlobalReduce(reduction.NewVectorObject(3)); err == nil {
+		t.Error("wrong-size merged object accepted")
+	}
+	empty := k.NewObject()
+	if _, err := k.GlobalReduce(empty); err == nil {
+		t.Error("zero-example gradient accepted")
+	}
+}

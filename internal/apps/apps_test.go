@@ -1,0 +1,145 @@
+package apps
+
+import (
+	"testing"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/units"
+)
+
+func specFor(t *testing.T, a App) adr.DatasetSpec {
+	t.Helper()
+	spec := adr.DatasetSpec{
+		Name:       "reg-" + a.Name,
+		TotalBytes: units.MB,
+		ChunkBytes: 128 * units.KB,
+		Kind:       a.DatasetKind,
+		Seed:       13,
+	}
+	switch a.DatasetKind {
+	case "points":
+		spec.ElemBytes, spec.Dims = 128, 16
+	case "field":
+		spec.ElemBytes, spec.Dims = 16, 2
+	case "lattice":
+		spec.ElemBytes, spec.Dims = 24, 3
+	case "transactions":
+		spec.ElemBytes, spec.Dims = 96, 12
+	default:
+		t.Fatalf("unknown dataset kind %q", a.DatasetKind)
+	}
+	return spec
+}
+
+func TestNamesListsFiveApps(t *testing.T) {
+	names := Names()
+	if len(names) != 7 {
+		t.Fatalf("registry has %d apps, want the paper's 5 plus apriori and ann", len(names))
+	}
+	want := []string{"ann", "apriori", "defect", "em", "kmeans", "knn", "vortex"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("birch"); err == nil {
+		t.Fatal("unknown app returned")
+	}
+}
+
+func TestEveryAppBuildsAndRuns(t *testing.T) {
+	for _, name := range Names() {
+		a, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name != name {
+			t.Errorf("registry key %q holds app %q", name, a.Name)
+		}
+		spec := specFor(t, a)
+		k, err := a.NewKernel(spec)
+		if err != nil {
+			t.Fatalf("%s: NewKernel: %v", name, err)
+		}
+		if k.Name() != name {
+			t.Errorf("%s: kernel names itself %q", name, k.Name())
+		}
+		cost, err := a.Cost(spec)
+		if err != nil {
+			t.Fatalf("%s: Cost: %v", name, err)
+		}
+		if err := cost.Validate(); err != nil {
+			t.Errorf("%s: invalid cost model: %v", name, err)
+		}
+		if cost.Iterations != k.Iterations() {
+			t.Errorf("%s: cost model iterations %d != kernel %d", name, cost.Iterations, k.Iterations())
+		}
+		if err := RunSequential(k, spec); err != nil {
+			t.Errorf("%s: RunSequential: %v", name, err)
+		}
+	}
+}
+
+func TestKernelObjectSizeMatchesCostModel(t *testing.T) {
+	// The paper's classes only work if the cost models track the real
+	// objects: for a 1-node run over the whole dataset, the fresh object
+	// plus the data it accumulates must stay within 2x of the model.
+	for _, name := range Names() {
+		a, _ := Get(name)
+		spec := specFor(t, a)
+		cost, err := a.Cost(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := a.NewKernel(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RunSequential(k, spec); err != nil {
+			t.Fatal(err)
+		}
+		model := float64(cost.ROBytesPerNode(spec.Elems(), 1))
+		real := float64(k.NewObject().Bytes()) // fresh object floor
+		if model < real/4 {
+			t.Errorf("%s: model RO %v far below even an empty object %v", name, model, real)
+		}
+	}
+}
+
+func TestRunSequentialRejectsBadSpec(t *testing.T) {
+	a, _ := Get("kmeans")
+	spec := specFor(t, a)
+	spec.Kind = "nonsense"
+	k, err := a.NewKernel(specFor(t, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunSequential(k, spec); err == nil {
+		t.Fatal("nonsense dataset kind ran")
+	}
+	tiny := specFor(t, a)
+	tiny.TotalBytes = 1
+	if err := RunSequential(k, tiny); err == nil {
+		t.Fatal("sub-element dataset ran")
+	}
+}
+
+func TestModelsAreConsistentWithClasses(t *testing.T) {
+	constant := map[string]bool{"kmeans": true, "knn": true, "apriori": true, "ann": true}
+	for _, name := range Names() {
+		a, _ := Get(name)
+		if constant[name] {
+			if a.Model.RO != core.ROConstant || a.Model.Global != core.GlobalLinearConstant {
+				t.Errorf("%s: model %+v, want constant/linear-constant", name, a.Model)
+			}
+		} else {
+			if a.Model.RO != core.ROLinear || a.Model.Global != core.GlobalConstantLinear {
+				t.Errorf("%s: model %+v, want linear/constant-linear", name, a.Model)
+			}
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package apriori implements apriori association mining as a FREERIDE-G
+// generalized reduction — the first example the paper gives of the
+// application class the middleware targets (Section 2.2, citing Agrawal &
+// Shafer's parallel association mining). Each pass counts the support of
+// the current candidate itemsets in a reduction object of counters; the
+// global reduction keeps the frequent itemsets and generates the next
+// candidates (apriori-gen with subset pruning).
+//
+// Its reduction object size depends only on the candidate count — bounded
+// by the application parameters, not the dataset or node count — so it is
+// a constant-class object with a linear-constant global reduction, like
+// k-means.
+package apriori
+
+import (
+	"fmt"
+	"sort"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/datagen"
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+// Params configures an apriori run.
+type Params struct {
+	// MinSupport is the frequency threshold (fraction of transactions).
+	MinSupport float64
+	// MaxItemsetSize bounds the number of passes.
+	MaxItemsetSize int
+}
+
+// DefaultParams mines itemsets up to size 5 at 15% support, matching the
+// planted patterns of the transactions generator.
+func DefaultParams() Params { return Params{MinSupport: 0.15, MaxItemsetSize: 5} }
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.MinSupport <= 0 || p.MinSupport > 1 {
+		return fmt.Errorf("apriori: MinSupport %g outside (0,1]", p.MinSupport)
+	}
+	if p.MaxItemsetSize < 1 {
+		return fmt.Errorf("apriori: MaxItemsetSize %d", p.MaxItemsetSize)
+	}
+	return nil
+}
+
+// Itemset is a frequent itemset with its measured support count.
+type Itemset struct {
+	Items   []int
+	Support int64
+}
+
+// Kernel is one apriori run.
+type Kernel struct {
+	params Params
+	width  int
+	pass   int
+
+	candidates [][]int // current pass's candidate itemsets (sorted items)
+	total      int64   // transactions counted in pass 1
+	frequent   []Itemset
+}
+
+// New creates a kernel for a transactions dataset. Pass 1 counts single
+// items 1..TransactionItems.
+func New(spec adr.DatasetSpec, params Params) (*Kernel, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Kind != "transactions" {
+		return nil, fmt.Errorf("apriori: dataset kind %q, want transactions", spec.Kind)
+	}
+	k := &Kernel{params: params, width: spec.Dims}
+	for item := 1; item <= datagen.TransactionItems; item++ {
+		k.candidates = append(k.candidates, []int{item})
+	}
+	return k, nil
+}
+
+// Name implements reduction.Kernel.
+func (k *Kernel) Name() string { return "apriori" }
+
+// Iterations implements reduction.Kernel: at most MaxItemsetSize passes;
+// the run finishes early when no candidates remain.
+func (k *Kernel) Iterations() int { return k.params.MaxItemsetSize }
+
+// Frequent returns all frequent itemsets found so far, smallest first.
+func (k *Kernel) Frequent() []Itemset { return k.frequent }
+
+// Candidates returns the current pass's candidate itemsets.
+func (k *Kernel) Candidates() [][]int { return k.candidates }
+
+// NewObject returns one support counter per candidate, plus a
+// transaction-count cell.
+func (k *Kernel) NewObject() reduction.Object {
+	return reduction.NewVectorObject(len(k.candidates) + 1)
+}
+
+// ProcessChunk counts candidate support over one chunk of transactions.
+func (k *Kernel) ProcessChunk(p reduction.Payload, obj reduction.Object) error {
+	acc, ok := obj.(*reduction.VectorObject)
+	if !ok {
+		return fmt.Errorf("apriori: unexpected object %T", obj)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Fields != k.width {
+		return fmt.Errorf("apriori: payload has %d fields, want %d", p.Fields, k.width)
+	}
+	if len(acc.V) != len(k.candidates)+1 {
+		return fmt.Errorf("apriori: object has %d cells, want %d", len(acc.V), len(k.candidates)+1)
+	}
+	var present [datagen.TransactionItems + 1]bool
+	for e := int64(0); e < p.Chunk.Elems; e++ {
+		tx := p.Elem(e)
+		for i := range present {
+			present[i] = false
+		}
+		for _, slot := range tx {
+			id := int(slot)
+			if id >= 1 && id <= datagen.TransactionItems {
+				present[id] = true
+			}
+		}
+		for ci, cand := range k.candidates {
+			hit := true
+			for _, item := range cand {
+				if !present[item] {
+					hit = false
+					break
+				}
+			}
+			if hit {
+				acc.V[ci]++
+			}
+		}
+		acc.V[len(acc.V)-1]++ // transaction count
+	}
+	return nil
+}
+
+// GlobalReduce keeps the frequent candidates and generates the next
+// pass's candidates; it reports done when none remain or the size bound
+// is reached.
+func (k *Kernel) GlobalReduce(merged reduction.Object) (bool, error) {
+	acc, ok := merged.(*reduction.VectorObject)
+	if !ok {
+		return false, fmt.Errorf("apriori: unexpected object %T", merged)
+	}
+	if len(acc.V) != len(k.candidates)+1 {
+		return false, fmt.Errorf("apriori: merged object has %d cells, want %d",
+			len(acc.V), len(k.candidates)+1)
+	}
+	if k.pass == 0 {
+		k.total = int64(acc.V[len(acc.V)-1])
+		if k.total == 0 {
+			return false, fmt.Errorf("apriori: no transactions counted")
+		}
+	}
+	threshold := k.params.MinSupport * float64(k.total)
+	var freq [][]int
+	for ci, cand := range k.candidates {
+		if acc.V[ci] >= threshold {
+			freq = append(freq, cand)
+			k.frequent = append(k.frequent, Itemset{
+				Items:   append([]int(nil), cand...),
+				Support: int64(acc.V[ci]),
+			})
+		}
+	}
+	k.pass++
+	if k.pass >= k.params.MaxItemsetSize {
+		return true, nil
+	}
+	k.candidates = aprioriGen(freq)
+	return len(k.candidates) == 0, nil
+}
+
+// aprioriGen joins frequent k-itemsets sharing a (k-1)-prefix and prunes
+// candidates with any infrequent subset — the classic candidate
+// generation.
+func aprioriGen(freq [][]int) [][]int {
+	if len(freq) == 0 {
+		return nil
+	}
+	have := make(map[string]bool, len(freq))
+	for _, f := range freq {
+		have[key(f)] = true
+	}
+	var out [][]int
+	for i := 0; i < len(freq); i++ {
+		for j := i + 1; j < len(freq); j++ {
+			a, b := freq[i], freq[j]
+			if !samePrefix(a, b) {
+				continue
+			}
+			lo, hi := a[len(a)-1], b[len(b)-1]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			cand := append(append([]int(nil), a[:len(a)-1]...), lo, hi)
+			if allSubsetsFrequent(cand, have) {
+				out = append(out, cand)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+func key(items []int) string {
+	b := make([]byte, 0, len(items)*3)
+	for _, it := range items {
+		b = append(b, byte(it), byte(it>>8), ',')
+	}
+	return string(b)
+}
+
+func samePrefix(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// allSubsetsFrequent checks the apriori property: every (k-1)-subset of
+// the candidate must itself be frequent.
+func allSubsetsFrequent(cand []int, have map[string]bool) bool {
+	if len(cand) <= 2 {
+		return true // both 1-subsets were frequent by construction
+	}
+	sub := make([]int, 0, len(cand)-1)
+	for skip := range cand {
+		sub = sub[:0]
+		for i, it := range cand {
+			if i != skip {
+				sub = append(sub, it)
+			}
+		}
+		if !have[key(sub)] {
+			return false
+		}
+	}
+	return true
+}
+
+func less(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Model returns the scaling classes: constant reduction object (bounded
+// by the candidate count), linear-constant global reduction.
+func Model() core.AppModel {
+	return core.AppModel{RO: core.ROConstant, Global: core.GlobalLinearConstant}
+}
+
+// Cost returns the analytic work model consumed by the simulated backend.
+// Candidate counts vary per pass; the model uses the dominant pass-1/2
+// shape (catalog-sized counter vectors).
+func Cost(spec adr.DatasetSpec, params Params) (reduction.CostModel, error) {
+	if err := params.Validate(); err != nil {
+		return reduction.CostModel{}, err
+	}
+	counters := datagen.TransactionItems + 1
+	return reduction.CostModel{
+		Name: "apriori",
+		Mix:  reduction.WorkMix{Flop: 0.15, Mem: 0.45, Branch: 0.40},
+		// Per transaction per pass: presence marking plus candidate
+		// subset checks.
+		OpsPerElem: float64(spec.Dims*4 + 3*counters),
+		Iterations: params.MaxItemsetSize,
+		ROBytesPerNode: func(totalElems int64, c int) units.Bytes {
+			return units.Bytes(8 * counters) // constant class
+		},
+		GlobalOps: func(totalElems int64, c int) float64 {
+			return float64(4 * c * counters)
+		},
+		BroadcastBytes: units.Bytes(8 * counters), // next candidate set
+	}, nil
+}

@@ -1,0 +1,247 @@
+package apriori
+
+import (
+	"testing"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/datagen"
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+func testSpec() adr.DatasetSpec {
+	return adr.DatasetSpec{
+		Name:       "baskets",
+		TotalBytes: units.MB,
+		ElemBytes:  96, // 12 slots x 8 bytes
+		ChunkBytes: 96 * units.KB,
+		Kind:       "transactions",
+		Dims:       12,
+		Seed:       31,
+	}
+}
+
+// drive runs all passes sequentially, splitting chunk processing into
+// `splits` objects per pass to mimic parallel nodes.
+func drive(t *testing.T, k *Kernel, spec adr.DatasetSpec, splits int) {
+	t.Helper()
+	gen := datagen.Transactions{}
+	layout, err := adr.Partition(spec, 1, adr.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < k.Iterations(); pass++ {
+		objs := make([]reduction.Object, splits)
+		for i := range objs {
+			objs[i] = k.NewObject()
+		}
+		for i, c := range layout.Chunks() {
+			p := reduction.Payload{Chunk: c, Fields: spec.Dims, Values: gen.ChunkValues(spec, c)}
+			if err := k.ProcessChunk(p, objs[i%splits]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 1; i < splits; i++ {
+			if err := objs[0].Merge(objs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		done, err := k.GlobalReduce(objs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			return
+		}
+	}
+}
+
+func frequentKeys(k *Kernel) map[string]int64 {
+	out := map[string]int64{}
+	for _, f := range k.Frequent() {
+		out[key(f.Items)] = f.Support
+	}
+	return out
+}
+
+func TestRecoversPlantedPatterns(t *testing.T) {
+	spec := testSpec()
+	k, err := New(spec, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, k, spec, 1)
+	freq := frequentKeys(k)
+	patterns := datagen.Transactions{}.Patterns(spec)
+	for _, p := range patterns {
+		if _, ok := freq[key(p)]; !ok {
+			t.Errorf("planted pattern %v not found frequent", p)
+		}
+	}
+	// Every subset of a planted pattern is frequent too (apriori
+	// property on the data side).
+	for _, p := range patterns {
+		for drop := range p {
+			sub := append(append([]int(nil), p[:drop]...), p[drop+1:]...)
+			if len(sub) == 0 {
+				continue
+			}
+			if _, ok := freq[key(sub)]; !ok {
+				t.Errorf("subset %v of planted pattern %v not frequent", sub, p)
+			}
+		}
+	}
+}
+
+func TestNoSpuriousLargeItemsets(t *testing.T) {
+	spec := testSpec()
+	k, _ := New(spec, DefaultParams())
+	drive(t, k, spec, 1)
+	patterns := datagen.Transactions{}.Patterns(spec)
+	planted := map[string]bool{}
+	for _, p := range patterns {
+		// all subsets of planted patterns
+		for mask := 1; mask < 1<<len(p); mask++ {
+			var sub []int
+			for i := range p {
+				if mask&(1<<i) != 0 {
+					sub = append(sub, p[i])
+				}
+			}
+			planted[key(sub)] = true
+		}
+	}
+	for _, f := range k.Frequent() {
+		if len(f.Items) >= 2 && !planted[key(f.Items)] {
+			t.Errorf("spurious frequent itemset %v (support %d)", f.Items, f.Support)
+		}
+	}
+}
+
+func TestSupportsAreConsistent(t *testing.T) {
+	spec := testSpec()
+	k, _ := New(spec, DefaultParams())
+	drive(t, k, spec, 1)
+	freq := frequentKeys(k)
+	// Support is anti-monotone: a pattern's support cannot exceed any of
+	// its single items'.
+	for _, p := range (datagen.Transactions{}).Patterns(spec) {
+		full := freq[key(p)]
+		for _, item := range p {
+			if single, ok := freq[key([]int{item})]; ok && full > single {
+				t.Errorf("pattern %v support %d exceeds item %d support %d", p, full, item, single)
+			}
+		}
+		// Planted patterns appear in ~30% of transactions.
+		total := spec.Elems()
+		share := float64(full) / float64(total)
+		if share < 0.2 || share > 0.45 {
+			t.Errorf("pattern %v support share %.2f outside [0.2, 0.45]", p, share)
+		}
+	}
+}
+
+func TestSplitMergeInvariant(t *testing.T) {
+	spec := testSpec()
+	k1, _ := New(spec, DefaultParams())
+	drive(t, k1, spec, 1)
+	k4, _ := New(spec, DefaultParams())
+	drive(t, k4, spec, 4)
+	f1, f4 := frequentKeys(k1), frequentKeys(k4)
+	if len(f1) != len(f4) {
+		t.Fatalf("frequent set sizes differ: %d vs %d", len(f1), len(f4))
+	}
+	for key, s := range f1 {
+		if f4[key] != s {
+			t.Fatalf("support differs for %q: %d vs %d", key, s, f4[key])
+		}
+	}
+}
+
+func TestAprioriGen(t *testing.T) {
+	freq := [][]int{{1, 2}, {1, 3}, {2, 3}, {2, 4}}
+	got := aprioriGen(freq)
+	// {1,2}+{1,3} -> {1,2,3}: subsets {1,2},{1,3},{2,3} all frequent: keep.
+	// {2,3}+{2,4} -> {2,3,4}: subset {3,4} missing: prune.
+	if len(got) != 1 || got[0][0] != 1 || got[0][1] != 2 || got[0][2] != 3 {
+		t.Fatalf("aprioriGen = %v, want [[1 2 3]]", got)
+	}
+	if aprioriGen(nil) != nil {
+		t.Fatal("aprioriGen(nil) not empty")
+	}
+}
+
+func TestEarlyTermination(t *testing.T) {
+	// An absurd support threshold leaves no frequent items: pass 2 has no
+	// candidates and the run stops after pass 1... GlobalReduce reports
+	// done.
+	spec := testSpec()
+	k, err := New(spec, Params{MinSupport: 0.999, MaxItemsetSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := datagen.Transactions{}
+	layout, _ := adr.Partition(spec, 1, adr.RoundRobin)
+	obj := k.NewObject()
+	for _, c := range layout.Chunks() {
+		p := reduction.Payload{Chunk: c, Fields: spec.Dims, Values: gen.ChunkValues(spec, c)}
+		if err := k.ProcessChunk(p, obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done, err := k.GlobalReduce(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("run did not terminate with zero candidates")
+	}
+	if len(k.Frequent()) != 0 {
+		t.Fatalf("%d itemsets frequent at 99.9%% support", len(k.Frequent()))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := (Params{MinSupport: 0, MaxItemsetSize: 2}).Validate(); err == nil {
+		t.Error("zero support accepted")
+	}
+	if err := (Params{MinSupport: 1.5, MaxItemsetSize: 2}).Validate(); err == nil {
+		t.Error("support > 1 accepted")
+	}
+	if err := (Params{MinSupport: 0.1, MaxItemsetSize: 0}).Validate(); err == nil {
+		t.Error("zero itemset size accepted")
+	}
+	bad := testSpec()
+	bad.Kind = "points"
+	if _, err := New(bad, DefaultParams()); err == nil {
+		t.Error("points dataset accepted")
+	}
+	k, _ := New(testSpec(), DefaultParams())
+	if err := k.ProcessChunk(reduction.Payload{}, reduction.NewFloatsObject(1)); err == nil {
+		t.Error("wrong object type accepted")
+	}
+	if _, err := k.GlobalReduce(reduction.NewVectorObject(1)); err == nil {
+		t.Error("wrong-size merged object accepted")
+	}
+}
+
+func TestModelAndCost(t *testing.T) {
+	m := Model()
+	if m.RO != core.ROConstant || m.Global != core.GlobalLinearConstant {
+		t.Fatalf("Model() = %+v", m)
+	}
+	cost, err := Cost(testSpec(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cost.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cost.ROBytesPerNode(1e6, 1) != cost.ROBytesPerNode(4e6, 8) {
+		t.Error("constant-class RO varied")
+	}
+	if cost.GlobalOps(1e6, 16) <= cost.GlobalOps(1e6, 2) {
+		t.Error("GlobalOps not increasing in node count")
+	}
+}

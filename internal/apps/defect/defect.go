@@ -1,0 +1,349 @@
+// Package defect implements the molecular defect detection and
+// categorization application as a FREERIDE-G generalized reduction
+// (Section 4.5 of the paper). The run makes two passes over the lattice:
+//
+//   - Detection: atoms displaced beyond a threshold from their ideal
+//     lattice sites are marked and clustered into defect structures on
+//     each node; structures spanning chunk boundaries are joined in the
+//     global combination, which also builds the defect-class catalog.
+//   - Categorization: each node matches its local defects against the
+//     broadcast catalog; non-matching defects receive temporary class
+//     assignments, local catalogs are merged globally, and the final
+//     class histogram is produced.
+//
+// Its per-node reduction object is a defect list proportional to the
+// node's data share (linear class) and the global combination handles a
+// defect volume proportional to the dataset (constant-linear class).
+package defect
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/datagen"
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+// Params configures a defect detection run.
+type Params struct {
+	// Threshold is the displacement above which an atom is anomalous.
+	Threshold float64
+}
+
+// DefaultParams uses the generator's injection threshold.
+func DefaultParams() Params { return Params{Threshold: datagen.DefectThreshold} }
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Threshold <= 0 {
+		return fmt.Errorf("defect: threshold %g", p.Threshold)
+	}
+	return nil
+}
+
+// Record kinds in the categorization pass's reduction object.
+const (
+	recClassified = 0 // [kind, classID, 1, size, 0]
+	recTempClass  = 1 // [kind, size, 1, size, 0] — size not in catalog
+	recFragment   = 2 // [kind, firstIdx, lastIdx, sumDisp, 0]
+)
+
+// detStride is the detection-pass record layout:
+// firstIdx, lastIdx, size, sumDisp.
+const detStride = 4
+
+// catStride is the categorization-pass record layout (see constants).
+const catStride = 5
+
+// Defect is one joined defect structure.
+type Defect struct {
+	First, Last int64 // global atom index range
+	Size        int
+	SumDisp     float64
+}
+
+// Kernel is one defect detection + categorization run.
+type Kernel struct {
+	params  Params
+	spec    adr.DatasetSpec
+	lattice datagen.Lattice
+	pass    int
+
+	defects []Defect    // joined structures after the detection pass
+	catalog map[int]int // size -> class id
+	counts  map[int]int // class id -> defect count (final result)
+}
+
+// New creates a kernel for a lattice dataset.
+func New(spec adr.DatasetSpec, params Params) (*Kernel, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Kind != "lattice" {
+		return nil, fmt.Errorf("defect: dataset kind %q, want lattice", spec.Kind)
+	}
+	return &Kernel{params: params, spec: spec, catalog: make(map[int]int)}, nil
+}
+
+// Name implements reduction.Kernel.
+func (k *Kernel) Name() string { return "defect" }
+
+// Iterations implements reduction.Kernel: detection then categorization.
+func (k *Kernel) Iterations() int { return 2 }
+
+// Defects returns the joined defect structures found by the detection pass.
+func (k *Kernel) Defects() []Defect { return k.defects }
+
+// Catalog returns the size -> class-id catalog.
+func (k *Kernel) Catalog() map[int]int { return k.catalog }
+
+// Counts returns the final class-id -> defect-count histogram.
+func (k *Kernel) Counts() map[int]int { return k.counts }
+
+// NewObject returns the pass-appropriate accumulator.
+func (k *Kernel) NewObject() reduction.Object {
+	if k.pass == 0 {
+		return reduction.NewFloatsObject(detStride)
+	}
+	return reduction.NewFloatsObject(catStride)
+}
+
+// run is a maximal run of consecutive anomalous atoms within one chunk.
+type run struct {
+	first, last int64
+	sumDisp     float64
+}
+
+// detectRuns finds the anomalous runs in a chunk.
+func (k *Kernel) detectRuns(p reduction.Payload) ([]run, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Fields != 3 {
+		return nil, fmt.Errorf("defect: payload has %d fields, want 3 (x,y,z)", p.Fields)
+	}
+	base := datagen.GlobalBase(k.spec, p.Chunk)
+	var runs []run
+	open := false
+	var cur run
+	for e := int64(0); e < p.Chunk.Elems; e++ {
+		idx := base + e
+		ix, iy, iz := k.lattice.IdealPosition(k.spec, idx)
+		pos := p.Elem(e)
+		dx, dy, dz := pos[0]-ix, pos[1]-iy, pos[2]-iz
+		disp := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		if disp > k.params.Threshold {
+			if open && cur.last == idx-1 {
+				cur.last = idx
+				cur.sumDisp += disp
+			} else {
+				if open {
+					runs = append(runs, cur)
+				}
+				cur = run{first: idx, last: idx, sumDisp: disp}
+				open = true
+			}
+		}
+	}
+	if open {
+		runs = append(runs, cur)
+	}
+	return runs, nil
+}
+
+// ProcessChunk dispatches on the current pass.
+func (k *Kernel) ProcessChunk(p reduction.Payload, obj reduction.Object) error {
+	acc, ok := obj.(*reduction.FloatsObject)
+	if !ok {
+		return fmt.Errorf("defect: unexpected object %T", obj)
+	}
+	runs, err := k.detectRuns(p)
+	if err != nil {
+		return err
+	}
+	if k.pass == 0 {
+		for _, r := range runs {
+			if err := acc.Append(float64(r.first), float64(r.last),
+				float64(r.last-r.first+1), r.sumDisp); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Categorization pass: classify runs interior to the chunk against
+	// the catalog; emit boundary runs as fragments for the master to join.
+	base := datagen.GlobalBase(k.spec, p.Chunk)
+	end := base + p.Chunk.Elems - 1
+	for _, r := range runs {
+		if r.first == base || r.last == end {
+			if err := acc.Append(recFragment, float64(r.first), float64(r.last), r.sumDisp, 0); err != nil {
+				return err
+			}
+			continue
+		}
+		size := int(r.last - r.first + 1)
+		if class, ok := k.catalog[size]; ok {
+			if err := acc.Append(recClassified, float64(class), 1, float64(size), 0); err != nil {
+				return err
+			}
+		} else {
+			if err := acc.Append(recTempClass, float64(size), 1, float64(size), 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// GlobalReduce dispatches on the current pass.
+func (k *Kernel) GlobalReduce(merged reduction.Object) (bool, error) {
+	acc, ok := merged.(*reduction.FloatsObject)
+	if !ok {
+		return false, fmt.Errorf("defect: unexpected object %T", merged)
+	}
+	if k.pass == 0 {
+		if acc.Stride != detStride {
+			return false, fmt.Errorf("defect: detection stride %d, want %d", acc.Stride, detStride)
+		}
+		k.defects = joinRuns(recordsAsRuns(acc))
+		// Build the catalog: one class per distinct size, ordered.
+		sizes := map[int]bool{}
+		for _, d := range k.defects {
+			sizes[d.Size] = true
+		}
+		ordered := make([]int, 0, len(sizes))
+		for s := range sizes {
+			ordered = append(ordered, s)
+		}
+		sort.Ints(ordered)
+		k.catalog = make(map[int]int, len(ordered))
+		for i, s := range ordered {
+			k.catalog[s] = i
+		}
+		k.pass = 1
+		return false, nil
+	}
+	// Categorization pass.
+	if acc.Stride != catStride {
+		return false, fmt.Errorf("defect: categorization stride %d, want %d", acc.Stride, catStride)
+	}
+	counts := make(map[int]int)
+	var fragments []run
+	nextClass := len(k.catalog)
+	tempSizes := map[int]int{} // size -> temp class id
+	classify := func(size int) {
+		if class, ok := k.catalog[size]; ok {
+			counts[class]++
+			return
+		}
+		// Temporary class assignment; added to the catalog during merge.
+		class, ok := tempSizes[size]
+		if !ok {
+			class = nextClass
+			nextClass++
+			tempSizes[size] = class
+			k.catalog[size] = class
+		}
+		counts[class]++
+	}
+	for i := 0; i < acc.Records(); i++ {
+		rec := acc.Record(i)
+		switch int(rec[0]) {
+		case recClassified:
+			counts[int(rec[1])] += int(rec[2])
+		case recTempClass:
+			for n := 0; n < int(rec[2]); n++ {
+				classify(int(rec[1]))
+			}
+		case recFragment:
+			fragments = append(fragments, run{
+				first:   int64(rec[1]),
+				last:    int64(rec[2]),
+				sumDisp: rec[3],
+			})
+		default:
+			return false, fmt.Errorf("defect: unknown record kind %v", rec[0])
+		}
+	}
+	for _, d := range joinRuns(fragments) {
+		classify(d.Size)
+	}
+	k.counts = counts
+	return true, nil
+}
+
+// recordsAsRuns converts detection-pass records back to runs.
+func recordsAsRuns(acc *reduction.FloatsObject) []run {
+	runs := make([]run, acc.Records())
+	for i := range runs {
+		rec := acc.Record(i)
+		runs[i] = run{first: int64(rec[0]), last: int64(rec[1]), sumDisp: rec[3]}
+	}
+	return runs
+}
+
+// joinRuns merges runs that are adjacent in atom-index space (defects
+// spanning chunk boundaries) and returns the joined defects sorted by
+// first atom.
+func joinRuns(runs []run) []Defect {
+	sort.Slice(runs, func(i, j int) bool { return runs[i].first < runs[j].first })
+	var out []Defect
+	for _, r := range runs {
+		if n := len(out); n > 0 && out[n-1].Last+1 >= r.first {
+			if r.last > out[n-1].Last {
+				out[n-1].Last = r.last
+			}
+			out[n-1].SumDisp += r.sumDisp
+			out[n-1].Size = int(out[n-1].Last - out[n-1].First + 1)
+			continue
+		}
+		out = append(out, Defect{
+			First:   r.first,
+			Last:    r.last,
+			Size:    int(r.last - r.first + 1),
+			SumDisp: r.sumDisp,
+		})
+	}
+	return out
+}
+
+// Model returns the paper's scaling classes for defect detection: linear
+// reduction object, constant-linear global reduction.
+func Model() core.AppModel {
+	return core.AppModel{RO: core.ROLinear, Global: core.GlobalConstantLinear}
+}
+
+// Cost returns the analytic work model consumed by the simulated backend.
+func Cost(spec adr.DatasetSpec, params Params) (reduction.CostModel, error) {
+	if err := params.Validate(); err != nil {
+		return reduction.CostModel{}, err
+	}
+	defectsFor := func(totalElems int64) float64 {
+		return float64(totalElems / datagen.DefectAtomPeriod)
+	}
+	return reduction.CostModel{
+		Name: "defect",
+		Mix:  reduction.WorkMix{Flop: 0.35, Mem: 0.45, Branch: 0.20},
+		// Per atom per pass: neighbour-shell reconstruction, displacement
+		// analysis, and amortized clustering plus shape-matching work
+		// (categorization dominates the average).
+		OpsPerElem: 1800,
+		Iterations: 2,
+		ROBytesPerNode: func(totalElems int64, c int) units.Bytes {
+			perNode := defectsFor(totalElems) / float64(c)
+			return units.Bytes(perNode*catStride*8) + 8 // linear class
+		},
+		GlobalOps: func(totalElems int64, c int) float64 {
+			// Join + classify every defect: proportional to the dataset,
+			// independent of the node count.
+			return defectsFor(totalElems) * 30
+		},
+		// The catalog re-broadcast after the detection pass: bounded by
+		// the number of defect classes.
+		BroadcastBytes: units.Bytes(16*datagen.MaxDefectSize) + 64,
+	}, nil
+}

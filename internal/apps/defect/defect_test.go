@@ -1,0 +1,275 @@
+package defect
+
+import (
+	"testing"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/datagen"
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+func testSpec(total units.Bytes) adr.DatasetSpec {
+	return adr.DatasetSpec{
+		Name:       "si",
+		TotalBytes: total,
+		ElemBytes:  24,            // (x, y, z)
+		ChunkBytes: 96 * units.KB, // 4096 atoms per chunk
+		Kind:       "lattice",
+		Dims:       3,
+		Seed:       9,
+	}
+}
+
+// run drives both passes of the kernel, splitting chunk processing into
+// `splits` reduction objects per pass to mimic parallel compute nodes.
+func drive(t *testing.T, k *Kernel, spec adr.DatasetSpec, splits int) {
+	t.Helper()
+	gen := datagen.Lattice{}
+	layout, err := adr.Partition(spec, 1, adr.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < k.Iterations(); pass++ {
+		objs := make([]reduction.Object, splits)
+		for i := range objs {
+			objs[i] = k.NewObject()
+		}
+		for i, c := range layout.Chunks() {
+			p := reduction.Payload{Chunk: c, Fields: 3, Values: gen.ChunkValues(spec, c)}
+			if err := k.ProcessChunk(p, objs[i%splits]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 1; i < splits; i++ {
+			if err := objs[0].Merge(objs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		done, err := k.GlobalReduce(objs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done != (pass == 1) {
+			t.Fatalf("pass %d reported done=%v", pass, done)
+		}
+	}
+}
+
+func TestDetectsInjectedDefects(t *testing.T) {
+	spec := testSpec(2 * units.MB)
+	truth := datagen.Lattice{}.Defects(spec)
+	if len(truth) < 5 {
+		t.Fatalf("test dataset has only %d defects", len(truth))
+	}
+	k, err := New(spec, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, k, spec, 1)
+	got := k.Defects()
+	if len(got) != len(truth) {
+		t.Fatalf("detected %d defects, injected %d", len(got), len(truth))
+	}
+	for i, d := range got {
+		if d.First != truth[i].FirstAtom || d.Size != truth[i].Size {
+			t.Errorf("defect %d = [%d..%d] size %d, want first %d size %d",
+				i, d.First, d.Last, d.Size, truth[i].FirstAtom, truth[i].Size)
+		}
+	}
+}
+
+func TestBoundarySpanningDefectJoined(t *testing.T) {
+	// Pick a chunk size whose boundary falls inside an injected defect:
+	// cluster 1 starts at atom 8292 with size 2; a chunk boundary at 8293
+	// splits it.
+	spec := testSpec(2 * units.MB)
+	spec.ChunkBytes = 8293 * 24
+	truth := datagen.Lattice{}.Defects(spec)
+	k, err := New(spec, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, k, spec, 1)
+	if len(k.Defects()) != len(truth) {
+		t.Fatalf("detected %d defects with splitting boundary, injected %d", len(k.Defects()), len(truth))
+	}
+	// The categorization histogram must also account for every defect.
+	var classified int
+	for _, n := range k.Counts() {
+		classified += n
+	}
+	if classified != len(truth) {
+		t.Fatalf("categorized %d defects, want %d", classified, len(truth))
+	}
+}
+
+func TestCatalogHasOneClassPerSize(t *testing.T) {
+	spec := testSpec(4 * units.MB)
+	k, err := New(spec, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, k, spec, 1)
+	if len(k.Catalog()) != datagen.MaxDefectSize {
+		t.Fatalf("catalog has %d classes, want %d", len(k.Catalog()), datagen.MaxDefectSize)
+	}
+	seen := map[int]bool{}
+	for size, class := range k.Catalog() {
+		if size < 1 || size > datagen.MaxDefectSize {
+			t.Errorf("catalog size %d out of range", size)
+		}
+		if seen[class] {
+			t.Errorf("class %d assigned twice", class)
+		}
+		seen[class] = true
+	}
+}
+
+func TestCountsMatchTruthHistogram(t *testing.T) {
+	spec := testSpec(4 * units.MB)
+	truth := datagen.Lattice{}.Defects(spec)
+	wantBySize := map[int]int{}
+	for _, d := range truth {
+		wantBySize[d.Size]++
+	}
+	k, err := New(spec, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, k, spec, 1)
+	for size, class := range k.Catalog() {
+		if got := k.Counts()[class]; got != wantBySize[size] {
+			t.Errorf("size-%d class counted %d, want %d", size, got, wantBySize[size])
+		}
+	}
+}
+
+func TestSplitMergeInvariant(t *testing.T) {
+	spec := testSpec(2 * units.MB)
+	k1, _ := New(spec, DefaultParams())
+	drive(t, k1, spec, 1)
+	k4, _ := New(spec, DefaultParams())
+	drive(t, k4, spec, 4)
+	if len(k1.Defects()) != len(k4.Defects()) {
+		t.Fatalf("defect count differs between 1-way (%d) and 4-way (%d) runs",
+			len(k1.Defects()), len(k4.Defects()))
+	}
+	for class, n := range k1.Counts() {
+		if k4.Counts()[class] != n {
+			t.Fatalf("class %d count differs: %d vs %d", class, n, k4.Counts()[class])
+		}
+	}
+}
+
+func TestTempClassAssignment(t *testing.T) {
+	// Force a categorization-time catalog miss: seed the catalog without
+	// one of the sizes after the detection pass.
+	spec := testSpec(2 * units.MB)
+	k, err := New(spec, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := datagen.Lattice{}
+	layout, _ := adr.Partition(spec, 1, adr.RoundRobin)
+	// Detection pass.
+	obj := k.NewObject()
+	for _, c := range layout.Chunks() {
+		p := reduction.Payload{Chunk: c, Fields: 3, Values: gen.ChunkValues(spec, c)}
+		if err := k.ProcessChunk(p, obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.GlobalReduce(obj); err != nil {
+		t.Fatal(err)
+	}
+	// Drop size 3 from the catalog to simulate a previously unseen shape.
+	oldLen := len(k.Catalog())
+	delete(k.catalog, 3)
+	// Categorization pass.
+	obj = k.NewObject()
+	for _, c := range layout.Chunks() {
+		p := reduction.Payload{Chunk: c, Fields: 3, Values: gen.ChunkValues(spec, c)}
+		if err := k.ProcessChunk(p, obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done, err := k.GlobalReduce(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("categorization pass did not finish")
+	}
+	if _, ok := k.Catalog()[3]; !ok {
+		t.Fatal("catalog was not updated with the unseen size")
+	}
+	if len(k.Catalog()) != oldLen {
+		t.Fatalf("catalog has %d classes after update, want %d", len(k.Catalog()), oldLen)
+	}
+}
+
+func TestJoinRuns(t *testing.T) {
+	runs := []run{
+		{first: 10, last: 12, sumDisp: 3},
+		{first: 13, last: 14, sumDisp: 2}, // adjacent: joins with previous
+		{first: 20, last: 20, sumDisp: 1}, // separate
+	}
+	got := joinRuns(runs)
+	if len(got) != 2 {
+		t.Fatalf("joined into %d defects, want 2", len(got))
+	}
+	if got[0].First != 10 || got[0].Last != 14 || got[0].Size != 5 || got[0].SumDisp != 5 {
+		t.Fatalf("joined defect = %+v", got[0])
+	}
+	if got[1].Size != 1 {
+		t.Fatalf("singleton defect = %+v", got[1])
+	}
+	if len(joinRuns(nil)) != 0 {
+		t.Fatal("joinRuns(nil) not empty")
+	}
+}
+
+func TestModelAndCostClasses(t *testing.T) {
+	m := Model()
+	if m.RO != core.ROLinear || m.Global != core.GlobalConstantLinear {
+		t.Fatalf("Model() = %+v", m)
+	}
+	cost, err := Cost(testSpec(units.MB), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Iterations != 2 {
+		t.Fatalf("defect cost iterations = %d, want 2", cost.Iterations)
+	}
+	if cost.ROBytesPerNode(1<<24, 1) <= cost.ROBytesPerNode(1<<22, 1) {
+		t.Error("RO did not grow with dataset")
+	}
+	if cost.GlobalOps(1<<24, 1) != cost.GlobalOps(1<<24, 16) {
+		t.Error("GlobalOps varied with node count")
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	spec := testSpec(units.MB)
+	if err := (Params{Threshold: 0}).Validate(); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	wrongKind := spec
+	wrongKind.Kind = "points"
+	if _, err := New(wrongKind, DefaultParams()); err == nil {
+		t.Error("points dataset accepted")
+	}
+	k, _ := New(spec, DefaultParams())
+	bad := reduction.Payload{Chunk: adr.Chunk{Elems: 2}, Fields: 2, Values: make([]float64, 4)}
+	if err := k.ProcessChunk(bad, k.NewObject()); err == nil {
+		t.Error("2-field payload accepted")
+	}
+	if err := k.ProcessChunk(bad, reduction.NewVectorObject(1)); err == nil {
+		t.Error("wrong object type accepted")
+	}
+	if _, err := k.GlobalReduce(reduction.NewFloatsObject(99)); err == nil {
+		t.Error("wrong stride accepted")
+	}
+}

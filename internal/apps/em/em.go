@@ -1,0 +1,336 @@
+// Package em implements Expectation-Maximization clustering of a
+// diagonal-covariance Gaussian mixture as a FREERIDE-G generalized
+// reduction (Section 4.2 of the paper). Each pass performs the E step
+// locally (responsibilities and weighted sufficient statistics) and the
+// M step in the global reduction (parameter re-estimation from the merged
+// statistics).
+//
+// Local reduction defers aggregation: every processed chunk contributes
+// its own sufficient-statistics block, and the blocks are combined
+// pairwise only at global reduction time for numerically stable
+// summation. The per-node reduction object therefore grows linearly with
+// the node's data share, and the global reduction handles a volume
+// proportional to the whole dataset — exactly the paper's classification
+// of EM: linear reduction object size, constant-linear global reduction.
+package em
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/datagen"
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+// Params configures an EM run.
+type Params struct {
+	// K is the number of mixture components.
+	K int
+	// MaxIter is the fixed number of EM passes.
+	MaxIter int
+	// Epsilon is the log-likelihood convergence threshold (relative).
+	Epsilon float64
+}
+
+// DefaultParams mirrors the workload used in the paper-scale experiments.
+func DefaultParams() Params { return Params{K: 8, MaxIter: 10, Epsilon: 1e-6} }
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.K < 1 {
+		return fmt.Errorf("em: K = %d", p.K)
+	}
+	if p.MaxIter < 1 {
+		return fmt.Errorf("em: MaxIter = %d", p.MaxIter)
+	}
+	return nil
+}
+
+// blockLen reports the sufficient-statistics block length: per component a
+// responsibility sum, d weighted mean sums, and d weighted square sums,
+// plus one log-likelihood cell.
+func blockLen(k, d int) int { return k*(1+2*d) + 1 }
+
+// Kernel is one EM run.
+type Kernel struct {
+	params  Params
+	dims    int
+	weights []float64
+	means   [][]float64
+	vars    [][]float64
+	loglik  float64
+	iter    int
+}
+
+// New creates a kernel with means initialized from a deterministic sample
+// of the dataset's first chunk (random means far from any data leave EM in
+// poor local optima).
+func New(spec adr.DatasetSpec, params Params) (*Kernel, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Kind != "points" {
+		return nil, fmt.Errorf("em: dataset kind %q, want points", spec.Kind)
+	}
+	layout, err := adr.Partition(spec, 1, adr.RoundRobin)
+	if err != nil {
+		return nil, err
+	}
+	first := layout.Chunks()[0]
+	sample := (datagen.Points{}).ChunkValues(spec, first)
+	if first.Elems < int64(params.K) {
+		return nil, fmt.Errorf("em: first chunk holds %d points, need %d for initialization",
+			first.Elems, params.K)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x656d)) // "em"
+	k := &Kernel{
+		params:  params,
+		dims:    spec.Dims,
+		weights: make([]float64, params.K),
+		means:   make([][]float64, params.K),
+		vars:    make([][]float64, params.K),
+		loglik:  math.Inf(-1),
+	}
+	for i, pt := range farthestPoints(sample, spec.Dims, first.Elems, params.K) {
+		k.weights[i] = 1 / float64(params.K)
+		m := make([]float64, spec.Dims)
+		v := make([]float64, spec.Dims)
+		for j := range m {
+			// Jitter the sampled point so coinciding samples still separate.
+			m[j] = pt[j] + rng.NormFloat64()*0.5
+			v[j] = 9 // moderately tight initial variance
+		}
+		k.means[i] = m
+		k.vars[i] = v
+	}
+	return k, nil
+}
+
+// farthestPoints picks k initial means by greedy farthest-point (k-center)
+// sampling over a bounded prefix of the sample, spreading the means across
+// well-separated clusters.
+func farthestPoints(sample []float64, dims int, elems int64, k int) [][]float64 {
+	n := int(elems)
+	if n > 2048 {
+		n = 2048
+	}
+	pt := func(i int) []float64 { return sample[i*dims : (i+1)*dims] }
+	dist2 := func(a, b []float64) float64 {
+		var s float64
+		for j := range a {
+			d := a[j] - b[j]
+			s += d * d
+		}
+		return s
+	}
+	chosen := make([][]float64, 0, k)
+	chosen = append(chosen, pt(0))
+	minDist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		minDist[i] = dist2(pt(i), chosen[0])
+	}
+	for len(chosen) < k {
+		best, bestD := 0, -1.0
+		for i := 0; i < n; i++ {
+			if minDist[i] > bestD {
+				best, bestD = i, minDist[i]
+			}
+		}
+		next := pt(best)
+		chosen = append(chosen, next)
+		for i := 0; i < n; i++ {
+			if d := dist2(pt(i), next); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return chosen
+}
+
+// Name implements reduction.Kernel.
+func (k *Kernel) Name() string { return "em" }
+
+// Iterations implements reduction.Kernel.
+func (k *Kernel) Iterations() int { return k.params.MaxIter }
+
+// Means returns the current component means.
+func (k *Kernel) Means() [][]float64 { return k.means }
+
+// Weights returns the current mixture weights.
+func (k *Kernel) Weights() []float64 { return k.weights }
+
+// LogLikelihood returns the log-likelihood of the last completed pass.
+func (k *Kernel) LogLikelihood() float64 { return k.loglik }
+
+// NewObject returns an empty deferred-block accumulator.
+func (k *Kernel) NewObject() reduction.Object {
+	return reduction.NewFloatsObject(blockLen(k.params.K, k.dims))
+}
+
+// ProcessChunk performs the E step over one chunk and appends the chunk's
+// sufficient-statistics block.
+func (k *Kernel) ProcessChunk(p reduction.Payload, obj reduction.Object) error {
+	acc, ok := obj.(*reduction.FloatsObject)
+	if !ok {
+		return fmt.Errorf("em: unexpected object %T", obj)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Fields != k.dims {
+		return fmt.Errorf("em: payload has %d fields, want %d", p.Fields, k.dims)
+	}
+	K, d := k.params.K, k.dims
+	block := make([]float64, blockLen(K, d))
+	logResp := make([]float64, K)
+	// Precompute per-component log normalizers for the diagonal Gaussian.
+	logNorm := make([]float64, K)
+	for c := 0; c < K; c++ {
+		ln := math.Log(k.weights[c])
+		for j := 0; j < d; j++ {
+			ln -= 0.5 * math.Log(2*math.Pi*k.vars[c][j])
+		}
+		logNorm[c] = ln
+	}
+	for e := int64(0); e < p.Chunk.Elems; e++ {
+		pt := p.Elem(e)
+		maxLog := math.Inf(-1)
+		for c := 0; c < K; c++ {
+			l := logNorm[c]
+			for j := 0; j < d; j++ {
+				diff := pt[j] - k.means[c][j]
+				l -= 0.5 * diff * diff / k.vars[c][j]
+			}
+			logResp[c] = l
+			if l > maxLog {
+				maxLog = l
+			}
+		}
+		var denom float64
+		for c := 0; c < K; c++ {
+			denom += math.Exp(logResp[c] - maxLog)
+		}
+		block[len(block)-1] += maxLog + math.Log(denom) // log-likelihood
+		for c := 0; c < K; c++ {
+			r := math.Exp(logResp[c]-maxLog) / denom
+			base := c * (1 + 2*d)
+			block[base] += r
+			for j := 0; j < d; j++ {
+				block[base+1+j] += r * pt[j]
+				block[base+1+d+j] += r * pt[j] * pt[j]
+			}
+		}
+	}
+	return acc.Append(block...)
+}
+
+// GlobalReduce performs the M step over all deferred blocks, combining
+// them pairwise for numerical stability.
+func (k *Kernel) GlobalReduce(merged reduction.Object) (bool, error) {
+	acc, ok := merged.(*reduction.FloatsObject)
+	if !ok {
+		return false, fmt.Errorf("em: unexpected object %T", merged)
+	}
+	K, d := k.params.K, k.dims
+	if acc.Stride != blockLen(K, d) {
+		return false, fmt.Errorf("em: block stride %d, want %d", acc.Stride, blockLen(K, d))
+	}
+	if acc.Records() == 0 {
+		return false, fmt.Errorf("em: global reduce over zero blocks")
+	}
+	total := pairwiseSum(acc)
+	var n float64
+	for c := 0; c < K; c++ {
+		n += total[c*(1+2*d)]
+	}
+	if n <= 0 {
+		return false, fmt.Errorf("em: total responsibility %g", n)
+	}
+	for c := 0; c < K; c++ {
+		base := c * (1 + 2*d)
+		rc := total[base]
+		k.weights[c] = rc / n
+		if rc < 1e-12 {
+			continue // starving component keeps its parameters
+		}
+		for j := 0; j < d; j++ {
+			mean := total[base+1+j] / rc
+			meanSq := total[base+1+d+j] / rc
+			k.means[c][j] = mean
+			v := meanSq - mean*mean
+			if v < 1e-6 {
+				v = 1e-6 // variance floor
+			}
+			k.vars[c][j] = v
+		}
+	}
+	prev := k.loglik
+	k.loglik = total[len(total)-1]
+	k.iter++
+	converged := !math.IsInf(prev, -1) &&
+		math.Abs(k.loglik-prev) <= k.params.Epsilon*math.Abs(prev)
+	return k.iter >= k.params.MaxIter || converged, nil
+}
+
+// pairwiseSum combines the blocks with pairwise (cascade) summation.
+func pairwiseSum(acc *reduction.FloatsObject) []float64 {
+	n := acc.Records()
+	if n == 1 {
+		return append([]float64(nil), acc.Record(0)...)
+	}
+	blocks := make([][]float64, n)
+	for i := range blocks {
+		blocks[i] = append([]float64(nil), acc.Record(i)...)
+	}
+	for len(blocks) > 1 {
+		half := (len(blocks) + 1) / 2
+		for i := 0; i+half < len(blocks); i++ {
+			a, b := blocks[i], blocks[i+half]
+			for j := range a {
+				a[j] += b[j]
+			}
+		}
+		blocks = blocks[:half]
+	}
+	return blocks[0]
+}
+
+// Model returns the paper's scaling classes for EM: linear reduction
+// object, constant-linear global reduction.
+func Model() core.AppModel {
+	return core.AppModel{RO: core.ROLinear, Global: core.GlobalConstantLinear}
+}
+
+// Cost returns the analytic work model consumed by the simulated backend.
+func Cost(spec adr.DatasetSpec, params Params) (reduction.CostModel, error) {
+	if err := params.Validate(); err != nil {
+		return reduction.CostModel{}, err
+	}
+	d := spec.Dims
+	block := units.Bytes(8 * blockLen(params.K, d))
+	elemsPerChunk := int64(spec.ChunkBytes / spec.ElemBytes)
+	return reduction.CostModel{
+		Name: "em",
+		Mix:  reduction.WorkMix{Flop: 0.60, Mem: 0.30, Branch: 0.10},
+		// Per point per pass: K components x (distance + exp + updates).
+		OpsPerElem: float64(params.K * (6*d + 12)),
+		Iterations: params.MaxIter,
+		ROBytesPerNode: func(totalElems int64, c int) units.Bytes {
+			chunks := (totalElems + elemsPerChunk - 1) / elemsPerChunk
+			perNode := (chunks + int64(c) - 1) / int64(c)
+			return units.Bytes(perNode)*block + 8 // linear class
+		},
+		GlobalOps: func(totalElems int64, c int) float64 {
+			// Pairwise-sum every chunk block: the cascade is a tight
+			// vectorizable add over a volume proportional to the dataset,
+			// independent of the node count (a quarter value-touch each).
+			chunks := (totalElems + elemsPerChunk - 1) / elemsPerChunk
+			return float64(chunks*int64(blockLen(params.K, d))) / 4
+		},
+		BroadcastBytes: units.Bytes(8 * params.K * (1 + 2*d)),
+	}, nil
+}

@@ -1,0 +1,232 @@
+package em
+
+import (
+	"math"
+	"testing"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/datagen"
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+func testSpec() adr.DatasetSpec {
+	return adr.DatasetSpec{
+		Name:       "pts",
+		TotalBytes: units.MB,
+		ElemBytes:  64, // 8 dims * 8 bytes
+		ChunkBytes: 128 * units.KB,
+		Kind:       "points",
+		Dims:       8,
+		Seed:       11,
+	}
+}
+
+// runPasses drives the kernel and returns the log-likelihood after each
+// completed pass.
+func runPasses(t *testing.T, k *Kernel, spec adr.DatasetSpec) []float64 {
+	t.Helper()
+	gen := datagen.Points{}
+	layout, err := adr.Partition(spec, 1, adr.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logliks []float64
+	for pass := 0; pass < k.Iterations(); pass++ {
+		obj := k.NewObject()
+		for _, c := range layout.Chunks() {
+			p := reduction.Payload{Chunk: c, Fields: spec.Dims, Values: gen.ChunkValues(spec, c)}
+			if err := k.ProcessChunk(p, obj); err != nil {
+				t.Fatal(err)
+			}
+		}
+		done, err := k.GlobalReduce(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logliks = append(logliks, k.LogLikelihood())
+		if done {
+			break
+		}
+	}
+	return logliks
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Params{K: 0, MaxIter: 1}).Validate(); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if err := (Params{K: 2, MaxIter: 0}).Validate(); err == nil {
+		t.Error("MaxIter=0 accepted")
+	}
+}
+
+func TestLogLikelihoodNonDecreasing(t *testing.T) {
+	spec := testSpec()
+	k, err := New(spec, Params{K: 8, MaxIter: 8, Epsilon: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lls := runPasses(t, k, spec)
+	if len(lls) < 3 {
+		t.Fatalf("only %d passes ran", len(lls))
+	}
+	for i := 1; i < len(lls); i++ {
+		// EM guarantees monotone likelihood; allow a sliver of float
+		// noise from the variance floor.
+		if lls[i] < lls[i-1]-math.Abs(lls[i-1])*1e-9 {
+			t.Fatalf("log-likelihood decreased at pass %d: %v -> %v", i, lls[i-1], lls[i])
+		}
+	}
+}
+
+func TestWeightsStayNormalized(t *testing.T) {
+	spec := testSpec()
+	k, err := New(spec, Params{K: 4, MaxIter: 3, Epsilon: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPasses(t, k, spec)
+	var sum float64
+	for _, w := range k.Weights() {
+		if w < 0 || w > 1 {
+			t.Fatalf("weight %v out of [0,1]", w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v, want 1", sum)
+	}
+}
+
+func TestMeansLandNearMixture(t *testing.T) {
+	spec := testSpec()
+	k, err := New(spec, Params{K: 8, MaxIter: 12, Epsilon: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPasses(t, k, spec)
+	truth := datagen.Points{}.Centers(spec)
+	// Every recovered mean with non-trivial weight must lie near some true
+	// component (EM can merge components; the reverse check would be
+	// stricter than the algorithm guarantees).
+	for mi, m := range k.Means() {
+		if k.Weights()[mi] < 0.02 {
+			continue
+		}
+		best := math.Inf(1)
+		for _, tc := range truth {
+			var sum float64
+			for j := range m {
+				d := m[j] - tc[j]
+				sum += d * d
+			}
+			best = math.Min(best, math.Sqrt(sum))
+		}
+		if best > 8 {
+			t.Errorf("mean %d (weight %.3f) is %.2f from every true center", mi, k.Weights()[mi], best)
+		}
+	}
+}
+
+func TestDeferredBlocksOnePerChunk(t *testing.T) {
+	spec := testSpec()
+	k, err := New(spec, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := datagen.Points{}
+	layout, _ := adr.Partition(spec, 1, adr.RoundRobin)
+	obj := k.NewObject().(*reduction.FloatsObject)
+	for _, c := range layout.Chunks() {
+		p := reduction.Payload{Chunk: c, Fields: spec.Dims, Values: gen.ChunkValues(spec, c)}
+		if err := k.ProcessChunk(p, obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if obj.Records() != len(layout.Chunks()) {
+		t.Fatalf("%d blocks for %d chunks", obj.Records(), len(layout.Chunks()))
+	}
+}
+
+func TestROGrowsWithDataShrinksWithNodes(t *testing.T) {
+	spec := testSpec()
+	cost, err := Cost(spec, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cost.ROBytesPerNode(1<<20, 1)
+	bigger := cost.ROBytesPerNode(1<<22, 1)
+	spread := cost.ROBytesPerNode(1<<22, 4)
+	if bigger <= base {
+		t.Fatal("RO did not grow with dataset")
+	}
+	ratio := float64(bigger) / float64(base)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("4x data scaled RO by %.2f, want ~4", ratio)
+	}
+	if spread >= bigger {
+		t.Fatal("RO did not shrink with more nodes")
+	}
+}
+
+func TestGlobalOpsConstantLinear(t *testing.T) {
+	cost, err := Cost(testSpec(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.GlobalOps(1<<20, 1) != cost.GlobalOps(1<<20, 16) {
+		t.Fatal("GlobalOps varied with node count")
+	}
+	if cost.GlobalOps(1<<22, 4) <= cost.GlobalOps(1<<20, 4) {
+		t.Fatal("GlobalOps did not grow with dataset size")
+	}
+}
+
+func TestModelClasses(t *testing.T) {
+	m := Model()
+	if m.RO != core.ROLinear || m.Global != core.GlobalConstantLinear {
+		t.Fatalf("Model() = %+v", m)
+	}
+}
+
+func TestGlobalReduceRejectsBadObjects(t *testing.T) {
+	spec := testSpec()
+	k, _ := New(spec, DefaultParams())
+	if _, err := k.GlobalReduce(reduction.NewVectorObject(3)); err == nil {
+		t.Error("wrong type accepted")
+	}
+	if _, err := k.GlobalReduce(reduction.NewFloatsObject(3)); err == nil {
+		t.Error("wrong stride accepted")
+	}
+	empty := k.NewObject()
+	if _, err := k.GlobalReduce(empty); err == nil {
+		t.Error("zero blocks accepted")
+	}
+}
+
+func TestNewRejectsWrongKind(t *testing.T) {
+	s := testSpec()
+	s.Kind = "lattice"
+	if _, err := New(s, DefaultParams()); err == nil {
+		t.Fatal("lattice dataset accepted")
+	}
+}
+
+func TestPairwiseSumMatchesNaive(t *testing.T) {
+	o := reduction.NewFloatsObject(3)
+	for i := 0; i < 7; i++ {
+		_ = o.Append(float64(i), float64(i*i), 1)
+	}
+	got := pairwiseSum(o)
+	want := []float64{21, 91, 7} // sums of i, i^2, 1 for i=0..6
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-12 {
+			t.Fatalf("pairwiseSum[%d] = %v, want %v", j, got[j], want[j])
+		}
+	}
+}

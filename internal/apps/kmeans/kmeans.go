@@ -1,0 +1,211 @@
+// Package kmeans implements k-means clustering as a FREERIDE-G
+// generalized reduction (Section 4.1 of the paper): each pass assigns
+// every point to its nearest center and accumulates per-cluster coordinate
+// sums and counts in the reduction object; the global reduction recomputes
+// the centers.
+//
+// Its reduction object size is constant (k centers, independent of dataset
+// size and node count) and its global reduction time is linear-constant
+// (linear in the node count, independent of dataset size) — the classes
+// the paper assigns to k-means.
+package kmeans
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+// Params configures a k-means run.
+type Params struct {
+	// K is the number of clusters.
+	K int
+	// MaxIter is the fixed number of passes.
+	MaxIter int
+	// Epsilon is the center-shift convergence threshold.
+	Epsilon float64
+}
+
+// DefaultParams mirrors the workload used in the paper-scale experiments.
+func DefaultParams() Params { return Params{K: 32, MaxIter: 10, Epsilon: 1e-3} }
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.K < 1 {
+		return fmt.Errorf("kmeans: K = %d", p.K)
+	}
+	if p.MaxIter < 1 {
+		return fmt.Errorf("kmeans: MaxIter = %d", p.MaxIter)
+	}
+	return nil
+}
+
+// Kernel is one k-means run.
+type Kernel struct {
+	params  Params
+	dims    int
+	centers [][]float64
+	iter    int
+	shift   float64
+}
+
+// New creates a kernel for the dataset, with centers seeded
+// deterministically from the dataset seed.
+func New(spec adr.DatasetSpec, params Params) (*Kernel, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Kind != "points" {
+		return nil, fmt.Errorf("kmeans: dataset kind %q, want points", spec.Kind)
+	}
+	if spec.Dims < 1 {
+		return nil, errors.New("kmeans: dataset without dimensions")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x6b6d65616e73)) // "kmeans"
+	centers := make([][]float64, params.K)
+	for i := range centers {
+		c := make([]float64, spec.Dims)
+		for j := range c {
+			c[j] = rng.Float64() * 100
+		}
+		centers[i] = c
+	}
+	return &Kernel{params: params, dims: spec.Dims, centers: centers}, nil
+}
+
+// Name implements reduction.Kernel.
+func (k *Kernel) Name() string { return "kmeans" }
+
+// Iterations implements reduction.Kernel.
+func (k *Kernel) Iterations() int { return k.params.MaxIter }
+
+// Centers returns the current cluster centers.
+func (k *Kernel) Centers() [][]float64 { return k.centers }
+
+// LastShift reports the maximum center movement of the last pass.
+func (k *Kernel) LastShift() float64 { return k.shift }
+
+// NewObject returns the per-cluster (sums..., count) accumulator.
+func (k *Kernel) NewObject() reduction.Object {
+	return reduction.NewVectorObject(k.params.K * (k.dims + 1))
+}
+
+// ProcessChunk assigns each point to its nearest center and accumulates.
+func (k *Kernel) ProcessChunk(p reduction.Payload, obj reduction.Object) error {
+	acc, ok := obj.(*reduction.VectorObject)
+	if !ok {
+		return fmt.Errorf("kmeans: unexpected object %T", obj)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Fields != k.dims {
+		return fmt.Errorf("kmeans: payload has %d fields, want %d", p.Fields, k.dims)
+	}
+	d := k.dims
+	for e := int64(0); e < p.Chunk.Elems; e++ {
+		pt := p.Elem(e)
+		best, bestDist := 0, math.Inf(1)
+		for ci, c := range k.centers {
+			var sum float64
+			for j := 0; j < d; j++ {
+				diff := pt[j] - c[j]
+				sum += diff * diff
+			}
+			if sum < bestDist {
+				best, bestDist = ci, sum
+			}
+		}
+		base := best * (d + 1)
+		for j := 0; j < d; j++ {
+			acc.V[base+j] += pt[j]
+		}
+		acc.V[base+d]++
+	}
+	return nil
+}
+
+// GlobalReduce recomputes centers from the merged sums and counts.
+func (k *Kernel) GlobalReduce(merged reduction.Object) (bool, error) {
+	acc, ok := merged.(*reduction.VectorObject)
+	if !ok {
+		return false, fmt.Errorf("kmeans: unexpected object %T", merged)
+	}
+	if len(acc.V) != k.params.K*(k.dims+1) {
+		return false, fmt.Errorf("kmeans: merged object has %d values, want %d",
+			len(acc.V), k.params.K*(k.dims+1))
+	}
+	d := k.dims
+	k.shift = 0
+	for ci := range k.centers {
+		base := ci * (d + 1)
+		count := acc.V[base+d]
+		if count == 0 {
+			continue // empty cluster keeps its center
+		}
+		for j := 0; j < d; j++ {
+			next := acc.V[base+j] / count
+			if move := math.Abs(next - k.centers[ci][j]); move > k.shift {
+				k.shift = move
+			}
+			k.centers[ci][j] = next
+		}
+	}
+	k.iter++
+	return k.iter >= k.params.MaxIter || k.shift < k.params.Epsilon, nil
+}
+
+// Assign reports the index of the nearest center to a point, for
+// downstream classification use.
+func (k *Kernel) Assign(pt []float64) int {
+	best, bestDist := 0, math.Inf(1)
+	for ci, c := range k.centers {
+		var sum float64
+		for j := range c {
+			diff := pt[j] - c[j]
+			sum += diff * diff
+		}
+		if sum < bestDist {
+			best, bestDist = ci, sum
+		}
+	}
+	return best
+}
+
+// Model returns the paper's scaling classes for k-means: constant
+// reduction object, linear-constant global reduction.
+func Model() core.AppModel {
+	return core.AppModel{RO: core.ROConstant, Global: core.GlobalLinearConstant}
+}
+
+// Cost returns the analytic work model consumed by the simulated backend.
+func Cost(spec adr.DatasetSpec, params Params) (reduction.CostModel, error) {
+	if err := params.Validate(); err != nil {
+		return reduction.CostModel{}, err
+	}
+	d := spec.Dims
+	roBytes := units.Bytes(8 * params.K * (d + 1))
+	return reduction.CostModel{
+		Name: "kmeans",
+		Mix:  reduction.WorkMix{Flop: 0.75, Mem: 0.15, Branch: 0.10},
+		// Per point per pass: K squared-distance evaluations of 3d flops.
+		OpsPerElem: float64(3 * params.K * d),
+		Iterations: params.MaxIter,
+		ROBytesPerNode: func(totalElems int64, c int) units.Bytes {
+			return roBytes // constant class
+		},
+		GlobalOps: func(totalElems int64, c int) float64 {
+			// Merge c objects of K(d+1) values — decode, combine, and
+			// allocation touch each value about four times — then
+			// recompute K centers.
+			return float64(4*c*params.K*(d+1) + params.K*d)
+		},
+		BroadcastBytes: units.Bytes(8 * params.K * d),
+	}, nil
+}

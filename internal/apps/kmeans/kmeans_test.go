@@ -1,0 +1,237 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/datagen"
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+func testSpec() adr.DatasetSpec {
+	return adr.DatasetSpec{
+		Name:       "pts",
+		TotalBytes: 2 * units.MB,
+		ElemBytes:  128, // 16 dims * 8 bytes
+		ChunkBytes: 256 * units.KB,
+		Kind:       "points",
+		Dims:       16,
+		Seed:       7,
+	}
+}
+
+// runSequential drives the kernel over all chunks for all passes.
+func runSequential(t *testing.T, k *Kernel, spec adr.DatasetSpec) {
+	t.Helper()
+	gen := datagen.Points{}
+	layout, err := adr.Partition(spec, 1, adr.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < k.Iterations(); pass++ {
+		obj := k.NewObject()
+		for _, c := range layout.Chunks() {
+			p := reduction.Payload{Chunk: c, Fields: spec.Dims, Values: gen.ChunkValues(spec, c)}
+			if err := k.ProcessChunk(p, obj); err != nil {
+				t.Fatal(err)
+			}
+		}
+		done, err := k.GlobalReduce(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			return
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Params{K: 0, MaxIter: 1}).Validate(); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if err := (Params{K: 1, MaxIter: 0}).Validate(); err == nil {
+		t.Error("MaxIter=0 accepted")
+	}
+}
+
+func TestNewRejectsWrongKind(t *testing.T) {
+	s := testSpec()
+	s.Kind = "field"
+	if _, err := New(s, DefaultParams()); err == nil {
+		t.Fatal("field dataset accepted")
+	}
+}
+
+func TestRecoversMixtureCenters(t *testing.T) {
+	spec := testSpec()
+	k, err := New(spec, Params{K: 24, MaxIter: 15, Epsilon: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSequential(t, k, spec)
+	truth := datagen.Points{}.Centers(spec)
+	for gi, tc := range truth {
+		best := math.Inf(1)
+		for _, c := range k.Centers() {
+			var sum float64
+			for j := range tc {
+				d := c[j] - tc[j]
+				sum += d * d
+			}
+			best = math.Min(best, math.Sqrt(sum))
+		}
+		// Points scatter ~ sigma*sqrt(d) = 8 around each center; a center
+		// that captured the component must sit well inside that.
+		if best > 6 {
+			t.Errorf("true center %d has no k-means center within 6 (nearest %.2f)", gi, best)
+		}
+	}
+}
+
+func TestCentersMoveTowardData(t *testing.T) {
+	spec := testSpec()
+	k, err := New(spec, Params{K: 8, MaxIter: 1, Epsilon: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([][]float64, len(k.Centers()))
+	for i, c := range k.Centers() {
+		before[i] = append([]float64(nil), c...)
+	}
+	runSequential(t, k, spec)
+	moved := false
+	for i, c := range k.Centers() {
+		for j := range c {
+			if c[j] != before[i][j] {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("no center moved after one pass over clustered data")
+	}
+	if k.LastShift() <= 0 {
+		t.Fatal("LastShift() not positive after movement")
+	}
+}
+
+func TestSplitMergeMatchesSequential(t *testing.T) {
+	// Processing chunks into two objects and merging must equal one
+	// object, up to float addition order.
+	spec := testSpec()
+	k, err := New(spec, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := datagen.Points{}
+	layout, _ := adr.Partition(spec, 1, adr.RoundRobin)
+	chunks := layout.Chunks()
+	single := k.NewObject()
+	a, b := k.NewObject(), k.NewObject()
+	for i, c := range chunks {
+		p := reduction.Payload{Chunk: c, Fields: spec.Dims, Values: gen.ChunkValues(spec, c)}
+		if err := k.ProcessChunk(p, single); err != nil {
+			t.Fatal(err)
+		}
+		dst := a
+		if i%2 == 1 {
+			dst = b
+		}
+		if err := k.ProcessChunk(p, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	sv := single.(*reduction.VectorObject).V
+	av := a.(*reduction.VectorObject).V
+	for i := range sv {
+		if math.Abs(sv[i]-av[i]) > 1e-6*(math.Abs(sv[i])+1) {
+			t.Fatalf("split+merge differs at %d: %v vs %v", i, sv[i], av[i])
+		}
+	}
+}
+
+func TestObjectSizeIsConstant(t *testing.T) {
+	spec := testSpec()
+	k, _ := New(spec, DefaultParams())
+	obj := k.NewObject()
+	want := units.Bytes(8 * DefaultParams().K * (spec.Dims + 1))
+	if obj.Bytes() != want {
+		t.Fatalf("object bytes = %v, want %v", obj.Bytes(), want)
+	}
+	cost, err := Cost(spec, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cost model's RO size must match the real object and be constant.
+	if got := cost.ROBytesPerNode(1e6, 1); got != want {
+		t.Fatalf("cost RO = %v, want %v", got, want)
+	}
+	if cost.ROBytesPerNode(4e6, 16) != cost.ROBytesPerNode(1e6, 1) {
+		t.Fatal("constant-class RO varied with scale")
+	}
+}
+
+func TestGlobalOpsLinearInNodes(t *testing.T) {
+	cost, err := Cost(testSpec(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := cost.GlobalOps(1e6, 1)
+	g16 := cost.GlobalOps(1e6, 16)
+	if g16 <= g1 {
+		t.Fatal("GlobalOps did not grow with node count")
+	}
+	// Dataset-size independence (linear-constant class).
+	if cost.GlobalOps(1e6, 4) != cost.GlobalOps(8e6, 4) {
+		t.Fatal("GlobalOps varied with dataset size")
+	}
+}
+
+func TestModelClasses(t *testing.T) {
+	m := Model()
+	if m.RO != core.ROConstant || m.Global != core.GlobalLinearConstant {
+		t.Fatalf("Model() = %+v", m)
+	}
+}
+
+func TestProcessChunkRejectsBadInput(t *testing.T) {
+	spec := testSpec()
+	k, _ := New(spec, DefaultParams())
+	obj := k.NewObject()
+	bad := reduction.Payload{Chunk: adr.Chunk{Elems: 1}, Fields: 3, Values: []float64{1, 2, 3}}
+	if err := k.ProcessChunk(bad, obj); err == nil {
+		t.Error("wrong-dimensionality payload accepted")
+	}
+	if err := k.ProcessChunk(bad, reduction.NewFloatsObject(1)); err == nil {
+		t.Error("wrong object type accepted")
+	}
+	if _, err := k.GlobalReduce(reduction.NewVectorObject(3)); err == nil {
+		t.Error("wrong-size merged object accepted")
+	}
+}
+
+func TestAssignPicksNearestCenter(t *testing.T) {
+	spec := testSpec()
+	k, _ := New(spec, Params{K: 2, MaxIter: 1, Epsilon: 0})
+	k.centers = [][]float64{make([]float64, 16), make([]float64, 16)}
+	for j := range k.centers[1] {
+		k.centers[1][j] = 10
+	}
+	pt := make([]float64, 16)
+	for j := range pt {
+		pt[j] = 9
+	}
+	if got := k.Assign(pt); got != 1 {
+		t.Fatalf("Assign = %d, want 1", got)
+	}
+}

@@ -1,0 +1,269 @@
+// Package knn implements k-nearest-neighbour search as a FREERIDE-G
+// generalized reduction (Section 4.3 of the paper): training samples are
+// distributed over the nodes, each node finds the k nearest neighbours of
+// every query among its local samples, and the global reduction merges the
+// per-node neighbour lists.
+//
+// Its reduction object size is constant (q queries times k neighbours) and
+// its global reduction is linear-constant — the classes the paper assigns
+// to kNN.
+package knn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/datagen"
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+// Params configures a kNN run.
+type Params struct {
+	// K is the number of neighbours per query.
+	K int
+	// Queries is the number of unknown samples classified per run.
+	Queries int
+}
+
+// DefaultParams mirrors the workload used in the paper-scale experiments.
+func DefaultParams() Params { return Params{K: 64, Queries: 64} }
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.K < 1 {
+		return fmt.Errorf("knn: K = %d", p.K)
+	}
+	if p.Queries < 1 {
+		return fmt.Errorf("knn: Queries = %d", p.Queries)
+	}
+	return nil
+}
+
+// Neighbor is one training sample in a neighbour list.
+type Neighbor struct {
+	Dist float64 // squared euclidean distance
+	Idx  int64   // global element index of the training sample
+}
+
+// Object holds, for each query, its current k nearest neighbours sorted by
+// ascending distance.
+type Object struct {
+	K     int
+	Lists [][]Neighbor
+}
+
+// NewObject returns an empty neighbour-list object for q queries.
+func NewObject(q, k int) *Object {
+	return &Object{K: k, Lists: make([][]Neighbor, q)}
+}
+
+// Insert offers a candidate neighbour to a query's list.
+func (o *Object) Insert(query int, n Neighbor) {
+	list := o.Lists[query]
+	if len(list) == o.K && n.Dist >= list[len(list)-1].Dist {
+		return
+	}
+	// Find insertion point (lists are short; linear from the back).
+	pos := len(list)
+	for pos > 0 && list[pos-1].Dist > n.Dist {
+		pos--
+	}
+	if len(list) < o.K {
+		list = append(list, Neighbor{})
+	}
+	copy(list[pos+1:], list[pos:])
+	list[pos] = n
+	o.Lists[query] = list
+}
+
+// Merge combines another object's lists, keeping the k nearest per query.
+func (o *Object) Merge(other reduction.Object) error {
+	v, ok := other.(*Object)
+	if !ok {
+		return fmt.Errorf("knn: cannot merge %T", other)
+	}
+	if v.K != o.K || len(v.Lists) != len(o.Lists) {
+		return fmt.Errorf("knn: shape mismatch (k %d vs %d, q %d vs %d)", v.K, o.K, len(v.Lists), len(o.Lists))
+	}
+	for q := range o.Lists {
+		for _, n := range v.Lists[q] {
+			o.Insert(q, n)
+		}
+	}
+	return nil
+}
+
+// Bytes reports the serialized size: every query carries a full k-list in
+// the dense encoding, so the size is constant.
+func (o *Object) Bytes() units.Bytes {
+	return units.Bytes(16 + 16*len(o.Lists)*o.K)
+}
+
+// MarshalBinary encodes the object densely (absent entries as +Inf).
+func (o *Object) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 16+16*len(o.Lists)*o.K)
+	binary.LittleEndian.PutUint64(buf, uint64(o.K))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(len(o.Lists)))
+	off := 16
+	for _, list := range o.Lists {
+		for i := 0; i < o.K; i++ {
+			d, idx := math.Inf(1), int64(-1)
+			if i < len(list) {
+				d, idx = list[i].Dist, list[i].Idx
+			}
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(d))
+			binary.LittleEndian.PutUint64(buf[off+8:], uint64(idx))
+			off += 16
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a MarshalBinary encoding.
+func (o *Object) UnmarshalBinary(data []byte) error {
+	if len(data) < 16 {
+		return fmt.Errorf("knn: encoding too short (%d bytes)", len(data))
+	}
+	k := int(binary.LittleEndian.Uint64(data))
+	q := int(binary.LittleEndian.Uint64(data[8:]))
+	if k < 1 || q < 0 || len(data) != 16+16*q*k {
+		return fmt.Errorf("knn: malformed encoding (k=%d q=%d len=%d)", k, q, len(data))
+	}
+	o.K = k
+	o.Lists = make([][]Neighbor, q)
+	off := 16
+	for qi := 0; qi < q; qi++ {
+		for i := 0; i < k; i++ {
+			d := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			idx := int64(binary.LittleEndian.Uint64(data[off+8:]))
+			off += 16
+			if !math.IsInf(d, 1) {
+				o.Lists[qi] = append(o.Lists[qi], Neighbor{Dist: d, Idx: idx})
+			}
+		}
+	}
+	return nil
+}
+
+var _ reduction.BinaryObject = (*Object)(nil)
+
+// Kernel is one kNN run.
+type Kernel struct {
+	params  Params
+	spec    adr.DatasetSpec
+	queries [][]float64
+	result  *Object
+	done    bool
+}
+
+// New creates a kernel; queries are generated deterministically from the
+// dataset seed.
+func New(spec adr.DatasetSpec, params Params) (*Kernel, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Kind != "points" {
+		return nil, fmt.Errorf("knn: dataset kind %q, want points", spec.Kind)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x6b6e6e)) // "knn"
+	queries := make([][]float64, params.Queries)
+	for i := range queries {
+		q := make([]float64, spec.Dims)
+		for j := range q {
+			q[j] = rng.Float64() * 100
+		}
+		queries[i] = q
+	}
+	return &Kernel{params: params, spec: spec, queries: queries}, nil
+}
+
+// Name implements reduction.Kernel.
+func (k *Kernel) Name() string { return "knn" }
+
+// Iterations implements reduction.Kernel: kNN is a single pass.
+func (k *Kernel) Iterations() int { return 1 }
+
+// Queries returns the generated query points.
+func (k *Kernel) Queries() [][]float64 { return k.queries }
+
+// Result returns the merged neighbour lists after the run.
+func (k *Kernel) Result() *Object { return k.result }
+
+// NewObject returns an empty neighbour-list accumulator.
+func (k *Kernel) NewObject() reduction.Object {
+	return NewObject(k.params.Queries, k.params.K)
+}
+
+// ProcessChunk scans the chunk's training samples against every query.
+func (k *Kernel) ProcessChunk(p reduction.Payload, obj reduction.Object) error {
+	acc, ok := obj.(*Object)
+	if !ok {
+		return fmt.Errorf("knn: unexpected object %T", obj)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Fields != k.spec.Dims {
+		return fmt.Errorf("knn: payload has %d fields, want %d", p.Fields, k.spec.Dims)
+	}
+	base := datagen.GlobalBase(k.spec, p.Chunk)
+	d := k.spec.Dims
+	for e := int64(0); e < p.Chunk.Elems; e++ {
+		pt := p.Elem(e)
+		for qi, q := range k.queries {
+			var sum float64
+			for j := 0; j < d; j++ {
+				diff := pt[j] - q[j]
+				sum += diff * diff
+			}
+			acc.Insert(qi, Neighbor{Dist: sum, Idx: base + e})
+		}
+	}
+	return nil
+}
+
+// GlobalReduce stores the merged result; a single pass always completes.
+func (k *Kernel) GlobalReduce(merged reduction.Object) (bool, error) {
+	acc, ok := merged.(*Object)
+	if !ok {
+		return false, fmt.Errorf("knn: unexpected object %T", merged)
+	}
+	k.result = acc
+	k.done = true
+	return true, nil
+}
+
+// Model returns the paper's scaling classes for kNN: constant reduction
+// object, linear-constant global reduction.
+func Model() core.AppModel {
+	return core.AppModel{RO: core.ROConstant, Global: core.GlobalLinearConstant}
+}
+
+// Cost returns the analytic work model consumed by the simulated backend.
+func Cost(spec adr.DatasetSpec, params Params) (reduction.CostModel, error) {
+	if err := params.Validate(); err != nil {
+		return reduction.CostModel{}, err
+	}
+	roBytes := units.Bytes(16 + 16*params.Queries*params.K)
+	return reduction.CostModel{
+		Name: "knn",
+		Mix:  reduction.WorkMix{Flop: 0.55, Mem: 0.25, Branch: 0.20},
+		// Per training sample: Queries distance evaluations of 3d flops
+		// plus an occasional short insertion.
+		OpsPerElem: float64(params.Queries * (3*spec.Dims + 4)),
+		Iterations: 1,
+		ROBytesPerNode: func(totalElems int64, c int) units.Bytes {
+			return roBytes // constant class
+		},
+		GlobalOps: func(totalElems int64, c int) float64 {
+			// Merge c dense lists per query.
+			return float64(c * params.Queries * params.K)
+		},
+		BroadcastBytes: units.Bytes(8 * params.Queries), // one label per query
+	}, nil
+}

@@ -1,0 +1,238 @@
+package knn
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/datagen"
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+func testSpec() adr.DatasetSpec {
+	return adr.DatasetSpec{
+		Name:       "pts",
+		TotalBytes: 512 * units.KB,
+		ElemBytes:  128, // 16 dims
+		ChunkBytes: 64 * units.KB,
+		Kind:       "points",
+		Dims:       16,
+		Seed:       3,
+	}
+}
+
+func run(t *testing.T, k *Kernel, spec adr.DatasetSpec, splits int) *Object {
+	t.Helper()
+	gen := datagen.Points{}
+	layout, err := adr.Partition(spec, 1, adr.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]reduction.Object, splits)
+	for i := range objs {
+		objs[i] = k.NewObject()
+	}
+	for i, c := range layout.Chunks() {
+		p := reduction.Payload{Chunk: c, Fields: spec.Dims, Values: gen.ChunkValues(spec, c)}
+		if err := k.ProcessChunk(p, objs[i%splits]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < splits; i++ {
+		if err := objs[0].Merge(objs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done, err := k.GlobalReduce(objs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("single-pass kNN did not report done")
+	}
+	return k.Result()
+}
+
+// bruteForce computes the exact k nearest neighbours of each query.
+func bruteForce(spec adr.DatasetSpec, queries [][]float64, k int) [][]Neighbor {
+	gen := datagen.Points{}
+	layout, _ := adr.Partition(spec, 1, adr.RoundRobin)
+	all := make([][]Neighbor, len(queries))
+	for _, c := range layout.Chunks() {
+		vals := gen.ChunkValues(spec, c)
+		base := datagen.GlobalBase(spec, c)
+		for e := int64(0); e < c.Elems; e++ {
+			pt := vals[e*int64(spec.Dims) : (e+1)*int64(spec.Dims)]
+			for qi, q := range queries {
+				var sum float64
+				for j := range q {
+					d := pt[j] - q[j]
+					sum += d * d
+				}
+				all[qi] = append(all[qi], Neighbor{Dist: sum, Idx: base + e})
+			}
+		}
+	}
+	for qi := range all {
+		sort.Slice(all[qi], func(a, b int) bool { return all[qi][a].Dist < all[qi][b].Dist })
+		if len(all[qi]) > k {
+			all[qi] = all[qi][:k]
+		}
+	}
+	return all
+}
+
+func TestMatchesBruteForce(t *testing.T) {
+	spec := testSpec()
+	params := Params{K: 8, Queries: 5}
+	k, err := New(spec, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := run(t, k, spec, 1)
+	want := bruteForce(spec, k.Queries(), params.K)
+	for qi := range want {
+		if len(got.Lists[qi]) != len(want[qi]) {
+			t.Fatalf("query %d: %d neighbours, want %d", qi, len(got.Lists[qi]), len(want[qi]))
+		}
+		for i := range want[qi] {
+			g, w := got.Lists[qi][i], want[qi][i]
+			if math.Abs(g.Dist-w.Dist) > 1e-9 {
+				t.Fatalf("query %d rank %d: dist %v, want %v", qi, i, g.Dist, w.Dist)
+			}
+		}
+	}
+}
+
+func TestSplitMergeEqualsSingle(t *testing.T) {
+	spec := testSpec()
+	params := Params{K: 8, Queries: 5}
+	k1, _ := New(spec, params)
+	single := run(t, k1, spec, 1)
+	k3, _ := New(spec, params)
+	merged := run(t, k3, spec, 3)
+	for qi := range single.Lists {
+		for i := range single.Lists[qi] {
+			if single.Lists[qi][i].Dist != merged.Lists[qi][i].Dist {
+				t.Fatalf("query %d rank %d differs between 1-way and 3-way runs", qi, i)
+			}
+		}
+	}
+}
+
+func TestInsertKeepsSortedTopK(t *testing.T) {
+	o := NewObject(1, 3)
+	for _, d := range []float64{5, 1, 4, 2, 9, 0.5} {
+		o.Insert(0, Neighbor{Dist: d, Idx: int64(d * 10)})
+	}
+	if len(o.Lists[0]) != 3 {
+		t.Fatalf("list has %d entries, want 3", len(o.Lists[0]))
+	}
+	want := []float64{0.5, 1, 2}
+	for i, w := range want {
+		if o.Lists[0][i].Dist != w {
+			t.Fatalf("rank %d = %v, want %v", i, o.Lists[0][i].Dist, w)
+		}
+	}
+}
+
+func TestObjectRoundTrip(t *testing.T) {
+	o := NewObject(2, 3)
+	o.Insert(0, Neighbor{Dist: 1, Idx: 10})
+	o.Insert(1, Neighbor{Dist: 2, Idx: 20})
+	o.Insert(1, Neighbor{Dist: 0.5, Idx: 30})
+	enc, err := o.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if units.Bytes(len(enc)) != o.Bytes() {
+		t.Fatalf("encoding length %d != Bytes() %v", len(enc), o.Bytes())
+	}
+	var back Object
+	if err := back.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	if back.K != 3 || len(back.Lists) != 2 {
+		t.Fatalf("round trip lost shape: %+v", back)
+	}
+	if len(back.Lists[0]) != 1 || back.Lists[1][0].Dist != 0.5 || back.Lists[1][0].Idx != 30 {
+		t.Fatalf("round trip lost entries: %+v", back.Lists)
+	}
+}
+
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	var o Object
+	if err := o.UnmarshalBinary([]byte{1, 2}); err == nil {
+		t.Error("short encoding accepted")
+	}
+	good := NewObject(1, 2)
+	enc, _ := good.MarshalBinary()
+	if err := o.UnmarshalBinary(enc[:len(enc)-8]); err == nil {
+		t.Error("truncated encoding accepted")
+	}
+}
+
+func TestObjectBytesConstant(t *testing.T) {
+	empty := NewObject(4, 8)
+	full := NewObject(4, 8)
+	for q := 0; q < 4; q++ {
+		for i := 0; i < 20; i++ {
+			full.Insert(q, Neighbor{Dist: float64(i), Idx: int64(i)})
+		}
+	}
+	if empty.Bytes() != full.Bytes() {
+		t.Fatalf("dense size changed: %v vs %v", empty.Bytes(), full.Bytes())
+	}
+}
+
+func TestMergeShapeMismatch(t *testing.T) {
+	a := NewObject(2, 3)
+	if err := a.Merge(NewObject(2, 4)); err == nil {
+		t.Error("k mismatch merged")
+	}
+	if err := a.Merge(NewObject(3, 3)); err == nil {
+		t.Error("query-count mismatch merged")
+	}
+	if err := a.Merge(reduction.NewVectorObject(2)); err == nil {
+		t.Error("cross-type merge accepted")
+	}
+}
+
+func TestModelAndCost(t *testing.T) {
+	m := Model()
+	if m.RO != core.ROConstant || m.Global != core.GlobalLinearConstant {
+		t.Fatalf("Model() = %+v", m)
+	}
+	cost, err := Cost(testSpec(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.ROBytesPerNode(1e6, 1) != cost.ROBytesPerNode(4e6, 8) {
+		t.Error("constant-class RO varied")
+	}
+	if cost.GlobalOps(1e6, 16) <= cost.GlobalOps(1e6, 2) {
+		t.Error("GlobalOps not increasing in node count")
+	}
+	// The cost model's RO size must match a real dense object.
+	k, _ := New(testSpec(), DefaultParams())
+	if got := k.NewObject().Bytes(); got != cost.ROBytesPerNode(1, 1) {
+		t.Errorf("cost RO %v != real object %v", cost.ROBytesPerNode(1, 1), got)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{K: 0, Queries: 1}).Validate(); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if err := (Params{K: 1, Queries: 0}).Validate(); err == nil {
+		t.Error("Queries=0 accepted")
+	}
+	s := testSpec()
+	s.Kind = "field"
+	if _, err := New(s, DefaultParams()); err == nil {
+		t.Error("field dataset accepted")
+	}
+}

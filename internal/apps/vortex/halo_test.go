@@ -1,0 +1,168 @@
+package vortex
+
+import (
+	"testing"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/datagen"
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+// runWithHalos drives the kernel with overlapping partitions, the paper's
+// decomposition for vortex detection.
+func runWithHalos(t *testing.T, k *Kernel, spec adr.DatasetSpec) []Vortex {
+	t.Helper()
+	gen := datagen.Field{}
+	layout, err := adr.Partition(spec, 1, adr.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := k.NewObject()
+	for _, c := range layout.Chunks() {
+		p := reduction.Payload{Chunk: c, Fields: 2, Values: gen.ChunkValues(spec, c)}
+		before, after, err := datagen.HaloFor(gen, spec, c, k.OverlapElems())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.HaloBefore, p.HaloAfter = before, after
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.ProcessChunk(p, obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := k.GlobalReduce(obj); err != nil {
+		t.Fatal(err)
+	}
+	return k.Result()
+}
+
+func totalCells(vs []Vortex) int {
+	n := 0
+	for _, v := range vs {
+		n += v.Cells
+	}
+	return n
+}
+
+func TestHaloMakesDetectionChunkInvariant(t *testing.T) {
+	// One giant chunk: the stencil covers every interior grid row.
+	whole := testSpec(units.MB)
+	whole.ChunkBytes = whole.TotalBytes
+	kWhole, err := New(whole, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := run(t, kWhole, whole, 1)
+
+	// Small chunks WITH halos must mark exactly the same cells.
+	small := testSpec(units.MB)
+	small.ChunkBytes = 64 * units.KB
+	kSmall, err := New(small, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runWithHalos(t, kSmall, small)
+	if len(got) != len(ref) {
+		t.Fatalf("halo run found %d vortices, whole-chunk run %d", len(got), len(ref))
+	}
+	if totalCells(got) != totalCells(ref) {
+		t.Fatalf("halo run marked %d cells, whole-chunk run %d", totalCells(got), totalCells(ref))
+	}
+}
+
+func TestWithoutHalosBoundaryRowsAreLost(t *testing.T) {
+	// The same comparison without halos loses the chunk-boundary rows:
+	// strictly fewer marked cells. This is the deficit the paper's
+	// overlapping partitioning removes.
+	whole := testSpec(units.MB)
+	whole.ChunkBytes = whole.TotalBytes
+	kWhole, _ := New(whole, DefaultParams())
+	ref := run(t, kWhole, whole, 1)
+
+	small := testSpec(units.MB)
+	small.ChunkBytes = 64 * units.KB
+	kSmall, _ := New(small, DefaultParams())
+	bare := run(t, kSmall, small, 1)
+	if totalCells(bare) >= totalCells(ref) {
+		t.Fatalf("expected cell loss without halos: %d vs %d", totalCells(bare), totalCells(ref))
+	}
+}
+
+func TestHaloForClipsAtEdges(t *testing.T) {
+	spec := testSpec(units.MB)
+	spec.ChunkBytes = 64 * units.KB
+	layout, _ := adr.Partition(spec, 1, adr.RoundRobin)
+	gen := datagen.Field{}
+	chunks := layout.Chunks()
+
+	first := chunks[0]
+	before, after, err := datagen.HaloFor(gen, spec, first, datagen.FieldWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != 0 {
+		t.Errorf("first chunk has %d halo-before values, want 0", len(before))
+	}
+	if len(after) != 2*datagen.FieldWidth {
+		t.Errorf("first chunk has %d halo-after values, want one row", len(after))
+	}
+
+	last := chunks[len(chunks)-1]
+	before, after, err = datagen.HaloFor(gen, spec, last, datagen.FieldWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) != 2*datagen.FieldWidth {
+		t.Errorf("last chunk has %d halo-before values, want one row", len(before))
+	}
+	if len(after) != 0 {
+		t.Errorf("last chunk has %d halo-after values, want 0", len(after))
+	}
+}
+
+func TestHaloForRejectsNonRangeKinds(t *testing.T) {
+	spec := adr.DatasetSpec{
+		Name: "pts", TotalBytes: units.MB, ElemBytes: 128,
+		ChunkBytes: 128 * units.KB, Kind: "points", Dims: 16, Seed: 1,
+	}
+	layout, _ := adr.Partition(spec, 1, adr.RoundRobin)
+	gen, _ := datagen.For("points")
+	if _, _, err := datagen.HaloFor(gen, spec, layout.Chunks()[0], 10); err == nil {
+		t.Fatal("points generator produced halos; it cannot generate ranges")
+	}
+	// Zero overlap is always fine.
+	if _, _, err := datagen.HaloFor(gen, spec, layout.Chunks()[0], 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaloValuesMatchNeighbourChunks(t *testing.T) {
+	spec := testSpec(units.MB)
+	spec.ChunkBytes = 64 * units.KB
+	layout, _ := adr.Partition(spec, 1, adr.RoundRobin)
+	gen := datagen.Field{}
+	chunks := layout.Chunks()
+	c1 := chunks[1]
+	before, after, err := datagen.HaloFor(gen, spec, c1, datagen.FieldWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HaloBefore must equal the last row of chunk 0's values.
+	prev := gen.ChunkValues(spec, chunks[0])
+	tail := prev[len(prev)-len(before):]
+	for i := range before {
+		if before[i] != tail[i] {
+			t.Fatalf("halo-before value %d differs from neighbour chunk", i)
+		}
+	}
+	// HaloAfter must equal the first row of chunk 2's values.
+	next := gen.ChunkValues(spec, chunks[2])
+	for i := range after {
+		if after[i] != next[i] {
+			t.Fatalf("halo-after value %d differs from neighbour chunk", i)
+		}
+	}
+}

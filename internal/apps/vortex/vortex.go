@@ -1,0 +1,370 @@
+// Package vortex implements the feature-mining vortex detection algorithm
+// as a FREERIDE-G generalized reduction (Section 4.4 of the paper). Each
+// compute node computes a finite-difference vorticity over its grid
+// chunks, thresholds it (detection), classifies marked cells into
+// connected regions (classification/aggregation), and the global
+// combination joins region fragments that span chunk boundaries, then
+// de-noises and sorts the vortices.
+//
+// Its per-node reduction object is a region list proportional to the
+// node's data share (linear class) and the global combination handles a
+// region volume proportional to the dataset (constant-linear class) — the
+// paper's classification of vortex detection.
+package vortex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/datagen"
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+// Params configures a vortex detection run.
+type Params struct {
+	// Threshold is the |vorticity| above which a cell is marked.
+	Threshold float64
+	// MinMass is the minimum region size (cells) kept after de-noising.
+	MinMass int
+	// JoinGap is the maximum row gap bridged when joining fragments
+	// across chunk boundaries.
+	JoinGap int
+}
+
+// DefaultParams mirrors the workload used in the paper-scale experiments.
+// The threshold sits between the Taylor vortices' core vorticity band
+// (>= ~0.55) and their opposite-sign annulus band (<= ~0.19).
+func DefaultParams() Params { return Params{Threshold: 0.25, MinMass: 12, JoinGap: 3} }
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Threshold <= 0 {
+		return fmt.Errorf("vortex: threshold %g", p.Threshold)
+	}
+	if p.MinMass < 1 {
+		return fmt.Errorf("vortex: min mass %d", p.MinMass)
+	}
+	if p.JoinGap < 0 {
+		return fmt.Errorf("vortex: join gap %d", p.JoinGap)
+	}
+	return nil
+}
+
+// regionStride is the per-region record layout in the reduction object:
+// minRow, maxRow, minCol, maxCol, cellCount, sumVorticity, sumRow, sumCol.
+const regionStride = 8
+
+// Vortex is one detected feature after global combination.
+type Vortex struct {
+	Row, Col    float64 // centroid
+	Cells       int
+	Circulation float64 // signed vorticity sum
+}
+
+// Kernel is one vortex detection run.
+type Kernel struct {
+	params Params
+	spec   adr.DatasetSpec
+	result []Vortex
+}
+
+// New creates a kernel for a field dataset.
+func New(spec adr.DatasetSpec, params Params) (*Kernel, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Kind != "field" {
+		return nil, fmt.Errorf("vortex: dataset kind %q, want field", spec.Kind)
+	}
+	return &Kernel{params: params, spec: spec}, nil
+}
+
+// Name implements reduction.Kernel.
+func (k *Kernel) Name() string { return "vortex" }
+
+// Iterations implements reduction.Kernel: detection is a single pass.
+func (k *Kernel) Iterations() int { return 1 }
+
+// OverlapElems implements reduction.OverlapRequester: one grid row of
+// overlap per side lets the stencil cover every chunk row without
+// communication, the paper's partitioning approach for vortex detection.
+func (k *Kernel) OverlapElems() int64 { return datagen.FieldWidth }
+
+// Result returns the detected vortices, strongest first.
+func (k *Kernel) Result() []Vortex { return k.result }
+
+// NewObject returns an empty region-list accumulator.
+func (k *Kernel) NewObject() reduction.Object {
+	return reduction.NewFloatsObject(regionStride)
+}
+
+// ProcessChunk runs detection, classification, and local aggregation over
+// one chunk of grid rows.
+func (k *Kernel) ProcessChunk(p reduction.Payload, obj reduction.Object) error {
+	acc, ok := obj.(*reduction.FloatsObject)
+	if !ok {
+		return fmt.Errorf("vortex: unexpected object %T", obj)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Fields != 2 {
+		return fmt.Errorf("vortex: payload has %d fields, want 2 (u,v)", p.Fields)
+	}
+	w := int64(datagen.FieldWidth)
+	base := datagen.GlobalBase(k.spec, p.Chunk)
+	if base%w != 0 || p.Chunk.Elems%w != 0 {
+		return fmt.Errorf("vortex: chunk %d not row-aligned (base %d, elems %d)",
+			p.Chunk.Index, base, p.Chunk.Elems)
+	}
+	rows := p.Chunk.Elems / w
+	firstRow := base / w
+
+	// Detection: central-difference vorticity. With overlapping
+	// partitions (halo rows from the neighbouring chunks, the paper's
+	// vortex decomposition) every chunk row is detectable; without halos
+	// the chunk-boundary rows are skipped and their fragments rejoined
+	// during global combination.
+	haloBefore := p.HaloBeforeElems() / w // rows of overlap below
+	haloAfter := p.HaloAfterElems() / w
+	marked := make([]float64, rows*w) // 0 = unmarked, else vorticity
+	u := func(r, c int64) float64 {
+		switch {
+		case r < 0:
+			off := (haloBefore + r) * w // r = -1 is the halo's last row
+			return p.HaloBefore[(off+c)*2]
+		case r >= rows:
+			return p.HaloAfter[((r-rows)*w+c)*2]
+		}
+		return p.Values[(r*w+c)*2]
+	}
+	v := func(r, c int64) float64 {
+		switch {
+		case r < 0:
+			off := (haloBefore + r) * w
+			return p.HaloBefore[(off+c)*2+1]
+		case r >= rows:
+			return p.HaloAfter[((r-rows)*w+c)*2+1]
+		}
+		return p.Values[(r*w+c)*2+1]
+	}
+	rStart, rEnd := int64(1), rows-1
+	if haloBefore > 0 {
+		rStart = 0
+	}
+	if haloAfter > 0 {
+		rEnd = rows
+	}
+	for r := rStart; r < rEnd; r++ {
+		for c := int64(1); c < w-1; c++ {
+			vort := (v(r, c+1)-v(r, c-1))/2 - (u(r+1, c)-u(r-1, c))/2
+			if math.Abs(vort) >= k.params.Threshold {
+				marked[r*w+c] = vort
+			}
+		}
+	}
+
+	// Classification + aggregation: connected components (4-neighbour)
+	// over marked cells, via union-find.
+	parent := make([]int32, rows*w)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for r := int64(0); r < rows; r++ {
+		for c := int64(0); c < w; c++ {
+			i := r*w + c
+			if marked[i] == 0 {
+				continue
+			}
+			parent[i] = int32(i)
+			if c > 0 && marked[i-1] != 0 {
+				union(int32(i-1), int32(i))
+			}
+			if r > 0 && marked[i-w] != 0 {
+				union(int32(i-w), int32(i))
+			}
+		}
+	}
+	regions := make(map[int32][]float64)
+	for r := int64(0); r < rows; r++ {
+		for c := int64(0); c < w; c++ {
+			i := r*w + c
+			if marked[i] == 0 {
+				continue
+			}
+			root := find(int32(i))
+			rec := regions[root]
+			gRow := float64(firstRow + r)
+			gCol := float64(c)
+			if rec == nil {
+				rec = []float64{gRow, gRow, gCol, gCol, 0, 0, 0, 0}
+			}
+			rec[0] = math.Min(rec[0], gRow)
+			rec[1] = math.Max(rec[1], gRow)
+			rec[2] = math.Min(rec[2], gCol)
+			rec[3] = math.Max(rec[3], gCol)
+			rec[4]++
+			rec[5] += marked[i]
+			rec[6] += gRow
+			rec[7] += gCol
+			regions[root] = rec
+		}
+	}
+	roots := make([]int32, 0, len(regions))
+	for root := range regions {
+		roots = append(roots, root)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, root := range roots {
+		if err := acc.Append(regions[root]...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GlobalReduce joins region fragments across chunk boundaries, de-noises,
+// and sorts the vortices by strength.
+func (k *Kernel) GlobalReduce(merged reduction.Object) (bool, error) {
+	acc, ok := merged.(*reduction.FloatsObject)
+	if !ok {
+		return false, fmt.Errorf("vortex: unexpected object %T", merged)
+	}
+	if acc.Stride != regionStride {
+		return false, fmt.Errorf("vortex: stride %d, want %d", acc.Stride, regionStride)
+	}
+	n := acc.Records()
+	recs := make([][]float64, n)
+	for i := range recs {
+		recs[i] = append([]float64(nil), acc.Record(i)...)
+	}
+	// Union regions whose row ranges are within JoinGap and whose column
+	// ranges overlap: fragments of one vortex split at a chunk boundary.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return recs[order[a]][0] < recs[order[b]][0] })
+	gap := float64(k.params.JoinGap)
+	for ai := 0; ai < len(order); ai++ {
+		a := order[ai]
+		for bi := ai + 1; bi < len(order); bi++ {
+			b := order[bi]
+			if recs[b][0] > recs[a][1]+gap {
+				break // sorted by minRow; no later region can touch a
+			}
+			if recs[a][2] <= recs[b][3] && recs[b][2] <= recs[a][3] {
+				ra, rb := find(a), find(b)
+				if ra != rb {
+					parent[rb] = ra
+				}
+			}
+		}
+	}
+	joined := make(map[int][]float64)
+	for i := range recs {
+		root := find(i)
+		if cur, ok := joined[root]; ok {
+			cur[0] = math.Min(cur[0], recs[i][0])
+			cur[1] = math.Max(cur[1], recs[i][1])
+			cur[2] = math.Min(cur[2], recs[i][2])
+			cur[3] = math.Max(cur[3], recs[i][3])
+			for j := 4; j < regionStride; j++ {
+				cur[j] += recs[i][j]
+			}
+		} else {
+			joined[root] = append([]float64(nil), recs[i]...)
+		}
+	}
+	// De-noise and sort.
+	k.result = k.result[:0]
+	for _, rec := range joined {
+		cells := int(rec[4])
+		if cells < k.params.MinMass {
+			continue
+		}
+		k.result = append(k.result, Vortex{
+			Row:         rec[6] / rec[4],
+			Col:         rec[7] / rec[4],
+			Cells:       cells,
+			Circulation: rec[5],
+		})
+	}
+	sort.Slice(k.result, func(i, j int) bool {
+		a, b := math.Abs(k.result[i].Circulation), math.Abs(k.result[j].Circulation)
+		if a != b {
+			return a > b
+		}
+		return k.result[i].Row < k.result[j].Row
+	})
+	return true, nil
+}
+
+// Model returns the paper's scaling classes for vortex detection: linear
+// reduction object, constant-linear global reduction.
+func Model() core.AppModel {
+	return core.AppModel{RO: core.ROLinear, Global: core.GlobalConstantLinear}
+}
+
+// Cost returns the analytic work model consumed by the simulated backend.
+func Cost(spec adr.DatasetSpec, params Params) (reduction.CostModel, error) {
+	if err := params.Validate(); err != nil {
+		return reduction.CostModel{}, err
+	}
+	// Expected regions: one per injected vortex plus ~30% fragmentation at
+	// chunk boundaries.
+	regionsFor := func(totalElems int64) float64 {
+		rows := totalElems / datagen.FieldWidth
+		return 1.3 * float64(rows/datagen.VortexRowPeriod)
+	}
+	return reduction.CostModel{
+		Name: "vortex",
+		Mix:  reduction.WorkMix{Flop: 0.45, Mem: 0.40, Branch: 0.15},
+		// Per cell: the vorticity stencil, thresholding, classification,
+		// and amortized union-find/aggregation work of the feature-mining
+		// pipeline.
+		OpsPerElem: 400,
+		Iterations: 1,
+		ROBytesPerNode: func(totalElems int64, c int) units.Bytes {
+			perNode := regionsFor(totalElems) / float64(c)
+			return units.Bytes(perNode*regionStride*8) + 8 // linear class
+		},
+		GlobalOps: func(totalElems int64, c int) float64 {
+			// Join/de-noise/sort over all regions: proportional to the
+			// dataset, independent of the node count.
+			r := regionsFor(totalElems)
+			return r * 40
+		},
+		BroadcastBytes: units.KB, // final vortex summary
+	}, nil
+}

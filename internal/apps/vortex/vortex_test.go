@@ -1,0 +1,209 @@
+package vortex
+
+import (
+	"math"
+	"testing"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/datagen"
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+func testSpec(total units.Bytes) adr.DatasetSpec {
+	return adr.DatasetSpec{
+		Name:       "cfd",
+		TotalBytes: total,
+		ElemBytes:  16,             // (u, v) as two float64
+		ChunkBytes: 128 * units.KB, // 32 rows of 256 cells
+		Kind:       "field",
+		Dims:       2,
+		Seed:       5,
+	}
+}
+
+func run(t *testing.T, k *Kernel, spec adr.DatasetSpec, splits int) []Vortex {
+	t.Helper()
+	gen := datagen.Field{}
+	layout, err := adr.Partition(spec, 1, adr.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]reduction.Object, splits)
+	for i := range objs {
+		objs[i] = k.NewObject()
+	}
+	for i, c := range layout.Chunks() {
+		p := reduction.Payload{Chunk: c, Fields: 2, Values: gen.ChunkValues(spec, c)}
+		if err := k.ProcessChunk(p, objs[i%splits]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < splits; i++ {
+		if err := objs[0].Merge(objs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done, err := k.GlobalReduce(objs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("single-pass detection did not report done")
+	}
+	return k.Result()
+}
+
+func TestDetectsInjectedVortices(t *testing.T) {
+	spec := testSpec(2 * units.MB)
+	truth := datagen.Field{}.Vortices(spec)
+	if len(truth) < 5 {
+		t.Fatalf("test dataset has only %d vortices", len(truth))
+	}
+	k, err := New(spec, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := run(t, k, spec, 1)
+	if len(got) != len(truth) {
+		t.Fatalf("detected %d vortices, injected %d", len(got), len(truth))
+	}
+	// Every injected vortex must have a detection within its radius.
+	for _, vt := range truth {
+		best := math.Inf(1)
+		for _, d := range got {
+			dist := math.Hypot(d.Row-vt.Row, d.Col-vt.Col)
+			best = math.Min(best, dist)
+		}
+		if best > vt.Radius {
+			t.Errorf("vortex at (%.0f,%.0f) r=%.1f: nearest detection %.1f away",
+				vt.Row, vt.Col, vt.Radius, best)
+		}
+	}
+}
+
+func TestBoundarySpanningVortexJoined(t *testing.T) {
+	// Chunks are 32 rows; vortices near row multiples of 32 fragment and
+	// must be rejoined by the global combination. With correct joining the
+	// count matches truth regardless of chunk alignment.
+	spec := testSpec(2 * units.MB)
+	spec.ChunkBytes = 64 * units.KB // 16-row chunks: more boundaries
+	truth := datagen.Field{}.Vortices(spec)
+	k, err := New(spec, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := run(t, k, spec, 1)
+	if len(got) != len(truth) {
+		t.Fatalf("detected %d vortices with 16-row chunks, injected %d", len(got), len(truth))
+	}
+}
+
+func TestSplitMergeInvariant(t *testing.T) {
+	spec := testSpec(units.MB)
+	k1, _ := New(spec, DefaultParams())
+	single := run(t, k1, spec, 1)
+	k4, _ := New(spec, DefaultParams())
+	merged := run(t, k4, spec, 4)
+	if len(single) != len(merged) {
+		t.Fatalf("vortex count differs between 1-way (%d) and 4-way (%d) runs", len(single), len(merged))
+	}
+	for i := range single {
+		if single[i].Cells != merged[i].Cells ||
+			math.Abs(single[i].Circulation-merged[i].Circulation) > 1e-9 {
+			t.Fatalf("vortex %d differs: %+v vs %+v", i, single[i], merged[i])
+		}
+	}
+}
+
+func TestResultsSortedByStrength(t *testing.T) {
+	spec := testSpec(2 * units.MB)
+	k, _ := New(spec, DefaultParams())
+	got := run(t, k, spec, 1)
+	for i := 1; i < len(got); i++ {
+		if math.Abs(got[i].Circulation) > math.Abs(got[i-1].Circulation) {
+			t.Fatalf("results not sorted by |circulation| at %d", i)
+		}
+	}
+}
+
+func TestDenoiseDropsSmallRegions(t *testing.T) {
+	spec := testSpec(units.MB)
+	params := DefaultParams()
+	params.MinMass = 1 << 20 // absurd: everything is noise
+	k, err := New(spec, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run(t, k, spec, 1); len(got) != 0 {
+		t.Fatalf("de-noising kept %d regions", len(got))
+	}
+}
+
+func TestProcessChunkRejectsBadInput(t *testing.T) {
+	spec := testSpec(units.MB)
+	k, _ := New(spec, DefaultParams())
+	obj := k.NewObject()
+	bad := reduction.Payload{Chunk: adr.Chunk{Elems: 3}, Fields: 1, Values: []float64{1, 2, 3}}
+	if err := k.ProcessChunk(bad, obj); err == nil {
+		t.Error("1-field payload accepted")
+	}
+	if err := k.ProcessChunk(bad, reduction.NewVectorObject(1)); err == nil {
+		t.Error("wrong object type accepted")
+	}
+	misaligned := reduction.Payload{
+		Chunk:  adr.Chunk{Index: 0, Elems: 100},
+		Fields: 2,
+		Values: make([]float64, 200),
+	}
+	if err := k.ProcessChunk(misaligned, k.NewObject()); err == nil {
+		t.Error("row-misaligned chunk accepted")
+	}
+	if _, err := k.GlobalReduce(reduction.NewFloatsObject(3)); err == nil {
+		t.Error("wrong stride accepted in global reduce")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Params{Threshold: 0, MinMass: 1}).Validate(); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if err := (Params{Threshold: 1, MinMass: 0}).Validate(); err == nil {
+		t.Error("zero min mass accepted")
+	}
+	if err := (Params{Threshold: 1, MinMass: 1, JoinGap: -1}).Validate(); err == nil {
+		t.Error("negative join gap accepted")
+	}
+	s := testSpec(units.MB)
+	s.Kind = "points"
+	if _, err := New(s, DefaultParams()); err == nil {
+		t.Error("points dataset accepted")
+	}
+}
+
+func TestModelAndCostClasses(t *testing.T) {
+	m := Model()
+	if m.RO != core.ROLinear || m.Global != core.GlobalConstantLinear {
+		t.Fatalf("Model() = %+v", m)
+	}
+	cost, err := Cost(testSpec(units.MB), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.ROBytesPerNode(1<<22, 1) <= cost.ROBytesPerNode(1<<20, 1) {
+		t.Error("RO did not grow with dataset")
+	}
+	if cost.ROBytesPerNode(1<<22, 8) >= cost.ROBytesPerNode(1<<22, 1) {
+		t.Error("RO did not shrink with nodes")
+	}
+	if cost.GlobalOps(1<<22, 1) != cost.GlobalOps(1<<22, 16) {
+		t.Error("GlobalOps varied with node count")
+	}
+	if cost.GlobalOps(1<<22, 4) <= cost.GlobalOps(1<<20, 4) {
+		t.Error("GlobalOps did not grow with dataset")
+	}
+}

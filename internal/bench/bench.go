@@ -1,0 +1,264 @@
+// Package bench defines the experiments that regenerate every figure of
+// the paper's evaluation (Figures 2–13; Figure 1 is the architecture
+// diagram). Each experiment seeds the prediction framework with one base
+// profile measured on the simulated testbed, predicts the 14-point
+// configuration grid the paper sweeps, simulates the "exact" execution
+// times, and reports the relative prediction error
+// E = |T_exact − T_predicted| / T_exact per predictor variant.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/apps"
+	"freerideg/internal/core"
+	"freerideg/internal/middleware"
+	"freerideg/internal/stats"
+	"freerideg/internal/units"
+)
+
+// ConfigGrid returns the paper's 14 (data nodes, compute nodes)
+// configurations: n in {1,2,4,8}, c in {n..16} over powers of two.
+func ConfigGrid() [][2]int {
+	var out [][2]int
+	for _, n := range []int{1, 2, 4, 8} {
+		for c := n; c <= 16; c *= 2 {
+			out = append(out, [2]int{n, c})
+		}
+	}
+	return out
+}
+
+// ChunkFor picks the ADR chunk size for an experiment whose base dataset
+// has the given size: roughly 512 chunks, clamped to [128KB, 2MB] and
+// aligned to whole field-grid rows. Within one experiment every dataset
+// uses the base's chunk size, so chunk counts scale with dataset size
+// (which is what makes EM's deferred per-chunk statistics a linear-class
+// reduction object).
+func ChunkFor(base units.Bytes) units.Bytes {
+	c := base / 512
+	if c < 128*units.KB {
+		c = 128 * units.KB
+	}
+	if c > 2*units.MB {
+		c = 2 * units.MB
+	}
+	const row = 4 * units.KB
+	return c / row * row
+}
+
+// Dataset builds the paper-scale dataset spec for an application with the
+// default chunking for its size.
+func Dataset(app string, total units.Bytes) (adr.DatasetSpec, error) {
+	return DatasetChunked(app, total, ChunkFor(total))
+}
+
+// DatasetChunked builds a dataset spec with an explicit chunk size.
+func DatasetChunked(app string, total, chunk units.Bytes) (adr.DatasetSpec, error) {
+	a, err := apps.Get(app)
+	if err != nil {
+		return adr.DatasetSpec{}, err
+	}
+	spec := adr.DatasetSpec{
+		Name:       fmt.Sprintf("%s-%v", app, total),
+		TotalBytes: total,
+		ChunkBytes: chunk,
+		Kind:       a.DatasetKind,
+		Seed:       41,
+	}
+	switch a.DatasetKind {
+	case "points":
+		spec.ElemBytes, spec.Dims = 128, 16
+	case "field":
+		spec.ElemBytes, spec.Dims = 16, 2
+	case "lattice":
+		spec.ElemBytes, spec.Dims = 24, 3
+	case "transactions":
+		spec.ElemBytes, spec.Dims = 96, 12
+	}
+	return spec, nil
+}
+
+// Cell is one configuration's outcome in a figure.
+type Cell struct {
+	DataNodes    int                            `json:"dataNodes"`
+	ComputeNodes int                            `json:"computeNodes"`
+	Actual       time.Duration                  `json:"actual"`
+	Predicted    map[core.Variant]time.Duration `json:"predicted"`
+	Errors       map[core.Variant]float64       `json:"errors"`
+}
+
+// Figure is one regenerated paper figure.
+type Figure struct {
+	ID       string         `json:"id"`
+	Title    string         `json:"title"`
+	App      string         `json:"app"`
+	Variants []core.Variant `json:"variants"`
+	Cells    []Cell         `json:"cells"`
+	// Notes records workload parameters and any scaling factors used.
+	Notes []string `json:"notes"`
+}
+
+// MaxError reports the figure's largest error for a variant.
+func (f Figure) MaxError(v core.Variant) float64 {
+	var m float64
+	for _, c := range f.Cells {
+		if e, ok := c.Errors[v]; ok && e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// MeanError reports the figure's mean error for a variant.
+func (f Figure) MeanError(v core.Variant) float64 {
+	var xs []float64
+	for _, c := range f.Cells {
+		if e, ok := c.Errors[v]; ok {
+			xs = append(xs, e)
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// experiment describes one figure's workload.
+type experiment struct {
+	id, title, app string
+	// base profile configuration.
+	baseN, baseC int
+	baseBytes    units.Bytes
+	baseBW       units.Rate
+	// target (predicted/actual) runs.
+	targetBytes   units.Bytes
+	targetBW      units.Rate
+	targetCluster string
+	// variants plotted; figures 7-13 show only the global-reduction model.
+	variants []core.Variant
+	// repApps compute cross-cluster scaling factors (figures 11-13).
+	repApps []string
+}
+
+// PentiumCluster and OpteronCluster name the two simulated testbeds.
+const (
+	PentiumCluster = "pentium-myrinet"
+	OpteronCluster = "opteron-infiniband"
+)
+
+// The paper's synthetic low-bandwidth settings (labelled Kbps in the
+// paper; only the 2:1 ratio enters the model).
+const (
+	bw500K = 500 * units.KBPerSec
+	bw250K = 250 * units.KBPerSec
+)
+
+func allVariants() []core.Variant { return core.Variants() }
+func globalOnly() []core.Variant  { return []core.Variant{core.GlobalReduction} }
+
+// experiments maps figure IDs to their definitions, following the paper's
+// evaluation section.
+func experiments() map[string]experiment {
+	const defBW = middleware.DefaultBandwidth
+	gb14 := 1434 * units.MB  // 1.4 GB
+	gb18 := 1843 * units.MB  // 1.8 GB
+	gb185 := 1894 * units.MB // 1.85 GB
+	m := map[string]experiment{
+		"fig2": {
+			title: "Prediction Errors for k-means Clustering, Base profile: 1-1, 1.4 GB dataset",
+			app:   "kmeans", baseN: 1, baseC: 1,
+			baseBytes: gb14, baseBW: defBW, targetBytes: gb14, targetBW: defBW,
+			targetCluster: PentiumCluster, variants: allVariants(),
+		},
+		"fig3": {
+			title: "Prediction Errors for Vortex Detection, Base profile: 1-1, 710 MB dataset",
+			app:   "vortex", baseN: 1, baseC: 1,
+			baseBytes: 710 * units.MB, baseBW: defBW, targetBytes: 710 * units.MB, targetBW: defBW,
+			targetCluster: PentiumCluster, variants: allVariants(),
+		},
+		"fig4": {
+			title: "Prediction Errors for Molecular Defect Detection, Base profile: 1-1, 130 MB dataset",
+			app:   "defect", baseN: 1, baseC: 1,
+			baseBytes: 130 * units.MB, baseBW: defBW, targetBytes: 130 * units.MB, targetBW: defBW,
+			targetCluster: PentiumCluster, variants: allVariants(),
+		},
+		"fig5": {
+			title: "Prediction Errors for EM Clustering, Base profile: 1-1, 1.4 GB dataset",
+			app:   "em", baseN: 1, baseC: 1,
+			baseBytes: gb14, baseBW: defBW, targetBytes: gb14, targetBW: defBW,
+			targetCluster: PentiumCluster, variants: allVariants(),
+		},
+		"fig6": {
+			title: "Prediction Errors for KNN Search, Base profile: 1-1, 1.4 GB dataset",
+			app:   "knn", baseN: 1, baseC: 1,
+			baseBytes: gb14, baseBW: defBW, targetBytes: gb14, targetBW: defBW,
+			targetCluster: PentiumCluster, variants: allVariants(),
+		},
+		"fig7": {
+			title: "Prediction Errors for EM Clustering, 1.4 GB dataset, Base profile: 1-1 with 350 MB",
+			app:   "em", baseN: 1, baseC: 1,
+			baseBytes: 350 * units.MB, baseBW: defBW, targetBytes: gb14, targetBW: defBW,
+			targetCluster: PentiumCluster, variants: globalOnly(),
+		},
+		"fig8": {
+			title: "Prediction Errors for Molecular Defect Detection with 1.8 GB dataset, Base profile: 1-1 with 130 MB",
+			app:   "defect", baseN: 1, baseC: 1,
+			baseBytes: 130 * units.MB, baseBW: defBW, targetBytes: gb18, targetBW: defBW,
+			targetCluster: PentiumCluster, variants: globalOnly(),
+		},
+		"fig9": {
+			title: "Prediction Errors for Molecular Defect Detection with 250 Kbps, Base profile: 1-1 with 500 Kbps",
+			app:   "defect", baseN: 1, baseC: 1,
+			baseBytes: 130 * units.MB, baseBW: bw500K, targetBytes: 130 * units.MB, targetBW: bw250K,
+			targetCluster: PentiumCluster, variants: globalOnly(),
+		},
+		"fig10": {
+			title: "Prediction Errors for EM Clustering with 250 Kbps, Base profile: 1-1 with 500 Kbps",
+			app:   "em", baseN: 1, baseC: 1,
+			baseBytes: gb14, baseBW: bw500K, targetBytes: gb14, targetBW: bw250K,
+			targetCluster: PentiumCluster, variants: globalOnly(),
+		},
+		"fig11": {
+			title: "Prediction Errors for EM Clustering On a Different Cluster, 700 MB dataset, Base profile: 8-8 with 350 MB",
+			app:   "em", baseN: 8, baseC: 8,
+			baseBytes: 350 * units.MB, baseBW: defBW, targetBytes: 700 * units.MB, targetBW: defBW,
+			targetCluster: OpteronCluster, variants: globalOnly(),
+			repApps: []string{"kmeans", "knn", "vortex"},
+		},
+		"fig12": {
+			title: "Prediction Errors for Molecular Defect Detection On a Different Cluster, 1.8 GB dataset, Base profile: 4-4 with 130 MB",
+			app:   "defect", baseN: 4, baseC: 4,
+			baseBytes: 130 * units.MB, baseBW: defBW, targetBytes: gb18, targetBW: defBW,
+			targetCluster: OpteronCluster, variants: globalOnly(),
+			repApps: []string{"kmeans", "knn", "em"},
+		},
+		"fig13": {
+			title: "Prediction Errors for Vortex Detection on a Different Cluster, 1.85 GB dataset, Base profile: 1-1 with 710 MB",
+			app:   "vortex", baseN: 1, baseC: 1,
+			baseBytes: 710 * units.MB, baseBW: defBW, targetBytes: gb185, targetBW: defBW,
+			targetCluster: OpteronCluster, variants: globalOnly(),
+			repApps: []string{"kmeans", "knn", "em"},
+		},
+	}
+	for id, e := range m {
+		e.id = id
+		m[id] = e
+	}
+	return m
+}
+
+// FigureIDs lists the available figure experiments in paper order.
+func FigureIDs() []string {
+	ids := make([]string, 0, len(experiments()))
+	for id := range experiments() {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		var a, b int
+		fmt.Sscanf(ids[i], "fig%d", &a)
+		fmt.Sscanf(ids[j], "fig%d", &b)
+		return a < b
+	})
+	return ids
+}

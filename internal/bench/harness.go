@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"freerideg/internal/apps"
+	"freerideg/internal/core"
+	"freerideg/internal/middleware"
+	"freerideg/internal/stats"
+	"freerideg/internal/units"
+)
+
+// Harness runs figure experiments on the simulated testbed.
+type Harness struct {
+	grid  *middleware.Grid
+	links map[string]core.LinkCalibration
+}
+
+// NewHarness builds a harness over the paper's two clusters.
+func NewHarness() (*Harness, error) {
+	g, err := middleware.NewGrid(middleware.PentiumMyrinet(), middleware.OpteronInfiniband())
+	if err != nil {
+		return nil, err
+	}
+	h := &Harness{grid: g, links: make(map[string]core.LinkCalibration)}
+	for _, cl := range []string{PentiumCluster, OpteronCluster} {
+		cal, err := core.CalibrateLink(g.MeasureIC(cl))
+		if err != nil {
+			return nil, fmt.Errorf("bench: calibrating %s: %w", cl, err)
+		}
+		h.links[cl] = cal
+	}
+	return h, nil
+}
+
+// Grid exposes the simulated testbed (used by the CLI tools).
+func (h *Harness) Grid() *middleware.Grid { return h.grid }
+
+// Links exposes the interconnect calibrations per cluster.
+func (h *Harness) Links() map[string]core.LinkCalibration {
+	out := make(map[string]core.LinkCalibration, len(h.links))
+	for k, v := range h.links {
+		out[k] = v
+	}
+	return out
+}
+
+// simulate runs one application configuration on the simulated testbed,
+// using the experiment's chunk size.
+func (h *Harness) simulate(app string, total, chunk units.Bytes, cfg core.Config) (middleware.SimResult, error) {
+	a, err := apps.Get(app)
+	if err != nil {
+		return middleware.SimResult{}, err
+	}
+	spec, err := DatasetChunked(app, total, chunk)
+	if err != nil {
+		return middleware.SimResult{}, err
+	}
+	cost, err := a.Cost(spec)
+	if err != nil {
+		return middleware.SimResult{}, err
+	}
+	return h.grid.Simulate(cost, spec, cfg)
+}
+
+// repDatasetBytes is the dataset size used by the representative
+// applications when measuring cross-cluster scaling factors.
+const repDatasetBytes = 256 * units.MB
+
+// scalingFactors measures the component scaling factors between the base
+// cluster and the target cluster using the representative applications on
+// identical configurations, per Section 3.4 of the paper.
+func (h *Harness) scalingFactors(e experiment) (core.Scaling, []core.Profile, error) {
+	var onA, onB []core.Profile
+	for _, rep := range e.repApps {
+		for _, cl := range []string{PentiumCluster, e.targetCluster} {
+			cfg := core.Config{
+				Cluster:      cl,
+				DataNodes:    e.baseN,
+				ComputeNodes: e.baseC,
+				Bandwidth:    e.baseBW,
+				DatasetBytes: repDatasetBytes,
+			}
+			res, err := h.simulate(rep, repDatasetBytes, ChunkFor(repDatasetBytes), cfg)
+			if err != nil {
+				return core.Scaling{}, nil, fmt.Errorf("bench: representative %s on %s: %w", rep, cl, err)
+			}
+			if cl == PentiumCluster {
+				onA = append(onA, res.Profile)
+			} else {
+				onB = append(onB, res.Profile)
+			}
+		}
+	}
+	s, err := core.ComputeScaling(onA, onB)
+	return s, onB, err
+}
+
+// Run regenerates one figure.
+func (h *Harness) Run(id string) (Figure, error) {
+	e, ok := experiments()[id]
+	if !ok {
+		return Figure{}, fmt.Errorf("bench: unknown figure %q (have %v)", id, FigureIDs())
+	}
+	a, err := apps.Get(e.app)
+	if err != nil {
+		return Figure{}, err
+	}
+
+	baseCfg := core.Config{
+		Cluster:      PentiumCluster,
+		DataNodes:    e.baseN,
+		ComputeNodes: e.baseC,
+		Bandwidth:    e.baseBW,
+		DatasetBytes: e.baseBytes,
+	}
+	chunk := ChunkFor(e.baseBytes)
+	baseRes, err := h.simulate(e.app, e.baseBytes, chunk, baseCfg)
+	if err != nil {
+		return Figure{}, fmt.Errorf("bench: %s base profile: %w", id, err)
+	}
+
+	pred, err := core.NewPredictor(baseRes.Profile, a.Model)
+	if err != nil {
+		return Figure{}, err
+	}
+	for cl, cal := range h.links {
+		pred.Links[cl] = cal
+	}
+
+	fig := Figure{
+		ID:       id,
+		Title:    e.title,
+		App:      e.app,
+		Variants: e.variants,
+		Notes: []string{
+			fmt.Sprintf("base profile: %v (T_exec %v)", baseCfg, baseRes.Profile.Texec().Round(time.Millisecond)),
+			fmt.Sprintf("target: %v @ %v on %s", e.targetBytes, e.targetBW, e.targetCluster),
+			fmt.Sprintf("app model: RO %v, global %v", a.Model.RO, a.Model.Global),
+		},
+	}
+
+	if e.targetCluster != PentiumCluster {
+		scaling, _, err := h.scalingFactors(e)
+		if err != nil {
+			return Figure{}, fmt.Errorf("bench: %s scaling factors: %w", id, err)
+		}
+		pred.Scalings[e.targetCluster] = scaling
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"scaling factors from %v: s_d=%.3f s_n=%.3f s_c=%.3f",
+			e.repApps, scaling.Disk, scaling.Network, scaling.Compute))
+	}
+
+	for _, nc := range ConfigGrid() {
+		cfg := core.Config{
+			Cluster:      e.targetCluster,
+			DataNodes:    nc[0],
+			ComputeNodes: nc[1],
+			Bandwidth:    e.targetBW,
+			DatasetBytes: e.targetBytes,
+		}
+		actual, err := h.simulate(e.app, e.targetBytes, chunk, cfg)
+		if err != nil {
+			return Figure{}, fmt.Errorf("bench: %s actual %d-%d: %w", id, nc[0], nc[1], err)
+		}
+		cell := Cell{
+			DataNodes:    nc[0],
+			ComputeNodes: nc[1],
+			Actual:       actual.Makespan,
+			Predicted:    make(map[core.Variant]time.Duration, len(e.variants)),
+			Errors:       make(map[core.Variant]float64, len(e.variants)),
+		}
+		for _, v := range e.variants {
+			p, err := pred.Predict(cfg, v)
+			if err != nil {
+				return Figure{}, fmt.Errorf("bench: %s predict %d-%d %v: %w", id, nc[0], nc[1], v, err)
+			}
+			cell.Predicted[v] = p.Texec()
+			cell.Errors[v] = stats.RelError(actual.Makespan.Seconds(), p.Texec().Seconds())
+		}
+		fig.Cells = append(fig.Cells, cell)
+	}
+	return fig, nil
+}
+
+// RunAll regenerates every figure in paper order.
+func (h *Harness) RunAll() ([]Figure, error) {
+	var out []Figure
+	for _, id := range FigureIDs() {
+		fig, err := h.Run(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Render writes a figure as a text table, one row per configuration and
+// one error column per predictor variant, mirroring the paper's bar
+// charts.
+func Render(w io.Writer, f Figure) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", strings.ToUpper(f.ID[:1])+f.ID[1:], f.Title)
+	for _, note := range f.Notes {
+		fmt.Fprintf(&b, "  %s\n", note)
+	}
+	fmt.Fprintf(&b, "  %-8s %14s", "config", "actual")
+	for _, v := range f.Variants {
+		fmt.Fprintf(&b, " %24s", v.String())
+	}
+	fmt.Fprintln(&b)
+	for _, c := range f.Cells {
+		fmt.Fprintf(&b, "  %-8s %14s", fmt.Sprintf("%d-%d", c.DataNodes, c.ComputeNodes),
+			c.Actual.Round(time.Millisecond))
+		for _, v := range f.Variants {
+			fmt.Fprintf(&b, " %15s (%5.2f%%)", c.Predicted[v].Round(time.Millisecond), 100*c.Errors[v])
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "  max error:")
+	for _, v := range f.Variants {
+		fmt.Fprintf(&b, " %s %.2f%%", v, 100*f.MaxError(v))
+	}
+	fmt.Fprintln(&b)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderAblations writes ablation results as a text table.
+func RenderAblations(w io.Writer, results []AblationResult) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablations (max global-reduction error over the configuration grid)\n")
+	fmt.Fprintf(&b, "  %-22s %10s %10s\n", "ablation", "baseline", "variant")
+	for _, r := range results {
+		fmt.Fprintf(&b, "  %-22s %9.2f%% %9.2f%%\n", r.Name, 100*r.Baseline, 100*r.Variant)
+		for _, note := range r.Notes {
+			fmt.Fprintf(&b, "      %s\n", note)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RunAblations runs the full ablation suite on representative
+// applications.
+func (h *Harness) RunAblations() ([]AblationResult, error) {
+	var out []AblationResult
+	for _, run := range []struct {
+		name string
+		f    func(string) (AblationResult, error)
+		app  string
+	}{
+		{"tree-gather", h.AblationTreeGather, "kmeans"},
+		{"flow-control", h.AblationFlowControl, "knn"},
+		{"storage-scaling-term", h.AblationStorageScaling, "knn"},
+		{"disk-cache-model", h.AblationDiskCache, "kmeans"},
+	} {
+		r, err := run.f(run.app)
+		if err != nil {
+			return nil, fmt.Errorf("bench: ablation %s: %w", run.name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RenderAll writes every figure separated by blank lines.
+func RenderAll(w io.Writer, figs []Figure) error {
+	for i, f := range figs {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := Render(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

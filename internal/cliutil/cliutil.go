@@ -1,0 +1,48 @@
+// Package cliutil holds the small flag-parsing helpers shared by the
+// command-line tools.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"freerideg/internal/units"
+)
+
+// ParseNodePair parses "data,compute" into node counts, enforcing the
+// middleware's constraints (compute >= data >= 1).
+func ParseNodePair(s string) (data, compute int, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("cliutil: want data,compute — got %q", s)
+	}
+	data, err = strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("cliutil: bad data-node count in %q: %v", s, err)
+	}
+	compute, err = strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, fmt.Errorf("cliutil: bad compute-node count in %q: %v", s, err)
+	}
+	if data < 1 {
+		return 0, 0, fmt.Errorf("cliutil: need at least one data node, got %d", data)
+	}
+	if compute < data {
+		return 0, 0, fmt.Errorf("cliutil: compute nodes (%d) must be >= data nodes (%d)", compute, data)
+	}
+	return data, compute, nil
+}
+
+// ParseRate parses a per-second rate given as a byte volume ("100MB",
+// "500KB").
+func ParseRate(s string) (units.Rate, error) {
+	b, err := units.ParseBytes(s)
+	if err != nil {
+		return 0, err
+	}
+	if b <= 0 {
+		return 0, fmt.Errorf("cliutil: non-positive rate %q", s)
+	}
+	return units.Rate(b), nil
+}

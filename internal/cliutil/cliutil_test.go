@@ -1,0 +1,54 @@
+package cliutil
+
+import (
+	"testing"
+
+	"freerideg/internal/units"
+)
+
+func TestParseNodePair(t *testing.T) {
+	cases := []struct {
+		in      string
+		n, c    int
+		wantErr bool
+	}{
+		{"1,1", 1, 1, false},
+		{"2,16", 2, 16, false},
+		{" 4 , 8 ", 4, 8, false},
+		{"1", 0, 0, true},
+		{"1,2,3", 0, 0, true},
+		{"x,2", 0, 0, true},
+		{"2,y", 0, 0, true},
+		{"0,4", 0, 0, true},
+		{"8,4", 0, 0, true}, // compute < data
+	}
+	for _, tc := range cases {
+		n, c, err := ParseNodePair(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseNodePair(%q) accepted", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseNodePair(%q): %v", tc.in, err)
+			continue
+		}
+		if n != tc.n || c != tc.c {
+			t.Errorf("ParseNodePair(%q) = %d,%d, want %d,%d", tc.in, n, c, tc.n, tc.c)
+		}
+	}
+}
+
+func TestParseRate(t *testing.T) {
+	r, err := ParseRate("100MB")
+	if err != nil || r != 100*units.MBPerSec {
+		t.Fatalf("ParseRate(100MB) = %v, %v", r, err)
+	}
+	if _, err := ParseRate("garbage"); err == nil {
+		t.Error("garbage rate accepted")
+	}
+	if _, err := ParseRate("0"); err == nil {
+		t.Error("zero rate accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"freerideg/internal/units"
+)
+
+func TestPredictSplitsCachedRetrieval(t *testing.T) {
+	prof := baseProfile()
+	prof.Tdisk = 30 * time.Second
+	prof.TdiskCached = 20 * time.Second // 10s first pass, 20s cached re-reads
+	pr, err := NewPredictor(prof, AppModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 data nodes, 4 compute nodes, same dataset: first-pass retrieval
+	// scales with n (10/2 = 5s), cached re-reads with c (20/4 = 5s).
+	cfg := Config{
+		Cluster: "A", DataNodes: 2, ComputeNodes: 4,
+		Bandwidth: 100 * units.MBPerSec, DatasetBytes: 100 * units.MB,
+	}
+	p, err := pr.Predict(cfg, NoComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durClose(t, "Tdisk", p.Tdisk, 10*time.Second)
+
+	// Without the split (TdiskCached = 0) the paper's formula would keep
+	// the whole 30s scaled only by n: 15s.
+	plain := prof
+	plain.TdiskCached = 0
+	pr2, err := NewPredictor(plain, AppModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := pr2.Predict(cfg, NoComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durClose(t, "Tdisk (memory-cached profile)", p2.Tdisk, 15*time.Second)
+}
+
+func TestProfileValidateCachedBounds(t *testing.T) {
+	p := baseProfile()
+	p.TdiskCached = p.Tdisk
+	if err := p.Validate(); err != nil {
+		t.Fatalf("cached == Tdisk rejected: %v", err)
+	}
+	p.TdiskCached = p.Tdisk + 1
+	if err := p.Validate(); err == nil {
+		t.Fatal("cached > Tdisk accepted")
+	}
+	p.TdiskCached = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative cached accepted")
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	p := baseProfile()
+	p.TdiskCached = 2 * time.Second
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Profile
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Fatalf("round trip changed profile:\n got %+v\nwant %+v", back, p)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictionJSONRoundTrip(t *testing.T) {
+	pr := mustPredictor(t, AppModel{})
+	cfg := baseProfile().Config
+	cfg.ComputeNodes = 4
+	p, err := pr.Predict(cfg, GlobalReduction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Prediction
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Fatalf("round trip changed prediction:\n got %+v\nwant %+v", back, p)
+	}
+}
+
+func TestScalingAndCalibrationJSONRoundTrip(t *testing.T) {
+	s := Scaling{Disk: 0.4, Network: 0.9, Compute: 0.28}
+	data, _ := json.Marshal(s)
+	var sBack Scaling
+	if err := json.Unmarshal(data, &sBack); err != nil || sBack != s {
+		t.Fatalf("scaling round trip: %+v, %v", sBack, err)
+	}
+	c := LinkCalibration{W: 1e-8, L: 12 * time.Millisecond}
+	data, _ = json.Marshal(c)
+	var cBack LinkCalibration
+	if err := json.Unmarshal(data, &cBack); err != nil || cBack != c {
+		t.Fatalf("calibration round trip: %+v, %v", cBack, err)
+	}
+}

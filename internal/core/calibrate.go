@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"freerideg/internal/stats"
+	"freerideg/internal/units"
+)
+
+// DefaultCalibrationSizes are the message sizes CalibrateLink probes.
+var DefaultCalibrationSizes = []units.Bytes{
+	4 * units.KB, 16 * units.KB, 64 * units.KB, 256 * units.KB, units.MB,
+}
+
+// CalibrateLink experimentally determines the w (per-byte cost) and l
+// (latency) parameters of an interconnect by measuring the given message
+// sizes and fitting a line, exactly as the paper prescribes for T_ro =
+// w*r + l. The measure function sends one message of the given size and
+// reports the elapsed time; it may be backed by a real network or the
+// simulated one.
+func CalibrateLink(measure func(units.Bytes) (time.Duration, error), sizes ...units.Bytes) (LinkCalibration, error) {
+	if measure == nil {
+		return LinkCalibration{}, errors.New("core: nil measure function")
+	}
+	if len(sizes) == 0 {
+		sizes = DefaultCalibrationSizes
+	}
+	if len(sizes) < 2 {
+		return LinkCalibration{}, errors.New("core: need at least two probe sizes")
+	}
+	xs := make([]float64, len(sizes))
+	ys := make([]float64, len(sizes))
+	for i, sz := range sizes {
+		d, err := measure(sz)
+		if err != nil {
+			return LinkCalibration{}, fmt.Errorf("core: calibration probe %v: %w", sz, err)
+		}
+		if d < 0 {
+			return LinkCalibration{}, fmt.Errorf("core: calibration probe %v measured negative time %v", sz, d)
+		}
+		xs[i] = float64(sz)
+		ys[i] = d.Seconds()
+	}
+	w, l, err := stats.LinFit(xs, ys)
+	if err != nil {
+		return LinkCalibration{}, fmt.Errorf("core: calibration fit: %w", err)
+	}
+	if w < 0 {
+		return LinkCalibration{}, fmt.Errorf("core: calibration produced negative per-byte cost %g", w)
+	}
+	if l < 0 {
+		// Tiny negative intercepts can arise from fit noise; clamp.
+		l = 0
+	}
+	return LinkCalibration{W: w, L: units.Seconds(l)}, nil
+}
+
+// ComputeScaling derives the component scaling factors between two
+// clusters from representative application profiles taken on *identical*
+// configurations (same node counts, bandwidth, and dataset size) on both
+// (Section 3.4):
+//
+//	s_d = mean_i( T_disk,i,B / T_disk,i,A )   and likewise s_n, s_c.
+//
+// Profiles are matched by application name; every A profile must have a
+// B counterpart.
+func ComputeScaling(onA, onB []Profile) (Scaling, error) {
+	if len(onA) == 0 {
+		return Scaling{}, errors.New("core: no representative profiles")
+	}
+	byApp := make(map[string]Profile, len(onB))
+	for _, p := range onB {
+		byApp[p.App] = p
+	}
+	var ds, ns, cs []float64
+	for _, a := range onA {
+		b, ok := byApp[a.App]
+		if !ok {
+			return Scaling{}, fmt.Errorf("core: no cluster-B profile for %q", a.App)
+		}
+		if err := sameConfigShape(a.Config, b.Config); err != nil {
+			return Scaling{}, fmt.Errorf("core: %q: %w", a.App, err)
+		}
+		if a.Tdisk <= 0 || a.Tnetwork <= 0 || a.Tcompute <= 0 {
+			return Scaling{}, fmt.Errorf("core: %q: cluster-A profile has zero components", a.App)
+		}
+		ds = append(ds, b.Tdisk.Seconds()/a.Tdisk.Seconds())
+		ns = append(ns, b.Tnetwork.Seconds()/a.Tnetwork.Seconds())
+		cs = append(cs, b.Tcompute.Seconds()/a.Tcompute.Seconds())
+	}
+	return Scaling{
+		Disk:    stats.Mean(ds),
+		Network: stats.Mean(ns),
+		Compute: stats.Mean(cs),
+	}, nil
+}
+
+// sameConfigShape checks that two configs agree in everything but the
+// cluster, the precondition for computing scaling factors.
+func sameConfigShape(a, b Config) error {
+	if a.DataNodes != b.DataNodes || a.ComputeNodes != b.ComputeNodes {
+		return fmt.Errorf("node counts differ: %d-%d vs %d-%d",
+			a.DataNodes, a.ComputeNodes, b.DataNodes, b.ComputeNodes)
+	}
+	if a.DatasetBytes != b.DatasetBytes {
+		return fmt.Errorf("dataset sizes differ: %v vs %v", a.DatasetBytes, b.DatasetBytes)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"freerideg/internal/units"
+)
+
+func TestCalibrateLinkRecoversLine(t *testing.T) {
+	const w = 2e-8 // 50 MB/s
+	const l = 3 * time.Millisecond
+	measure := func(b units.Bytes) (time.Duration, error) {
+		return units.Seconds(w*float64(b)) + l, nil
+	}
+	cal, err := CalibrateLink(measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cal.W-w)/w > 1e-6 {
+		t.Errorf("W = %g, want %g", cal.W, w)
+	}
+	if d := cal.L - l; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("L = %v, want %v", cal.L, l)
+	}
+	// And the calibration predicts a fresh size exactly.
+	want, _ := measure(123 * units.KB)
+	got := cal.MessageTime(123 * units.KB)
+	if math.Abs(got.Seconds()-want.Seconds()) > 5e-9 {
+		t.Errorf("MessageTime = %v, want %v", got, want)
+	}
+}
+
+func TestCalibrateLinkErrors(t *testing.T) {
+	if _, err := CalibrateLink(nil); err == nil {
+		t.Error("nil measure accepted")
+	}
+	failing := func(units.Bytes) (time.Duration, error) { return 0, errors.New("down") }
+	if _, err := CalibrateLink(failing); err == nil {
+		t.Error("failing measure accepted")
+	}
+	negative := func(units.Bytes) (time.Duration, error) { return -time.Second, nil }
+	if _, err := CalibrateLink(negative); err == nil {
+		t.Error("negative measurement accepted")
+	}
+	one := func(b units.Bytes) (time.Duration, error) { return time.Second, nil }
+	if _, err := CalibrateLink(one, units.KB); err == nil {
+		t.Error("single probe size accepted")
+	}
+	// A decreasing cost line implies negative w.
+	decreasing := func(b units.Bytes) (time.Duration, error) {
+		return time.Duration(int64(time.Second) - int64(b)), nil
+	}
+	if _, err := CalibrateLink(decreasing, units.KB, units.MB); err == nil {
+		t.Error("negative per-byte cost accepted")
+	}
+}
+
+func TestCalibrateLinkClampsTinyNegativeLatency(t *testing.T) {
+	// Pure bandwidth line: intercept ~0 may fit slightly negative.
+	measure := func(b units.Bytes) (time.Duration, error) {
+		return units.Seconds(1e-8 * float64(b)), nil
+	}
+	cal, err := CalibrateLink(measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.L < 0 {
+		t.Fatalf("latency %v negative after clamp", cal.L)
+	}
+}
+
+func twinProfiles(app string, factorD, factorN, factorC float64) (Profile, Profile) {
+	a := baseProfile()
+	a.App = app
+	b := a
+	b.Config.Cluster = "B"
+	b.Tdisk = time.Duration(float64(a.Tdisk) * factorD)
+	b.Tnetwork = time.Duration(float64(a.Tnetwork) * factorN)
+	b.Tcompute = time.Duration(float64(a.Tcompute) * factorC)
+	b.Tglobal = 0
+	b.Tro = 0
+	return a, b
+}
+
+func TestComputeScalingAveragesRatios(t *testing.T) {
+	a1, b1 := twinProfiles("kmeans", 0.5, 0.4, 0.2)
+	a2, b2 := twinProfiles("knn", 0.7, 0.6, 0.4)
+	s, err := ComputeScaling([]Profile{a1, a2}, []Profile{b1, b2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Disk-0.6) > 1e-9 || math.Abs(s.Network-0.5) > 1e-9 || math.Abs(s.Compute-0.3) > 1e-9 {
+		t.Fatalf("scaling = %+v, want {0.6 0.5 0.3}", s)
+	}
+}
+
+func TestComputeScalingErrors(t *testing.T) {
+	if _, err := ComputeScaling(nil, nil); err == nil {
+		t.Error("empty profile sets accepted")
+	}
+	a, b := twinProfiles("kmeans", 0.5, 0.5, 0.5)
+	if _, err := ComputeScaling([]Profile{a}, nil); err == nil {
+		t.Error("missing B profile accepted")
+	}
+	mismatched := b
+	mismatched.Config.ComputeNodes = 4
+	mismatched.Config.DataNodes = 4
+	if _, err := ComputeScaling([]Profile{a}, []Profile{mismatched}); err == nil {
+		t.Error("node-count mismatch accepted")
+	}
+	sizeMismatch := b
+	sizeMismatch.Config.DatasetBytes *= 2
+	if _, err := ComputeScaling([]Profile{a}, []Profile{sizeMismatch}); err == nil {
+		t.Error("dataset-size mismatch accepted")
+	}
+	zeroA := a
+	zeroA.Tdisk = 0
+	if _, err := ComputeScaling([]Profile{zeroA}, []Profile{b}); err == nil {
+		t.Error("zero-component A profile accepted")
+	}
+}

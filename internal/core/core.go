@@ -1,0 +1,229 @@
+// Package core implements the paper's contribution: a profile-based
+// performance prediction framework for generalized-reduction applications
+// on the FREERIDE-G middleware (Section 3 of the paper).
+//
+// A Profile records one execution's component breakdown — data retrieval
+// (t_d), data communication (t_n), and data processing (t_c), with the
+// serialized reduction-object communication (T_ro) and global reduction
+// (T_g) parts of t_c — together with the configuration it ran on. A
+// Predictor scales that profile to other configurations: different numbers
+// of storage and compute nodes, dataset sizes, network bandwidths, and,
+// through experimentally measured component scaling factors, entirely
+// different clusters.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"freerideg/internal/units"
+)
+
+// Config identifies one execution configuration: a replica's storage-node
+// count, a compute configuration, the bandwidth between them, and the
+// dataset size. The paper's model is a function of exactly these.
+type Config struct {
+	// Cluster names the hardware both node sets run on.
+	Cluster string `json:"cluster"`
+	// DataNodes is n, the number of storage (data server) nodes.
+	DataNodes int `json:"dataNodes"`
+	// ComputeNodes is c, the number of processing nodes.
+	ComputeNodes int `json:"computeNodes"`
+	// Bandwidth is b, the per-storage-node bandwidth to the compute nodes.
+	Bandwidth units.Rate `json:"bandwidth"`
+	// DatasetBytes is s, the dataset size.
+	DatasetBytes units.Bytes `json:"datasetBytes"`
+}
+
+// Validate reports whether the configuration is well-formed. The
+// middleware requires ComputeNodes >= DataNodes (Section 2 of the paper).
+func (c Config) Validate() error {
+	switch {
+	case c.Cluster == "":
+		return errors.New("core: config without cluster")
+	case c.DataNodes < 1:
+		return fmt.Errorf("core: %d data nodes", c.DataNodes)
+	case c.ComputeNodes < c.DataNodes:
+		return fmt.Errorf("core: %d compute nodes < %d data nodes", c.ComputeNodes, c.DataNodes)
+	case c.Bandwidth <= 0:
+		return errors.New("core: non-positive bandwidth")
+	case c.DatasetBytes <= 0:
+		return errors.New("core: non-positive dataset size")
+	}
+	return nil
+}
+
+// String renders the configuration in the paper's "n-c" shorthand.
+func (c Config) String() string {
+	return fmt.Sprintf("%d-%d %v@%v on %s", c.DataNodes, c.ComputeNodes, c.DatasetBytes, c.Bandwidth, c.Cluster)
+}
+
+// Breakdown is the execution time split the framework models: t_d, t_n,
+// and t_c.
+type Breakdown struct {
+	// Tdisk is the data retrieval component (t_d).
+	Tdisk time.Duration `json:"tdisk"`
+	// Tnetwork is the repository-to-compute communication component (t_n).
+	Tnetwork time.Duration `json:"tnetwork"`
+	// Tcompute is the data processing component (t_c), which contains the
+	// serialized reduction-object communication and global reduction.
+	Tcompute time.Duration `json:"tcompute"`
+}
+
+// Texec is the total execution time, the sum of the three components.
+func (b Breakdown) Texec() time.Duration { return b.Tdisk + b.Tnetwork + b.Tcompute }
+
+// Profile is the summary information collected from one execution
+// (Section 3.1 of the paper).
+type Profile struct {
+	// App names the application the profile belongs to.
+	App string `json:"app"`
+	// Config is the configuration the profile run used.
+	Config Config `json:"config"`
+	// Breakdown is the measured component split.
+	Breakdown
+	// TdiskCached is the part of Tdisk spent re-reading cached chunks on
+	// the compute nodes in passes after the first (zero when chunks are
+	// cached in memory, the setting the paper's model assumes). Unlike
+	// first-pass retrieval it scales with the compute-node count, so the
+	// predictor treats it separately.
+	TdiskCached time.Duration `json:"tdiskCached,omitempty"`
+	// Tro is the reduction-object communication time contained in
+	// Tcompute, summed over all passes (zero on a single compute node).
+	Tro time.Duration `json:"tro"`
+	// Tglobal is the global reduction time contained in Tcompute, summed
+	// over all passes.
+	Tglobal time.Duration `json:"tglobal"`
+	// ROBytesPerNode is the maximum per-node reduction object size.
+	ROBytesPerNode units.Bytes `json:"roBytesPerNode"`
+	// BroadcastBytes is the per-pass master-to-workers result volume.
+	BroadcastBytes units.Bytes `json:"broadcastBytes"`
+	// Iterations is the number of passes the application performed.
+	Iterations int `json:"iterations"`
+}
+
+// Validate reports whether the profile can seed predictions.
+func (p Profile) Validate() error {
+	if p.App == "" {
+		return errors.New("core: profile without app name")
+	}
+	if err := p.Config.Validate(); err != nil {
+		return fmt.Errorf("core: profile for %q: %w", p.App, err)
+	}
+	if p.Tdisk < 0 || p.Tnetwork < 0 || p.Tcompute < 0 {
+		return fmt.Errorf("core: profile for %q has negative components", p.App)
+	}
+	if p.Tro < 0 || p.Tglobal < 0 {
+		return fmt.Errorf("core: profile for %q has negative serialized parts", p.App)
+	}
+	if p.Tro+p.Tglobal > p.Tcompute {
+		return fmt.Errorf("core: profile for %q: T_ro + T_g (%v) exceeds t_c (%v)",
+			p.App, p.Tro+p.Tglobal, p.Tcompute)
+	}
+	if p.TdiskCached < 0 || p.TdiskCached > p.Tdisk {
+		return fmt.Errorf("core: profile for %q: cached retrieval %v outside [0, t_d=%v]",
+			p.App, p.TdiskCached, p.Tdisk)
+	}
+	if p.Iterations < 1 {
+		return fmt.Errorf("core: profile for %q has %d iterations", p.App, p.Iterations)
+	}
+	return nil
+}
+
+// ROSizeClass describes how the per-node reduction object size scales
+// (Section 3.3.1): constant, or linear in the data share.
+type ROSizeClass int
+
+const (
+	// ROConstant: the object size depends only on application parameters
+	// (k-means centroids, kNN neighbor lists).
+	ROConstant ROSizeClass = iota
+	// ROLinear: the per-node object grows linearly with the dataset size
+	// and shrinks with the number of compute nodes — the object holds
+	// per-data artifacts (feature lists, deferred per-chunk statistics),
+	// so the total communicated volume scales with the dataset.
+	ROLinear
+)
+
+func (c ROSizeClass) String() string {
+	switch c {
+	case ROConstant:
+		return "constant"
+	case ROLinear:
+		return "linear"
+	}
+	return fmt.Sprintf("ROSizeClass(%d)", int(c))
+}
+
+// GlobalClass describes how the global reduction time scales
+// (Section 3.3.2).
+type GlobalClass int
+
+const (
+	// GlobalLinearConstant: T_g scales linearly with the number of
+	// processing nodes and is independent of the dataset size.
+	GlobalLinearConstant GlobalClass = iota
+	// GlobalConstantLinear: T_g is independent of the node count and
+	// linear in the dataset size.
+	GlobalConstantLinear
+)
+
+func (c GlobalClass) String() string {
+	switch c {
+	case GlobalLinearConstant:
+		return "linear-constant"
+	case GlobalConstantLinear:
+		return "constant-linear"
+	}
+	return fmt.Sprintf("GlobalClass(%d)", int(c))
+}
+
+// AppModel is the pair of scaling classes for one application. It can be
+// supplied by the user or inferred from multiple profiles.
+type AppModel struct {
+	RO     ROSizeClass `json:"ro"`
+	Global GlobalClass `json:"global"`
+}
+
+// Variant selects how much of the data processing structure the compute
+// predictor models — the three curves in the paper's figures.
+type Variant int
+
+const (
+	// NoComm scales t_c linearly, ignoring interprocessor communication
+	// and global reduction (Section 3.3, first predictor).
+	NoComm Variant = iota
+	// ReductionComm additionally models reduction-object communication
+	// (Section 3.3.1).
+	ReductionComm
+	// GlobalReduction additionally models the global reduction time
+	// (Section 3.3.2) — the paper's most accurate predictor.
+	GlobalReduction
+)
+
+func (v Variant) String() string {
+	switch v {
+	case NoComm:
+		return "no communication"
+	case ReductionComm:
+		return "reduction communication"
+	case GlobalReduction:
+		return "global reduction"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Variants lists the three predictor variants in paper order.
+func Variants() []Variant { return []Variant{NoComm, ReductionComm, GlobalReduction} }
+
+// Prediction is a predicted execution time with its component split.
+type Prediction struct {
+	Config  Config  `json:"config"`
+	Variant Variant `json:"variant"`
+	Breakdown
+	// Tro and Tglobal are the serialized parts included in Tcompute
+	// (zero for variants that do not model them).
+	Tro     time.Duration `json:"tro"`
+	Tglobal time.Duration `json:"tglobal"`
+}

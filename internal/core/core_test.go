@@ -1,0 +1,338 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"freerideg/internal/units"
+)
+
+func baseProfile() Profile {
+	return Profile{
+		App: "toy",
+		Config: Config{
+			Cluster:      "A",
+			DataNodes:    1,
+			ComputeNodes: 1,
+			Bandwidth:    100 * units.MBPerSec,
+			DatasetBytes: 100 * units.MB,
+		},
+		Breakdown: Breakdown{
+			Tdisk:    10 * time.Second,
+			Tnetwork: 5 * time.Second,
+			Tcompute: 100 * time.Second,
+		},
+		Tro:            0,
+		Tglobal:        2 * time.Second,
+		ROBytesPerNode: 10 * units.KB,
+		BroadcastBytes: units.KB,
+		Iterations:     5,
+	}
+}
+
+func mustPredictor(t *testing.T, m AppModel) *Predictor {
+	t.Helper()
+	pr, err := NewPredictor(baseProfile(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Links["A"] = LinkCalibration{W: 1e-8, L: time.Millisecond}
+	return pr
+}
+
+func durClose(t *testing.T, what string, got, want time.Duration) {
+	t.Helper()
+	if math.Abs(got.Seconds()-want.Seconds()) > 1e-6*math.Max(1, want.Seconds()) {
+		t.Errorf("%s = %v, want %v", what, got, want)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := baseProfile().Config
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{},
+		{Cluster: "A", DataNodes: 0, ComputeNodes: 1, Bandwidth: 1, DatasetBytes: 1},
+		{Cluster: "A", DataNodes: 4, ComputeNodes: 2, Bandwidth: 1, DatasetBytes: 1},
+		{Cluster: "A", DataNodes: 1, ComputeNodes: 1, Bandwidth: 0, DatasetBytes: 1},
+		{Cluster: "A", DataNodes: 1, ComputeNodes: 1, Bandwidth: 1, DatasetBytes: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	s := baseProfile().Config.String()
+	if !strings.HasPrefix(s, "1-1 ") || !strings.Contains(s, "on A") {
+		t.Fatalf("Config.String() = %q, want n-c shorthand", s)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := baseProfile()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	noApp := good
+	noApp.App = ""
+	if err := noApp.Validate(); err == nil {
+		t.Error("profile without app accepted")
+	}
+	negative := good
+	negative.Tdisk = -time.Second
+	if err := negative.Validate(); err == nil {
+		t.Error("negative component accepted")
+	}
+	overflow := good
+	overflow.Tro = 200 * time.Second
+	if err := overflow.Validate(); err == nil {
+		t.Error("Tro > Tcompute accepted")
+	}
+	noIter := good
+	noIter.Iterations = 0
+	if err := noIter.Validate(); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestTexecIsComponentSum(t *testing.T) {
+	b := Breakdown{Tdisk: time.Second, Tnetwork: 2 * time.Second, Tcompute: 3 * time.Second}
+	if b.Texec() != 6*time.Second {
+		t.Fatalf("Texec = %v, want 6s", b.Texec())
+	}
+}
+
+func TestPredictIdentityConfig(t *testing.T) {
+	pr := mustPredictor(t, AppModel{RO: ROConstant, Global: GlobalLinearConstant})
+	p, err := pr.Predict(pr.Profile.Config, GlobalReduction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same configuration must reproduce the profile exactly: Tro is zero
+	// at one compute node and Tg scales by 1.
+	durClose(t, "Tdisk", p.Tdisk, 10*time.Second)
+	durClose(t, "Tnetwork", p.Tnetwork, 5*time.Second)
+	durClose(t, "Tcompute", p.Tcompute, 100*time.Second)
+}
+
+func TestPredictDiskAndNetworkScaling(t *testing.T) {
+	pr := mustPredictor(t, AppModel{})
+	cfg := Config{
+		Cluster: "A", DataNodes: 2, ComputeNodes: 4,
+		Bandwidth: 50 * units.MBPerSec, DatasetBytes: 200 * units.MB,
+	}
+	p, err := pr.Predict(cfg, NoComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T̂d = (2)(1/2)(10s) = 10s; T̂n = (2)(1/2)(2)(5s) = 10s.
+	durClose(t, "Tdisk", p.Tdisk, 10*time.Second)
+	durClose(t, "Tnetwork", p.Tnetwork, 10*time.Second)
+	// NoComm: T̂c = (2)(1/4)(100s) = 50s.
+	durClose(t, "Tcompute", p.Tcompute, 50*time.Second)
+	durClose(t, "Texec", p.Texec(), 70*time.Second)
+}
+
+func TestPredictDropStorageScaling(t *testing.T) {
+	pr := mustPredictor(t, AppModel{})
+	pr.DropStorageScaling = true
+	cfg := Config{
+		Cluster: "A", DataNodes: 2, ComputeNodes: 4,
+		Bandwidth: 100 * units.MBPerSec, DatasetBytes: 100 * units.MB,
+	}
+	p, err := pr.Predict(cfg, NoComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the n/n̂ term the network time stays at the profile's 5s.
+	durClose(t, "Tnetwork", p.Tnetwork, 5*time.Second)
+	// The disk predictor keeps its n/n̂ term.
+	durClose(t, "Tdisk", p.Tdisk, 5*time.Second)
+}
+
+func TestPredictReductionCommConstantRO(t *testing.T) {
+	pr := mustPredictor(t, AppModel{RO: ROConstant})
+	cfg := Config{
+		Cluster: "A", DataNodes: 2, ComputeNodes: 4,
+		Bandwidth: 50 * units.MBPerSec, DatasetBytes: 200 * units.MB,
+	}
+	p, err := pr.Predict(cfg, ReductionComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per pass: 3 * (msg(10KB) + msg(1KB));
+	// msg(10KB) = 10240e-8 s + 1ms; msg(1KB) = 1024e-8 s + 1ms.
+	perPass := 3 * (102400*time.Nanosecond + time.Millisecond +
+		10240*time.Nanosecond + time.Millisecond)
+	wantRO := 5 * perPass
+	durClose(t, "Tro", p.Tro, wantRO)
+	durClose(t, "Tcompute", p.Tcompute, 50*time.Second+wantRO)
+}
+
+func TestPredictGlobalReductionLinearConstant(t *testing.T) {
+	pr := mustPredictor(t, AppModel{RO: ROConstant, Global: GlobalLinearConstant})
+	cfg := Config{
+		Cluster: "A", DataNodes: 2, ComputeNodes: 4,
+		Bandwidth: 50 * units.MBPerSec, DatasetBytes: 200 * units.MB,
+	}
+	p, err := pr.Predict(cfg, GlobalReduction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T̂g = 2s * (4/1) = 8s (linear in nodes, independent of dataset size).
+	durClose(t, "Tglobal", p.Tglobal, 8*time.Second)
+	// T'' = 100 - 0 - 2 = 98s; scaled = 2 * 1/4 * 98 = 49s.
+	want := 49*time.Second + p.Tro + 8*time.Second
+	durClose(t, "Tcompute", p.Tcompute, want)
+}
+
+func TestPredictGlobalReductionConstantLinear(t *testing.T) {
+	pr := mustPredictor(t, AppModel{RO: ROConstant, Global: GlobalConstantLinear})
+	cfg := Config{
+		Cluster: "A", DataNodes: 2, ComputeNodes: 4,
+		Bandwidth: 100 * units.MBPerSec, DatasetBytes: 200 * units.MB,
+	}
+	p, err := pr.Predict(cfg, GlobalReduction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T̂g = 2s * (200/100) = 4s (linear in dataset size, node-independent).
+	durClose(t, "Tglobal", p.Tglobal, 4*time.Second)
+}
+
+func TestPredictLinearROShrinksPerNode(t *testing.T) {
+	pr := mustPredictor(t, AppModel{RO: ROLinear})
+	// Same dataset, 4 compute nodes: per-node object is 1/4 the profiled
+	// size, so the gather is cheaper than under ROConstant.
+	cfg := Config{
+		Cluster: "A", DataNodes: 1, ComputeNodes: 4,
+		Bandwidth: 100 * units.MBPerSec, DatasetBytes: 100 * units.MB,
+	}
+	linear, err := pr.Predict(cfg, ReductionComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2 := mustPredictor(t, AppModel{RO: ROConstant})
+	constant, err := pr2.Predict(cfg, ReductionComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linear.Tro >= constant.Tro {
+		t.Fatalf("linear-RO Tro %v not below constant-RO %v", linear.Tro, constant.Tro)
+	}
+	// Doubling the dataset doubles the linear per-node object.
+	cfg2 := cfg
+	cfg2.DatasetBytes *= 2
+	bigger, err := pr.Predict(cfg2, ReductionComm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigger.Tro <= linear.Tro {
+		t.Fatalf("linear-RO Tro did not grow with dataset: %v vs %v", bigger.Tro, linear.Tro)
+	}
+}
+
+func TestPredictSingleComputeNodeHasNoRO(t *testing.T) {
+	pr := mustPredictor(t, AppModel{})
+	cfg := pr.Profile.Config
+	cfg.DatasetBytes *= 4
+	p, err := pr.Predict(cfg, GlobalReduction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tro != 0 {
+		t.Fatalf("Tro = %v on one compute node, want 0", p.Tro)
+	}
+}
+
+func TestPredictMissingCalibration(t *testing.T) {
+	pr, err := NewPredictor(baseProfile(), AppModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Cluster: "A", DataNodes: 1, ComputeNodes: 2,
+		Bandwidth: 100 * units.MBPerSec, DatasetBytes: 100 * units.MB,
+	}
+	if _, err := pr.Predict(cfg, ReductionComm); err == nil {
+		t.Fatal("prediction without link calibration succeeded")
+	}
+	// NoComm needs no calibration.
+	if _, err := pr.Predict(cfg, NoComm); err != nil {
+		t.Fatalf("NoComm prediction failed: %v", err)
+	}
+}
+
+func TestPredictCrossCluster(t *testing.T) {
+	pr := mustPredictor(t, AppModel{RO: ROConstant, Global: GlobalLinearConstant})
+	pr.Scalings["B"] = Scaling{Disk: 0.5, Network: 0.4, Compute: 0.3}
+	cfg := Config{
+		Cluster: "B", DataNodes: 1, ComputeNodes: 1,
+		Bandwidth: 100 * units.MBPerSec, DatasetBytes: 100 * units.MB,
+	}
+	p, err := pr.Predict(cfg, GlobalReduction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durClose(t, "Tdisk", p.Tdisk, 5*time.Second)
+	durClose(t, "Tnetwork", p.Tnetwork, 2*time.Second)
+	durClose(t, "Tcompute", p.Tcompute, 30*time.Second)
+	if p.Config.Cluster != "B" {
+		t.Fatalf("prediction config cluster = %q, want B", p.Config.Cluster)
+	}
+}
+
+func TestPredictCrossClusterMissingScaling(t *testing.T) {
+	pr := mustPredictor(t, AppModel{})
+	cfg := baseProfile().Config
+	cfg.Cluster = "unknown"
+	if _, err := pr.Predict(cfg, NoComm); err == nil {
+		t.Fatal("cross-cluster prediction without scaling factors succeeded")
+	}
+}
+
+func TestPredictRejectsBadConfigAndVariant(t *testing.T) {
+	pr := mustPredictor(t, AppModel{})
+	if _, err := pr.Predict(Config{}, NoComm); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := pr.Predict(baseProfile().Config, Variant(42)); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestNewPredictorRejectsBadProfile(t *testing.T) {
+	bad := baseProfile()
+	bad.Iterations = 0
+	if _, err := NewPredictor(bad, AppModel{}); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestVariantAndClassStrings(t *testing.T) {
+	if NoComm.String() != "no communication" ||
+		ReductionComm.String() != "reduction communication" ||
+		GlobalReduction.String() != "global reduction" {
+		t.Error("variant strings changed")
+	}
+	if !strings.Contains(Variant(9).String(), "9") {
+		t.Error("unknown variant string")
+	}
+	if ROConstant.String() != "constant" || ROLinear.String() != "linear" {
+		t.Error("RO class strings changed")
+	}
+	if GlobalLinearConstant.String() != "linear-constant" ||
+		GlobalConstantLinear.String() != "constant-linear" {
+		t.Error("global class strings changed")
+	}
+	if len(Variants()) != 3 {
+		t.Error("Variants() must list the paper's three curves")
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Warning flags a model assumption that the given profiles contradict.
+// The paper states its assumptions explicitly (retrieval linear in
+// dataset size, repository throughput scaling with storage nodes,
+// communication scaling with bandwidth); CheckAssumptions tests them
+// against measured profiles so a deployment knows when the simple model
+// stops being trustworthy.
+type Warning struct {
+	// Check names the assumption ("retrieval-linearity", ...).
+	Check string
+	// Detail explains the observed violation.
+	Detail string
+}
+
+func (w Warning) String() string { return w.Check + ": " + w.Detail }
+
+// assumptionTolerance is the relative deviation from the modeled scaling
+// beyond which a warning is raised.
+const assumptionTolerance = 0.20
+
+// CheckAssumptions tests the prediction model's scaling assumptions
+// against two or more profiles of the same application on the same
+// cluster. It returns one warning per violated assumption (empty when
+// everything scales as modeled) and an error when the profile set itself
+// is unusable.
+func CheckAssumptions(profiles []Profile) ([]Warning, error) {
+	if len(profiles) < 2 {
+		return nil, fmt.Errorf("core: assumption checks need at least two profiles")
+	}
+	app, cluster := profiles[0].App, profiles[0].Config.Cluster
+	for _, p := range profiles {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if p.App != app {
+			return nil, fmt.Errorf("core: assumption checks mix apps %q and %q", app, p.App)
+		}
+		if p.Config.Cluster != cluster {
+			return nil, fmt.Errorf("core: assumption checks mix clusters %q and %q", cluster, p.Config.Cluster)
+		}
+	}
+	var out []Warning
+	seen := map[string]bool{}
+	add := func(check, detail string) {
+		if !seen[check] {
+			seen[check] = true
+			out = append(out, Warning{Check: check, Detail: detail})
+		}
+	}
+	for i := 0; i < len(profiles); i++ {
+		for j := i + 1; j < len(profiles); j++ {
+			a, b := profiles[i], profiles[j]
+			ca, cb := a.Config, b.Config
+			switch {
+			// Same layout, different dataset size: t_d, t_n, t_c should all
+			// be linear in s ("we are assuming that retrieval time is
+			// linear to the size").
+			case ca.DataNodes == cb.DataNodes && ca.ComputeNodes == cb.ComputeNodes &&
+				ca.Bandwidth == cb.Bandwidth && ca.DatasetBytes != cb.DatasetBytes:
+				want := float64(cb.DatasetBytes) / float64(ca.DatasetBytes)
+				if dev := ratioDeviation(a.Tdisk.Seconds(), b.Tdisk.Seconds(), want); dev > assumptionTolerance {
+					add("retrieval-linearity", fmt.Sprintf(
+						"t_d scaled by %.2f when the dataset scaled by %.2f (%.0f%% off linear)",
+						safeRatio(b.Tdisk.Seconds(), a.Tdisk.Seconds()), want, 100*dev))
+				}
+				if dev := ratioDeviation(a.Tnetwork.Seconds(), b.Tnetwork.Seconds(), want); dev > assumptionTolerance {
+					add("network-linearity", fmt.Sprintf(
+						"t_n scaled by %.2f when the dataset scaled by %.2f (%.0f%% off linear)",
+						safeRatio(b.Tnetwork.Seconds(), a.Tnetwork.Seconds()), want, 100*dev))
+				}
+				if dev := ratioDeviation(a.Tcompute.Seconds(), b.Tcompute.Seconds(), want); dev > assumptionTolerance {
+					add("compute-linearity", fmt.Sprintf(
+						"t_c scaled by %.2f when the dataset scaled by %.2f (%.0f%% off linear)",
+						safeRatio(b.Tcompute.Seconds(), a.Tcompute.Seconds()), want, 100*dev))
+				}
+			// Same size/bandwidth, different storage nodes: t_d and t_n
+			// should scale with n ("we are assuming that the throughput
+			// increases as the number of storage nodes increases").
+			case ca.DatasetBytes == cb.DatasetBytes && ca.Bandwidth == cb.Bandwidth &&
+				ca.DataNodes != cb.DataNodes:
+				want := float64(ca.DataNodes) / float64(cb.DataNodes)
+				if dev := ratioDeviation(a.Tdisk.Seconds(), b.Tdisk.Seconds(), want); dev > assumptionTolerance {
+					add("storage-scaling", fmt.Sprintf(
+						"t_d scaled by %.2f from %d to %d storage nodes, want %.2f — "+
+							"repository throughput is not scaling; consider more conservative resource choices",
+						safeRatio(b.Tdisk.Seconds(), a.Tdisk.Seconds()), ca.DataNodes, cb.DataNodes, want))
+				}
+				if dev := ratioDeviation(a.Tnetwork.Seconds(), b.Tnetwork.Seconds(), want); dev > assumptionTolerance {
+					add("network-storage-scaling", fmt.Sprintf(
+						"t_n scaled by %.2f from %d to %d storage nodes, want %.2f — "+
+							"set Predictor.DropStorageScaling for this environment",
+						safeRatio(b.Tnetwork.Seconds(), a.Tnetwork.Seconds()), ca.DataNodes, cb.DataNodes, want))
+				}
+			// Same size/storage/bandwidth, different compute nodes: the
+			// parallelizable part of t_c should scale with c.
+			case ca.DatasetBytes == cb.DatasetBytes && ca.Bandwidth == cb.Bandwidth &&
+				ca.DataNodes == cb.DataNodes && ca.ComputeNodes != cb.ComputeNodes:
+				want := float64(ca.ComputeNodes) / float64(cb.ComputeNodes)
+				la := (a.Tcompute - a.Tro - a.Tglobal).Seconds()
+				lb := (b.Tcompute - b.Tro - b.Tglobal).Seconds()
+				if dev := ratioDeviation(la, lb, want); dev > assumptionTolerance {
+					add("compute-scaling", fmt.Sprintf(
+						"local reduction scaled by %.2f from %d to %d compute nodes, want %.2f — "+
+							"load imbalance or stragglers break the linear-speedup assumption",
+						safeRatio(lb, la), ca.ComputeNodes, cb.ComputeNodes, want))
+				}
+			// Same layout/size, different bandwidth: t_n should scale
+			// inversely with b.
+			case ca.DataNodes == cb.DataNodes && ca.ComputeNodes == cb.ComputeNodes &&
+				ca.DatasetBytes == cb.DatasetBytes && ca.Bandwidth != cb.Bandwidth:
+				want := float64(ca.Bandwidth) / float64(cb.Bandwidth)
+				if dev := ratioDeviation(a.Tnetwork.Seconds(), b.Tnetwork.Seconds(), want); dev > assumptionTolerance {
+					add("bandwidth-scaling", fmt.Sprintf(
+						"t_n scaled by %.2f when bandwidth changed by %.2fx, want %.2f — "+
+							"the path may be latency-bound or shared",
+						safeRatio(b.Tnetwork.Seconds(), a.Tnetwork.Seconds()), 1/want, want))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ratioDeviation reports |observed/want − 1| for the ratio b/a, or 0 when
+// a carries no signal.
+func ratioDeviation(a, b, want float64) float64 {
+	if a <= 0 || want <= 0 {
+		return 0
+	}
+	return math.Abs(b/a/want - 1)
+}
+
+func safeRatio(b, a float64) float64 {
+	if a == 0 {
+		return math.Inf(1)
+	}
+	return b / a
+}

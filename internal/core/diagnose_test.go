@@ -1,0 +1,132 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"freerideg/internal/units"
+)
+
+// scaledProfile builds a profile whose components follow the model exactly
+// for the given configuration changes.
+func scaledProfile(n int, s units.Bytes, b units.Rate, td, tn, tc time.Duration) Profile {
+	p := baseProfile()
+	p.Config.DataNodes = n
+	p.Config.ComputeNodes = 16
+	p.Config.DatasetBytes = s
+	p.Config.Bandwidth = b
+	p.Tdisk, p.Tnetwork, p.Tcompute = td, tn, tc
+	p.Tro, p.Tglobal = 0, 0
+	return p
+}
+
+func TestCheckAssumptionsCleanWhenModelHolds(t *testing.T) {
+	base := scaledProfile(1, 100*units.MB, 100*units.MBPerSec, 10*time.Second, 5*time.Second, 100*time.Second)
+	// 2x dataset: everything doubles. 2 storage nodes: t_d, t_n halve.
+	bigger := scaledProfile(1, 200*units.MB, 100*units.MBPerSec, 20*time.Second, 10*time.Second, 200*time.Second)
+	wider := scaledProfile(2, 100*units.MB, 100*units.MBPerSec, 5*time.Second, 2500*time.Millisecond, 100*time.Second)
+	warnings, err := CheckAssumptions([]Profile{base, bigger, wider})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("clean profiles produced warnings: %v", warnings)
+	}
+}
+
+func TestCheckAssumptionsFlagsNonLinearRetrieval(t *testing.T) {
+	base := scaledProfile(1, 100*units.MB, 100*units.MBPerSec, 10*time.Second, 5*time.Second, 100*time.Second)
+	// 2x dataset but retrieval tripled: super-linear (thrashing).
+	thrash := scaledProfile(1, 200*units.MB, 100*units.MBPerSec, 30*time.Second, 10*time.Second, 200*time.Second)
+	warnings, err := CheckAssumptions([]Profile{base, thrash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 1 || warnings[0].Check != "retrieval-linearity" {
+		t.Fatalf("warnings = %v, want one retrieval-linearity", warnings)
+	}
+	if !strings.Contains(warnings[0].String(), "t_d scaled") {
+		t.Errorf("warning text uninformative: %s", warnings[0])
+	}
+}
+
+func TestCheckAssumptionsFlagsNonScalingRepository(t *testing.T) {
+	base := scaledProfile(1, 100*units.MB, 100*units.MBPerSec, 10*time.Second, 5*time.Second, 100*time.Second)
+	// 4 storage nodes but retrieval and network barely improve.
+	stuck := scaledProfile(4, 100*units.MB, 100*units.MBPerSec, 9*time.Second, 4800*time.Millisecond, 100*time.Second)
+	warnings, err := CheckAssumptions([]Profile{base, stuck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]bool{}
+	for _, w := range warnings {
+		checks[w.Check] = true
+	}
+	if !checks["storage-scaling"] || !checks["network-storage-scaling"] {
+		t.Fatalf("warnings = %v, want storage-scaling and network-storage-scaling", warnings)
+	}
+	// The network warning points at the paper's own remedy.
+	for _, w := range warnings {
+		if w.Check == "network-storage-scaling" && !strings.Contains(w.Detail, "DropStorageScaling") {
+			t.Errorf("network warning does not suggest DropStorageScaling: %s", w.Detail)
+		}
+	}
+}
+
+func TestCheckAssumptionsFlagsLatencyBoundPath(t *testing.T) {
+	base := scaledProfile(1, 100*units.MB, 100*units.MBPerSec, 10*time.Second, 5*time.Second, 100*time.Second)
+	half := scaledProfile(1, 100*units.MB, 50*units.MBPerSec, 10*time.Second, 6*time.Second, 100*time.Second)
+	warnings, err := CheckAssumptions([]Profile{base, half})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 1 || warnings[0].Check != "bandwidth-scaling" {
+		t.Fatalf("warnings = %v, want one bandwidth-scaling", warnings)
+	}
+}
+
+func TestCheckAssumptionsDeduplicates(t *testing.T) {
+	// Three sizes with the same super-linear retrieval defect: one
+	// warning, not three.
+	ps := []Profile{
+		scaledProfile(1, 100*units.MB, 100*units.MBPerSec, 10*time.Second, 5*time.Second, 100*time.Second),
+		scaledProfile(1, 200*units.MB, 100*units.MBPerSec, 40*time.Second, 10*time.Second, 200*time.Second),
+		scaledProfile(1, 400*units.MB, 100*units.MBPerSec, 160*time.Second, 20*time.Second, 400*time.Second),
+	}
+	warnings, err := CheckAssumptions(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, w := range warnings {
+		if w.Check == "retrieval-linearity" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("%d retrieval warnings, want 1 (deduplicated): %v", count, warnings)
+	}
+}
+
+func TestCheckAssumptionsInputErrors(t *testing.T) {
+	one := []Profile{baseProfile()}
+	if _, err := CheckAssumptions(one); err == nil {
+		t.Error("single profile accepted")
+	}
+	mixedApp := []Profile{baseProfile(), baseProfile()}
+	mixedApp[1].App = "other"
+	if _, err := CheckAssumptions(mixedApp); err == nil {
+		t.Error("mixed apps accepted")
+	}
+	mixedCluster := []Profile{baseProfile(), baseProfile()}
+	mixedCluster[1].Config.Cluster = "B"
+	if _, err := CheckAssumptions(mixedCluster); err == nil {
+		t.Error("mixed clusters accepted")
+	}
+	invalid := []Profile{baseProfile(), baseProfile()}
+	invalid[1].Iterations = 0
+	if _, err := CheckAssumptions(invalid); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}

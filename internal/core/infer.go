@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// inferTolerance is the maximum relative mismatch accepted when deciding
+// which scaling class a pair of profiles follows.
+const inferTolerance = 0.25
+
+// discriminability is the minimum separation between the two classes'
+// expected ratios for a profile pair to be informative.
+const discriminability = 0.10
+
+// InferROClass determines an application's reduction-object size class
+// from two or more profile runs with different dataset sizes and/or
+// compute-node counts (Section 3.3.1: "by looking at reduction object
+// size from two or more profile runs ... we can obtain this information").
+func InferROClass(profiles []Profile) (ROSizeClass, error) {
+	pairs, err := informativePairs(profiles)
+	if err != nil {
+		return 0, err
+	}
+	votesConst, votesLinear := 0, 0
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		observed := float64(b.ROBytesPerNode) / float64(a.ROBytesPerNode)
+		expectConst := 1.0
+		expectLinear := (float64(b.Config.DatasetBytes) / float64(a.Config.DatasetBytes)) *
+			(float64(a.Config.ComputeNodes) / float64(b.Config.ComputeNodes))
+		if relDiff(expectConst, expectLinear) < discriminability {
+			continue // this pair cannot tell the classes apart
+		}
+		dc := relDiff(observed, expectConst)
+		dl := relDiff(observed, expectLinear)
+		switch {
+		case dc < dl && dc < inferTolerance:
+			votesConst++
+		case dl < dc && dl < inferTolerance:
+			votesLinear++
+		}
+	}
+	return pickClass(votesConst, votesLinear, "reduction object size")
+}
+
+// InferGlobalClass determines an application's global-reduction time class
+// from two or more profile runs (Section 3.3.2).
+func InferGlobalClass(profiles []Profile) (GlobalClass, error) {
+	pairs, err := informativePairs(profiles)
+	if err != nil {
+		return 0, err
+	}
+	votesLC, votesCL := 0, 0
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		if a.Tglobal <= 0 {
+			continue
+		}
+		observed := b.Tglobal.Seconds() / a.Tglobal.Seconds()
+		expectLC := float64(b.Config.ComputeNodes) / float64(a.Config.ComputeNodes)
+		expectCL := float64(b.Config.DatasetBytes) / float64(a.Config.DatasetBytes)
+		if relDiff(expectLC, expectCL) < discriminability {
+			continue
+		}
+		dlc := relDiff(observed, expectLC)
+		dcl := relDiff(observed, expectCL)
+		switch {
+		case dlc < dcl && dlc < inferTolerance:
+			votesLC++
+		case dcl < dlc && dcl < inferTolerance:
+			votesCL++
+		}
+	}
+	cls, err := pickClass(votesLC, votesCL, "global reduction time")
+	return GlobalClass(cls), err
+}
+
+// InferModel infers both scaling classes at once.
+func InferModel(profiles []Profile) (AppModel, error) {
+	ro, err := InferROClass(profiles)
+	if err != nil {
+		return AppModel{}, err
+	}
+	g, err := InferGlobalClass(profiles)
+	if err != nil {
+		return AppModel{}, err
+	}
+	return AppModel{RO: ro, Global: GlobalClass(g)}, nil
+}
+
+// informativePairs validates the profile set and returns all ordered
+// pairs whose configurations differ in dataset size or compute nodes.
+func informativePairs(profiles []Profile) ([][2]Profile, error) {
+	if len(profiles) < 2 {
+		return nil, errors.New("core: class inference needs at least two profiles")
+	}
+	app := profiles[0].App
+	for _, p := range profiles {
+		if p.App != app {
+			return nil, fmt.Errorf("core: class inference mixes apps %q and %q", app, p.App)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	var pairs [][2]Profile
+	for i := 0; i < len(profiles); i++ {
+		for j := i + 1; j < len(profiles); j++ {
+			a, b := profiles[i], profiles[j]
+			if a.Config.DatasetBytes != b.Config.DatasetBytes ||
+				a.Config.ComputeNodes != b.Config.ComputeNodes {
+				pairs = append(pairs, [2]Profile{a, b})
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, errors.New("core: profiles do not vary dataset size or compute nodes")
+	}
+	return pairs, nil
+}
+
+func pickClass(votesA, votesB int, what string) (ROSizeClass, error) {
+	switch {
+	case votesA > votesB:
+		return ROSizeClass(0), nil
+	case votesB > votesA:
+		return ROSizeClass(1), nil
+	default:
+		return 0, fmt.Errorf("core: %s class is ambiguous from the given profiles (%d vs %d votes)",
+			what, votesA, votesB)
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"freerideg/internal/units"
+)
+
+// profileWith builds a profile with the given compute nodes, dataset size,
+// per-node RO bytes and global reduction time.
+func profileWith(c int, s units.Bytes, ro units.Bytes, tg time.Duration) Profile {
+	p := baseProfile()
+	p.Config.ComputeNodes = c
+	p.Config.DatasetBytes = s
+	p.ROBytesPerNode = ro
+	p.Tglobal = tg
+	return p
+}
+
+func TestInferROClassConstant(t *testing.T) {
+	// Same RO size despite 4x nodes at fixed dataset size: constant.
+	// (A pair that scaled dataset and nodes together would be skipped as
+	// indiscriminable — see TestInferROClassAmbiguousPair.)
+	ps := []Profile{
+		profileWith(1, 100*units.MB, 10*units.KB, time.Second),
+		profileWith(4, 100*units.MB, 10*units.KB, 4*time.Second),
+	}
+	got, err := InferROClass(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ROConstant {
+		t.Fatalf("InferROClass = %v, want constant", got)
+	}
+}
+
+func TestInferROClassLinear(t *testing.T) {
+	// 4x dataset on the same node count: per-node RO grows 4x.
+	ps := []Profile{
+		profileWith(1, 100*units.MB, 10*units.KB, time.Second),
+		profileWith(1, 400*units.MB, 40*units.KB, 4*time.Second),
+	}
+	got, err := InferROClass(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ROLinear {
+		t.Fatalf("InferROClass = %v, want linear", got)
+	}
+}
+
+func TestInferROClassAmbiguousPair(t *testing.T) {
+	// 2x dataset AND 2x nodes leaves the linear per-node size unchanged —
+	// the pair cannot discriminate, so inference must fail rather than
+	// guess.
+	ps := []Profile{
+		profileWith(1, 100*units.MB, 10*units.KB, time.Second),
+		profileWith(2, 200*units.MB, 10*units.KB, time.Second),
+	}
+	if _, err := InferROClass(ps); err == nil {
+		t.Fatal("indiscriminable pair did not error")
+	}
+}
+
+func TestInferGlobalClassLinearConstant(t *testing.T) {
+	// Tg quadruples with 4x nodes at fixed dataset size.
+	ps := []Profile{
+		profileWith(1, 100*units.MB, 10*units.KB, time.Second),
+		profileWith(4, 100*units.MB, 10*units.KB, 4*time.Second),
+	}
+	got, err := InferGlobalClass(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != GlobalLinearConstant {
+		t.Fatalf("InferGlobalClass = %v, want linear-constant", got)
+	}
+}
+
+func TestInferGlobalClassConstantLinear(t *testing.T) {
+	// Tg doubles with 2x dataset at fixed nodes... and stays put with 4x
+	// nodes.
+	ps := []Profile{
+		profileWith(1, 100*units.MB, 10*units.KB, time.Second),
+		profileWith(1, 200*units.MB, 20*units.KB, 2*time.Second),
+		profileWith(4, 100*units.MB, 3*units.KB, time.Second),
+	}
+	got, err := InferGlobalClass(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != GlobalConstantLinear {
+		t.Fatalf("InferGlobalClass = %v, want constant-linear", got)
+	}
+}
+
+func TestInferModelCombined(t *testing.T) {
+	ps := []Profile{
+		profileWith(1, 100*units.MB, 10*units.KB, time.Second),
+		profileWith(4, 100*units.MB, 2560, 4*time.Second), // RO/4, Tg*4
+	}
+	m, err := InferModel(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RO != ROLinear || m.Global != GlobalLinearConstant {
+		t.Fatalf("InferModel = %+v", m)
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	one := []Profile{profileWith(1, 100*units.MB, 10*units.KB, time.Second)}
+	if _, err := InferROClass(one); err == nil {
+		t.Error("single profile accepted")
+	}
+	mixed := []Profile{
+		profileWith(1, 100*units.MB, 10*units.KB, time.Second),
+		profileWith(2, 100*units.MB, 10*units.KB, time.Second),
+	}
+	mixed[1].App = "other"
+	if _, err := InferROClass(mixed); err == nil {
+		t.Error("mixed-app profiles accepted")
+	}
+	identical := []Profile{
+		profileWith(2, 100*units.MB, 10*units.KB, time.Second),
+		profileWith(2, 100*units.MB, 10*units.KB, time.Second),
+	}
+	if _, err := InferROClass(identical); err == nil {
+		t.Error("identical configs accepted")
+	}
+	invalid := []Profile{
+		profileWith(1, 100*units.MB, 10*units.KB, time.Second),
+		profileWith(2, 100*units.MB, 10*units.KB, time.Second),
+	}
+	invalid[1].Iterations = 0
+	if _, err := InferROClass(invalid); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}

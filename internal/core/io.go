@@ -1,0 +1,106 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ProfileStore is the JSON document exchanged between profiling runs and
+// prediction sessions: a set of profiles plus the calibrations and scaling
+// factors needed to use them.
+type ProfileStore struct {
+	Profiles []Profile                  `json:"profiles"`
+	Links    map[string]LinkCalibration `json:"links,omitempty"`
+	Scalings map[string]Scaling         `json:"scalings,omitempty"`
+}
+
+// Validate checks every profile in the store.
+func (s ProfileStore) Validate() error {
+	if len(s.Profiles) == 0 {
+		return fmt.Errorf("core: profile store is empty")
+	}
+	for i, p := range s.Profiles {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("core: profile %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Find returns the store's profile for an application, preferring the
+// first match.
+func (s ProfileStore) Find(app string) (Profile, bool) {
+	for _, p := range s.Profiles {
+		if p.App == app {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// WriteStore writes a profile store as indented JSON.
+func WriteStore(w io.Writer, s ProfileStore) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadStore parses and validates a profile store.
+func ReadStore(r io.Reader) (ProfileStore, error) {
+	var s ProfileStore
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return ProfileStore{}, fmt.Errorf("core: decoding profile store: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return ProfileStore{}, err
+	}
+	return s, nil
+}
+
+// SaveStore writes a profile store to a file.
+func SaveStore(path string, s ProfileStore) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteStore(f, s); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadStore reads a profile store from a file.
+func LoadStore(path string) (ProfileStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ProfileStore{}, err
+	}
+	defer f.Close()
+	return ReadStore(f)
+}
+
+// NewPredictorFromStore builds a predictor for one application from a
+// store, wiring in its calibrations and scaling factors.
+func NewPredictorFromStore(s ProfileStore, app string, m AppModel) (*Predictor, error) {
+	p, ok := s.Find(app)
+	if !ok {
+		return nil, fmt.Errorf("core: store has no profile for %q", app)
+	}
+	pred, err := NewPredictor(p, m)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range s.Links {
+		pred.Links[k] = v
+	}
+	for k, v := range s.Scalings {
+		pred.Scalings[k] = v
+	}
+	return pred, nil
+}

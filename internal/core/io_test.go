@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleStore() ProfileStore {
+	return ProfileStore{
+		Profiles: []Profile{baseProfile()},
+		Links: map[string]LinkCalibration{
+			"A": {W: 1e-8, L: 12 * time.Millisecond},
+		},
+		Scalings: map[string]Scaling{
+			"B": {Disk: 0.4, Network: 0.9, Compute: 0.3},
+		},
+	}
+}
+
+func TestStoreWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteStore(&buf, sampleStore()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Profiles) != 1 || back.Profiles[0] != sampleStore().Profiles[0] {
+		t.Fatalf("profiles changed: %+v", back.Profiles)
+	}
+	if back.Links["A"].L != 12*time.Millisecond {
+		t.Fatalf("links changed: %+v", back.Links)
+	}
+	if back.Scalings["B"].Compute != 0.3 {
+		t.Fatalf("scalings changed: %+v", back.Scalings)
+	}
+}
+
+func TestStoreFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profiles.json")
+	if err := SaveStore(path, sampleStore()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back.Find("toy"); !ok {
+		t.Fatal("saved profile not found after load")
+	}
+	if _, ok := back.Find("nope"); ok {
+		t.Fatal("Find matched a missing app")
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	if err := WriteStore(&bytes.Buffer{}, ProfileStore{}); err == nil {
+		t.Error("empty store written")
+	}
+	bad := sampleStore()
+	bad.Profiles[0].Iterations = 0
+	if err := WriteStore(&bytes.Buffer{}, bad); err == nil {
+		t.Error("invalid profile written")
+	}
+	if _, err := ReadStore(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON read")
+	}
+	if _, err := ReadStore(strings.NewReader(`{"profiles":[]}`)); err == nil {
+		t.Error("empty profile list read")
+	}
+	if _, err := LoadStore(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestNewPredictorFromStore(t *testing.T) {
+	s := sampleStore()
+	pred, err := NewPredictorFromStore(s, "toy", AppModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pred.Links["A"]; !ok {
+		t.Error("link calibration not wired")
+	}
+	if _, ok := pred.Scalings["B"]; !ok {
+		t.Error("scaling factors not wired")
+	}
+	// Cross-cluster prediction works straight from the store.
+	cfg := s.Profiles[0].Config
+	cfg.Cluster = "B"
+	if _, err := pred.Predict(cfg, GlobalReduction); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPredictorFromStore(s, "missing", AppModel{}); err == nil {
+		t.Error("missing app predictor built")
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"freerideg/internal/units"
+)
+
+// LinkCalibration is the experimentally determined bandwidth and latency
+// of a cluster's interprocessor interconnect: communicating an object of
+// r bytes costs w*r + l (Section 3.3.1).
+type LinkCalibration struct {
+	// W is the per-byte cost in seconds.
+	W float64 `json:"w"`
+	// L is the per-message latency.
+	L time.Duration `json:"l"`
+}
+
+// MessageTime reports the modeled one-message cost for r bytes.
+func (c LinkCalibration) MessageTime(r units.Bytes) time.Duration {
+	return units.Seconds(c.W*float64(r)) + c.L
+}
+
+// Scaling holds the component-wise scaling factors between two clusters
+// (Section 3.4): predicted time on cluster B = s_d*T_disk,A +
+// s_n*T_network,A + s_c*T_compute,A.
+type Scaling struct {
+	Disk    float64 `json:"disk"`
+	Network float64 `json:"network"`
+	Compute float64 `json:"compute"`
+}
+
+// Predictor scales one application profile to other configurations.
+type Predictor struct {
+	// Profile is the base profile all predictions start from.
+	Profile Profile
+	// Model supplies the application's reduction-object size and global
+	// reduction scaling classes.
+	Model AppModel
+	// Links maps cluster name to interconnect calibration; required for
+	// the ReductionComm and GlobalReduction variants.
+	Links map[string]LinkCalibration
+	// Scalings maps a target cluster name to the scaling factors from the
+	// profile's cluster; required for cross-cluster predictions.
+	Scalings map[string]Scaling
+	// DropStorageScaling removes the n/n̂ term from the network predictor,
+	// for environments where throughput does not grow with storage nodes
+	// (the paper notes this option; also used by the ablation bench).
+	DropStorageScaling bool
+}
+
+// NewPredictor returns a predictor over a validated profile.
+func NewPredictor(p Profile, m AppModel) (*Predictor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Predictor{
+		Profile:  p,
+		Model:    m,
+		Links:    make(map[string]LinkCalibration),
+		Scalings: make(map[string]Scaling),
+	}, nil
+}
+
+// Predict estimates the execution time of the profiled application on cfg
+// using the given predictor variant.
+func (pr *Predictor) Predict(cfg Config, v Variant) (Prediction, error) {
+	if err := cfg.Validate(); err != nil {
+		return Prediction{}, err
+	}
+	base := pr.Profile.Config
+	if cfg.Cluster == base.Cluster {
+		return pr.predictSameCluster(cfg, v)
+	}
+	// Cross-cluster (Section 3.4): predict the identical configuration on
+	// the profile's cluster, then scale each component.
+	scale, ok := pr.Scalings[cfg.Cluster]
+	if !ok {
+		return Prediction{}, fmt.Errorf("core: no scaling factors from %q to %q", base.Cluster, cfg.Cluster)
+	}
+	if scale.Disk <= 0 || scale.Network <= 0 || scale.Compute <= 0 {
+		return Prediction{}, fmt.Errorf("core: non-positive scaling factors to %q", cfg.Cluster)
+	}
+	onA := cfg
+	onA.Cluster = base.Cluster
+	p, err := pr.predictSameCluster(onA, v)
+	if err != nil {
+		return Prediction{}, err
+	}
+	p.Config = cfg
+	p.Tdisk = scaleDur(p.Tdisk, scale.Disk)
+	p.Tnetwork = scaleDur(p.Tnetwork, scale.Network)
+	p.Tcompute = scaleDur(p.Tcompute, scale.Compute)
+	p.Tro = scaleDur(p.Tro, scale.Compute)
+	p.Tglobal = scaleDur(p.Tglobal, scale.Compute)
+	return p, nil
+}
+
+func (pr *Predictor) predictSameCluster(cfg Config, v Variant) (Prediction, error) {
+	base := pr.Profile.Config
+	sRatio := float64(cfg.DatasetBytes) / float64(base.DatasetBytes)
+	nRatio := float64(base.DataNodes) / float64(cfg.DataNodes)
+	bRatio := float64(base.Bandwidth) / float64(cfg.Bandwidth)
+	cRatio := float64(base.ComputeNodes) / float64(cfg.ComputeNodes)
+
+	p := Prediction{Config: cfg, Variant: v}
+	// T̂_disk = (ŝ/s) * (n/n̂) * t_d  (Section 3.2). When the profile ran
+	// with disk (rather than memory) caching, the cached-pass re-reads
+	// happen on the compute nodes and scale with ĉ, not n̂ — an extension
+	// beyond the paper's memory-caching assumption.
+	firstPass := pr.Profile.Tdisk - pr.Profile.TdiskCached
+	p.Tdisk = scaleDur(firstPass, sRatio*nRatio) + scaleDur(pr.Profile.TdiskCached, sRatio*cRatio)
+	// T̂_network = (ŝ/s) * (n/n̂) * (b/b̂) * t_n.
+	netScale := sRatio * bRatio
+	if !pr.DropStorageScaling {
+		netScale *= nRatio
+	}
+	p.Tnetwork = scaleDur(pr.Profile.Tnetwork, netScale)
+
+	switch v {
+	case NoComm:
+		// T̂_compute = (ŝ/s) * (c/ĉ) * t_c  (Section 3.3).
+		p.Tcompute = scaleDur(pr.Profile.Tcompute, sRatio*cRatio)
+	case ReductionComm:
+		// T' = t_c − T_ro; scale T', then add the modeled T̂_ro.
+		tro, err := pr.roTime(cfg, sRatio, cRatio)
+		if err != nil {
+			return Prediction{}, err
+		}
+		tPrime := pr.Profile.Tcompute - pr.Profile.Tro
+		p.Tro = tro
+		p.Tcompute = scaleDur(tPrime, sRatio*cRatio) + tro
+	case GlobalReduction:
+		// T'' = t_c − T_ro − T_g; scale T'', add T̂_ro and T̂_g.
+		tro, err := pr.roTime(cfg, sRatio, cRatio)
+		if err != nil {
+			return Prediction{}, err
+		}
+		tg := pr.globalTime(cfg, sRatio)
+		tDoublePrime := pr.Profile.Tcompute - pr.Profile.Tro - pr.Profile.Tglobal
+		p.Tro = tro
+		p.Tglobal = tg
+		p.Tcompute = scaleDur(tDoublePrime, sRatio*cRatio) + tro + tg
+	default:
+		return Prediction{}, fmt.Errorf("core: unknown predictor variant %v", v)
+	}
+	return p, nil
+}
+
+// roTime models the per-run reduction-object communication time: in every
+// pass the master serially receives ĉ−1 objects of the estimated per-node
+// size r̂ and re-broadcasts the (constant-size) result, each message
+// costing w*bytes + l on the target cluster's interconnect.
+func (pr *Predictor) roTime(cfg Config, sRatio, cRatio float64) (time.Duration, error) {
+	if cfg.ComputeNodes <= 1 {
+		return 0, nil
+	}
+	cal, ok := pr.Links[cfg.Cluster]
+	if !ok {
+		return 0, fmt.Errorf("core: no link calibration for cluster %q", cfg.Cluster)
+	}
+	ro := pr.estimateROBytes(sRatio, cRatio)
+	perPass := time.Duration(cfg.ComputeNodes-1) *
+		(cal.MessageTime(ro) + cal.MessageTime(pr.Profile.BroadcastBytes))
+	return time.Duration(pr.Profile.Iterations) * perPass, nil
+}
+
+// estimateROBytes estimates the per-node reduction object size on the
+// target configuration from the profiled size (Section 3.3.1).
+func (pr *Predictor) estimateROBytes(sRatio, cRatio float64) units.Bytes {
+	switch pr.Model.RO {
+	case ROLinear:
+		// Per-node share of a dataset-proportional object.
+		return units.Bytes(float64(pr.Profile.ROBytesPerNode) * sRatio * cRatio)
+	default: // ROConstant
+		return pr.Profile.ROBytesPerNode
+	}
+}
+
+// globalTime estimates the global reduction time on the target
+// configuration (Section 3.3.2).
+func (pr *Predictor) globalTime(cfg Config, sRatio float64) time.Duration {
+	base := pr.Profile.Config
+	switch pr.Model.Global {
+	case GlobalConstantLinear:
+		return scaleDur(pr.Profile.Tglobal, sRatio)
+	default: // GlobalLinearConstant
+		return scaleDur(pr.Profile.Tglobal, float64(cfg.ComputeNodes)/float64(base.ComputeNodes))
+	}
+}
+
+func scaleDur(d time.Duration, f float64) time.Duration {
+	return units.Seconds(d.Seconds() * f)
+}

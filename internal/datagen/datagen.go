@@ -1,0 +1,386 @@
+// Package datagen produces the synthetic datasets the five applications
+// mine. Every chunk of a dataset is generated independently and
+// deterministically from (dataset seed, chunk index), so any storage node,
+// compute node, or test can materialize exactly the same bytes without a
+// central copy — the repository never has to hold gigabytes on disk.
+//
+// Three kinds are provided, matching the paper's workloads:
+//
+//   - "points":  d-dimensional points drawn from a Gaussian mixture
+//     (k-means, EM, kNN);
+//   - "field":   a 2-D fluid velocity field with embedded Rankine-style
+//     vortices (vortex detection);
+//   - "lattice": a cubic Si-like lattice with thermal noise and injected
+//     defect clusters (molecular defect detection).
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"freerideg/internal/adr"
+)
+
+// Generator materializes chunk payloads for one dataset kind.
+type Generator interface {
+	// FieldsPerElem reports how many float64 values one element carries.
+	FieldsPerElem(spec adr.DatasetSpec) int
+	// ChunkValues returns the chunk payload as a flat, element-major
+	// []float64 of length c.Elems * FieldsPerElem.
+	ChunkValues(spec adr.DatasetSpec, c adr.Chunk) []float64
+}
+
+// RangeGenerator is a Generator that can materialize arbitrary element
+// ranges, not just whole chunks. Analytic generators (the field) support
+// it; stream-seeded generators do not.
+type RangeGenerator interface {
+	Generator
+	// RangeValues returns elements [from, to) as a flat []float64.
+	RangeValues(spec adr.DatasetSpec, from, to int64) []float64
+}
+
+// HaloFor materializes the overlap ranges around a chunk for kernels that
+// request overlapping partitions. Halos are clipped at the dataset edges.
+// It returns an error when the dataset kind cannot generate ranges.
+func HaloFor(gen Generator, spec adr.DatasetSpec, c adr.Chunk, overlap int64) (before, after []float64, err error) {
+	if overlap <= 0 {
+		return nil, nil, nil
+	}
+	rg, ok := gen.(RangeGenerator)
+	if !ok {
+		return nil, nil, fmt.Errorf("datagen: kind %q cannot generate overlap ranges", spec.Kind)
+	}
+	base := GlobalBase(spec, c)
+	end := base + c.Elems
+	total := spec.Elems()
+	from := base - overlap
+	if from < 0 {
+		from = 0
+	}
+	to := end + overlap
+	if to > total {
+		to = total
+	}
+	if from < base {
+		before = rg.RangeValues(spec, from, base)
+	}
+	if to > end {
+		after = rg.RangeValues(spec, end, to)
+	}
+	return before, after, nil
+}
+
+// For selects the generator for a dataset kind.
+func For(kind string) (Generator, error) {
+	switch kind {
+	case "points":
+		return Points{}, nil
+	case "field":
+		return Field{}, nil
+	case "lattice":
+		return Lattice{}, nil
+	case "transactions":
+		return Transactions{}, nil
+	}
+	return nil, fmt.Errorf("datagen: unknown dataset kind %q", kind)
+}
+
+// mix derives a per-chunk RNG seed from the dataset seed and chunk index
+// (splitmix64 finalizer).
+func mix(seed int64, idx int) int64 {
+	z := uint64(seed) + uint64(idx)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+func chunkRNG(spec adr.DatasetSpec, idx int) *rand.Rand {
+	return rand.New(rand.NewSource(mix(spec.Seed, idx)))
+}
+
+// elemsPerFullChunk reports how many elements a non-final chunk holds.
+func elemsPerFullChunk(spec adr.DatasetSpec) int64 {
+	return int64(spec.ChunkBytes / spec.ElemBytes)
+}
+
+// GlobalBase reports the dataset-wide index of a chunk's first element.
+func GlobalBase(spec adr.DatasetSpec, c adr.Chunk) int64 {
+	return int64(c.Index) * elemsPerFullChunk(spec)
+}
+
+// ----------------------------------------------------------------------
+// Points: Gaussian mixture in d dimensions.
+
+// Points generates clustering data: each element is a d-dimensional point
+// drawn from one of MixtureComponents Gaussian components.
+type Points struct{}
+
+// MixtureComponents is the number of Gaussian components in every points
+// dataset. Clustering apps may look for a different k; the ground truth
+// is fixed so tests can check recovery.
+const MixtureComponents = 8
+
+// MixtureSigma is the per-axis standard deviation of each component.
+const MixtureSigma = 2.0
+
+// FieldsPerElem returns the point dimensionality.
+func (Points) FieldsPerElem(spec adr.DatasetSpec) int { return spec.Dims }
+
+// Centers returns the ground-truth component centers for a dataset.
+func (Points) Centers(spec adr.DatasetSpec) [][]float64 {
+	rng := rand.New(rand.NewSource(mix(spec.Seed, -1)))
+	centers := make([][]float64, MixtureComponents)
+	for g := range centers {
+		c := make([]float64, spec.Dims)
+		for j := range c {
+			c[j] = rng.Float64() * 100
+		}
+		centers[g] = c
+	}
+	return centers
+}
+
+// ChunkValues draws the chunk's points from the mixture.
+func (p Points) ChunkValues(spec adr.DatasetSpec, c adr.Chunk) []float64 {
+	rng := chunkRNG(spec, c.Index)
+	centers := p.Centers(spec)
+	d := spec.Dims
+	out := make([]float64, c.Elems*int64(d))
+	for e := int64(0); e < c.Elems; e++ {
+		g := rng.Intn(MixtureComponents)
+		base := e * int64(d)
+		for j := 0; j < d; j++ {
+			out[base+int64(j)] = centers[g][j] + rng.NormFloat64()*MixtureSigma
+		}
+	}
+	return out
+}
+
+// ----------------------------------------------------------------------
+// Field: 2-D velocity field with embedded vortices.
+
+// Field generates CFD-like data: the dataset is a 2-D grid of velocity
+// vectors (u, v), row-major, FieldWidth cells per row. A background shear
+// flow is perturbed by Taylor-profile vortices placed deterministically,
+// one per VortexRowPeriod rows. The Taylor profile
+//
+//	v_θ(d) = V · (d/r) · exp((1 − (d/r)²)/2)
+//
+// has vorticity ω(0) = 2e^½·V/r concentrated in the core and a weak
+// opposite-sign annulus peaking at |ω| ≈ 0.45·V/r, so a detection
+// threshold between the two bands marks exactly one connected disc per
+// vortex.
+type Field struct{}
+
+// FieldWidth is the number of grid columns in every field dataset.
+const FieldWidth = 256
+
+// VortexRowPeriod controls vortex density: one vortex is injected per this
+// many grid rows, so the feature count grows linearly with dataset size.
+const VortexRowPeriod = 96
+
+// FieldsPerElem returns 2 (u and v velocity components).
+func (Field) FieldsPerElem(adr.DatasetSpec) int { return 2 }
+
+// VortexTruth is the ground-truth description of one injected vortex.
+type VortexTruth struct {
+	Row, Col float64 // center
+	Radius   float64
+	Strength float64 // peak tangential speed; sign gives rotation sense
+}
+
+// Rows reports the number of grid rows the dataset holds.
+func (Field) Rows(spec adr.DatasetSpec) int64 {
+	return spec.Elems() / FieldWidth
+}
+
+// Vortices returns the ground-truth vortices of a dataset.
+func (f Field) Vortices(spec adr.DatasetSpec) []VortexTruth {
+	rows := f.Rows(spec)
+	n := int(rows / VortexRowPeriod)
+	rng := rand.New(rand.NewSource(mix(spec.Seed, -2)))
+	out := make([]VortexTruth, n)
+	for i := range out {
+		band := float64(i) * VortexRowPeriod
+		// Radius 6..9 and strength 1.5..2.5 keep every vortex's core
+		// vorticity (≥ 2e^½·1.5/9 ≈ 0.55) well above the annulus band
+		// (≤ 0.45·2.5/6 ≈ 0.19) so one global threshold separates them.
+		out[i] = VortexTruth{
+			Row:      band + 16 + rng.Float64()*(VortexRowPeriod-32),
+			Col:      20 + rng.Float64()*(FieldWidth-40),
+			Radius:   6 + rng.Float64()*3,
+			Strength: (1.5 + rng.Float64()) * sign(rng),
+		}
+	}
+	return out
+}
+
+func sign(rng *rand.Rand) float64 {
+	if rng.Intn(2) == 0 {
+		return -1
+	}
+	return 1
+}
+
+// VelocityAt evaluates the analytic field at grid cell (row, col):
+// a weak background shear plus the superposition of nearby vortices.
+func (f Field) VelocityAt(spec adr.DatasetSpec, vortices []VortexTruth, row, col int64) (u, v float64) {
+	u = 0.05 * float64(col) / FieldWidth // background shear
+	v = 0
+	for _, vt := range vortices {
+		dr := float64(row) - vt.Row
+		dc := float64(col) - vt.Col
+		dist := math.Hypot(dr, dc)
+		// The Taylor profile decays like x·e^(-x²/2); at 4 radii the
+		// residual speed is ~2e-3 of the peak, small enough to truncate
+		// without a detectable vorticity jump.
+		if dist > 4*vt.Radius || dist == 0 {
+			continue
+		}
+		x := dist / vt.Radius
+		speed := vt.Strength * x * math.Exp((1-x*x)/2)
+		// Tangential direction: rotate the radial vector (dc, dr) by 90
+		// degrees, with u along columns and v along rows.
+		u += speed * (-dr / dist)
+		v += speed * (dc / dist)
+	}
+	return u, v
+}
+
+// ChunkValues evaluates the analytic field over the chunk's cells.
+func (f Field) ChunkValues(spec adr.DatasetSpec, c adr.Chunk) []float64 {
+	return f.RangeValues(spec, GlobalBase(spec, c), GlobalBase(spec, c)+c.Elems)
+}
+
+// RangeValues evaluates the analytic field over an arbitrary cell range,
+// enabling overlapping partitions.
+func (f Field) RangeValues(spec adr.DatasetSpec, from, to int64) []float64 {
+	vortices := f.Vortices(spec)
+	out := make([]float64, (to-from)*2)
+	for idx := from; idx < to; idx++ {
+		row := idx / FieldWidth
+		col := idx % FieldWidth
+		u, v := f.VelocityAt(spec, vortices, row, col)
+		out[(idx-from)*2] = u
+		out[(idx-from)*2+1] = v
+	}
+	return out
+}
+
+var _ RangeGenerator = Field{}
+
+// ----------------------------------------------------------------------
+// Lattice: cubic lattice with thermal noise and defect clusters.
+
+// Lattice generates molecular-dynamics-like data: atoms sit near the sites
+// of a simple cubic lattice with spacing LatticeSpacing, perturbed by
+// thermal noise well below the defect threshold. Defect clusters — groups
+// of strongly displaced atoms — are injected once per DefectAtomPeriod
+// atoms, so the defect count grows linearly with dataset size.
+type Lattice struct{}
+
+// LatticeSpacing is the ideal lattice constant.
+const LatticeSpacing = 2.0
+
+// ThermalSigma is the thermal displacement standard deviation.
+const ThermalSigma = 0.05
+
+// DefectThreshold is the displacement above which an atom is anomalous.
+const DefectThreshold = 0.4
+
+// DefectAtomPeriod controls defect density: one defect cluster per this
+// many atoms.
+const DefectAtomPeriod = 8192
+
+// MaxDefectSize is the largest injected cluster (atoms per defect);
+// cluster sizes cycle deterministically from 1 to MaxDefectSize, giving
+// the categorization phase a bounded class catalog.
+const MaxDefectSize = 5
+
+// FieldsPerElem returns 3 (x, y, z atom position).
+func (Lattice) FieldsPerElem(adr.DatasetSpec) int { return 3 }
+
+// DefectTruth describes one injected defect cluster.
+type DefectTruth struct {
+	FirstAtom int64 // global index of the cluster's first displaced atom
+	Size      int   // number of consecutive displaced atoms
+}
+
+// Defects returns the ground-truth injected defects. A cluster whose atoms
+// extend past the end of the dataset is truncated, matching what the
+// generator actually materializes.
+func (Lattice) Defects(spec adr.DatasetSpec) []DefectTruth {
+	atoms := spec.Elems()
+	var out []DefectTruth
+	for i := int64(0); ; i++ {
+		first := i*DefectAtomPeriod + 100
+		if first >= atoms {
+			break
+		}
+		size := int(i)%MaxDefectSize + 1
+		if first+int64(size) > atoms {
+			size = int(atoms - first)
+		}
+		out = append(out, DefectTruth{FirstAtom: first, Size: size})
+	}
+	return out
+}
+
+// Side reports the cubic lattice side length (in sites) that holds all
+// atoms.
+func (Lattice) Side(spec adr.DatasetSpec) int64 {
+	atoms := spec.Elems()
+	side := int64(math.Cbrt(float64(atoms)))
+	for side*side*side < atoms {
+		side++
+	}
+	return side
+}
+
+// IdealPosition reports the ideal lattice site of an atom.
+func (l Lattice) IdealPosition(spec adr.DatasetSpec, idx int64) (x, y, z float64) {
+	side := l.Side(spec)
+	x = float64(idx%side) * LatticeSpacing
+	y = float64((idx/side)%side) * LatticeSpacing
+	z = float64(idx/(side*side)) * LatticeSpacing
+	return
+}
+
+// displacementFor reports the injected defect displacement for an atom, or
+// 0 if the atom is not part of a defect. Displacements are derived purely
+// from the atom index so chunk generation stays independent.
+func displacementFor(idx int64) float64 {
+	period := int64(DefectAtomPeriod)
+	cluster := idx / period
+	first := cluster*period + 100
+	size := int64(cluster)%MaxDefectSize + 1
+	if idx >= first && idx < first+size {
+		return DefectThreshold * 2.5
+	}
+	return 0
+}
+
+// ChunkValues generates atom positions for the chunk.
+func (l Lattice) ChunkValues(spec adr.DatasetSpec, c adr.Chunk) []float64 {
+	rng := chunkRNG(spec, c.Index)
+	base := GlobalBase(spec, c)
+	out := make([]float64, c.Elems*3)
+	for e := int64(0); e < c.Elems; e++ {
+		idx := base + e
+		x, y, z := l.IdealPosition(spec, idx)
+		x += rng.NormFloat64() * ThermalSigma
+		y += rng.NormFloat64() * ThermalSigma
+		z += rng.NormFloat64() * ThermalSigma
+		if d := displacementFor(idx); d != 0 {
+			// Displace along a fixed diagonal so the magnitude is exact.
+			x += d / math.Sqrt(3)
+			y += d / math.Sqrt(3)
+			z += d / math.Sqrt(3)
+		}
+		out[e*3] = x
+		out[e*3+1] = y
+		out[e*3+2] = z
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/units"
+)
+
+func spec(kind string, total units.Bytes, elemBytes units.Bytes, dims int) adr.DatasetSpec {
+	return adr.DatasetSpec{
+		Name:       "t-" + kind,
+		TotalBytes: total,
+		ElemBytes:  elemBytes,
+		ChunkBytes: 256 * units.KB,
+		Kind:       kind,
+		Dims:       dims,
+		Seed:       42,
+	}
+}
+
+func TestForKnownKinds(t *testing.T) {
+	for _, kind := range []string{"points", "field", "lattice"} {
+		if _, err := For(kind); err != nil {
+			t.Errorf("For(%q) error: %v", kind, err)
+		}
+	}
+	if _, err := For("bogus"); err == nil {
+		t.Error("For(bogus) did not error")
+	}
+}
+
+func TestChunkValuesDeterministic(t *testing.T) {
+	for _, kind := range []string{"points", "field", "lattice"} {
+		var s adr.DatasetSpec
+		switch kind {
+		case "points":
+			s = spec(kind, 2*units.MB, 128, 16)
+		case "field":
+			s = spec(kind, 2*units.MB, 16, 2)
+		case "lattice":
+			s = spec(kind, 2*units.MB, 24, 3)
+		}
+		g, err := For(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := adr.Partition(s, 2, adr.RoundRobin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := l.Chunks()[1]
+		a := g.ChunkValues(s, c)
+		b := g.ChunkValues(s, c)
+		if len(a) != int(c.Elems)*g.FieldsPerElem(s) {
+			t.Fatalf("%s: payload length %d, want %d", kind, len(a), int(c.Elems)*g.FieldsPerElem(s))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: chunk values differ at %d on regeneration", kind, i)
+			}
+		}
+	}
+}
+
+func TestChunksIndependentOfLayout(t *testing.T) {
+	// The same chunk index must yield identical bytes whether the dataset
+	// is spread over 1 node or 4 — replicas agree by construction.
+	s := spec("points", 2*units.MB, 128, 16)
+	g := Points{}
+	l1, _ := adr.Partition(s, 1, adr.RoundRobin)
+	l4, _ := adr.Partition(s, 4, adr.RoundRobin)
+	c1 := l1.Chunks()[3]
+	c4 := l4.Chunks()[3]
+	a, b := g.ChunkValues(s, c1), g.ChunkValues(s, c4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chunk 3 differs between layouts at value %d", i)
+		}
+	}
+}
+
+func TestDifferentChunksDiffer(t *testing.T) {
+	s := spec("points", 2*units.MB, 128, 16)
+	g := Points{}
+	l, _ := adr.Partition(s, 1, adr.RoundRobin)
+	a := g.ChunkValues(s, l.Chunks()[0])
+	b := g.ChunkValues(s, l.Chunks()[1])
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("chunks 0 and 1 produced identical payloads")
+	}
+}
+
+func TestPointsNearCenters(t *testing.T) {
+	s := spec("points", units.MB, 128, 16)
+	g := Points{}
+	centers := g.Centers(s)
+	if len(centers) != MixtureComponents {
+		t.Fatalf("got %d centers, want %d", len(centers), MixtureComponents)
+	}
+	l, _ := adr.Partition(s, 1, adr.RoundRobin)
+	vals := g.ChunkValues(s, l.Chunks()[0])
+	d := s.Dims
+	// Every point must lie close to at least one mixture center.
+	for e := 0; e+d <= len(vals); e += d {
+		best := math.Inf(1)
+		for _, c := range centers {
+			sum := 0.0
+			for j := 0; j < d; j++ {
+				diff := vals[e+j] - c[j]
+				sum += diff * diff
+			}
+			if sum < best {
+				best = sum
+			}
+		}
+		// 6 sigma per axis over d dims is a generous envelope.
+		if best > float64(d)*math.Pow(6*MixtureSigma, 2) {
+			t.Fatalf("point at offset %d is %.1f away from every center", e, math.Sqrt(best))
+		}
+	}
+}
+
+func TestFieldVortexCountScalesWithSize(t *testing.T) {
+	g := Field{}
+	small := spec("field", units.MB, 16, 2)
+	big := spec("field", 4*units.MB, 16, 2)
+	ns, nb := len(g.Vortices(small)), len(g.Vortices(big))
+	if ns == 0 {
+		t.Fatal("small field has no vortices; adjust VortexRowPeriod")
+	}
+	if nb < 3*ns {
+		t.Fatalf("vortex count %d -> %d did not scale with 4x dataset", ns, nb)
+	}
+}
+
+func TestFieldVorticityConcentratedAtVortex(t *testing.T) {
+	g := Field{}
+	s := spec("field", units.MB, 16, 2)
+	vs := g.Vortices(s)
+	if len(vs) == 0 {
+		t.Skip("no vortices in tiny dataset")
+	}
+	vt := vs[0]
+	// Central finite-difference vorticity at the vortex center vs far away.
+	vort := func(row, col int64) float64 {
+		_, vR := g.VelocityAt(s, vs, row, col+1)
+		_, vL := g.VelocityAt(s, vs, row, col-1)
+		uU, _ := g.VelocityAt(s, vs, row+1, col)
+		uD, _ := g.VelocityAt(s, vs, row-1, col)
+		return (vR-vL)/2 - (uU-uD)/2
+	}
+	at := math.Abs(vort(int64(vt.Row), int64(vt.Col)))
+	far := math.Abs(vort(int64(vt.Row)+40, 5))
+	if at < 4*far+0.01 {
+		t.Fatalf("vorticity at vortex %.4f not above background %.4f", at, far)
+	}
+}
+
+func TestLatticeThermalNoiseBelowThreshold(t *testing.T) {
+	g := Lattice{}
+	s := spec("lattice", units.MB, 24, 3)
+	l, _ := adr.Partition(s, 1, adr.RoundRobin)
+	vals := g.ChunkValues(s, l.Chunks()[0])
+	defects := map[int64]bool{}
+	for _, d := range g.Defects(s) {
+		for k := int64(0); k < int64(d.Size); k++ {
+			defects[d.FirstAtom+k] = true
+		}
+	}
+	over, defectOver := 0, 0
+	for e := int64(0); e*3+2 < int64(len(vals)); e++ {
+		ix, iy, iz := g.IdealPosition(s, e)
+		dx, dy, dz := vals[e*3]-ix, vals[e*3+1]-iy, vals[e*3+2]-iz
+		disp := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		if disp > DefectThreshold {
+			over++
+			if defects[e] {
+				defectOver++
+			}
+		}
+	}
+	if over != defectOver {
+		t.Fatalf("%d atoms above threshold but only %d are injected defects", over, defectOver)
+	}
+	if defectOver == 0 {
+		t.Fatal("no defect atoms above threshold; injection broken")
+	}
+}
+
+func TestLatticeDefectCountScalesWithSize(t *testing.T) {
+	g := Lattice{}
+	small := spec("lattice", units.MB, 24, 3)
+	big := spec("lattice", 4*units.MB, 24, 3)
+	ns, nb := len(g.Defects(small)), len(g.Defects(big))
+	if ns == 0 {
+		t.Fatal("small lattice has no defects; adjust DefectAtomPeriod")
+	}
+	if nb < 3*ns {
+		t.Fatalf("defect count %d -> %d did not scale with 4x dataset", ns, nb)
+	}
+}
+
+func TestLatticeDefectSizesBounded(t *testing.T) {
+	g := Lattice{}
+	s := spec("lattice", 4*units.MB, 24, 3)
+	for _, d := range g.Defects(s) {
+		if d.Size < 1 || d.Size > MaxDefectSize {
+			t.Fatalf("defect size %d out of [1,%d]", d.Size, MaxDefectSize)
+		}
+	}
+}
+
+func TestGlobalBase(t *testing.T) {
+	s := spec("points", units.MB, 128, 16)
+	l, _ := adr.Partition(s, 1, adr.RoundRobin)
+	chunks := l.Chunks()
+	var want int64
+	for _, c := range chunks {
+		if got := GlobalBase(s, c); got != want {
+			t.Fatalf("chunk %d base = %d, want %d", c.Index, got, want)
+		}
+		want += c.Elems
+	}
+}
+
+func TestMixAvalanche(t *testing.T) {
+	// Adjacent (seed, index) pairs must give well-separated RNG seeds.
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 10; seed++ {
+		for idx := 0; idx < 100; idx++ {
+			v := mix(seed, idx)
+			if seen[v] {
+				t.Fatalf("mix collision at seed=%d idx=%d", seed, idx)
+			}
+			seen[v] = true
+		}
+	}
+}

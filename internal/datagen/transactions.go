@@ -1,0 +1,86 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"freerideg/internal/adr"
+)
+
+// Transactions generates market-basket data for association mining
+// (apriori is the first example of the paper's generalized-reduction
+// application class, Section 2.2). Each element is one transaction of
+// spec.Dims item slots holding item IDs (0 = empty slot). A few frequent
+// itemsets are planted so mining has ground truth; the remaining slots
+// are filled from a long tail of individually infrequent items.
+type Transactions struct{}
+
+// TransactionItems is the catalog size; item IDs run 1..TransactionItems.
+const TransactionItems = 200
+
+// transactionTailStart is the first tail (non-planted) item ID.
+const transactionTailStart = 51
+
+// PatternProbability is the chance a transaction contains one of the
+// planted patterns (patterns rotate per transaction index).
+const PatternProbability = 0.9
+
+// FieldsPerElem returns the transaction width (item slots).
+func (Transactions) FieldsPerElem(spec adr.DatasetSpec) int { return spec.Dims }
+
+// Patterns returns the planted frequent itemsets, sorted ascending.
+// Pattern p is included (whole) in roughly PatternProbability/len share
+// of transactions, far above the tail items' individual frequency.
+func (Transactions) Patterns(spec adr.DatasetSpec) [][]int {
+	rng := rand.New(rand.NewSource(mix(spec.Seed, -3)))
+	sizes := []int{3, 4, 5}
+	patterns := make([][]int, len(sizes))
+	used := map[int]bool{}
+	for i, size := range sizes {
+		p := make([]int, 0, size)
+		for len(p) < size {
+			item := 1 + rng.Intn(transactionTailStart-1)
+			if !used[item] {
+				used[item] = true
+				p = append(p, item)
+			}
+		}
+		sortInts(p)
+		patterns[i] = p
+	}
+	return patterns
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// ChunkValues generates the chunk's transactions.
+func (tr Transactions) ChunkValues(spec adr.DatasetSpec, c adr.Chunk) []float64 {
+	rng := chunkRNG(spec, c.Index)
+	patterns := tr.Patterns(spec)
+	w := spec.Dims
+	base := GlobalBase(spec, c)
+	out := make([]float64, c.Elems*int64(w))
+	for e := int64(0); e < c.Elems; e++ {
+		tx := out[e*int64(w) : (e+1)*int64(w)]
+		slot := 0
+		if rng.Float64() < PatternProbability {
+			p := patterns[int(base+e)%len(patterns)]
+			for _, item := range p {
+				if slot < w {
+					tx[slot] = float64(item)
+					slot++
+				}
+			}
+		}
+		// Fill remaining slots from the long tail of infrequent items.
+		for ; slot < w; slot++ {
+			tx[slot] = float64(transactionTailStart + rng.Intn(TransactionItems-transactionTailStart+1))
+		}
+	}
+	return out
+}

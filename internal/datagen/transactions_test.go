@@ -1,0 +1,114 @@
+package datagen
+
+import (
+	"testing"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/units"
+)
+
+func txSpec() adr.DatasetSpec {
+	return adr.DatasetSpec{
+		Name:       "tx",
+		TotalBytes: units.MB,
+		ElemBytes:  96, // 12 slots
+		ChunkBytes: 96 * units.KB,
+		Kind:       "transactions",
+		Dims:       12,
+		Seed:       19,
+	}
+}
+
+func TestTransactionsDeterministic(t *testing.T) {
+	spec := txSpec()
+	g := Transactions{}
+	l, err := adr.Partition(spec, 1, adr.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := l.Chunks()[0]
+	a, b := g.ChunkValues(spec, c), g.ChunkValues(spec, c)
+	if len(a) != int(c.Elems)*spec.Dims {
+		t.Fatalf("payload length %d, want %d", len(a), int(c.Elems)*spec.Dims)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("values differ at %d on regeneration", i)
+		}
+	}
+}
+
+func TestTransactionsItemIDsInCatalog(t *testing.T) {
+	spec := txSpec()
+	g := Transactions{}
+	l, _ := adr.Partition(spec, 1, adr.RoundRobin)
+	vals := g.ChunkValues(spec, l.Chunks()[0])
+	for i, v := range vals {
+		id := int(v)
+		if float64(id) != v || id < 1 || id > TransactionItems {
+			t.Fatalf("slot %d holds %v, want integer item ID in [1,%d]", i, v, TransactionItems)
+		}
+	}
+}
+
+func TestTransactionsPatternsWellFormed(t *testing.T) {
+	spec := txSpec()
+	patterns := Transactions{}.Patterns(spec)
+	if len(patterns) != 3 {
+		t.Fatalf("%d patterns, want 3", len(patterns))
+	}
+	seen := map[int]bool{}
+	for _, p := range patterns {
+		for i, item := range p {
+			if item < 1 || item >= transactionTailStart {
+				t.Errorf("pattern item %d outside planted range", item)
+			}
+			if seen[item] {
+				t.Errorf("item %d appears in two patterns", item)
+			}
+			seen[item] = true
+			if i > 0 && p[i] <= p[i-1] {
+				t.Errorf("pattern %v not sorted ascending", p)
+			}
+		}
+	}
+}
+
+func TestTransactionsPatternFrequency(t *testing.T) {
+	spec := txSpec()
+	g := Transactions{}
+	l, _ := adr.Partition(spec, 1, adr.RoundRobin)
+	patterns := g.Patterns(spec)
+	counts := make([]int64, len(patterns))
+	var total int64
+	for _, c := range l.Chunks() {
+		vals := g.ChunkValues(spec, c)
+		for e := int64(0); e < c.Elems; e++ {
+			tx := vals[e*int64(spec.Dims) : (e+1)*int64(spec.Dims)]
+			present := map[int]bool{}
+			for _, v := range tx {
+				present[int(v)] = true
+			}
+			for pi, p := range patterns {
+				hit := true
+				for _, item := range p {
+					if !present[item] {
+						hit = false
+						break
+					}
+				}
+				if hit {
+					counts[pi]++
+				}
+			}
+			total++
+		}
+	}
+	for pi, n := range counts {
+		share := float64(n) / float64(total)
+		// Patterns rotate over 3 with 90% inclusion: ~30% each.
+		if share < 0.2 || share > 0.4 {
+			t.Errorf("pattern %d support share %.2f outside [0.2,0.4]", pi, share)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"freerideg/internal/stats"
+	"freerideg/internal/units"
+)
+
+// TransferSample is one observed data movement on a site-to-cluster path.
+type TransferSample struct {
+	Bytes   units.Bytes
+	Elapsed time.Duration
+}
+
+// BandwidthEstimator predicts the effective bandwidth of repository-to-
+// compute paths from observed transfers, standing in for the wide-area
+// transfer prediction services the paper points at for determining b̂
+// (Vazhkudai & Schopf; Lu, Qiao, Dinda & Bustamante). The estimator fits
+// elapsed = latency + bytes/bandwidth by least squares over the most
+// recent observations of each path, so transient congestion ages out.
+type BandwidthEstimator struct {
+	mu      sync.Mutex
+	window  int
+	samples map[[2]string][]TransferSample
+}
+
+// DefaultEstimatorWindow is how many recent transfers each path keeps.
+const DefaultEstimatorWindow = 32
+
+// NewBandwidthEstimator creates an estimator keeping the given number of
+// recent samples per path (0 uses DefaultEstimatorWindow).
+func NewBandwidthEstimator(window int) *BandwidthEstimator {
+	if window <= 0 {
+		window = DefaultEstimatorWindow
+	}
+	return &BandwidthEstimator{
+		window:  window,
+		samples: make(map[[2]string][]TransferSample),
+	}
+}
+
+// Observe records one completed transfer on a path.
+func (e *BandwidthEstimator) Observe(site, cluster string, s TransferSample) error {
+	if s.Bytes <= 0 || s.Elapsed <= 0 {
+		return fmt.Errorf("grid: invalid transfer sample %v in %v", s.Bytes, s.Elapsed)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := [2]string{site, cluster}
+	list := append(e.samples[key], s)
+	if len(list) > e.window {
+		list = list[len(list)-e.window:]
+	}
+	e.samples[key] = list
+	return nil
+}
+
+// Samples reports how many observations a path currently holds.
+func (e *BandwidthEstimator) Samples(site, cluster string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.samples[[2]string{site, cluster}])
+}
+
+// Estimate predicts a path's effective bandwidth and latency. It needs at
+// least two observations with distinct sizes.
+func (e *BandwidthEstimator) Estimate(site, cluster string) (units.Rate, time.Duration, error) {
+	e.mu.Lock()
+	list := append([]TransferSample(nil), e.samples[[2]string{site, cluster}]...)
+	e.mu.Unlock()
+	if len(list) < 2 {
+		return 0, 0, fmt.Errorf("grid: %d sample(s) for %s->%s, need at least 2", len(list), site, cluster)
+	}
+	xs := make([]float64, len(list))
+	ys := make([]float64, len(list))
+	for i, s := range list {
+		xs[i] = float64(s.Bytes)
+		ys[i] = s.Elapsed.Seconds()
+	}
+	slope, intercept, err := stats.LinFit(xs, ys)
+	if err != nil || slope <= 0 {
+		// Degenerate fit (identical sizes, or latency-dominated tiny
+		// transfers): fall back to the median direct ratio.
+		ratios := make([]float64, len(list))
+		for i, s := range list {
+			ratios[i] = float64(s.Bytes) / s.Elapsed.Seconds()
+		}
+		med, qerr := stats.Quantile(ratios, 0.5)
+		if qerr != nil || med <= 0 {
+			return 0, 0, fmt.Errorf("grid: path %s->%s has no usable bandwidth signal", site, cluster)
+		}
+		return units.Rate(med), 0, nil
+	}
+	lat := units.Seconds(intercept)
+	if lat < 0 {
+		lat = 0
+	}
+	return units.Rate(1 / slope), lat, nil
+}
+
+// Paths lists the observed paths, sorted.
+func (e *BandwidthEstimator) Paths() [][2]string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([][2]string, 0, len(e.samples))
+	for k := range e.samples {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// FillService writes every estimable path's bandwidth into the
+// information service, making the estimator the service's b̂ source.
+func (e *BandwidthEstimator) FillService(svc *Service) error {
+	for _, path := range e.Paths() {
+		bw, _, err := e.Estimate(path[0], path[1])
+		if err != nil {
+			continue // paths without enough signal keep their old value
+		}
+		if err := svc.SetBandwidth(path[0], path[1], bw); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"freerideg/internal/units"
+)
+
+// synthTransfer fabricates a sample for a path with the given true
+// bandwidth and latency.
+func synthTransfer(bytes units.Bytes, bw units.Rate, lat time.Duration) TransferSample {
+	return TransferSample{Bytes: bytes, Elapsed: lat + bw.TransferTime(bytes)}
+}
+
+func TestEstimatorRecoversBandwidthAndLatency(t *testing.T) {
+	e := NewBandwidthEstimator(0)
+	trueBW := 40 * units.MBPerSec
+	trueLat := 30 * time.Millisecond
+	for _, mb := range []units.Bytes{1, 4, 16, 64, 128} {
+		if err := e.Observe("site", "cl", synthTransfer(mb*units.MB, trueBW, trueLat)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bw, lat, err := e.Estimate("site", "cl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(bw)-float64(trueBW))/float64(trueBW) > 0.01 {
+		t.Errorf("estimated %v, want %v", bw, trueBW)
+	}
+	if d := lat - trueLat; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("estimated latency %v, want %v", lat, trueLat)
+	}
+}
+
+func TestEstimatorNeedsTwoSamples(t *testing.T) {
+	e := NewBandwidthEstimator(0)
+	if _, _, err := e.Estimate("a", "b"); err == nil {
+		t.Error("empty path estimated")
+	}
+	_ = e.Observe("a", "b", synthTransfer(units.MB, 10*units.MBPerSec, 0))
+	if _, _, err := e.Estimate("a", "b"); err == nil {
+		t.Error("single-sample path estimated")
+	}
+}
+
+func TestEstimatorIdenticalSizesFallBack(t *testing.T) {
+	// All same size: the regression is degenerate; the median ratio
+	// fallback must still produce a sane bandwidth.
+	e := NewBandwidthEstimator(0)
+	for i := 0; i < 5; i++ {
+		_ = e.Observe("a", "b", synthTransfer(8*units.MB, 20*units.MBPerSec, 0))
+	}
+	bw, _, err := e.Estimate("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(bw) / float64(20*units.MBPerSec)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("fallback estimate %v, want ~20MB/s", bw)
+	}
+}
+
+func TestEstimatorWindowAgesOutOldSamples(t *testing.T) {
+	e := NewBandwidthEstimator(4)
+	// Old congested era: 5 MB/s.
+	for _, mb := range []units.Bytes{1, 2, 4, 8} {
+		_ = e.Observe("a", "b", synthTransfer(mb*units.MB, 5*units.MBPerSec, 0))
+	}
+	// Recovery: 50 MB/s; window of 4 drops all old samples.
+	for _, mb := range []units.Bytes{1, 2, 4, 8} {
+		_ = e.Observe("a", "b", synthTransfer(mb*units.MB, 50*units.MBPerSec, 0))
+	}
+	bw, _, err := e.Estimate("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(bw) < float64(40*units.MBPerSec) {
+		t.Fatalf("estimator stuck at stale bandwidth: %v", bw)
+	}
+	if e.Samples("a", "b") != 4 {
+		t.Fatalf("window kept %d samples, want 4", e.Samples("a", "b"))
+	}
+}
+
+func TestEstimatorRejectsBadSamples(t *testing.T) {
+	e := NewBandwidthEstimator(0)
+	if err := e.Observe("a", "b", TransferSample{Bytes: 0, Elapsed: time.Second}); err == nil {
+		t.Error("zero-byte sample accepted")
+	}
+	if err := e.Observe("a", "b", TransferSample{Bytes: units.MB, Elapsed: 0}); err == nil {
+		t.Error("zero-time sample accepted")
+	}
+}
+
+func TestFillServiceWiresEstimates(t *testing.T) {
+	e := NewBandwidthEstimator(0)
+	for _, mb := range []units.Bytes{1, 8, 32} {
+		_ = e.Observe("near", "A", synthTransfer(mb*units.MB, 100*units.MBPerSec, time.Millisecond))
+		_ = e.Observe("far", "A", synthTransfer(mb*units.MB, 10*units.MBPerSec, 50*time.Millisecond))
+	}
+	// A path with too little signal is skipped, not an error.
+	_ = e.Observe("sparse", "A", synthTransfer(units.MB, 10*units.MBPerSec, 0))
+
+	svc := NewService()
+	if err := e.FillService(svc); err != nil {
+		t.Fatal(err)
+	}
+	near, ok := svc.Bandwidth("near", "A")
+	if !ok {
+		t.Fatal("near path not filled")
+	}
+	far, ok := svc.Bandwidth("far", "A")
+	if !ok {
+		t.Fatal("far path not filled")
+	}
+	if near <= far {
+		t.Fatalf("estimates inverted: near %v vs far %v", near, far)
+	}
+	if _, ok := svc.Bandwidth("sparse", "A"); ok {
+		t.Fatal("under-sampled path filled")
+	}
+	if got := len(e.Paths()); got != 3 {
+		t.Fatalf("Paths() = %d entries, want 3", got)
+	}
+}

@@ -1,0 +1,157 @@
+// Package grid implements the resource selection framework of the
+// FREERIDE-G middleware (Sections 1–3 of the paper): given a dataset
+// replicated at several repository sites and a set of candidate compute
+// configurations, it enumerates the (replica, configuration) pairs,
+// predicts each pair's execution time with the prediction framework, and
+// picks the pair with the minimum predicted cost.
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/units"
+)
+
+// ComputeOffer is one compute configuration a grid information service
+// reports as available.
+type ComputeOffer struct {
+	// Cluster names the hardware the nodes belong to.
+	Cluster string
+	// Nodes is the number of compute nodes offered.
+	Nodes int
+}
+
+// Service is the grid information service the selection framework
+// consults: dataset replicas, compute offers, and the measured bandwidth
+// between repository sites and compute clusters.
+type Service struct {
+	Replicas  *adr.Registry
+	offers    []ComputeOffer
+	bandwidth map[[2]string]units.Rate
+}
+
+// NewService returns an empty information service.
+func NewService() *Service {
+	return &Service{
+		Replicas:  adr.NewRegistry(),
+		bandwidth: make(map[[2]string]units.Rate),
+	}
+}
+
+// AddOffer registers an available compute configuration.
+func (s *Service) AddOffer(o ComputeOffer) error {
+	if o.Cluster == "" || o.Nodes < 1 {
+		return fmt.Errorf("grid: invalid compute offer %+v", o)
+	}
+	s.offers = append(s.offers, o)
+	return nil
+}
+
+// Offers lists the registered compute offers.
+func (s *Service) Offers() []ComputeOffer {
+	return append([]ComputeOffer(nil), s.offers...)
+}
+
+// SetBandwidth records the measured bandwidth between a repository site
+// and a compute cluster. (The paper notes that wide-area bandwidth
+// estimation work, e.g. Vazhkudai & Schopf, slots in here.)
+func (s *Service) SetBandwidth(site, cluster string, b units.Rate) error {
+	if b <= 0 {
+		return fmt.Errorf("grid: non-positive bandwidth %v for %s->%s", b, site, cluster)
+	}
+	s.bandwidth[[2]string{site, cluster}] = b
+	return nil
+}
+
+// Bandwidth reports the recorded bandwidth between a site and a cluster.
+func (s *Service) Bandwidth(site, cluster string) (units.Rate, bool) {
+	b, ok := s.bandwidth[[2]string{site, cluster}]
+	return b, ok
+}
+
+// Candidate is one (replica, compute configuration) pair with its
+// predicted execution time.
+type Candidate struct {
+	Replica    adr.Replica
+	Offer      ComputeOffer
+	Config     core.Config
+	Prediction core.Prediction
+}
+
+// Selector ranks candidates using an application's predictor.
+type Selector struct {
+	// Predictor is seeded with the application's base profile, link
+	// calibrations, and (for cross-cluster offers) scaling factors.
+	Predictor *core.Predictor
+	// Variant selects the prediction model; the paper's most accurate is
+	// GlobalReduction.
+	Variant core.Variant
+}
+
+// ErrNoCandidates is returned when no (replica, offer) pair is feasible.
+var ErrNoCandidates = errors.New("grid: no feasible (replica, configuration) pair")
+
+// Rank enumerates all feasible (replica, offer) pairs for a dataset and
+// returns them sorted by ascending predicted execution time. A pair is
+// feasible when the offer has at least as many compute nodes as the
+// replica has storage nodes (the middleware's M >= N requirement), the
+// site-to-cluster bandwidth is known, and the predictor covers the
+// offer's cluster.
+func (s *Selector) Rank(svc *Service, dataset string) ([]Candidate, error) {
+	if s.Predictor == nil {
+		return nil, errors.New("grid: selector without predictor")
+	}
+	replicas := svc.Replicas.Replicas(dataset)
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("grid: no replicas of dataset %q", dataset)
+	}
+	var out []Candidate
+	var lastErr error
+	for _, rep := range replicas {
+		for _, off := range svc.Offers() {
+			if off.Nodes < rep.StorageNodes {
+				continue
+			}
+			bw, ok := svc.Bandwidth(rep.Site, off.Cluster)
+			if !ok {
+				continue
+			}
+			cfg := core.Config{
+				Cluster:      off.Cluster,
+				DataNodes:    rep.StorageNodes,
+				ComputeNodes: off.Nodes,
+				Bandwidth:    bw,
+				DatasetBytes: rep.Layout.Spec.TotalBytes,
+			}
+			pred, err := s.Predictor.Predict(cfg, s.Variant)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			out = append(out, Candidate{Replica: rep, Offer: off, Config: cfg, Prediction: pred})
+		}
+	}
+	if len(out) == 0 {
+		if lastErr != nil {
+			return nil, fmt.Errorf("%w (last prediction error: %v)", ErrNoCandidates, lastErr)
+		}
+		return nil, ErrNoCandidates
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Prediction.Texec() < out[j].Prediction.Texec()
+	})
+	return out, nil
+}
+
+// Select returns the minimum-cost candidate.
+func (s *Selector) Select(svc *Service, dataset string) (Candidate, error) {
+	ranked, err := s.Rank(svc, dataset)
+	if err != nil {
+		return Candidate{}, err
+	}
+	return ranked[0], nil
+}

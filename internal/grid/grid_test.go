@@ -1,0 +1,201 @@
+package grid
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/units"
+)
+
+func testSpec() adr.DatasetSpec {
+	return adr.DatasetSpec{
+		Name:       "pts",
+		TotalBytes: 100 * units.MB,
+		ElemBytes:  128,
+		ChunkBytes: units.MB,
+		Kind:       "points",
+		Dims:       16,
+		Seed:       1,
+	}
+}
+
+func testProfile() core.Profile {
+	return core.Profile{
+		App: "toy",
+		Config: core.Config{
+			Cluster:      "A",
+			DataNodes:    1,
+			ComputeNodes: 1,
+			Bandwidth:    100 * units.MBPerSec,
+			DatasetBytes: 100 * units.MB,
+		},
+		Breakdown: core.Breakdown{
+			Tdisk:    20 * time.Second,
+			Tnetwork: 10 * time.Second,
+			Tcompute: 100 * time.Second,
+		},
+		Tglobal:        time.Second,
+		ROBytesPerNode: 10 * units.KB,
+		BroadcastBytes: units.KB,
+		Iterations:     5,
+	}
+}
+
+func testService(t *testing.T) *Service {
+	t.Helper()
+	svc := NewService()
+	spec := testSpec()
+	l2, err := adr.Partition(spec, 2, adr.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l8, err := adr.Partition(spec, 8, adr.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Replicas.Register(adr.Replica{Site: "near", Cluster: "A", StorageNodes: 2, Layout: l2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Replicas.Register(adr.Replica{Site: "far", Cluster: "A", StorageNodes: 8, Layout: l8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddOffer(ComputeOffer{Cluster: "A", Nodes: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddOffer(ComputeOffer{Cluster: "A", Nodes: 16}); err != nil {
+		t.Fatal(err)
+	}
+	// The far site has much lower bandwidth to the compute cluster.
+	if err := svc.SetBandwidth("near", "A", 100*units.MBPerSec); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.SetBandwidth("far", "A", 4*units.MBPerSec); err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func testSelector(t *testing.T) *Selector {
+	t.Helper()
+	pred, err := core.NewPredictor(testProfile(), core.AppModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred.Links["A"] = core.LinkCalibration{W: 1e-8, L: time.Millisecond}
+	return &Selector{Predictor: pred, Variant: core.GlobalReduction}
+}
+
+func TestRankEnumeratesFeasiblePairs(t *testing.T) {
+	svc := testService(t)
+	sel := testSelector(t)
+	ranked, err := sel.Rank(svc, "pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// near-4, near-16, far-16 are feasible; far-8... offer 4 < 8 nodes is
+	// excluded.
+	if len(ranked) != 3 {
+		t.Fatalf("got %d candidates, want 3", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Prediction.Texec() < ranked[i-1].Prediction.Texec() {
+			t.Fatal("candidates not sorted by predicted time")
+		}
+	}
+}
+
+func TestSelectPrefersFastPair(t *testing.T) {
+	svc := testService(t)
+	sel := testSelector(t)
+	best, err := sel.Select(svc, "pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The near replica with 16 compute nodes has full bandwidth and the
+	// most parallelism; compute dominates this profile, so it must win.
+	if best.Replica.Site != "near" || best.Offer.Nodes != 16 {
+		t.Fatalf("selected %s with %d nodes, want near with 16", best.Replica.Site, best.Offer.Nodes)
+	}
+}
+
+func TestSelectTradesBandwidthForParallelism(t *testing.T) {
+	// With a retrieval-heavy profile, the 8-node replica (more storage
+	// parallelism) should win despite its lower bandwidth being... still
+	// feasible only with the 16-node offer. Construct a profile dominated
+	// by retrieval.
+	svc := testService(t)
+	prof := testProfile()
+	prof.Tdisk = 500 * time.Second
+	prof.Tnetwork = 10 * time.Second
+	prof.Tcompute = 10 * time.Second
+	prof.Tglobal = 0
+	pred, err := core.NewPredictor(prof, core.AppModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred.Links["A"] = core.LinkCalibration{W: 1e-8, L: time.Millisecond}
+	sel := &Selector{Predictor: pred, Variant: core.GlobalReduction}
+	best, err := sel.Select(svc, "pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Replica.Site != "far" {
+		t.Fatalf("retrieval-heavy app selected %s, want far (8 storage nodes)", best.Replica.Site)
+	}
+}
+
+func TestRankErrors(t *testing.T) {
+	svc := testService(t)
+	sel := testSelector(t)
+	if _, err := sel.Rank(svc, "unknown"); err == nil {
+		t.Error("unknown dataset ranked")
+	}
+	if _, err := (&Selector{}).Rank(svc, "pts"); err == nil {
+		t.Error("selector without predictor ranked")
+	}
+	empty := NewService()
+	spec := testSpec()
+	l, _ := adr.Partition(spec, 2, adr.RoundRobin)
+	_ = empty.Replicas.Register(adr.Replica{Site: "s", Cluster: "A", StorageNodes: 2, Layout: l})
+	// No offers -> no candidates.
+	if _, err := sel.Rank(empty, "pts"); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("no-offer rank error = %v, want ErrNoCandidates", err)
+	}
+	// Offer without bandwidth entry -> still no candidates.
+	_ = empty.AddOffer(ComputeOffer{Cluster: "A", Nodes: 4})
+	if _, err := sel.Rank(empty, "pts"); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("no-bandwidth rank error = %v, want ErrNoCandidates", err)
+	}
+}
+
+func TestServiceValidation(t *testing.T) {
+	svc := NewService()
+	if err := svc.AddOffer(ComputeOffer{}); err == nil {
+		t.Error("empty offer accepted")
+	}
+	if err := svc.SetBandwidth("a", "b", 0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, ok := svc.Bandwidth("a", "b"); ok {
+		t.Error("unset bandwidth reported as known")
+	}
+}
+
+func TestRankSurfacesPredictionErrors(t *testing.T) {
+	// An offer on a cluster the predictor has no scaling factors for is
+	// skipped; if nothing remains the error mentions the cause.
+	svc := NewService()
+	spec := testSpec()
+	l, _ := adr.Partition(spec, 2, adr.RoundRobin)
+	_ = svc.Replicas.Register(adr.Replica{Site: "s", Cluster: "B", StorageNodes: 2, Layout: l})
+	_ = svc.AddOffer(ComputeOffer{Cluster: "B", Nodes: 4})
+	_ = svc.SetBandwidth("s", "B", 100*units.MBPerSec)
+	sel := testSelector(t)
+	_, err := sel.Rank(svc, "pts")
+	if !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("error = %v, want ErrNoCandidates", err)
+	}
+}

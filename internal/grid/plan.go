@@ -1,0 +1,52 @@
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrDeadlineUnreachable is returned when no feasible pair meets the
+// deadline; the wrapped message names the fastest available option.
+var ErrDeadlineUnreachable = errors.New("grid: no configuration meets the deadline")
+
+// PlanCapacity picks the cheapest (replica, configuration) pair whose
+// predicted execution time meets the deadline — the dual of Select:
+// instead of the fastest pair, the least resource-hungry one that is fast
+// enough. Cost is the total node count (storage + compute), ties broken
+// by predicted time.
+//
+// This is the resource-allocation question the paper's introduction poses
+// ("determine how long an application will take for completion on a
+// particular platform or configuration") turned around: given how long
+// it may take, how little of the grid do we need to ask for?
+func PlanCapacity(sel *Selector, svc *Service, dataset string, deadline time.Duration) (Candidate, error) {
+	if deadline <= 0 {
+		return Candidate{}, fmt.Errorf("grid: non-positive deadline %v", deadline)
+	}
+	ranked, err := sel.Rank(svc, dataset)
+	if err != nil {
+		return Candidate{}, err
+	}
+	var best Candidate
+	found := false
+	cost := func(c Candidate) int { return c.Config.DataNodes + c.Config.ComputeNodes }
+	for _, cand := range ranked {
+		if cand.Prediction.Texec() > deadline {
+			continue
+		}
+		if !found || cost(cand) < cost(best) ||
+			(cost(cand) == cost(best) && cand.Prediction.Texec() < best.Prediction.Texec()) {
+			best = cand
+			found = true
+		}
+	}
+	if !found {
+		fastest := ranked[0]
+		return Candidate{}, fmt.Errorf("%w: fastest option is %s with %d+%d nodes at %v",
+			ErrDeadlineUnreachable, fastest.Replica.Site,
+			fastest.Config.DataNodes, fastest.Config.ComputeNodes,
+			fastest.Prediction.Texec().Round(time.Millisecond))
+	}
+	return best, nil
+}

@@ -1,0 +1,67 @@
+package grid
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPlanCapacityPicksCheapestMeetingDeadline(t *testing.T) {
+	svc := testService(t)
+	sel := testSelector(t)
+	ranked, err := sel.Rank(svc, "pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use a deadline the slower (cheaper) options can also meet: the
+	// planner must then return the pair with the fewest nodes, not the
+	// fastest.
+	slowest := ranked[len(ranked)-1].Prediction.Texec()
+	cand, err := PlanCapacity(sel, svc, "pts", slowest+time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minNodes := cand.Config.DataNodes + cand.Config.ComputeNodes
+	for _, other := range ranked {
+		if n := other.Config.DataNodes + other.Config.ComputeNodes; n < minNodes {
+			t.Fatalf("planner chose %d nodes but %d-node option exists within deadline", minNodes, n)
+		}
+	}
+}
+
+func TestPlanCapacityTightDeadlineNeedsFastest(t *testing.T) {
+	svc := testService(t)
+	sel := testSelector(t)
+	ranked, err := sel.Rank(svc, "pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastest := ranked[0]
+	cand, err := PlanCapacity(sel, svc, "pts", fastest.Prediction.Texec()+time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cand.Prediction.Texec() > fastest.Prediction.Texec()+time.Millisecond {
+		t.Fatalf("planned pair misses the tight deadline: %v", cand.Prediction.Texec())
+	}
+}
+
+func TestPlanCapacityUnreachableDeadline(t *testing.T) {
+	svc := testService(t)
+	sel := testSelector(t)
+	_, err := PlanCapacity(sel, svc, "pts", time.Nanosecond)
+	if !errors.Is(err, ErrDeadlineUnreachable) {
+		t.Fatalf("error = %v, want ErrDeadlineUnreachable", err)
+	}
+}
+
+func TestPlanCapacityValidation(t *testing.T) {
+	svc := testService(t)
+	sel := testSelector(t)
+	if _, err := PlanCapacity(sel, svc, "pts", 0); err == nil {
+		t.Error("zero deadline accepted")
+	}
+	if _, err := PlanCapacity(sel, svc, "missing", time.Hour); err == nil {
+		t.Error("unknown dataset planned")
+	}
+}

@@ -1,0 +1,225 @@
+package middleware
+
+import (
+	"testing"
+	"time"
+
+	"freerideg/internal/apps"
+	"freerideg/internal/core"
+	"freerideg/internal/stats"
+	"freerideg/internal/units"
+)
+
+func simulateOpts(t *testing.T, g *Grid, app string, total units.Bytes, cfg core.Config, opts SimOptions) SimResult {
+	t.Helper()
+	a, err := apps.Get(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := pointsSpec(total)
+	cost, err := a.Cost(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.SimulateOpts(cost, spec, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCacheModeStrings(t *testing.T) {
+	if CacheMemory.String() != "memory" || CacheLocalDisk.String() != "local-disk" ||
+		CacheRemote.String() != "remote" {
+		t.Error("cache mode strings changed")
+	}
+	if CacheMode(9).String() == "" {
+		t.Error("unknown cache mode has empty string")
+	}
+}
+
+func TestMemoryCachingHasNoCachedRetrieval(t *testing.T) {
+	g := testGrid(t)
+	total := 128 * units.MB
+	res := simulateOpts(t, g, "kmeans", total, config(1, 2, total), SimOptions{})
+	if res.Profile.TdiskCached != 0 {
+		t.Fatalf("memory caching recorded %v of cached retrieval", res.Profile.TdiskCached)
+	}
+}
+
+func TestLocalDiskCachingChargesRetrieval(t *testing.T) {
+	g := testGrid(t)
+	total := 128 * units.MB
+	cfg := config(1, 2, total)
+	mem := simulateOpts(t, g, "kmeans", total, cfg, SimOptions{})
+	disk := simulateOpts(t, g, "kmeans", total, cfg, SimOptions{Cache: CacheSpec{Mode: CacheLocalDisk}})
+	if disk.Profile.TdiskCached <= 0 {
+		t.Fatal("local-disk caching recorded no cached retrieval")
+	}
+	if disk.Makespan <= mem.Makespan {
+		t.Fatalf("disk caching (%v) not slower than memory caching (%v)", disk.Makespan, mem.Makespan)
+	}
+	if disk.Profile.Tdisk <= mem.Profile.Tdisk {
+		t.Fatal("cached reads not reflected in Tdisk")
+	}
+	// kmeans makes 10 passes: 9 cached re-reads of the per-node share.
+	// Each node re-reads ~total/2 per pass at DiskBW plus seeks.
+	perPass := PentiumMyrinet().DiskBW.TransferTime(total / 2)
+	if disk.Profile.TdiskCached < 9*perPass {
+		t.Fatalf("cached retrieval %v below the 9-pass transfer floor %v",
+			disk.Profile.TdiskCached, 9*perPass)
+	}
+}
+
+func TestRemoteCachingBetweenMemoryAndOrigin(t *testing.T) {
+	g := testGrid(t)
+	total := 128 * units.MB
+	cfg := config(1, 2, total)
+	mem := simulateOpts(t, g, "kmeans", total, cfg, SimOptions{})
+	remote := simulateOpts(t, g, "kmeans", total, cfg, SimOptions{
+		Cache: CacheSpec{Mode: CacheRemote, Bandwidth: 400 * units.MBPerSec, Latency: 100 * time.Microsecond},
+	})
+	if remote.Profile.TdiskCached <= 0 {
+		t.Fatal("remote caching recorded no cached retrieval")
+	}
+	if remote.Makespan <= mem.Makespan {
+		t.Fatal("remote caching not slower than memory caching")
+	}
+	// A fast cache site must beat re-fetching from the slow origin
+	// repository every pass; compare against local-disk at origin speed.
+	slow := simulateOpts(t, g, "kmeans", total, cfg, SimOptions{
+		Cache: CacheSpec{Mode: CacheRemote, Bandwidth: 10 * units.MBPerSec},
+	})
+	if remote.Makespan >= slow.Makespan {
+		t.Fatal("faster cache site did not reduce the makespan")
+	}
+}
+
+func TestRemoteCacheNeedsBandwidth(t *testing.T) {
+	g := testGrid(t)
+	total := 64 * units.MB
+	a, _ := apps.Get("kmeans")
+	spec := pointsSpec(total)
+	cost, _ := a.Cost(spec)
+	_, err := g.SimulateOpts(cost, spec, config(1, 1, total), SimOptions{
+		Cache: CacheSpec{Mode: CacheRemote},
+	})
+	if err == nil {
+		t.Fatal("remote cache without bandwidth accepted")
+	}
+}
+
+// TestCachedPredictionExtension checks the model extension: with disk
+// caching, a profile-seeded predictor that splits first-pass and cached
+// retrieval stays accurate when the compute-node count changes (cached
+// re-reads scale with ĉ, not n̂).
+func TestCachedPredictionExtension(t *testing.T) {
+	g := testGrid(t)
+	total := 256 * units.MB
+	opts := SimOptions{Cache: CacheSpec{Mode: CacheLocalDisk}}
+	base := simulateOpts(t, g, "kmeans", total, config(1, 1, total), opts)
+	a, _ := apps.Get("kmeans")
+	pred, err := core.NewPredictor(base.Profile, a.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := core.CalibrateLink(g.MeasureIC("pentium-myrinet"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred.Links["pentium-myrinet"] = cal
+	for _, nc := range [][2]int{{1, 4}, {2, 8}, {4, 16}} {
+		cfg := config(nc[0], nc[1], total)
+		actual := simulateOpts(t, g, "kmeans", total, cfg, opts)
+		p, err := pred.Predict(cfg, core.GlobalReduction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := stats.RelError(actual.Makespan.Seconds(), p.Texec().Seconds())
+		if e > 0.05 {
+			t.Errorf("%d-%d with disk caching: prediction off by %.1f%% (actual %v, predicted %v)",
+				nc[0], nc[1], 100*e, actual.Makespan, p.Texec())
+		}
+	}
+}
+
+func TestStragglerSlowsRun(t *testing.T) {
+	g := testGrid(t)
+	total := 128 * units.MB
+	cfg := config(2, 4, total)
+	clean := simulateOpts(t, g, "em", total, cfg, SimOptions{})
+	hurt := simulateOpts(t, g, "em", total, cfg, SimOptions{StragglerNode: 2, StragglerFactor: 3})
+	if hurt.Makespan <= clean.Makespan {
+		t.Fatalf("straggler did not slow the run: %v vs %v", hurt.Makespan, clean.Makespan)
+	}
+	// A 3x slowdown of one of four nodes bounds the pass time by ~3x the
+	// balanced share; the whole run must be well below a uniform 3x.
+	if hurt.Makespan > 3*clean.Makespan {
+		t.Fatalf("straggler slowed the whole run more than its own share allows: %v vs %v",
+			hurt.Makespan, clean.Makespan)
+	}
+}
+
+func TestStragglerBreaksPrediction(t *testing.T) {
+	// Failure injection: a straggler invisible to the profile makes the
+	// (healthy-cluster) prediction optimistic — robustness boundary of
+	// the paper's model.
+	g := testGrid(t)
+	total := 128 * units.MB
+	base := simulateOpts(t, g, "em", total, config(1, 1, total), SimOptions{})
+	a, _ := apps.Get("em")
+	pred, err := core.NewPredictor(base.Profile, a.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, _ := core.CalibrateLink(g.MeasureIC("pentium-myrinet"))
+	pred.Links["pentium-myrinet"] = cal
+	cfg := config(2, 4, total)
+	hurt := simulateOpts(t, g, "em", total, cfg, SimOptions{StragglerNode: 1, StragglerFactor: 4})
+	p, err := pred.Predict(cfg, core.GlobalReduction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Texec().Seconds() >= hurt.Makespan.Seconds() {
+		t.Fatal("prediction not optimistic under an injected straggler")
+	}
+	e := stats.RelError(hurt.Makespan.Seconds(), p.Texec().Seconds())
+	if e < 0.2 {
+		t.Fatalf("4x straggler on 1 of 4 nodes only moved the error to %.1f%%; injection ineffective", 100*e)
+	}
+}
+
+func TestStragglerValidation(t *testing.T) {
+	g := testGrid(t)
+	total := 64 * units.MB
+	a, _ := apps.Get("kmeans")
+	spec := pointsSpec(total)
+	cost, _ := a.Cost(spec)
+	_, err := g.SimulateOpts(cost, spec, config(1, 2, total), SimOptions{
+		StragglerNode: 7, StragglerFactor: 2,
+	})
+	if err == nil {
+		t.Fatal("out-of-range straggler accepted")
+	}
+	// Factor <= 1 disables the straggler even with a bogus node index.
+	if _, err := g.SimulateOpts(cost, spec, config(1, 2, total), SimOptions{
+		StragglerNode: 7, StragglerFactor: 0.5,
+	}); err != nil {
+		t.Fatalf("disabled straggler rejected: %v", err)
+	}
+}
+
+func TestProfileValidateCachedField(t *testing.T) {
+	g := testGrid(t)
+	total := 64 * units.MB
+	res := simulateOpts(t, g, "kmeans", total, config(1, 2, total),
+		SimOptions{Cache: CacheSpec{Mode: CacheLocalDisk}})
+	if err := res.Profile.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := res.Profile
+	bad.TdiskCached = bad.Tdisk + time.Second
+	if err := bad.Validate(); err == nil {
+		t.Fatal("cached retrieval above Tdisk accepted")
+	}
+}

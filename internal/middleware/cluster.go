@@ -1,0 +1,168 @@
+// Package middleware implements the FREERIDE-G engine: a data server that
+// retrieves and distributes chunks from repository nodes, compute servers
+// that run generalized reductions over delivered chunks, and the glue
+// (caching, reduction-object gather, global reduction, result broadcast).
+//
+// Two interchangeable backends execute a run:
+//
+//   - the simulated backend (Grid.Simulate) executes the middleware
+//     protocol against simgrid's virtual clusters — the substitute for the
+//     paper's physical testbed — using each application's analytic cost
+//     model, so gigabyte-scale configurations finish in milliseconds;
+//   - the local backend (RunLocal) executes the same protocol for real on
+//     goroutines with materialized chunks, exercising the actual kernels.
+package middleware
+
+import (
+	"fmt"
+	"time"
+
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+// ArchRates describes a cluster's per-category instruction throughput in
+// operations per second. Applications declare an instruction mix
+// (reduction.WorkMix); the effective rate of a mix differs between
+// architectures, which is what makes per-application cross-cluster scaling
+// factors differ, as the paper observed (0.233 for kNN vs 0.370 for vortex
+// detection).
+type ArchRates struct {
+	Flop   float64
+	Mem    float64
+	Branch float64
+}
+
+// EffectiveRate reports the blended operation rate for a mix (harmonic
+// combination: each category contributes time proportional to its share).
+// A category with zero throughput makes any mix that uses it run at rate
+// zero; unused categories are ignored.
+func (a ArchRates) EffectiveRate(mix reduction.WorkMix) float64 {
+	m := mix.Normalize()
+	var t float64
+	for _, part := range []struct{ share, rate float64 }{
+		{m.Flop, a.Flop}, {m.Mem, a.Mem}, {m.Branch, a.Branch},
+	} {
+		if part.share == 0 {
+			continue
+		}
+		if part.rate <= 0 {
+			return 0
+		}
+		t += part.share / part.rate
+	}
+	if t <= 0 {
+		return 0
+	}
+	return 1 / t
+}
+
+// ClusterSpec describes the hardware of one simulated cluster.
+type ClusterSpec struct {
+	// Name identifies the cluster in core.Config.
+	Name string
+	// CPU is the per-category instruction throughput of one node.
+	CPU ArchRates
+	// ChunkOverhead is the per-chunk dispatch cost on a compute node.
+	ChunkOverhead time.Duration
+	// DiskBW is one storage node's disk bandwidth.
+	DiskBW units.Rate
+	// DiskSeek is the per-chunk-read seek/request overhead.
+	DiskSeek time.Duration
+	// DiskAlpha is the repository contention factor: with n storage nodes
+	// the effective per-node disk bandwidth is DiskBW / (1 + alpha*(n-1)),
+	// giving the sub-linear retrieval scaling real storage backplanes show.
+	DiskAlpha float64
+	// NetLatency is the per-chunk message latency between a storage node
+	// and a compute node.
+	NetLatency time.Duration
+	// ICBandwidth is the interprocessor interconnect bandwidth used for
+	// reduction-object communication.
+	ICBandwidth units.Rate
+	// ICLatency is the per-message interconnect cost, dominated by
+	// middleware serialization and matching overheads.
+	ICLatency time.Duration
+	// GlobalValueCost is the master's per-float cost (decode + combine)
+	// during global reduction.
+	GlobalValueCost time.Duration
+	// IterSync is the master's per-pass coordination overhead. It is
+	// deliberately outside the prediction model's vocabulary — a constant
+	// the model mis-scales, like any real system has.
+	IterSync time.Duration
+	// JitterAmp is the relative amplitude of deterministic per-chunk disk
+	// time variation (0.01 = +/-1%).
+	JitterAmp float64
+}
+
+// Validate reports whether the spec is usable.
+func (c ClusterSpec) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("middleware: cluster without name")
+	case c.CPU.Flop <= 0 || c.CPU.Mem <= 0 || c.CPU.Branch <= 0:
+		return fmt.Errorf("middleware: cluster %q has non-positive CPU rates", c.Name)
+	case c.DiskBW <= 0:
+		return fmt.Errorf("middleware: cluster %q has non-positive disk bandwidth", c.Name)
+	case c.ICBandwidth <= 0:
+		return fmt.Errorf("middleware: cluster %q has non-positive interconnect bandwidth", c.Name)
+	case c.DiskAlpha < 0 || c.JitterAmp < 0:
+		return fmt.Errorf("middleware: cluster %q has negative contention/jitter factors", c.Name)
+	}
+	return nil
+}
+
+// EffectiveDiskBW reports the per-node disk bandwidth when n storage nodes
+// share the repository.
+func (c ClusterSpec) EffectiveDiskBW(n int) units.Rate {
+	if n < 1 {
+		n = 1
+	}
+	return units.Rate(float64(c.DiskBW) / (1 + c.DiskAlpha*float64(n-1)))
+}
+
+// ICMessageTime reports the cost of one interconnect message of b bytes.
+func (c ClusterSpec) ICMessageTime(b units.Bytes) time.Duration {
+	return c.ICLatency + c.ICBandwidth.TransferTime(b)
+}
+
+// PentiumMyrinet models the paper's base testbed: 700 MHz Pentium nodes on
+// Myrinet LANai 7.0.
+func PentiumMyrinet() ClusterSpec {
+	return ClusterSpec{
+		Name:            "pentium-myrinet",
+		CPU:             ArchRates{Flop: 180e6, Mem: 130e6, Branch: 160e6},
+		ChunkOverhead:   2 * time.Millisecond,
+		DiskBW:          40 * units.MBPerSec,
+		DiskSeek:        6 * time.Millisecond,
+		DiskAlpha:       0.012,
+		NetLatency:      800 * time.Microsecond,
+		ICBandwidth:     100 * units.MBPerSec,
+		ICLatency:       12 * time.Millisecond,
+		GlobalValueCost: 5 * time.Microsecond,
+		IterSync:        30 * time.Millisecond,
+		JitterAmp:       0.01,
+	}
+}
+
+// OpteronInfiniband models the paper's second cluster: dual 2.4 GHz
+// Opteron 250 nodes on Mellanox Infiniband.
+func OpteronInfiniband() ClusterSpec {
+	return ClusterSpec{
+		Name:            "opteron-infiniband",
+		CPU:             ArchRates{Flop: 760e6, Mem: 360e6, Branch: 520e6},
+		ChunkOverhead:   600 * time.Microsecond,
+		DiskBW:          120 * units.MBPerSec,
+		DiskSeek:        3 * time.Millisecond,
+		DiskAlpha:       0.012,
+		NetLatency:      150 * time.Microsecond,
+		ICBandwidth:     800 * units.MBPerSec,
+		ICLatency:       2500 * time.Microsecond,
+		GlobalValueCost: 1500 * time.Nanosecond,
+		IterSync:        8 * time.Millisecond,
+		JitterAmp:       0.01,
+	}
+}
+
+// DefaultBandwidth is the storage-to-compute bandwidth assumed for the
+// Pentium cluster's experiments when none is specified.
+const DefaultBandwidth = 100 * units.MBPerSec

@@ -1,0 +1,108 @@
+package middleware
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+func TestEffectiveRateBlendsMix(t *testing.T) {
+	a := ArchRates{Flop: 200e6, Mem: 100e6, Branch: 100e6}
+	pureFlop := a.EffectiveRate(reduction.WorkMix{Flop: 1})
+	if math.Abs(pureFlop-200e6) > 1 {
+		t.Fatalf("pure flop rate = %g, want 200e6", pureFlop)
+	}
+	half := a.EffectiveRate(reduction.WorkMix{Flop: 1, Mem: 1})
+	// Harmonic blend of 200e6 and 100e6 at equal shares: 133.3e6.
+	if math.Abs(half-400e6/3) > 1 {
+		t.Fatalf("blended rate = %g, want 133.3e6", half)
+	}
+	zero := ArchRates{}
+	if got := zero.EffectiveRate(reduction.WorkMix{Flop: 1}); !math.IsInf(got, 0) && got != 0 {
+		// Division by zero rates yields +Inf time share -> 0 rate.
+		t.Fatalf("zero arch rate = %g, want 0", got)
+	}
+}
+
+func TestMixesProduceDifferentCrossClusterRatios(t *testing.T) {
+	// This is the mechanism behind the paper's 0.233 vs 0.370 compute
+	// factors: the two clusters speed up different mixes differently.
+	p, o := PentiumMyrinet(), OpteronInfiniband()
+	flopMix := reduction.WorkMix{Flop: 0.9, Mem: 0.05, Branch: 0.05}
+	memMix := reduction.WorkMix{Flop: 0.1, Mem: 0.8, Branch: 0.1}
+	flopRatio := p.CPU.EffectiveRate(flopMix) / o.CPU.EffectiveRate(flopMix)
+	memRatio := p.CPU.EffectiveRate(memMix) / o.CPU.EffectiveRate(memMix)
+	if math.Abs(flopRatio-memRatio) < 0.01 {
+		t.Fatalf("flop and mem mixes scale identically (%.3f); arch rates degenerate", flopRatio)
+	}
+}
+
+func TestEffectiveDiskBWContention(t *testing.T) {
+	p := PentiumMyrinet()
+	if p.EffectiveDiskBW(1) != p.DiskBW {
+		t.Fatal("single node should see full disk bandwidth")
+	}
+	if p.EffectiveDiskBW(8) >= p.DiskBW {
+		t.Fatal("8 nodes should see degraded per-node bandwidth")
+	}
+	if p.EffectiveDiskBW(0) != p.DiskBW {
+		t.Fatal("n<1 should clamp to full bandwidth")
+	}
+}
+
+func TestICMessageTime(t *testing.T) {
+	p := PentiumMyrinet()
+	small := p.ICMessageTime(0)
+	if small != p.ICLatency {
+		t.Fatalf("zero-byte message = %v, want latency %v", small, p.ICLatency)
+	}
+	big := p.ICMessageTime(100 * units.MB)
+	want := p.ICLatency + time.Second // 100MB at 100MB/s
+	if d := big - want; d < -time.Millisecond || d > time.Millisecond {
+		t.Fatalf("100MB message = %v, want ~%v", big, want)
+	}
+}
+
+func TestClusterSpecValidate(t *testing.T) {
+	good := PentiumMyrinet()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*ClusterSpec){
+		func(c *ClusterSpec) { c.Name = "" },
+		func(c *ClusterSpec) { c.CPU.Flop = 0 },
+		func(c *ClusterSpec) { c.CPU.Mem = -1 },
+		func(c *ClusterSpec) { c.DiskBW = 0 },
+		func(c *ClusterSpec) { c.ICBandwidth = 0 },
+		func(c *ClusterSpec) { c.DiskAlpha = -0.1 },
+		func(c *ClusterSpec) { c.JitterAmp = -0.1 },
+	}
+	for i, mutate := range cases {
+		c := PentiumMyrinet()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestPredefinedClustersOrdered(t *testing.T) {
+	// The Opteron cluster must be faster than the Pentium one in every
+	// dimension the paper's experiments depend on.
+	p, o := PentiumMyrinet(), OpteronInfiniband()
+	if o.CPU.Flop <= p.CPU.Flop || o.CPU.Mem <= p.CPU.Mem || o.CPU.Branch <= p.CPU.Branch {
+		t.Error("Opteron CPU not faster")
+	}
+	if o.DiskBW <= p.DiskBW {
+		t.Error("Opteron disks not faster")
+	}
+	if o.ICLatency >= p.ICLatency || o.ICBandwidth <= p.ICBandwidth {
+		t.Error("Infiniband interconnect not faster than Myrinet")
+	}
+	if p.Name == o.Name {
+		t.Error("clusters share a name")
+	}
+}

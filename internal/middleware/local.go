@@ -1,0 +1,245 @@
+package middleware
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/datagen"
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+// LocalCluster is the cluster name recorded in profiles produced by the
+// local backend.
+const LocalCluster = "local"
+
+// LocalResult is the outcome of one real (goroutine-backed) execution.
+type LocalResult struct {
+	// Profile is the measured component breakdown, in real wall time.
+	Profile core.Profile
+	// Elapsed is the run's wall-clock duration.
+	Elapsed time.Duration
+	// Iterations is the number of passes actually performed (kernels may
+	// converge before their maximum).
+	Iterations int
+}
+
+// RunLocal executes a kernel for real: dataNodes goroutines materialize
+// and serve chunks (the data servers), computeNodes goroutines run local
+// reductions concurrently (the compute servers), reduction objects cross
+// a real encode/decode boundary when they implement BinaryObject, and the
+// master performs the global reduction. Chunks are cached in memory after
+// the first pass, exactly like the simulated backend.
+//
+// The returned profile's component attribution mirrors the paper's:
+// t_d is the (max per data node) chunk materialization time, t_n the
+// (max per compute node) time blocked receiving chunks, and t_c the
+// (max per compute node) processing time plus the serialized gather and
+// global reduction times.
+func RunLocal(k reduction.Kernel, spec adr.DatasetSpec, dataNodes, computeNodes int) (LocalResult, error) {
+	if dataNodes < 1 || computeNodes < dataNodes {
+		return LocalResult{}, fmt.Errorf("middleware: need computeNodes >= dataNodes >= 1, got %d-%d",
+			dataNodes, computeNodes)
+	}
+	gen, err := datagen.For(spec.Kind)
+	if err != nil {
+		return LocalResult{}, err
+	}
+	layout, err := adr.Partition(spec, dataNodes, adr.RoundRobin)
+	if err != nil {
+		return LocalResult{}, err
+	}
+	fields := gen.FieldsPerElem(spec)
+	var overlap int64
+	if or, ok := k.(reduction.OverlapRequester); ok {
+		overlap = or.OverlapElems()
+	}
+
+	start := time.Now()
+	diskTime := make([]time.Duration, dataNodes)
+	recvTime := make([]time.Duration, computeNodes)
+	compTime := make([]time.Duration, computeNodes)
+	var troTime, tgTime time.Duration
+	var roBytes units.Bytes
+
+	cache := make([][]reduction.Payload, computeNodes)
+	iterations := 0
+	for pass := 0; pass < k.Iterations(); pass++ {
+		iterations++
+		objs := make([]reduction.Object, computeNodes)
+		for j := range objs {
+			objs[j] = k.NewObject()
+		}
+		errs := make(chan error, dataNodes+computeNodes)
+		var wg sync.WaitGroup
+
+		if pass == 0 {
+			chans := make([]chan reduction.Payload, computeNodes)
+			for j := range chans {
+				chans[j] = make(chan reduction.Payload, 1)
+			}
+			// Data servers: retrieve (materialize) chunks and distribute
+			// them round-robin to their compute clients.
+			var serveWG sync.WaitGroup
+			for dn := 0; dn < dataNodes; dn++ {
+				dn := dn
+				var clients []int
+				for j := 0; j < computeNodes; j++ {
+					if j%dataNodes == dn {
+						clients = append(clients, j)
+					}
+				}
+				serveWG.Add(1)
+				go func() {
+					defer serveWG.Done()
+					for i, ch := range layout.NodeChunks(dn) {
+						t0 := time.Now()
+						vals := gen.ChunkValues(spec, ch)
+						payload := reduction.Payload{
+							Chunk: ch, Fields: fields, Values: vals,
+						}
+						if overlap > 0 {
+							before, after, err := datagen.HaloFor(gen, spec, ch, overlap)
+							if err != nil {
+								errs <- err
+								diskTime[dn] += time.Since(t0)
+								return
+							}
+							payload.HaloBefore, payload.HaloAfter = before, after
+						}
+						diskTime[dn] += time.Since(t0)
+						chans[clients[i%len(clients)]] <- payload
+					}
+				}()
+			}
+			go func() {
+				serveWG.Wait()
+				for _, c := range chans {
+					close(c)
+				}
+			}()
+			// Compute servers: receive, cache, process.
+			for j := 0; j < computeNodes; j++ {
+				j := j
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						t0 := time.Now()
+						p, ok := <-chans[j]
+						recvTime[j] += time.Since(t0)
+						if !ok {
+							return
+						}
+						cache[j] = append(cache[j], p)
+						t1 := time.Now()
+						if err := k.ProcessChunk(p, objs[j]); err != nil {
+							errs <- err
+							return
+						}
+						compTime[j] += time.Since(t1)
+					}
+				}()
+			}
+		} else {
+			// Cached passes: pure local processing.
+			for j := 0; j < computeNodes; j++ {
+				j := j
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					t0 := time.Now()
+					for _, p := range cache[j] {
+						if err := k.ProcessChunk(p, objs[j]); err != nil {
+							errs <- err
+							return
+						}
+					}
+					compTime[j] += time.Since(t0)
+				}()
+			}
+		}
+		wg.Wait()
+		select {
+		case err := <-errs:
+			return LocalResult{}, fmt.Errorf("middleware: local pass %d: %w", pass, err)
+		default:
+		}
+
+		// Gather: worker objects cross a real serialization boundary when
+		// supported, then merge into the master's object — serialized, as
+		// in the paper's model.
+		t0 := time.Now()
+		if objs[0].Bytes() > roBytes {
+			roBytes = objs[0].Bytes() // master's own pre-merge object
+		}
+		for j := 1; j < computeNodes; j++ {
+			if objs[j].Bytes() > roBytes {
+				roBytes = objs[j].Bytes()
+			}
+			recv := objs[j]
+			if bo, ok := objs[j].(reduction.BinaryObject); ok {
+				enc, err := bo.MarshalBinary()
+				if err != nil {
+					return LocalResult{}, fmt.Errorf("middleware: gather encode: %w", err)
+				}
+				fresh, ok := k.NewObject().(reduction.BinaryObject)
+				if !ok {
+					return LocalResult{}, fmt.Errorf("middleware: kernel %s object lost codec support", k.Name())
+				}
+				if err := fresh.UnmarshalBinary(enc); err != nil {
+					return LocalResult{}, fmt.Errorf("middleware: gather decode: %w", err)
+				}
+				recv = fresh
+			}
+			if err := objs[0].Merge(recv); err != nil {
+				return LocalResult{}, fmt.Errorf("middleware: gather merge: %w", err)
+			}
+		}
+		troTime += time.Since(t0)
+
+		t1 := time.Now()
+		done, err := k.GlobalReduce(objs[0])
+		tgTime += time.Since(t1)
+		if err != nil {
+			return LocalResult{}, fmt.Errorf("middleware: global reduce pass %d: %w", pass, err)
+		}
+		if done {
+			break
+		}
+	}
+
+	maxDur := func(ds []time.Duration) time.Duration {
+		var m time.Duration
+		for _, d := range ds {
+			if d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	profile := core.Profile{
+		App: k.Name(),
+		Config: core.Config{
+			Cluster:      LocalCluster,
+			DataNodes:    dataNodes,
+			ComputeNodes: computeNodes,
+			Bandwidth:    units.GBPerSec, // nominal in-process "network"
+			DatasetBytes: spec.TotalBytes,
+		},
+		Breakdown: core.Breakdown{
+			Tdisk:    maxDur(diskTime),
+			Tnetwork: maxDur(recvTime),
+			Tcompute: maxDur(compTime) + troTime + tgTime,
+		},
+		Tro:            troTime,
+		Tglobal:        tgTime,
+		ROBytesPerNode: roBytes,
+		BroadcastBytes: units.KB,
+		Iterations:     iterations,
+	}
+	return LocalResult{Profile: profile, Elapsed: time.Since(start), Iterations: iterations}, nil
+}

@@ -1,0 +1,176 @@
+package middleware
+
+import (
+	"math"
+	"testing"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/apps"
+	"freerideg/internal/apps/defect"
+	"freerideg/internal/apps/kmeans"
+	"freerideg/internal/apps/knn"
+	"freerideg/internal/apps/vortex"
+	"freerideg/internal/units"
+)
+
+func localSpec(kind string) adr.DatasetSpec {
+	spec := adr.DatasetSpec{
+		Name:       "local-" + kind,
+		ChunkBytes: 128 * units.KB,
+		Kind:       kind,
+		Seed:       23,
+	}
+	switch kind {
+	case "points":
+		spec.TotalBytes = units.MB
+		spec.ElemBytes = 128
+		spec.Dims = 16
+	case "field":
+		spec.TotalBytes = units.MB
+		spec.ElemBytes = 16
+		spec.Dims = 2
+	case "lattice":
+		spec.TotalBytes = units.MB
+		spec.ElemBytes = 24
+		spec.Dims = 3
+	case "transactions":
+		spec.TotalBytes = units.MB
+		spec.ElemBytes = 96
+		spec.Dims = 12
+	}
+	return spec
+}
+
+func TestRunLocalValidatesNodeCounts(t *testing.T) {
+	spec := localSpec("points")
+	a, _ := apps.Get("kmeans")
+	k, _ := a.NewKernel(spec)
+	if _, err := RunLocal(k, spec, 0, 1); err == nil {
+		t.Error("0 data nodes accepted")
+	}
+	if _, err := RunLocal(k, spec, 4, 2); err == nil {
+		t.Error("compute < data accepted")
+	}
+}
+
+func TestRunLocalAllAppsProduceValidProfiles(t *testing.T) {
+	for _, name := range apps.Names() {
+		a, err := apps.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := localSpec(a.DatasetKind)
+		k, err := a.NewKernel(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunLocal(k, spec, 2, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := res.Profile.Validate(); err != nil {
+			t.Errorf("%s: invalid profile: %v", name, err)
+		}
+		if res.Profile.ROBytesPerNode <= 0 {
+			t.Errorf("%s: no reduction object size recorded", name)
+		}
+		if res.Iterations < 1 {
+			t.Errorf("%s: %d iterations", name, res.Iterations)
+		}
+	}
+}
+
+func TestRunLocalKMeansMatchesSequential(t *testing.T) {
+	spec := localSpec("points")
+	seqK, err := kmeans.New(spec, kmeans.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apps.RunSequential(seqK, spec); err != nil {
+		t.Fatal(err)
+	}
+	parK, _ := kmeans.New(spec, kmeans.DefaultParams())
+	if _, err := RunLocal(parK, spec, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	for ci := range seqK.Centers() {
+		for j := range seqK.Centers()[ci] {
+			s, p := seqK.Centers()[ci][j], parK.Centers()[ci][j]
+			if math.Abs(s-p) > 1e-6*(math.Abs(s)+1) {
+				t.Fatalf("center %d dim %d differs: sequential %v vs parallel %v", ci, j, s, p)
+			}
+		}
+	}
+}
+
+func TestRunLocalKNNExact(t *testing.T) {
+	spec := localSpec("points")
+	seqK, _ := knn.New(spec, knn.Params{K: 8, Queries: 4})
+	if err := apps.RunSequential(seqK, spec); err != nil {
+		t.Fatal(err)
+	}
+	parK, _ := knn.New(spec, knn.Params{K: 8, Queries: 4})
+	if _, err := RunLocal(parK, spec, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	for qi := range seqK.Result().Lists {
+		s, p := seqK.Result().Lists[qi], parK.Result().Lists[qi]
+		if len(s) != len(p) {
+			t.Fatalf("query %d: %d vs %d neighbours", qi, len(s), len(p))
+		}
+		for i := range s {
+			if s[i].Dist != p[i].Dist {
+				t.Fatalf("query %d rank %d: %v vs %v", qi, i, s[i], p[i])
+			}
+		}
+	}
+}
+
+func TestRunLocalVortexMatchesSequential(t *testing.T) {
+	spec := localSpec("field")
+	seqK, _ := vortex.New(spec, vortex.DefaultParams())
+	if err := apps.RunSequential(seqK, spec); err != nil {
+		t.Fatal(err)
+	}
+	parK, _ := vortex.New(spec, vortex.DefaultParams())
+	if _, err := RunLocal(parK, spec, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqK.Result()) != len(parK.Result()) {
+		t.Fatalf("vortex counts differ: %d vs %d", len(seqK.Result()), len(parK.Result()))
+	}
+}
+
+func TestRunLocalDefectMatchesSequential(t *testing.T) {
+	spec := localSpec("lattice")
+	seqK, _ := defect.New(spec, defect.DefaultParams())
+	if err := apps.RunSequential(seqK, spec); err != nil {
+		t.Fatal(err)
+	}
+	parK, _ := defect.New(spec, defect.DefaultParams())
+	if _, err := RunLocal(parK, spec, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqK.Defects()) != len(parK.Defects()) {
+		t.Fatalf("defect counts differ: %d vs %d", len(seqK.Defects()), len(parK.Defects()))
+	}
+	for class, n := range seqK.Counts() {
+		if parK.Counts()[class] != n {
+			t.Fatalf("class %d: %d vs %d", class, n, parK.Counts()[class])
+		}
+	}
+}
+
+func TestRunSequentialAllApps(t *testing.T) {
+	for _, name := range apps.Names() {
+		a, _ := apps.Get(name)
+		spec := localSpec(a.DatasetKind)
+		k, err := a.NewKernel(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := apps.RunSequential(k, spec); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package middleware
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/datagen"
+	"freerideg/internal/reduction"
+)
+
+// LocalOptions configures the goroutine backend's node shape: plain
+// distributed-memory nodes (Threads = 1) or a cluster of SMPs where each
+// compute node runs several threads sharing reduction state through one
+// of the FREERIDE techniques. This is the "distributed memory and shared
+// memory systems, as well as cluster of SMPs, from a common high-level
+// interface" capability the paper's Section 2 describes.
+type LocalOptions struct {
+	// Threads is the number of processing threads per compute node
+	// (0 or 1 = single-threaded nodes).
+	Threads int
+	// Strategy selects how a node's threads share reduction state.
+	Strategy ShmStrategy
+}
+
+func (o LocalOptions) threads() int {
+	if o.Threads < 1 {
+		return 1
+	}
+	return o.Threads
+}
+
+// RunLocalSMP executes a kernel on a simulated cluster of SMPs:
+// dataNodes data-server goroutines, computeNodes compute nodes each
+// running opts.Threads processing threads. Within a node, threads combine
+// through the chosen shared-memory strategy; across nodes, objects are
+// gathered and globally reduced exactly as in RunLocal.
+func RunLocalSMP(k reduction.Kernel, spec adr.DatasetSpec, dataNodes, computeNodes int, opts LocalOptions) (LocalResult, error) {
+	if opts.threads() == 1 && opts.Strategy == FullReplication {
+		return RunLocal(k, spec, dataNodes, computeNodes)
+	}
+	if dataNodes < 1 || computeNodes < dataNodes {
+		return LocalResult{}, fmt.Errorf("middleware: need computeNodes >= dataNodes >= 1, got %d-%d",
+			dataNodes, computeNodes)
+	}
+	switch opts.Strategy {
+	case FullReplication, FullLocking:
+	default:
+		return LocalResult{}, fmt.Errorf("middleware: unknown strategy %v", opts.Strategy)
+	}
+	gen, err := datagen.For(spec.Kind)
+	if err != nil {
+		return LocalResult{}, err
+	}
+	layout, err := adr.Partition(spec, dataNodes, adr.RoundRobin)
+	if err != nil {
+		return LocalResult{}, err
+	}
+	fields := gen.FieldsPerElem(spec)
+	var overlap int64
+	if or, ok := k.(reduction.OverlapRequester); ok {
+		overlap = or.OverlapElems()
+	}
+
+	// Materialize each node's chunk stream up front (the data-server side
+	// is identical to RunLocal; the interesting part here is the node's
+	// internal parallelism).
+	nodePayloads := make([][]reduction.Payload, computeNodes)
+	for dn := 0; dn < dataNodes; dn++ {
+		var clients []int
+		for j := 0; j < computeNodes; j++ {
+			if j%dataNodes == dn {
+				clients = append(clients, j)
+			}
+		}
+		for i, ch := range layout.NodeChunks(dn) {
+			payload := reduction.Payload{Chunk: ch, Fields: fields, Values: gen.ChunkValues(spec, ch)}
+			if overlap > 0 {
+				before, after, err := datagen.HaloFor(gen, spec, ch, overlap)
+				if err != nil {
+					return LocalResult{}, err
+				}
+				payload.HaloBefore, payload.HaloAfter = before, after
+			}
+			j := clients[i%len(clients)]
+			nodePayloads[j] = append(nodePayloads[j], payload)
+		}
+	}
+
+	start := time.Now()
+	iterations := 0
+	for pass := 0; pass < k.Iterations(); pass++ {
+		iterations++
+		objs := make([]reduction.Object, computeNodes)
+		var nodeWG sync.WaitGroup
+		errs := make(chan error, computeNodes)
+		for j := 0; j < computeNodes; j++ {
+			j := j
+			nodeWG.Add(1)
+			go func() {
+				defer nodeWG.Done()
+				var obj reduction.Object
+				var err error
+				switch opts.Strategy {
+				case FullReplication:
+					obj, err = shmReplicated(k, nodePayloads[j], opts.threads())
+				case FullLocking:
+					obj, err = shmLocked(k, nodePayloads[j], opts.threads())
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				objs[j] = obj
+			}()
+		}
+		nodeWG.Wait()
+		select {
+		case err := <-errs:
+			return LocalResult{}, fmt.Errorf("middleware: smp pass %d: %w", pass, err)
+		default:
+		}
+		for j := 1; j < computeNodes; j++ {
+			if err := objs[0].Merge(objs[j]); err != nil {
+				return LocalResult{}, fmt.Errorf("middleware: smp gather merge: %w", err)
+			}
+		}
+		done, err := k.GlobalReduce(objs[0])
+		if err != nil {
+			return LocalResult{}, fmt.Errorf("middleware: smp global reduce pass %d: %w", pass, err)
+		}
+		if done {
+			break
+		}
+	}
+	return LocalResult{Iterations: iterations, Elapsed: time.Since(start)}, nil
+}

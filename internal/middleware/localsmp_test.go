@@ -1,0 +1,112 @@
+package middleware
+
+import (
+	"math"
+	"testing"
+
+	"freerideg/internal/apps"
+	"freerideg/internal/apps/kmeans"
+	"freerideg/internal/apps/knn"
+)
+
+func TestRunLocalSMPMatchesRunLocal(t *testing.T) {
+	spec := localSpec("points")
+	params := kmeans.Params{K: 8, MaxIter: 5, Epsilon: 0}
+	plain, err := kmeans.New(spec, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunLocal(plain, spec, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []LocalOptions{
+		{Threads: 3, Strategy: FullReplication},
+		{Threads: 3, Strategy: FullLocking},
+	} {
+		smp, err := kmeans.New(spec, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunLocalSMP(smp, spec, 2, 2, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", opts.Strategy, err)
+		}
+		if res.Iterations != params.MaxIter {
+			t.Fatalf("%v: %d iterations, want %d", opts.Strategy, res.Iterations, params.MaxIter)
+		}
+		for ci := range plain.Centers() {
+			for j := range plain.Centers()[ci] {
+				a, b := plain.Centers()[ci][j], smp.Centers()[ci][j]
+				if math.Abs(a-b) > 1e-6*(math.Abs(a)+1) {
+					t.Fatalf("%v: center %d dim %d differs: %v vs %v", opts.Strategy, ci, j, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestRunLocalSMPKNNExact(t *testing.T) {
+	spec := localSpec("points")
+	params := knn.Params{K: 8, Queries: 4}
+	ref, _ := knn.New(spec, params)
+	if err := apps.RunSequential(ref, spec); err != nil {
+		t.Fatal(err)
+	}
+	smp, _ := knn.New(spec, params)
+	if _, err := RunLocalSMP(smp, spec, 2, 4, LocalOptions{Threads: 2, Strategy: FullLocking}); err != nil {
+		t.Fatal(err)
+	}
+	for qi := range ref.Result().Lists {
+		for i := range ref.Result().Lists[qi] {
+			if ref.Result().Lists[qi][i].Dist != smp.Result().Lists[qi][i].Dist {
+				t.Fatalf("query %d rank %d differs", qi, i)
+			}
+		}
+	}
+}
+
+func TestRunLocalSMPDefaultsToRunLocal(t *testing.T) {
+	spec := localSpec("points")
+	a, _ := apps.Get("kmeans")
+	k, _ := a.NewKernel(spec)
+	res, err := RunLocalSMP(k, spec, 1, 2, LocalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-threaded full replication routes through RunLocal, which
+	// fills the profile.
+	if res.Profile.Tcompute <= 0 {
+		t.Fatal("single-thread path did not produce a RunLocal profile")
+	}
+}
+
+func TestRunLocalSMPValidation(t *testing.T) {
+	spec := localSpec("points")
+	a, _ := apps.Get("kmeans")
+	k, _ := a.NewKernel(spec)
+	if _, err := RunLocalSMP(k, spec, 4, 2, LocalOptions{Threads: 2}); err == nil {
+		t.Error("compute < data accepted")
+	}
+	if _, err := RunLocalSMP(k, spec, 1, 1, LocalOptions{Threads: 2, Strategy: ShmStrategy(9)}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	bad := spec
+	bad.Kind = "bogus"
+	if _, err := RunLocalSMP(k, bad, 1, 1, LocalOptions{Threads: 2}); err == nil {
+		t.Error("bogus dataset accepted")
+	}
+}
+
+func TestRunLocalSMPAllApps(t *testing.T) {
+	for _, name := range apps.Names() {
+		a, _ := apps.Get(name)
+		spec := localSpec(a.DatasetKind)
+		k, err := a.NewKernel(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunLocalSMP(k, spec, 2, 4, LocalOptions{Threads: 2, Strategy: FullReplication}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

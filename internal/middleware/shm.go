@@ -1,0 +1,219 @@
+package middleware
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/datagen"
+	"freerideg/internal/reduction"
+)
+
+// ShmStrategy selects how threads of one SMP compute node share reduction
+// state — the FREERIDE shared-memory parallelization techniques the
+// middleware inherits (Jin & Agrawal, TKDE 2005), which let the same
+// kernel run on distributed memory, shared memory, and clusters of SMPs.
+type ShmStrategy int
+
+const (
+	// FullReplication gives every thread a private reduction object;
+	// objects are merged after the pass. No synchronization during
+	// processing, at the cost of one object copy per thread.
+	FullReplication ShmStrategy = iota
+	// FullLocking shares one reduction object per node behind a single
+	// lock; threads serialize their updates. Minimal memory, maximal
+	// contention.
+	FullLocking
+)
+
+func (s ShmStrategy) String() string {
+	switch s {
+	case FullReplication:
+		return "full-replication"
+	case FullLocking:
+		return "full-locking"
+	}
+	return fmt.Sprintf("ShmStrategy(%d)", int(s))
+}
+
+// ShmResult is the outcome of one shared-memory (single SMP node) run.
+type ShmResult struct {
+	// Elapsed is the wall-clock duration of the processing passes.
+	Elapsed time.Duration
+	// Iterations is the number of passes performed.
+	Iterations int
+	// Threads is the thread count used.
+	Threads int
+	// Strategy is the technique used.
+	Strategy ShmStrategy
+}
+
+// RunShm executes a kernel on one simulated SMP node with the given
+// number of threads and sharing strategy, processing materialized chunks.
+// It exercises the same Kernel interface as the distributed backends: the
+// associativity/commutativity contract of reduction objects is exactly
+// what makes all three strategies compute the same result.
+func RunShm(k reduction.Kernel, spec adr.DatasetSpec, threads int, strategy ShmStrategy) (ShmResult, error) {
+	if threads < 1 {
+		return ShmResult{}, fmt.Errorf("middleware: need >= 1 thread, got %d", threads)
+	}
+	gen, err := datagen.For(spec.Kind)
+	if err != nil {
+		return ShmResult{}, err
+	}
+	layout, err := adr.Partition(spec, 1, adr.RoundRobin)
+	if err != nil {
+		return ShmResult{}, err
+	}
+	fields := gen.FieldsPerElem(spec)
+	var overlap int64
+	if or, ok := k.(reduction.OverlapRequester); ok {
+		overlap = or.OverlapElems()
+	}
+	payloads := make([]reduction.Payload, 0, len(layout.Chunks()))
+	for _, ch := range layout.Chunks() {
+		payload := reduction.Payload{
+			Chunk:  ch,
+			Fields: fields,
+			Values: gen.ChunkValues(spec, ch),
+		}
+		if overlap > 0 {
+			before, after, err := datagen.HaloFor(gen, spec, ch, overlap)
+			if err != nil {
+				return ShmResult{}, err
+			}
+			payload.HaloBefore, payload.HaloAfter = before, after
+		}
+		payloads = append(payloads, payload)
+	}
+
+	start := time.Now()
+	iterations := 0
+	for pass := 0; pass < k.Iterations(); pass++ {
+		iterations++
+		var merged reduction.Object
+		var err error
+		switch strategy {
+		case FullReplication:
+			merged, err = shmReplicated(k, payloads, threads)
+		case FullLocking:
+			merged, err = shmLocked(k, payloads, threads)
+		default:
+			return ShmResult{}, fmt.Errorf("middleware: unknown strategy %v", strategy)
+		}
+		if err != nil {
+			return ShmResult{}, fmt.Errorf("middleware: shm pass %d: %w", pass, err)
+		}
+		done, err := k.GlobalReduce(merged)
+		if err != nil {
+			return ShmResult{}, fmt.Errorf("middleware: shm global reduce: %w", err)
+		}
+		if done {
+			break
+		}
+	}
+	return ShmResult{
+		Elapsed:    time.Since(start),
+		Iterations: iterations,
+		Threads:    threads,
+		Strategy:   strategy,
+	}, nil
+}
+
+// shmReplicated: one private object per thread, merged afterwards.
+func shmReplicated(k reduction.Kernel, payloads []reduction.Payload, threads int) (reduction.Object, error) {
+	objs := make([]reduction.Object, threads)
+	for i := range objs {
+		objs[i] = k.NewObject()
+	}
+	errs := make(chan error, threads)
+	var wg sync.WaitGroup
+	var next int64
+	var nextMu sync.Mutex
+	take := func() int {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if next >= int64(len(payloads)) {
+			return -1
+		}
+		i := int(next)
+		next++
+		return i
+	}
+	for t := 0; t < threads; t++ {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				if err := k.ProcessChunk(payloads[i], objs[t]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	for t := 1; t < threads; t++ {
+		if err := objs[0].Merge(objs[t]); err != nil {
+			return nil, err
+		}
+	}
+	return objs[0], nil
+}
+
+// shmLocked: a single shared object behind one lock.
+func shmLocked(k reduction.Kernel, payloads []reduction.Payload, threads int) (reduction.Object, error) {
+	shared := k.NewObject()
+	var mu sync.Mutex
+	errs := make(chan error, threads)
+	var wg sync.WaitGroup
+	var next int64
+	var nextMu sync.Mutex
+	take := func() int {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if next >= int64(len(payloads)) {
+			return -1
+		}
+		i := int(next)
+		next++
+		return i
+	}
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				mu.Lock()
+				err := k.ProcessChunk(payloads[i], shared)
+				mu.Unlock()
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return shared, nil
+}

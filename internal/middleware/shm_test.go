@@ -1,0 +1,116 @@
+package middleware
+
+import (
+	"math"
+	"testing"
+
+	"freerideg/internal/apps"
+	"freerideg/internal/apps/kmeans"
+	"freerideg/internal/apps/knn"
+)
+
+func TestShmStrategyStrings(t *testing.T) {
+	if FullReplication.String() != "full-replication" || FullLocking.String() != "full-locking" {
+		t.Error("strategy strings changed")
+	}
+	if ShmStrategy(7).String() == "" {
+		t.Error("unknown strategy string empty")
+	}
+}
+
+func TestShmValidation(t *testing.T) {
+	spec := localSpec("points")
+	a, _ := apps.Get("kmeans")
+	k, _ := a.NewKernel(spec)
+	if _, err := RunShm(k, spec, 0, FullReplication); err == nil {
+		t.Error("0 threads accepted")
+	}
+	if _, err := RunShm(k, spec, 2, ShmStrategy(9)); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	bad := spec
+	bad.Kind = "bogus"
+	if _, err := RunShm(k, bad, 2, FullReplication); err == nil {
+		t.Error("bogus dataset kind accepted")
+	}
+}
+
+func TestShmStrategiesAgreeKMeans(t *testing.T) {
+	spec := localSpec("points")
+	params := kmeans.Params{K: 8, MaxIter: 5, Epsilon: 0}
+	centersOf := func(strategy ShmStrategy, threads int) [][]float64 {
+		k, err := kmeans.New(spec, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunShm(k, spec, threads, strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Iterations != params.MaxIter {
+			t.Fatalf("%v ran %d passes, want %d", strategy, res.Iterations, params.MaxIter)
+		}
+		return k.Centers()
+	}
+	ref := centersOf(FullReplication, 1)
+	for _, strategy := range []ShmStrategy{FullReplication, FullLocking} {
+		got := centersOf(strategy, 4)
+		for ci := range ref {
+			for j := range ref[ci] {
+				if math.Abs(ref[ci][j]-got[ci][j]) > 1e-6*(math.Abs(ref[ci][j])+1) {
+					t.Fatalf("%v with 4 threads differs at center %d dim %d: %v vs %v",
+						strategy, ci, j, got[ci][j], ref[ci][j])
+				}
+			}
+		}
+	}
+}
+
+func TestShmStrategiesAgreeKNNExactly(t *testing.T) {
+	spec := localSpec("points")
+	params := knn.Params{K: 8, Queries: 4}
+	resultOf := func(strategy ShmStrategy, threads int) *knn.Object {
+		k, err := knn.New(spec, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunShm(k, spec, threads, strategy); err != nil {
+			t.Fatal(err)
+		}
+		return k.Result()
+	}
+	ref := resultOf(FullReplication, 1)
+	for _, strategy := range []ShmStrategy{FullReplication, FullLocking} {
+		got := resultOf(strategy, 3)
+		for qi := range ref.Lists {
+			if len(ref.Lists[qi]) != len(got.Lists[qi]) {
+				t.Fatalf("%v: query %d list lengths differ", strategy, qi)
+			}
+			for i := range ref.Lists[qi] {
+				if ref.Lists[qi][i].Dist != got.Lists[qi][i].Dist {
+					t.Fatalf("%v: query %d rank %d differs", strategy, qi, i)
+				}
+			}
+		}
+	}
+}
+
+func TestShmAllAppsRunUnderBothStrategies(t *testing.T) {
+	for _, name := range apps.Names() {
+		a, _ := apps.Get(name)
+		spec := localSpec(a.DatasetKind)
+		for _, strategy := range []ShmStrategy{FullReplication, FullLocking} {
+			k, err := a.NewKernel(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunShm(k, spec, 4, strategy)
+			if err != nil {
+				t.Fatalf("%s under %v: %v", name, strategy, err)
+			}
+			if res.Threads != 4 || res.Strategy != strategy {
+				t.Fatalf("%s: result metadata %+v", name, res)
+			}
+		}
+	}
+}

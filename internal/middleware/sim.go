@@ -1,0 +1,422 @@
+package middleware
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/reduction"
+	"freerideg/internal/simgrid"
+	"freerideg/internal/units"
+)
+
+// Grid is a set of simulated clusters that runs the FREERIDE-G protocol.
+type Grid struct {
+	clusters map[string]ClusterSpec
+}
+
+// NewGrid builds a grid from cluster specs.
+func NewGrid(specs ...ClusterSpec) (*Grid, error) {
+	g := &Grid{clusters: make(map[string]ClusterSpec, len(specs))}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := g.clusters[s.Name]; dup {
+			return nil, fmt.Errorf("middleware: duplicate cluster %q", s.Name)
+		}
+		g.clusters[s.Name] = s
+	}
+	return g, nil
+}
+
+// Cluster returns a registered cluster spec.
+func (g *Grid) Cluster(name string) (ClusterSpec, error) {
+	s, ok := g.clusters[name]
+	if !ok {
+		return ClusterSpec{}, fmt.Errorf("middleware: unknown cluster %q", name)
+	}
+	return s, nil
+}
+
+// MeasureIC returns a probe function for core.CalibrateLink: it reports
+// the simulated interconnect's one-message cost for a given size, exactly
+// the "experimentally determined" w and l measurement the paper prescribes.
+func (g *Grid) MeasureIC(cluster string) func(units.Bytes) (time.Duration, error) {
+	return func(b units.Bytes) (time.Duration, error) {
+		s, err := g.Cluster(cluster)
+		if err != nil {
+			return 0, err
+		}
+		return s.ICMessageTime(b), nil
+	}
+}
+
+// CacheMode selects where chunks live after the first pass.
+type CacheMode int
+
+const (
+	// CacheMemory holds chunks in compute-node memory: later passes pay
+	// no retrieval cost. This is the setting the paper's model assumes.
+	CacheMemory CacheMode = iota
+	// CacheLocalDisk spills chunks to each compute node's local disk:
+	// later passes re-read them at local disk speed. This exercises the
+	// middleware's "Data Caching" role when memory is insufficient.
+	CacheLocalDisk
+	// CacheRemote stages chunks at a non-local caching site (the
+	// middleware design goal the paper's implementation deferred): later
+	// passes fetch them over the network at the cache site's bandwidth,
+	// normally much better than the origin repository's.
+	CacheRemote
+)
+
+func (m CacheMode) String() string {
+	switch m {
+	case CacheMemory:
+		return "memory"
+	case CacheLocalDisk:
+		return "local-disk"
+	case CacheRemote:
+		return "remote"
+	}
+	return fmt.Sprintf("CacheMode(%d)", int(m))
+}
+
+// CacheSpec describes the caching tier used for passes after the first.
+type CacheSpec struct {
+	Mode CacheMode
+	// Bandwidth and Latency describe the non-local caching site's path to
+	// the compute nodes (CacheRemote only).
+	Bandwidth units.Rate
+	Latency   time.Duration
+}
+
+// SimOptions selects middleware protocol variants for ablation studies.
+// The zero value is the paper's protocol (serialized gather, synchronous
+// chunk-round delivery, in-memory caching, no stragglers).
+type SimOptions struct {
+	// TreeGather collects reduction objects in ceil(log2 c) parallel
+	// combining rounds instead of the serialized master gather the
+	// paper's model assumes.
+	TreeGather bool
+	// AsyncDelivery removes the per-round flow control from pass 0: data
+	// servers stream chunks as fast as clients drain them, letting
+	// retrieval overlap computation (and breaking the additive
+	// decomposition the prediction model relies on).
+	AsyncDelivery bool
+	// Cache selects the caching tier for passes after the first.
+	Cache CacheSpec
+	// StragglerNode selects the compute node slowed by StragglerFactor —
+	// failure injection for robustness studies. Only meaningful when
+	// StragglerFactor > 1.
+	StragglerNode int
+	// StragglerFactor is the slowdown of the straggler node (2 = half
+	// speed). Values <= 1 disable the straggler.
+	StragglerFactor float64
+	// Trace, when non-nil, receives one line per middleware phase event
+	// (pass boundaries, gather, global reduction) with virtual
+	// timestamps — the execution log a real deployment would emit.
+	Trace io.Writer
+}
+
+// trace writes one timestamped event line when tracing is enabled.
+func (o SimOptions) trace(at time.Duration, format string, args ...interface{}) {
+	if o.Trace == nil {
+		return
+	}
+	fmt.Fprintf(o.Trace, "t=%-14v %s\n", at, fmt.Sprintf(format, args...))
+}
+
+func (o SimOptions) validate(c int) error {
+	if o.Cache.Mode == CacheRemote && o.Cache.Bandwidth <= 0 {
+		return fmt.Errorf("middleware: remote cache needs positive bandwidth")
+	}
+	if o.StragglerFactor > 1 && (o.StragglerNode < 0 || o.StragglerNode >= c) {
+		return fmt.Errorf("middleware: straggler node %d outside 0..%d", o.StragglerNode, c-1)
+	}
+	return nil
+}
+
+// SimResult is the outcome of one simulated execution.
+type SimResult struct {
+	// Profile is the summary information the prediction framework
+	// consumes (component breakdown measured on the run).
+	Profile core.Profile
+	// Makespan is the actual wall-clock (virtual) execution time,
+	// the T_exact of the paper's error metric.
+	Makespan time.Duration
+}
+
+// Simulate executes one application run on a simulated configuration,
+// following the FREERIDE-G protocol:
+//
+//	pass 0:   compute nodes pull chunks from their storage node in
+//	          synchronous chunk rounds — each node has one outstanding
+//	          chunk request (disk read, then network transfer), processes
+//	          the chunk, caches it, and the round completes collectively
+//	          (application-level flow control);
+//	passes 1+: chunks are processed from the cache;
+//	each pass: per-node reduction objects are gathered serially at the
+//	          master over the interconnect, the master performs the global
+//	          reduction, and re-broadcasts the result.
+//
+// The synchronous delivery protocol is what makes the paper's additive
+// decomposition T_exec = t_d + t_n + t_c hold on this middleware; the
+// deviations the prediction model has to absorb come from repository
+// contention (DiskAlpha), per-chunk jitter, integer chunk imbalance, the
+// serialized gather/global phases, and the constant per-pass
+// coordination overhead.
+//
+// Component times follow the paper's accounting: t_d and t_n are the
+// maxima over storage nodes of disk and uplink busy time; t_c is the
+// maximum per-compute-node processing time plus the serialized
+// reduction-object communication and global reduction.
+func (g *Grid) Simulate(cost reduction.CostModel, spec adr.DatasetSpec, cfg core.Config) (SimResult, error) {
+	return g.SimulateOpts(cost, spec, cfg, SimOptions{})
+}
+
+// SimulateOpts is Simulate with explicit protocol options.
+func (g *Grid) SimulateOpts(cost reduction.CostModel, spec adr.DatasetSpec, cfg core.Config, opts SimOptions) (SimResult, error) {
+	if err := cost.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	cluster, err := g.Cluster(cfg.Cluster)
+	if err != nil {
+		return SimResult{}, err
+	}
+	if cfg.DatasetBytes != spec.TotalBytes {
+		return SimResult{}, fmt.Errorf("middleware: config dataset %v != spec %v", cfg.DatasetBytes, spec.TotalBytes)
+	}
+	layout, err := adr.Partition(spec, cfg.DataNodes, adr.RoundRobin)
+	if err != nil {
+		return SimResult{}, err
+	}
+
+	n, c := cfg.DataNodes, cfg.ComputeNodes
+	if err := opts.validate(c); err != nil {
+		return SimResult{}, err
+	}
+	totalElems := spec.Elems()
+	effRate := cluster.CPU.EffectiveRate(cost.Mix)
+	if effRate <= 0 {
+		return SimResult{}, fmt.Errorf("middleware: zero effective CPU rate on %q", cfg.Cluster)
+	}
+	diskBW := cluster.EffectiveDiskBW(n)
+	roBytes := cost.ROBytesPerNode(totalElems, c)
+	gatherMsg := cluster.ICMessageTime(roBytes)
+	bcastMsg := cluster.ICMessageTime(cost.BroadcastBytes)
+	globalPerPass := time.Duration(cost.GlobalOps(totalElems, c)) * cluster.GlobalValueCost
+
+	// Assign every chunk to a compute node: compute node j is served by
+	// storage node j mod n; each storage node hands its chunks round-robin
+	// to its clients.
+	clientsOf := make([][]int, n)
+	for j := 0; j < c; j++ {
+		dn := j % n
+		clientsOf[dn] = append(clientsOf[dn], j)
+	}
+	for _, cl := range clientsOf {
+		sort.Ints(cl)
+	}
+	chunksOf := make([][]adr.Chunk, c)
+	for dn := 0; dn < n; dn++ {
+		clients := clientsOf[dn]
+		for i, ch := range layout.NodeChunks(dn) {
+			j := clients[i%len(clients)]
+			chunksOf[j] = append(chunksOf[j], ch)
+		}
+	}
+
+	// Deterministic per-chunk disk jitter.
+	jrng := rand.New(rand.NewSource(spec.Seed*1000003 + int64(n)*31 + int64(c)))
+	jitter := make([]float64, len(layout.Chunks()))
+	for i := range jitter {
+		jitter[i] = 1 + cluster.JitterAmp*(2*jrng.Float64()-1)
+	}
+
+	eng := simgrid.NewEngine()
+	// Each storage node runs a single-threaded data server: one chunk's
+	// disk read and network send are serviced as one unit, so a node's
+	// retrieval and communication work never overlap — the behavior that
+	// makes the paper's additive decomposition hold.
+	servers := make([]*simgrid.Resource, n)
+	diskBusy := make([]time.Duration, n)
+	netBusy := make([]time.Duration, n)
+	for i := 0; i < n; i++ {
+		servers[i] = eng.NewResource(fmt.Sprintf("dataserver%d", i), 1)
+	}
+	ic := eng.NewResource("interconnect", 1)
+	gatherBox := eng.NewMailbox("gather")
+	bcastBox := make([]*simgrid.Mailbox, c)
+	for j := range bcastBox {
+		bcastBox[j] = eng.NewMailbox(fmt.Sprintf("bcast%d", j))
+	}
+
+	compTime := make([]time.Duration, c)
+	cachedTime := make([]time.Duration, c)
+	var tglobal, tsync, treeTro time.Duration
+	treeRounds := 0
+	for span := 1; span < c; span *= 2 {
+		treeRounds++
+	}
+
+	rounds := 0
+	for j := 0; j < c; j++ {
+		if len(chunksOf[j]) > rounds {
+			rounds = len(chunksOf[j])
+		}
+	}
+	roundBarrier := eng.NewBarrier("round", c)
+	// The reduction phase is a BSP superstep: all nodes synchronize after
+	// local reduction before objects are gathered.
+	passBarrier := eng.NewBarrier("pass", c)
+
+	for j := 0; j < c; j++ {
+		j := j
+		dn := j % n
+		eng.Spawn(fmt.Sprintf("compute%d", j), func(p *simgrid.Proc) {
+			rate := effRate
+			if opts.StragglerFactor > 1 && j == opts.StragglerNode {
+				rate /= opts.StragglerFactor
+			}
+			procTime := func(ch adr.Chunk) time.Duration {
+				return units.Seconds(float64(ch.Elems)*cost.OpsPerElem/rate) + cluster.ChunkOverhead
+			}
+			// cachedFetch charges the per-chunk retrieval cost of a pass
+			// after the first, per the configured caching tier.
+			cachedFetch := func(ch adr.Chunk) time.Duration {
+				switch opts.Cache.Mode {
+				case CacheLocalDisk:
+					return cluster.DiskSeek + cluster.DiskBW.TransferTime(ch.Bytes)
+				case CacheRemote:
+					return opts.Cache.Latency + opts.Cache.Bandwidth.TransferTime(ch.Bytes)
+				}
+				return 0
+			}
+			for pass := 0; pass < cost.Iterations; pass++ {
+				if pass == 0 {
+					// Synchronous chunk rounds: retrieve, transfer,
+					// process, then complete the round collectively.
+					for k := 0; k < rounds; k++ {
+						if k < len(chunksOf[j]) {
+							ch := chunksOf[j][k]
+							read := time.Duration(float64(cluster.DiskSeek+diskBW.TransferTime(ch.Bytes)) * jitter[ch.Index])
+							send := cluster.NetLatency + cfg.Bandwidth.TransferTime(ch.Bytes)
+							p.Acquire(servers[dn])
+							p.Wait(read)
+							p.Wait(send)
+							p.Release(servers[dn])
+							diskBusy[dn] += read
+							netBusy[dn] += send
+							proc := procTime(ch)
+							p.Wait(proc)
+							compTime[j] += proc
+						}
+						if !opts.AsyncDelivery {
+							p.Arrive(roundBarrier)
+						}
+					}
+				} else {
+					// Cached passes: retrieval from the caching tier (free
+					// for in-memory caching), then local processing.
+					for _, ch := range chunksOf[j] {
+						if fetch := cachedFetch(ch); fetch > 0 {
+							p.Wait(fetch)
+							cachedTime[j] += fetch
+						}
+						proc := procTime(ch)
+						p.Wait(proc)
+						compTime[j] += proc
+					}
+				}
+				p.Arrive(passBarrier)
+				if j != 0 {
+					// Gather: send this node's reduction object to the
+					// master — serialized over the interconnect, or as
+					// part of a combining tree under the ablation option.
+					if !opts.TreeGather {
+						p.Use(ic, gatherMsg)
+					}
+					gatherBox.Put(j)
+					// Wait for the master's result broadcast.
+					p.Get(bcastBox[j])
+					continue
+				}
+				// Master: await all worker objects, reduce globally,
+				// coordinate the next pass, re-broadcast.
+				opts.trace(p.Now(), "pass=%d local reduction complete on master", pass)
+				for w := 1; w < c; w++ {
+					p.Get(gatherBox)
+				}
+				opts.trace(p.Now(), "pass=%d gathered %d reduction objects (%v each)", pass, c-1, roBytes)
+				if opts.TreeGather && c > 1 {
+					d := time.Duration(treeRounds) * gatherMsg
+					p.Wait(d)
+					treeTro += d
+				}
+				p.Wait(globalPerPass)
+				tglobal += globalPerPass
+				opts.trace(p.Now(), "pass=%d global reduction done (%v)", pass, globalPerPass)
+				p.Wait(cluster.IterSync)
+				tsync += cluster.IterSync
+				if opts.TreeGather && c > 1 {
+					d := time.Duration(treeRounds) * bcastMsg
+					p.Wait(d)
+					treeTro += d
+					for w := 1; w < c; w++ {
+						bcastBox[w].Put(pass)
+					}
+				} else {
+					for w := 1; w < c; w++ {
+						p.Use(ic, bcastMsg)
+						bcastBox[w].Put(pass)
+					}
+				}
+				opts.trace(p.Now(), "pass=%d results broadcast to %d workers", pass, c-1)
+			}
+		})
+	}
+	opts.trace(0, "run=%s config=%v chunks=%d iterations=%d", cost.Name, cfg, len(layout.Chunks()), cost.Iterations)
+	if err := eng.Run(); err != nil {
+		return SimResult{}, fmt.Errorf("middleware: simulation of %s on %v: %w", cost.Name, cfg, err)
+	}
+	opts.trace(eng.Now(), "run=%s complete makespan=%v", cost.Name, eng.Now())
+
+	maxDur := func(ds []time.Duration) time.Duration {
+		var m time.Duration
+		for _, d := range ds {
+			if d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	tro := ic.BusyTime() + treeTro
+	cached := maxDur(cachedTime)
+	profile := core.Profile{
+		App:    cost.Name,
+		Config: cfg,
+		Breakdown: core.Breakdown{
+			Tdisk:    maxDur(diskBusy) + cached,
+			Tnetwork: maxDur(netBusy),
+			Tcompute: maxDur(compTime) + tro + tglobal + tsync,
+		},
+		TdiskCached:    cached,
+		Tro:            tro,
+		Tglobal:        tglobal,
+		ROBytesPerNode: roBytes,
+		BroadcastBytes: cost.BroadcastBytes,
+		Iterations:     cost.Iterations,
+	}
+	if err := profile.Validate(); err != nil {
+		return SimResult{}, fmt.Errorf("middleware: simulation produced invalid profile: %w", err)
+	}
+	return SimResult{Profile: profile, Makespan: eng.Now()}, nil
+}

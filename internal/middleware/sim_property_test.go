@@ -1,0 +1,120 @@
+package middleware
+
+import (
+	"testing"
+	"testing/quick"
+
+	"freerideg/internal/apps"
+	"freerideg/internal/core"
+	"freerideg/internal/units"
+)
+
+// fuzzConfig builds a valid configuration from fuzz inputs.
+func fuzzConfig(nRaw, cRaw, sRaw uint8) (core.Config, units.Bytes) {
+	n := 1 << (int(nRaw) % 4) // 1..8
+	c := n << (int(cRaw) % 3) // n..4n
+	if c > 16 {
+		c = 16
+	}
+	total := units.Bytes(int(sRaw)%192+64) * units.MB
+	return core.Config{
+		Cluster:      "pentium-myrinet",
+		DataNodes:    n,
+		ComputeNodes: c,
+		Bandwidth:    DefaultBandwidth,
+		DatasetBytes: total,
+	}, total
+}
+
+func TestSimPropertyProfilesAlwaysValid(t *testing.T) {
+	g := testGrid(t)
+	a, _ := apps.Get("kmeans")
+	f := func(nRaw, cRaw, sRaw uint8) bool {
+		cfg, total := fuzzConfig(nRaw, cRaw, sRaw)
+		spec := pointsSpec(total)
+		cost, err := a.Cost(spec)
+		if err != nil {
+			return false
+		}
+		res, err := g.Simulate(cost, spec, cfg)
+		if err != nil {
+			return false
+		}
+		if err := res.Profile.Validate(); err != nil {
+			return false
+		}
+		// Makespan within 10% of the additive component sum: the
+		// protocol's additivity property, for every configuration.
+		gap := res.Makespan.Seconds() - res.Profile.Texec().Seconds()
+		if gap < 0 {
+			gap = -gap
+		}
+		return gap <= 0.10*res.Makespan.Seconds()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimPropertyMoreComputeNeverSlower(t *testing.T) {
+	g := testGrid(t)
+	a, _ := apps.Get("em")
+	f := func(nRaw, sRaw uint8) bool {
+		cfg, total := fuzzConfig(nRaw, 0, sRaw) // c = n
+		spec := pointsSpec(total)
+		cost, err := a.Cost(spec)
+		if err != nil {
+			return false
+		}
+		base, err := g.Simulate(cost, spec, cfg)
+		if err != nil {
+			return false
+		}
+		wider := cfg
+		wider.ComputeNodes = cfg.ComputeNodes * 2
+		if wider.ComputeNodes > 16 {
+			return true
+		}
+		faster, err := g.Simulate(cost, spec, wider)
+		if err != nil {
+			return false
+		}
+		// Compute-dominant workloads must not slow down with more nodes.
+		return faster.Makespan <= base.Makespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimPropertyBiggerDatasetSlower(t *testing.T) {
+	g := testGrid(t)
+	a, _ := apps.Get("knn")
+	f := func(nRaw, cRaw, sRaw uint8) bool {
+		cfg, total := fuzzConfig(nRaw, cRaw, sRaw)
+		spec := pointsSpec(total)
+		cost, err := a.Cost(spec)
+		if err != nil {
+			return false
+		}
+		small, err := g.Simulate(cost, spec, cfg)
+		if err != nil {
+			return false
+		}
+		bigger := cfg
+		bigger.DatasetBytes = total * 2
+		bigSpec := pointsSpec(total * 2)
+		bigCost, err := a.Cost(bigSpec)
+		if err != nil {
+			return false
+		}
+		big, err := g.Simulate(bigCost, bigSpec, bigger)
+		if err != nil {
+			return false
+		}
+		return big.Makespan > small.Makespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

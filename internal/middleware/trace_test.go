@@ -1,0 +1,53 @@
+package middleware
+
+import (
+	"strings"
+	"testing"
+
+	"freerideg/internal/apps"
+	"freerideg/internal/units"
+)
+
+func TestTraceEmitsPhaseEvents(t *testing.T) {
+	g := testGrid(t)
+	total := 64 * units.MB
+	a, _ := apps.Get("kmeans")
+	spec := pointsSpec(total)
+	cost, _ := a.Cost(spec)
+	var sb strings.Builder
+	res, err := g.SimulateOpts(cost, spec, config(1, 2, total), SimOptions{Trace: &sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"run=kmeans config=",
+		"pass=0 gathered 1 reduction objects",
+		"pass=0 global reduction done",
+		"pass=9 results broadcast to 1 workers",
+		"complete makespan=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q\ntrace:\n%s", want, out)
+		}
+	}
+	// Each of the 10 passes produces gather, global, and broadcast lines.
+	if got := strings.Count(out, "global reduction done"); got != 10 {
+		t.Errorf("%d global-reduction events, want 10", got)
+	}
+	if !strings.Contains(out, res.Makespan.String()) {
+		t.Errorf("trace does not record the makespan %v", res.Makespan)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	g := testGrid(t)
+	total := 64 * units.MB
+	a, _ := apps.Get("kmeans")
+	spec := pointsSpec(total)
+	cost, _ := a.Cost(spec)
+	// Nil writer must be a no-op (and not panic).
+	if _, err := g.SimulateOpts(cost, spec, config(1, 1, total), SimOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}

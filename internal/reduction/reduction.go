@@ -1,0 +1,170 @@
+// Package reduction defines the FREERIDE-G programming model: applications
+// are expressed as generalized reductions. During each pass, data elements
+// are read in arbitrary order, each element updates a reduction object
+// through associative and commutative operators, per-node objects are
+// communicated after local reduction, and a global reduction combines them.
+//
+// An application supplies a Kernel (the real computation, used by the
+// goroutine backend, tests, and examples) and a CostModel (the analytic
+// work description, used by the simulated backend that stands in for the
+// paper's physical clusters).
+package reduction
+
+import (
+	"encoding"
+	"fmt"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/units"
+)
+
+// Payload is one chunk's worth of data delivered to a compute node.
+type Payload struct {
+	Chunk  adr.Chunk
+	Fields int       // float64 values per element
+	Values []float64 // element-major, len = Chunk.Elems * Fields
+
+	// HaloBefore and HaloAfter hold overlapping data instances from the
+	// neighbouring partitions (the paper's vortex decomposition overlaps
+	// partitions so stencil detection needs no communication). They are
+	// filled by the backends only for kernels that implement
+	// OverlapRequester, and are empty at the dataset's edges.
+	HaloBefore []float64
+	HaloAfter  []float64
+}
+
+// Elem returns element e of the payload as a slice of its fields.
+func (p Payload) Elem(e int64) []float64 {
+	return p.Values[e*int64(p.Fields) : (e+1)*int64(p.Fields)]
+}
+
+// Validate reports whether the payload shape is consistent.
+func (p Payload) Validate() error {
+	if p.Fields <= 0 {
+		return fmt.Errorf("reduction: payload for chunk %d has %d fields", p.Chunk.Index, p.Fields)
+	}
+	if int64(len(p.Values)) != p.Chunk.Elems*int64(p.Fields) {
+		return fmt.Errorf("reduction: payload for chunk %d has %d values, want %d",
+			p.Chunk.Index, len(p.Values), p.Chunk.Elems*int64(p.Fields))
+	}
+	if len(p.HaloBefore)%p.Fields != 0 || len(p.HaloAfter)%p.Fields != 0 {
+		return fmt.Errorf("reduction: payload for chunk %d has ragged halos (%d, %d values with %d fields)",
+			p.Chunk.Index, len(p.HaloBefore), len(p.HaloAfter), p.Fields)
+	}
+	return nil
+}
+
+// HaloBeforeElems reports the number of whole elements in HaloBefore.
+func (p Payload) HaloBeforeElems() int64 { return int64(len(p.HaloBefore) / p.Fields) }
+
+// HaloAfterElems reports the number of whole elements in HaloAfter.
+func (p Payload) HaloAfterElems() int64 { return int64(len(p.HaloAfter) / p.Fields) }
+
+// Object is a reduction object: the accumulator updated by local reduction
+// and combined across nodes. Merge must be associative and commutative
+// so nodes can combine objects in any order.
+type Object interface {
+	// Merge folds another object of the same concrete type into this one.
+	Merge(other Object) error
+	// Bytes reports the object's serialized size, the quantity the paper's
+	// communication model is linear in.
+	Bytes() units.Bytes
+}
+
+// BinaryObject is an Object that can cross a process boundary. The local
+// backend round-trips objects through this encoding to mimic the data
+// server/compute server split.
+type BinaryObject interface {
+	Object
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+}
+
+// Kernel is one application run. Kernels are stateful: GlobalReduce
+// updates internal state (cluster centers, catalogs, ...) between passes.
+// A Kernel must only be driven by one runner at a time, though
+// ProcessChunk may be called concurrently on distinct Objects.
+type Kernel interface {
+	// Name identifies the application ("kmeans", "em", ...).
+	Name() string
+	// NewObject returns a fresh local reduction object for the current pass.
+	NewObject() Object
+	// ProcessChunk folds a chunk into a local reduction object.
+	ProcessChunk(p Payload, obj Object) error
+	// GlobalReduce consumes the fully merged object, updates kernel state,
+	// and reports whether the computation has converged.
+	GlobalReduce(merged Object) (done bool, err error)
+	// Iterations is the fixed number of passes the application performs
+	// (kept deterministic so profile and target runs agree).
+	Iterations() int
+}
+
+// OverlapRequester is implemented by kernels whose local reduction needs
+// overlapping data instances from neighbouring partitions (stencil-based
+// feature detection). OverlapElems reports how many elements of overlap
+// each chunk needs on each side.
+type OverlapRequester interface {
+	OverlapElems() int64
+}
+
+// WorkMix is an application's instruction mix. Clusters execute mixes at
+// different per-category rates, which is what makes per-application
+// cross-cluster scaling factors differ (the paper observed 0.233–0.370).
+// The three shares should sum to 1.
+type WorkMix struct {
+	Flop   float64 // floating-point heavy work
+	Mem    float64 // memory-bound work
+	Branch float64 // control-flow heavy work
+}
+
+// Normalize scales the mix so the shares sum to 1. A zero mix becomes
+// pure Flop.
+func (m WorkMix) Normalize() WorkMix {
+	total := m.Flop + m.Mem + m.Branch
+	if total <= 0 {
+		return WorkMix{Flop: 1}
+	}
+	return WorkMix{Flop: m.Flop / total, Mem: m.Mem / total, Branch: m.Branch / total}
+}
+
+// CostModel is the analytic work description of an application, consumed
+// by the simulated backend. The functions depend only on the dataset's
+// element count and the compute-node count so simulated runs never need
+// to materialize data.
+type CostModel struct {
+	// Name matches the Kernel name.
+	Name string
+	// Mix is the application's instruction mix.
+	Mix WorkMix
+	// OpsPerElem is the local-reduction work per element per pass,
+	// in abstract operations.
+	OpsPerElem float64
+	// Iterations is the number of passes.
+	Iterations int
+	// ROBytesPerNode reports the per-node reduction object size for a run
+	// over totalElems elements on c compute nodes.
+	ROBytesPerNode func(totalElems int64, c int) units.Bytes
+	// GlobalOps reports the master's global-reduction work per pass,
+	// in abstract operations (charged serially).
+	GlobalOps func(totalElems int64, c int) float64
+	// BroadcastBytes is the per-pass volume re-broadcast from the master
+	// to every other compute node after global reduction.
+	BroadcastBytes units.Bytes
+}
+
+// Validate reports whether the cost model is usable.
+func (m CostModel) Validate() error {
+	switch {
+	case m.Name == "":
+		return fmt.Errorf("reduction: cost model without name")
+	case m.OpsPerElem <= 0:
+		return fmt.Errorf("reduction: cost model %q has non-positive OpsPerElem", m.Name)
+	case m.Iterations < 1:
+		return fmt.Errorf("reduction: cost model %q has %d iterations", m.Name, m.Iterations)
+	case m.ROBytesPerNode == nil:
+		return fmt.Errorf("reduction: cost model %q lacks ROBytesPerNode", m.Name)
+	case m.GlobalOps == nil:
+		return fmt.Errorf("reduction: cost model %q lacks GlobalOps", m.Name)
+	}
+	return nil
+}

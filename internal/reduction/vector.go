@@ -1,0 +1,146 @@
+package reduction
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"freerideg/internal/units"
+)
+
+// VectorObject is a reduction object holding a fixed-length float64 vector
+// combined by element-wise addition. It covers the accumulators of the
+// clustering applications (per-cluster sums, counts, sufficient
+// statistics).
+type VectorObject struct {
+	V []float64
+}
+
+// NewVectorObject returns a zeroed vector accumulator of length n.
+func NewVectorObject(n int) *VectorObject {
+	return &VectorObject{V: make([]float64, n)}
+}
+
+// Merge adds the other vector element-wise.
+func (o *VectorObject) Merge(other Object) error {
+	v, ok := other.(*VectorObject)
+	if !ok {
+		return fmt.Errorf("reduction: cannot merge %T into VectorObject", other)
+	}
+	if len(v.V) != len(o.V) {
+		return fmt.Errorf("reduction: vector length mismatch %d vs %d", len(v.V), len(o.V))
+	}
+	for i := range o.V {
+		o.V[i] += v.V[i]
+	}
+	return nil
+}
+
+// Bytes reports the serialized size (8 bytes per value).
+func (o *VectorObject) Bytes() units.Bytes {
+	return units.Bytes(8 * len(o.V))
+}
+
+// MarshalBinary encodes the vector as little-endian float64 bits.
+func (o *VectorObject) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 8*len(o.V))
+	for i, v := range o.V {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes little-endian float64 bits.
+func (o *VectorObject) UnmarshalBinary(data []byte) error {
+	if len(data)%8 != 0 {
+		return fmt.Errorf("reduction: vector encoding length %d not a multiple of 8", len(data))
+	}
+	o.V = make([]float64, len(data)/8)
+	for i := range o.V {
+		o.V[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return nil
+}
+
+var _ BinaryObject = (*VectorObject)(nil)
+
+// FloatsObject is a variable-length reduction object combined by
+// concatenation: merging appends the other object's values. It covers
+// feature lists (vortices, defects) and deferred per-chunk statistics,
+// whose size grows with the data reduced.
+type FloatsObject struct {
+	Stride int // values per record; 0 means untyped concatenation
+	V      []float64
+}
+
+// NewFloatsObject returns an empty concatenation accumulator whose records
+// are stride values wide.
+func NewFloatsObject(stride int) *FloatsObject {
+	return &FloatsObject{Stride: stride}
+}
+
+// Append adds one record; the record length must equal the stride.
+func (o *FloatsObject) Append(record ...float64) error {
+	if o.Stride > 0 && len(record) != o.Stride {
+		return fmt.Errorf("reduction: record of %d values appended to stride-%d object", len(record), o.Stride)
+	}
+	o.V = append(o.V, record...)
+	return nil
+}
+
+// Records reports the number of complete records held.
+func (o *FloatsObject) Records() int {
+	if o.Stride <= 0 {
+		return len(o.V)
+	}
+	return len(o.V) / o.Stride
+}
+
+// Record returns the i-th record.
+func (o *FloatsObject) Record(i int) []float64 {
+	return o.V[i*o.Stride : (i+1)*o.Stride]
+}
+
+// Merge concatenates the other object's values.
+func (o *FloatsObject) Merge(other Object) error {
+	v, ok := other.(*FloatsObject)
+	if !ok {
+		return fmt.Errorf("reduction: cannot merge %T into FloatsObject", other)
+	}
+	if v.Stride != o.Stride {
+		return fmt.Errorf("reduction: stride mismatch %d vs %d", v.Stride, o.Stride)
+	}
+	o.V = append(o.V, v.V...)
+	return nil
+}
+
+// Bytes reports the serialized size (8 bytes per value plus the stride
+// header).
+func (o *FloatsObject) Bytes() units.Bytes {
+	return units.Bytes(8*len(o.V) + 8)
+}
+
+// MarshalBinary encodes the stride followed by the values.
+func (o *FloatsObject) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 8+8*len(o.V))
+	binary.LittleEndian.PutUint64(buf, uint64(o.Stride))
+	for i, v := range o.V {
+		binary.LittleEndian.PutUint64(buf[8+i*8:], math.Float64bits(v))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a MarshalBinary encoding.
+func (o *FloatsObject) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 || (len(data)-8)%8 != 0 {
+		return fmt.Errorf("reduction: floats encoding has invalid length %d", len(data))
+	}
+	o.Stride = int(binary.LittleEndian.Uint64(data))
+	o.V = make([]float64, (len(data)-8)/8)
+	for i := range o.V {
+		o.V[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8+i*8:]))
+	}
+	return nil
+}
+
+var _ BinaryObject = (*FloatsObject)(nil)

@@ -1,0 +1,222 @@
+// Package simgrid is a deterministic, process-oriented discrete-event
+// simulator. It stands in for the physical clusters of the paper's testbed:
+// the FREERIDE-G middleware is executed against simulated disks, network
+// links, and CPUs, all sharing one virtual clock.
+//
+// Processes are ordinary functions run on goroutines, but exactly one
+// process executes at any instant: a process runs until it blocks on the
+// virtual clock (Wait), a Resource, or a Mailbox, at which point control
+// returns to the engine, which advances the clock to the next event.
+// Ties are broken by event sequence number, so simulations are fully
+// deterministic and repeatable.
+package simgrid
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Engine owns the virtual clock and the event calendar.
+type Engine struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	procSeq int
+	active  int // processes spawned and not yet finished
+	blocked map[*Proc]string
+	yield   chan yieldMsg
+	failure error
+}
+
+type yieldMsg struct {
+	proc *Proc
+	done bool
+	err  error
+}
+
+type event struct {
+	at   time.Duration
+	seq  uint64
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{
+		yield:   make(chan yieldMsg),
+		blocked: make(map[*Proc]string),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Proc is a simulated process. All blocking methods must be called from
+// the process's own body function.
+type Proc struct {
+	e      *Engine
+	id     int
+	name   string
+	resume chan struct{}
+	err    error
+}
+
+// Name reports the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() time.Duration { return p.e.now }
+
+// Spawn registers a new process. The body runs when Run is called (or
+// immediately at the current virtual time if the simulation is already
+// running). A body may itself spawn further processes.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	e.procSeq++
+	p := &Proc{e: e, id: e.procSeq, name: name, resume: make(chan struct{})}
+	e.active++
+	go func() {
+		<-p.resume // wait for first scheduling
+		defer func() {
+			if r := recover(); r != nil {
+				if _, aborted := r.(abortSignal); !aborted {
+					p.err = fmt.Errorf("simgrid: process %q panicked: %v", name, r)
+				}
+			}
+			e.yield <- yieldMsg{proc: p, done: true, err: p.err}
+		}()
+		body(p)
+	}()
+	e.schedule(e.now, p)
+	return p
+}
+
+func (e *Engine) schedule(at time.Duration, p *Proc) {
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+}
+
+// park blocks the calling process until the engine resumes it. reason is
+// recorded for deadlock diagnostics.
+func (p *Proc) park(reason string) {
+	p.e.blocked[p] = reason
+	p.e.yield <- yieldMsg{proc: p}
+	<-p.resume
+	delete(p.e.blocked, p)
+	if p.e.failure != nil {
+		// The engine is shutting down after another process failed;
+		// unwind this process too.
+		panic(abortSignal{})
+	}
+}
+
+type abortSignal struct{}
+
+// Wait advances the process by d of virtual time. Negative durations are
+// treated as zero.
+func (p *Proc) Wait(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.e.schedule(p.e.now+d, p)
+	p.park(fmt.Sprintf("waiting %v", d))
+}
+
+// Fail aborts the process's simulation run with an error. The engine's Run
+// returns this error.
+func (p *Proc) Fail(err error) {
+	p.err = err
+	panic(abortSignal{})
+}
+
+// Run executes the simulation until no events remain. It returns an error
+// if a process failed or panicked, or if all remaining processes are
+// blocked with no pending event (deadlock).
+func (e *Engine) Run() error {
+	for e.active > 0 {
+		if e.events.Len() == 0 {
+			return e.deadlock()
+		}
+		ev := heap.Pop(&e.events).(event)
+		if ev.at < e.now {
+			return fmt.Errorf("simgrid: event scheduled in the past (%v < %v)", ev.at, e.now)
+		}
+		e.now = ev.at
+		ev.proc.resume <- struct{}{}
+		msg := <-e.yield
+		if msg.done {
+			e.active--
+			if msg.err != nil && e.failure == nil {
+				e.failure = msg.err
+			}
+		}
+		if e.failure != nil {
+			e.drain()
+			return e.failure
+		}
+	}
+	return nil
+}
+
+// drain unwinds all still-parked processes after a failure so their
+// goroutines terminate.
+func (e *Engine) drain() {
+	// Wake every parked process; park() observes e.failure and aborts.
+	procs := make([]*Proc, 0, len(e.blocked))
+	for p := range e.blocked {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].id < procs[j].id })
+	for _, p := range procs {
+		p.resume <- struct{}{}
+		msg := <-e.yield
+		if msg.done {
+			e.active--
+		}
+	}
+	// Processes still sitting in the event queue (not parked in a resource)
+	// are woken likewise.
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		select {
+		case ev.proc.resume <- struct{}{}:
+			msg := <-e.yield
+			if msg.done {
+				e.active--
+			}
+		default:
+		}
+	}
+}
+
+func (e *Engine) deadlock() error {
+	if len(e.blocked) == 0 {
+		return fmt.Errorf("simgrid: %d process(es) unaccounted for with an empty calendar", e.active)
+	}
+	names := make([]string, 0, len(e.blocked))
+	for p, reason := range e.blocked {
+		names = append(names, fmt.Sprintf("%s (%s)", p.name, reason))
+	}
+	sort.Strings(names)
+	return fmt.Errorf("simgrid: deadlock at %v; blocked: %v", e.now, names)
+}

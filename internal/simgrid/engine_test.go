@@ -1,0 +1,185 @@
+package simgrid
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+}
+
+func TestWaitAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.Spawn("p", func(p *Proc) {
+		p.Wait(3 * time.Second)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 3*time.Second {
+		t.Fatalf("time after wait = %v, want 3s", at)
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("engine clock = %v, want 3s", e.Now())
+	}
+}
+
+func TestNegativeWaitIsZero(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Proc) {
+		p.Wait(-time.Second)
+		if p.Now() != 0 {
+			t.Errorf("negative wait advanced the clock to %v", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessesInterleaveDeterministically(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	step := func(name string, d time.Duration) func(*Proc) {
+		return func(p *Proc) {
+			p.Wait(d)
+			order = append(order, fmt.Sprintf("%s@%v", name, p.Now()))
+		}
+	}
+	e.Spawn("a", step("a", 2*time.Second))
+	e.Spawn("b", step("b", time.Second))
+	e.Spawn("c", step("c", 2*time.Second))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(order, " ")
+	// b fires first; a and c tie at 2s and must resolve in spawn order.
+	want := "b@1s a@2s c@2s"
+	if got != want {
+		t.Fatalf("order = %q, want %q", got, want)
+	}
+}
+
+func TestRunIsRepeatable(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var order []string
+		res := e.NewResource("r", 1)
+		for i := 0; i < 5; i++ {
+			name := fmt.Sprintf("p%d", i)
+			e.Spawn(name, func(p *Proc) {
+				p.Use(res, time.Duration(i+1)*time.Millisecond)
+				order = append(order, fmt.Sprintf("%s@%v", p.Name(), p.Now()))
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := run()
+	for trial := 0; trial < 10; trial++ {
+		if got := run(); strings.Join(got, ",") != strings.Join(first, ",") {
+			t.Fatalf("trial %d order %v differs from first %v", trial, got, first)
+		}
+	}
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	e := NewEngine()
+	var childTime time.Duration
+	e.Spawn("parent", func(p *Proc) {
+		p.Wait(time.Second)
+		e.Spawn("child", func(c *Proc) {
+			c.Wait(time.Second)
+			childTime = c.Now()
+		})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childTime != 2*time.Second {
+		t.Fatalf("child finished at %v, want 2s", childTime)
+	}
+}
+
+func TestFailPropagates(t *testing.T) {
+	e := NewEngine()
+	boom := errors.New("boom")
+	e.Spawn("failer", func(p *Proc) {
+		p.Wait(time.Millisecond)
+		p.Fail(boom)
+	})
+	e.Spawn("waiter", func(p *Proc) {
+		p.Wait(time.Hour)
+	})
+	err := e.Run()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run() = %v, want %v", err, boom)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("panicker", func(p *Proc) {
+		panic("kaboom")
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("Run() = %v, want panic error", err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine()
+	m := e.NewMailbox("never")
+	e.Spawn("stuck", func(p *Proc) {
+		p.Get(m)
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("Run() = %v, want deadlock error", err)
+	}
+	if !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("deadlock error %v does not name the blocked process", err)
+	}
+}
+
+func TestEventInPastRejected(t *testing.T) {
+	// Scheduling in the past cannot happen through the public API; this
+	// exercises the internal guard directly.
+	e := NewEngine()
+	e.Spawn("p", func(p *Proc) { p.Wait(time.Second) })
+	e.now = 2 * time.Second
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "past") {
+		t.Fatalf("Run() = %v, want past-event error", err)
+	}
+}
+
+func TestManyProcessesTerminate(t *testing.T) {
+	e := NewEngine()
+	total := 0
+	for i := 0; i < 500; i++ {
+		d := time.Duration(i%7) * time.Millisecond
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Wait(d)
+			total++
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != 500 {
+		t.Fatalf("ran %d processes, want 500", total)
+	}
+}

@@ -1,0 +1,172 @@
+package simgrid
+
+import (
+	"fmt"
+	"time"
+)
+
+// Resource is a FIFO-queued resource with a fixed capacity (number of
+// simultaneous holders). Disks, network endpoints, and the cluster
+// interconnect are modeled as Resources.
+type Resource struct {
+	e        *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+	granted  map[*Proc]int // tokens granted but not yet claimed after wake
+
+	busy      time.Duration // total held time across holders
+	lastStart map[*Proc]time.Duration
+}
+
+// NewResource creates a resource with the given capacity (>= 1).
+func (e *Engine) NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic(fmt.Sprintf("simgrid: resource %q capacity must be >= 1", name))
+	}
+	return &Resource{
+		e:         e,
+		name:      name,
+		capacity:  capacity,
+		granted:   make(map[*Proc]int),
+		lastStart: make(map[*Proc]time.Duration),
+	}
+}
+
+// Name reports the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// BusyTime reports the cumulative virtual time the resource has been held,
+// summed over holders (a capacity-2 resource held by two processes for 1s
+// accumulates 2s).
+func (r *Resource) BusyTime() time.Duration { return r.busy }
+
+// Acquire takes one unit of the resource, blocking in FIFO order until a
+// unit is free. Each Acquire must be paired with a Release by the same
+// process.
+func (p *Proc) Acquire(r *Resource) {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.inUse++
+		r.lastStart[p] = r.e.now
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.park("acquire " + r.name)
+	// Woken by Release, which already transferred the unit to us.
+	if r.granted[p] == 0 {
+		panic(fmt.Sprintf("simgrid: %s woken without grant on %s", p.name, r.name))
+	}
+	r.granted[p]--
+	if r.granted[p] == 0 {
+		delete(r.granted, p)
+	}
+	r.lastStart[p] = r.e.now
+}
+
+// Release returns one unit of the resource and wakes the first waiter,
+// if any, at the current virtual time.
+func (p *Proc) Release(r *Resource) {
+	if r.inUse <= 0 {
+		panic(fmt.Sprintf("simgrid: release of idle resource %q by %s", r.name, p.name))
+	}
+	if start, ok := r.lastStart[p]; ok {
+		r.busy += r.e.now - start
+		delete(r.lastStart, p)
+	}
+	r.inUse--
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.inUse++ // unit transferred directly to the waiter
+		r.granted[next]++
+		r.e.schedule(r.e.now, next)
+	}
+}
+
+// Use acquires the resource, holds it for d of virtual time, and releases
+// it. It returns the total elapsed virtual time including queueing delay.
+func (p *Proc) Use(r *Resource, d time.Duration) time.Duration {
+	start := p.e.now
+	p.Acquire(r)
+	p.Wait(d)
+	p.Release(r)
+	return p.e.now - start
+}
+
+// Mailbox is an unbounded FIFO queue of messages between processes.
+// Put never blocks; Get blocks until a message is available.
+type Mailbox struct {
+	e       *Engine
+	name    string
+	queue   []interface{}
+	waiters []*Proc
+}
+
+// NewMailbox creates an empty mailbox.
+func (e *Engine) NewMailbox(name string) *Mailbox {
+	return &Mailbox{e: e, name: name}
+}
+
+// Len reports the number of queued messages.
+func (m *Mailbox) Len() int { return len(m.queue) }
+
+// Put enqueues a message and wakes the first waiting receiver, if any.
+// It may be called from any process (or from spawn-time setup code).
+func (m *Mailbox) Put(v interface{}) {
+	m.queue = append(m.queue, v)
+	if len(m.waiters) > 0 {
+		next := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.e.schedule(m.e.now, next)
+	}
+}
+
+// Get dequeues the oldest message, blocking until one is available.
+func (p *Proc) Get(m *Mailbox) interface{} {
+	for len(m.queue) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.park("recv " + m.name)
+	}
+	v := m.queue[0]
+	m.queue = m.queue[1:]
+	return v
+}
+
+// Barrier blocks a group of processes until n of them have arrived.
+type Barrier struct {
+	e       *Engine
+	name    string
+	n       int
+	arrived int
+	waiters []*Proc
+	epoch   int
+}
+
+// NewBarrier creates a barrier for n participants.
+func (e *Engine) NewBarrier(name string, n int) *Barrier {
+	if n < 1 {
+		panic(fmt.Sprintf("simgrid: barrier %q needs n >= 1", name))
+	}
+	return &Barrier{e: e, name: name, n: n}
+}
+
+// Arrive blocks until all n participants have arrived, then releases them
+// all at the current virtual time. The barrier is reusable.
+func (p *Proc) Arrive(b *Barrier) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.epoch++
+		for _, w := range b.waiters {
+			b.e.schedule(b.e.now, w)
+		}
+		b.waiters = b.waiters[:0]
+		return
+	}
+	epoch := b.epoch
+	b.waiters = append(b.waiters, p)
+	for b.epoch == epoch {
+		p.park("barrier " + b.name)
+	}
+}

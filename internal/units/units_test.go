@@ -1,0 +1,143 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{KB, "1.00KB"},
+		{1536, "1.50KB"},
+		{MB, "1.00MB"},
+		{1433 * MB, "1.40GB"},
+		{GB, "1.00GB"},
+		{TB, "1.00TB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bytes
+	}{
+		{"512", 512},
+		{"512B", 512},
+		{"64KB", 64 * KB},
+		{"64kb", 64 * KB},
+		{" 1.5 MB ", 1536 * KB},
+		{"1.4GB", Bytes(math.Round(1.4 * float64(GB)))},
+		{"710MB", 710 * MB},
+		{"2TB", 2 * TB},
+		{"0", 0},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if err != nil {
+			t.Errorf("ParseBytes(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBytesErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "12XB", "-5MB", "GB"} {
+		if v, err := ParseBytes(in); err == nil {
+			t.Errorf("ParseBytes(%q) = %v, want error", in, v)
+		}
+	}
+}
+
+func TestParseBytesRoundTripsString(t *testing.T) {
+	f := func(raw uint32) bool {
+		b := Bytes(raw)
+		got, err := ParseBytes(b.String())
+		if err != nil {
+			return false
+		}
+		// String() rounds to two decimals, so allow 1% slack above KB.
+		if b < KB {
+			return got == b
+		}
+		diff := math.Abs(float64(got - b))
+		return diff <= 0.01*float64(b)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRateTransferTime(t *testing.T) {
+	cases := []struct {
+		r    Rate
+		v    Bytes
+		want time.Duration
+	}{
+		{MBPerSec, MB, time.Second},
+		{100 * MBPerSec, 50 * MB, 500 * time.Millisecond},
+		{KBPerSec, KB, time.Second},
+		{MBPerSec, 0, 0},
+	}
+	for _, c := range cases {
+		if got := c.r.TransferTime(c.v); got != c.want {
+			t.Errorf("%v.TransferTime(%v) = %v, want %v", c.r, c.v, got, c.want)
+		}
+	}
+}
+
+func TestZeroRateIsUnreachable(t *testing.T) {
+	if got := Rate(0).TransferTime(MB); got != time.Duration(math.MaxInt64) {
+		t.Fatalf("zero-rate transfer = %v, want saturated max", got)
+	}
+}
+
+func TestRateString(t *testing.T) {
+	cases := []struct {
+		r    Rate
+		want string
+	}{
+		{100 * MBPerSec, "100.00MB/s"},
+		{2 * GBPerSec, "2.00GB/s"},
+		{500 * KBPerSec, "500.00KB/s"},
+		{10, "10.00B/s"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Rate.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSecondsSaturates(t *testing.T) {
+	if got := Seconds(1e300); got != time.Duration(math.MaxInt64) {
+		t.Fatalf("Seconds(1e300) = %v, want saturated max", got)
+	}
+	if got := Seconds(-1e300); got != time.Duration(math.MinInt64) {
+		t.Fatalf("Seconds(-1e300) = %v, want saturated min", got)
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	f := func(ms uint16) bool {
+		sec := float64(ms) / 1000
+		return math.Abs(SecondsOf(Seconds(sec))-sec) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
