@@ -1,0 +1,19 @@
+# Build and verification entry points. `make check` is the fast gate a
+# change must pass before review: formatting, vet, and a race-detector
+# run over the concurrent packages.
+
+.PHONY: all build test check figures
+
+all: build
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+check:
+	sh scripts/check.sh
+
+figures:
+	go run ./cmd/fgexperiments

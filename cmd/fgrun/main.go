@@ -28,16 +28,25 @@ import (
 
 func main() {
 	var (
-		app     = flag.String("app", "kmeans", "application: "+fmt.Sprint(apps.Names()))
-		size    = flag.String("size", "512MB", "dataset size (e.g. 1.4GB)")
-		data    = flag.Int("data", 1, "storage (data server) nodes")
-		compute = flag.Int("compute", 1, "compute nodes (must be >= data nodes)")
-		bwFlag  = flag.String("bw", "100MB", "storage-to-compute bandwidth per node, per second")
-		cluster = flag.String("cluster", bench.PentiumCluster, "simulated cluster")
-		local   = flag.Bool("local", false, "run the real goroutine backend instead of the simulator")
-		trace   = flag.Bool("trace", false, "print the middleware phase trace (simulated runs)")
+		app       = flag.String("app", "kmeans", "application: "+fmt.Sprint(apps.Names()))
+		size      = flag.String("size", "512MB", "dataset size (e.g. 1.4GB)")
+		data      = flag.Int("data", 1, "storage (data server) nodes")
+		compute   = flag.Int("compute", 1, "compute nodes (must be >= data nodes)")
+		bwFlag    = flag.String("bw", "100MB", "storage-to-compute bandwidth per node, per second")
+		cluster   = flag.String("cluster", bench.PentiumCluster, "simulated cluster")
+		local     = flag.Bool("local", false, "run the real goroutine backend instead of the simulator")
+		trace     = flag.Bool("trace", false, "print the middleware phase trace as text")
+		traceJSON = flag.Bool("trace-json", false, "print the middleware phase trace as JSON lines")
 	)
 	flag.Parse()
+
+	var sink middleware.Sink
+	switch {
+	case *traceJSON:
+		sink = middleware.NewJSONSink(os.Stdout)
+	case *trace:
+		sink = middleware.NewTextSink(os.Stdout)
+	}
 
 	total, err := units.ParseBytes(*size)
 	if err != nil {
@@ -61,7 +70,8 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		res, err := middleware.RunLocal(kernel, spec, *data, *compute)
+		res, err := middleware.RunLocalSMP(kernel, spec, *data, *compute,
+			middleware.LocalOptions{Trace: sink})
 		if err != nil {
 			fail(err)
 		}
@@ -87,11 +97,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	opts := middleware.SimOptions{}
-	if *trace {
-		opts.Trace = os.Stdout
-	}
-	res, err := grid.SimulateOpts(cost, spec, cfg, opts)
+	res, err := grid.SimulateOpts(cost, spec, cfg, middleware.SimOptions{Trace: sink})
 	if err != nil {
 		fail(err)
 	}

@@ -86,6 +86,49 @@ func main() {
 	for _, w := range warnings {
 		fmt.Println("  WARNING", w)
 	}
+
+	// --- Part 4: the structured event layer. Attach a Collector to one
+	// run to get the per-phase time decomposition the event trace carries;
+	// its aggregation equals the profile's (t_d, t_n, t_c) exactly, so a
+	// deployment can reconcile its observability pipeline against the
+	// reported breakdown.
+	fmt.Println("\n== event-layer phase decomposition (kmeans, 2-4, 256 MB)")
+	a, err := apps.Get("kmeans")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := bench.DatasetChunked("kmeans", 256*units.MB, bench.ChunkFor(256*units.MB))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost, err := a.Cost(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	col := middleware.NewCollector()
+	res, err := h.Grid().SimulateOpts(cost, spec, core.Config{
+		Cluster:      bench.PentiumCluster,
+		DataNodes:    2,
+		ComputeNodes: 4,
+		Bandwidth:    middleware.DefaultBandwidth,
+		DatasetBytes: 256 * units.MB,
+	}, middleware.SimOptions{Trace: col})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ph := range []middleware.Phase{
+		middleware.PhaseRetrieval, middleware.PhaseDelivery, middleware.PhaseCachedFetch,
+		middleware.PhaseLocalReduce, middleware.PhaseGather, middleware.PhaseGlobalReduce,
+		middleware.PhaseSync, middleware.PhaseBroadcast,
+	} {
+		if d := col.PhaseTotal(ph); d > 0 {
+			fmt.Printf("  %-13s %v\n", ph, d.Round(time.Millisecond))
+		}
+	}
+	bd := col.Breakdown()
+	fmt.Printf("  trace totals  t_d=%v t_n=%v t_c=%v (reconciles with profile: %v)\n",
+		bd.Tdisk.Round(time.Millisecond), bd.Tnetwork.Round(time.Millisecond),
+		bd.Tcompute.Round(time.Millisecond), bd == res.Profile.Breakdown)
 }
 
 // collect runs kmeans profiles over a small configuration sweep on the

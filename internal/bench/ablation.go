@@ -239,7 +239,7 @@ func (h *Harness) InferredModels() (map[string]core.AppModel, error) {
 				Bandwidth:    middleware.DefaultBandwidth,
 				DatasetBytes: run.bytes,
 			}
-			res, err := h.simulate(name, run.bytes, chunk, cfg)
+			res, err := h.simulate(name, run.bytes, chunk, cfg, nil)
 			if err != nil {
 				return nil, fmt.Errorf("bench: inference profile for %s: %w", name, err)
 			}

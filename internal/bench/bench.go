@@ -91,6 +91,13 @@ type Cell struct {
 	Errors       map[core.Variant]float64       `json:"errors"`
 }
 
+// PhaseTotal is one protocol phase's accumulated duration over the base
+// profile run, taken from the middleware's event trace.
+type PhaseTotal struct {
+	Phase string        `json:"phase"`
+	Total time.Duration `json:"total"`
+}
+
 // Figure is one regenerated paper figure.
 type Figure struct {
 	ID       string         `json:"id"`
@@ -98,8 +105,27 @@ type Figure struct {
 	App      string         `json:"app"`
 	Variants []core.Variant `json:"variants"`
 	Cells    []Cell         `json:"cells"`
+	// BasePhases is the base profile run's per-phase time, in protocol
+	// order (phases that accounted no time are omitted).
+	BasePhases []PhaseTotal `json:"basePhases,omitempty"`
 	// Notes records workload parameters and any scaling factors used.
 	Notes []string `json:"notes"`
+}
+
+// phaseTotals folds a trace collector's per-phase sums into protocol
+// order, dropping empty phases.
+func phaseTotals(col *middleware.Collector) []PhaseTotal {
+	var out []PhaseTotal
+	for _, ph := range []middleware.Phase{
+		middleware.PhaseRetrieval, middleware.PhaseDelivery, middleware.PhaseCachedFetch,
+		middleware.PhaseLocalReduce, middleware.PhaseGather, middleware.PhaseGlobalReduce,
+		middleware.PhaseSync, middleware.PhaseBroadcast,
+	} {
+		if d := col.PhaseTotal(ph); d > 0 {
+			out = append(out, PhaseTotal{Phase: ph.String(), Total: d})
+		}
+	}
+	return out
 }
 
 // MaxError reports the figure's largest error for a variant.

@@ -47,8 +47,9 @@ func (h *Harness) Links() map[string]core.LinkCalibration {
 }
 
 // simulate runs one application configuration on the simulated testbed,
-// using the experiment's chunk size.
-func (h *Harness) simulate(app string, total, chunk units.Bytes, cfg core.Config) (middleware.SimResult, error) {
+// using the experiment's chunk size. A non-nil sink receives the run's
+// phase events.
+func (h *Harness) simulate(app string, total, chunk units.Bytes, cfg core.Config, sink middleware.Sink) (middleware.SimResult, error) {
 	a, err := apps.Get(app)
 	if err != nil {
 		return middleware.SimResult{}, err
@@ -61,7 +62,7 @@ func (h *Harness) simulate(app string, total, chunk units.Bytes, cfg core.Config
 	if err != nil {
 		return middleware.SimResult{}, err
 	}
-	return h.grid.Simulate(cost, spec, cfg)
+	return h.grid.SimulateOpts(cost, spec, cfg, middleware.SimOptions{Trace: sink})
 }
 
 // repDatasetBytes is the dataset size used by the representative
@@ -82,7 +83,7 @@ func (h *Harness) scalingFactors(e experiment) (core.Scaling, []core.Profile, er
 				Bandwidth:    e.baseBW,
 				DatasetBytes: repDatasetBytes,
 			}
-			res, err := h.simulate(rep, repDatasetBytes, ChunkFor(repDatasetBytes), cfg)
+			res, err := h.simulate(rep, repDatasetBytes, ChunkFor(repDatasetBytes), cfg, nil)
 			if err != nil {
 				return core.Scaling{}, nil, fmt.Errorf("bench: representative %s on %s: %w", rep, cl, err)
 			}
@@ -116,7 +117,8 @@ func (h *Harness) Run(id string) (Figure, error) {
 		DatasetBytes: e.baseBytes,
 	}
 	chunk := ChunkFor(e.baseBytes)
-	baseRes, err := h.simulate(e.app, e.baseBytes, chunk, baseCfg)
+	col := middleware.NewCollector()
+	baseRes, err := h.simulate(e.app, e.baseBytes, chunk, baseCfg, col)
 	if err != nil {
 		return Figure{}, fmt.Errorf("bench: %s base profile: %w", id, err)
 	}
@@ -130,10 +132,11 @@ func (h *Harness) Run(id string) (Figure, error) {
 	}
 
 	fig := Figure{
-		ID:       id,
-		Title:    e.title,
-		App:      e.app,
-		Variants: e.variants,
+		ID:         id,
+		Title:      e.title,
+		App:        e.app,
+		Variants:   e.variants,
+		BasePhases: phaseTotals(col),
 		Notes: []string{
 			fmt.Sprintf("base profile: %v (T_exec %v)", baseCfg, baseRes.Profile.Texec().Round(time.Millisecond)),
 			fmt.Sprintf("target: %v @ %v on %s", e.targetBytes, e.targetBW, e.targetCluster),
@@ -160,7 +163,7 @@ func (h *Harness) Run(id string) (Figure, error) {
 			Bandwidth:    e.targetBW,
 			DatasetBytes: e.targetBytes,
 		}
-		actual, err := h.simulate(e.app, e.targetBytes, chunk, cfg)
+		actual, err := h.simulate(e.app, e.targetBytes, chunk, cfg, nil)
 		if err != nil {
 			return Figure{}, fmt.Errorf("bench: %s actual %d-%d: %w", id, nc[0], nc[1], err)
 		}

@@ -16,6 +16,13 @@ func Render(w io.Writer, f Figure) error {
 	for _, note := range f.Notes {
 		fmt.Fprintf(&b, "  %s\n", note)
 	}
+	if len(f.BasePhases) > 0 {
+		parts := make([]string, len(f.BasePhases))
+		for i, pt := range f.BasePhases {
+			parts[i] = fmt.Sprintf("%s %v", pt.Phase, pt.Total.Round(time.Millisecond))
+		}
+		fmt.Fprintf(&b, "  base phases: %s\n", strings.Join(parts, " | "))
+	}
 	fmt.Fprintf(&b, "  %-8s %14s", "config", "actual")
 	for _, v := range f.Variants {
 		fmt.Fprintf(&b, " %24s", v.String())

@@ -32,7 +32,8 @@ type LocalResult struct {
 // reductions concurrently (the compute servers), reduction objects cross
 // a real encode/decode boundary when they implement BinaryObject, and the
 // master performs the global reduction. Chunks are cached in memory after
-// the first pass, exactly like the simulated backend.
+// the first pass, exactly like the simulated backend: both run through
+// the same Pipeline, so the protocol and accounting cannot drift.
 //
 // The returned profile's component attribution mirrors the paper's:
 // t_d is the (max per data node) chunk materialization time, t_n the
@@ -40,6 +41,10 @@ type LocalResult struct {
 // (max per compute node) processing time plus the serialized gather and
 // global reduction times.
 func RunLocal(k reduction.Kernel, spec adr.DatasetSpec, dataNodes, computeNodes int) (LocalResult, error) {
+	return runLocal(k, spec, dataNodes, computeNodes, nil)
+}
+
+func runLocal(k reduction.Kernel, spec adr.DatasetSpec, dataNodes, computeNodes int, sink Sink) (LocalResult, error) {
 	if dataNodes < 1 || computeNodes < dataNodes {
 		return LocalResult{}, fmt.Errorf("middleware: need computeNodes >= dataNodes >= 1, got %d-%d",
 			dataNodes, computeNodes)
@@ -52,194 +57,241 @@ func RunLocal(k reduction.Kernel, spec adr.DatasetSpec, dataNodes, computeNodes 
 	if err != nil {
 		return LocalResult{}, err
 	}
-	fields := gen.FieldsPerElem(spec)
 	var overlap int64
 	if or, ok := k.(reduction.OverlapRequester); ok {
 		overlap = or.OverlapElems()
 	}
 
-	start := time.Now()
-	diskTime := make([]time.Duration, dataNodes)
-	recvTime := make([]time.Duration, computeNodes)
-	compTime := make([]time.Duration, computeNodes)
-	var troTime, tgTime time.Duration
-	var roBytes units.Bytes
-
-	cache := make([][]reduction.Payload, computeNodes)
-	iterations := 0
-	for pass := 0; pass < k.Iterations(); pass++ {
-		iterations++
-		objs := make([]reduction.Object, computeNodes)
-		for j := range objs {
-			objs[j] = k.NewObject()
-		}
-		errs := make(chan error, dataNodes+computeNodes)
-		var wg sync.WaitGroup
-
-		if pass == 0 {
-			chans := make([]chan reduction.Payload, computeNodes)
-			for j := range chans {
-				chans[j] = make(chan reduction.Payload, 1)
-			}
-			// Data servers: retrieve (materialize) chunks and distribute
-			// them round-robin to their compute clients.
-			var serveWG sync.WaitGroup
-			for dn := 0; dn < dataNodes; dn++ {
-				dn := dn
-				var clients []int
-				for j := 0; j < computeNodes; j++ {
-					if j%dataNodes == dn {
-						clients = append(clients, j)
-					}
-				}
-				serveWG.Add(1)
-				go func() {
-					defer serveWG.Done()
-					for i, ch := range layout.NodeChunks(dn) {
-						t0 := time.Now()
-						vals := gen.ChunkValues(spec, ch)
-						payload := reduction.Payload{
-							Chunk: ch, Fields: fields, Values: vals,
-						}
-						if overlap > 0 {
-							before, after, err := datagen.HaloFor(gen, spec, ch, overlap)
-							if err != nil {
-								errs <- err
-								diskTime[dn] += time.Since(t0)
-								return
-							}
-							payload.HaloBefore, payload.HaloAfter = before, after
-						}
-						diskTime[dn] += time.Since(t0)
-						chans[clients[i%len(clients)]] <- payload
-					}
-				}()
-			}
-			go func() {
-				serveWG.Wait()
-				for _, c := range chans {
-					close(c)
-				}
-			}()
-			// Compute servers: receive, cache, process.
-			for j := 0; j < computeNodes; j++ {
-				j := j
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for {
-						t0 := time.Now()
-						p, ok := <-chans[j]
-						recvTime[j] += time.Since(t0)
-						if !ok {
-							return
-						}
-						cache[j] = append(cache[j], p)
-						t1 := time.Now()
-						if err := k.ProcessChunk(p, objs[j]); err != nil {
-							errs <- err
-							return
-						}
-						compTime[j] += time.Since(t1)
-					}
-				}()
-			}
-		} else {
-			// Cached passes: pure local processing.
-			for j := 0; j < computeNodes; j++ {
-				j := j
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					t0 := time.Now()
-					for _, p := range cache[j] {
-						if err := k.ProcessChunk(p, objs[j]); err != nil {
-							errs <- err
-							return
-						}
-					}
-					compTime[j] += time.Since(t0)
-				}()
-			}
-		}
-		wg.Wait()
-		select {
-		case err := <-errs:
-			return LocalResult{}, fmt.Errorf("middleware: local pass %d: %w", pass, err)
-		default:
-		}
-
-		// Gather: worker objects cross a real serialization boundary when
-		// supported, then merge into the master's object — serialized, as
-		// in the paper's model.
-		t0 := time.Now()
-		if objs[0].Bytes() > roBytes {
-			roBytes = objs[0].Bytes() // master's own pre-merge object
-		}
-		for j := 1; j < computeNodes; j++ {
-			if objs[j].Bytes() > roBytes {
-				roBytes = objs[j].Bytes()
-			}
-			recv := objs[j]
-			if bo, ok := objs[j].(reduction.BinaryObject); ok {
-				enc, err := bo.MarshalBinary()
-				if err != nil {
-					return LocalResult{}, fmt.Errorf("middleware: gather encode: %w", err)
-				}
-				fresh, ok := k.NewObject().(reduction.BinaryObject)
-				if !ok {
-					return LocalResult{}, fmt.Errorf("middleware: kernel %s object lost codec support", k.Name())
-				}
-				if err := fresh.UnmarshalBinary(enc); err != nil {
-					return LocalResult{}, fmt.Errorf("middleware: gather decode: %w", err)
-				}
-				recv = fresh
-			}
-			if err := objs[0].Merge(recv); err != nil {
-				return LocalResult{}, fmt.Errorf("middleware: gather merge: %w", err)
-			}
-		}
-		troTime += time.Since(t0)
-
-		t1 := time.Now()
-		done, err := k.GlobalReduce(objs[0])
-		tgTime += time.Since(t1)
-		if err != nil {
-			return LocalResult{}, fmt.Errorf("middleware: global reduce pass %d: %w", pass, err)
-		}
-		if done {
-			break
-		}
+	ex := &localExecutor{
+		k:       k,
+		gen:     gen,
+		spec:    spec,
+		layout:  layout,
+		fields:  gen.FieldsPerElem(spec),
+		overlap: overlap,
+		n:       dataNodes,
+		c:       computeNodes,
+		targets: chunkTargets(layout, dataNodes, computeNodes),
+		cache:   make([][]reduction.Payload, computeNodes),
+		start:   time.Now(),
 	}
-
-	maxDur := func(ds []time.Duration) time.Duration {
-		var m time.Duration
-		for _, d := range ds {
-			if d > m {
-				m = d
-			}
-		}
-		return m
+	pl := NewPipeline(ex, sink)
+	if err := pl.Run(); err != nil {
+		return LocalResult{}, err
 	}
-	profile := core.Profile{
-		App: k.Name(),
-		Config: core.Config{
-			Cluster:      LocalCluster,
-			DataNodes:    dataNodes,
-			ComputeNodes: computeNodes,
-			Bandwidth:    units.GBPerSec, // nominal in-process "network"
-			DatasetBytes: spec.TotalBytes,
-		},
-		Breakdown: core.Breakdown{
-			Tdisk:    maxDur(diskTime),
-			Tnetwork: maxDur(recvTime),
-			Tcompute: maxDur(compTime) + troTime + tgTime,
-		},
-		Tro:            troTime,
-		Tglobal:        tgTime,
-		ROBytesPerNode: roBytes,
-		BroadcastBytes: units.KB,
-		Iterations:     iterations,
-	}
-	return LocalResult{Profile: profile, Elapsed: time.Since(start), Iterations: iterations}, nil
+	profile := pl.Breakdown().Profile(k.Name(), core.Config{
+		Cluster:      LocalCluster,
+		DataNodes:    dataNodes,
+		ComputeNodes: computeNodes,
+		Bandwidth:    units.GBPerSec, // nominal in-process "network"
+		DatasetBytes: spec.TotalBytes,
+	}, ex.roBytes, units.KB, pl.Iterations())
+	return LocalResult{Profile: profile, Elapsed: time.Since(ex.start), Iterations: pl.Iterations()}, nil
 }
+
+// localExecutor runs the protocol for real on goroutines: data-server
+// goroutines materialize and distribute chunks, compute-server goroutines
+// run local reductions, and the pipeline's master flow gathers, reduces
+// globally, and decides convergence.
+type localExecutor struct {
+	k       reduction.Kernel
+	gen     datagen.Generator
+	spec    adr.DatasetSpec
+	layout  *adr.Layout
+	fields  int
+	overlap int64
+	n, c    int
+	targets [][]int
+	start   time.Time
+
+	cache   [][]reduction.Payload
+	objs    []reduction.Object
+	roBytes units.Bytes
+}
+
+// Backend implements Executor.
+func (ex *localExecutor) Backend() string { return "local" }
+
+// Workload implements Executor.
+func (ex *localExecutor) Workload() string { return ex.k.Name() }
+
+// Nodes implements Executor.
+func (ex *localExecutor) Nodes() (int, int) { return ex.n, ex.c }
+
+// Passes implements Executor.
+func (ex *localExecutor) Passes() int { return ex.k.Iterations() }
+
+// Now implements Executor (wall time since run start).
+func (ex *localExecutor) Now() time.Duration { return time.Since(ex.start) }
+
+// LocalReduction runs one pass's chunk phase: materialize-and-deliver on
+// pass 0, cache replay afterwards.
+func (ex *localExecutor) LocalReduction(pass int) (PassStats, error) {
+	ex.objs = make([]reduction.Object, ex.c)
+	for j := range ex.objs {
+		ex.objs[j] = ex.k.NewObject()
+	}
+	if pass == 0 {
+		return ex.firstPass()
+	}
+	return ex.cachedPass()
+}
+
+// firstPass materializes chunks on the data servers and streams them to
+// the compute servers, which cache and process them.
+func (ex *localExecutor) firstPass() (PassStats, error) {
+	diskTime := make([]time.Duration, ex.n)
+	recvTime := make([]time.Duration, ex.c)
+	compTime := make([]time.Duration, ex.c)
+	errs := make(chan error, ex.n+ex.c)
+	chans := make([]chan reduction.Payload, ex.c)
+	for j := range chans {
+		chans[j] = make(chan reduction.Payload, 1)
+	}
+	// Data servers: retrieve (materialize) chunks and distribute them to
+	// their compute clients per the shared chunk assignment.
+	var serveWG sync.WaitGroup
+	for dn := 0; dn < ex.n; dn++ {
+		dn := dn
+		serveWG.Add(1)
+		go func() {
+			defer serveWG.Done()
+			for i, ch := range ex.layout.NodeChunks(dn) {
+				t0 := time.Now()
+				payload := reduction.Payload{
+					Chunk: ch, Fields: ex.fields, Values: ex.gen.ChunkValues(ex.spec, ch),
+				}
+				if ex.overlap > 0 {
+					before, after, err := datagen.HaloFor(ex.gen, ex.spec, ch, ex.overlap)
+					if err != nil {
+						errs <- err
+						diskTime[dn] += time.Since(t0)
+						return
+					}
+					payload.HaloBefore, payload.HaloAfter = before, after
+				}
+				diskTime[dn] += time.Since(t0)
+				chans[ex.targets[dn][i]] <- payload
+			}
+		}()
+	}
+	go func() {
+		serveWG.Wait()
+		for _, c := range chans {
+			close(c)
+		}
+	}()
+	// Compute servers: receive, cache, process.
+	var wg sync.WaitGroup
+	for j := 0; j < ex.c; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t0 := time.Now()
+				p, ok := <-chans[j]
+				recvTime[j] += time.Since(t0)
+				if !ok {
+					return
+				}
+				ex.cache[j] = append(ex.cache[j], p)
+				t1 := time.Now()
+				if err := ex.k.ProcessChunk(p, ex.objs[j]); err != nil {
+					errs <- err
+					return
+				}
+				compTime[j] += time.Since(t1)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return PassStats{}, err
+	default:
+	}
+	return PassStats{
+		Retrieval: maxDur(diskTime),
+		Delivery:  maxDur(recvTime),
+		Compute:   maxDur(compTime),
+	}, nil
+}
+
+// cachedPass replays each node's cached chunks: pure local processing.
+func (ex *localExecutor) cachedPass() (PassStats, error) {
+	compTime := make([]time.Duration, ex.c)
+	errs := make(chan error, ex.c)
+	var wg sync.WaitGroup
+	for j := 0; j < ex.c; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			for _, p := range ex.cache[j] {
+				if err := ex.k.ProcessChunk(p, ex.objs[j]); err != nil {
+					errs <- err
+					return
+				}
+			}
+			compTime[j] += time.Since(t0)
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return PassStats{}, err
+	default:
+	}
+	return PassStats{Compute: maxDur(compTime)}, nil
+}
+
+// Gather merges worker objects into the master's, crossing a real
+// serialization boundary when supported — serialized, as in the paper's
+// model.
+func (ex *localExecutor) Gather(int) (time.Duration, error) {
+	t0 := time.Now()
+	if ex.objs[0].Bytes() > ex.roBytes {
+		ex.roBytes = ex.objs[0].Bytes() // master's own pre-merge object
+	}
+	for j := 1; j < ex.c; j++ {
+		if ex.objs[j].Bytes() > ex.roBytes {
+			ex.roBytes = ex.objs[j].Bytes()
+		}
+		recv := ex.objs[j]
+		if bo, ok := ex.objs[j].(reduction.BinaryObject); ok {
+			enc, err := bo.MarshalBinary()
+			if err != nil {
+				return 0, fmt.Errorf("encode: %w", err)
+			}
+			fresh, ok := ex.k.NewObject().(reduction.BinaryObject)
+			if !ok {
+				return 0, fmt.Errorf("kernel %s object lost codec support", ex.k.Name())
+			}
+			if err := fresh.UnmarshalBinary(enc); err != nil {
+				return 0, fmt.Errorf("decode: %w", err)
+			}
+			recv = fresh
+		}
+		if err := ex.objs[0].Merge(recv); err != nil {
+			return 0, fmt.Errorf("merge: %w", err)
+		}
+	}
+	return time.Since(t0), nil
+}
+
+// GlobalReduce runs the kernel's global reduction on the merged object.
+func (ex *localExecutor) GlobalReduce(int) (time.Duration, bool, error) {
+	t0 := time.Now()
+	done, err := ex.k.GlobalReduce(ex.objs[0])
+	return time.Since(t0), done, err
+}
+
+// Sync implements Executor; the in-process backend has no per-pass
+// coordination cost.
+func (ex *localExecutor) Sync(int) (time.Duration, error) { return 0, nil }
+
+// Broadcast implements Executor; the globally reduced state lives in the
+// kernel, so in-process re-distribution is free.
+func (ex *localExecutor) Broadcast(int, bool) (time.Duration, error) { return 0, nil }

@@ -6,8 +6,10 @@ import (
 	"time"
 
 	"freerideg/internal/adr"
+	"freerideg/internal/core"
 	"freerideg/internal/datagen"
 	"freerideg/internal/reduction"
+	"freerideg/internal/units"
 )
 
 // LocalOptions configures the goroutine backend's node shape: plain
@@ -22,6 +24,9 @@ type LocalOptions struct {
 	Threads int
 	// Strategy selects how a node's threads share reduction state.
 	Strategy ShmStrategy
+	// Trace, when non-nil, receives the run's structured phase events
+	// (same schema as the simulated backend's SimOptions.Trace).
+	Trace Sink
 }
 
 func (o LocalOptions) threads() int {
@@ -35,10 +40,11 @@ func (o LocalOptions) threads() int {
 // dataNodes data-server goroutines, computeNodes compute nodes each
 // running opts.Threads processing threads. Within a node, threads combine
 // through the chosen shared-memory strategy; across nodes, objects are
-// gathered and globally reduced exactly as in RunLocal.
+// gathered and globally reduced through the same Pipeline as every other
+// backend.
 func RunLocalSMP(k reduction.Kernel, spec adr.DatasetSpec, dataNodes, computeNodes int, opts LocalOptions) (LocalResult, error) {
 	if opts.threads() == 1 && opts.Strategy == FullReplication {
-		return RunLocal(k, spec, dataNodes, computeNodes)
+		return runLocal(k, spec, dataNodes, computeNodes, opts.Trace)
 	}
 	if dataNodes < 1 || computeNodes < dataNodes {
 		return LocalResult{}, fmt.Errorf("middleware: need computeNodes >= dataNodes >= 1, got %d-%d",
@@ -63,17 +69,12 @@ func RunLocalSMP(k reduction.Kernel, spec adr.DatasetSpec, dataNodes, computeNod
 		overlap = or.OverlapElems()
 	}
 
-	// Materialize each node's chunk stream up front (the data-server side
-	// is identical to RunLocal; the interesting part here is the node's
-	// internal parallelism).
+	// Materialize each node's chunk stream up front via the shared chunk
+	// assignment (the data-server side is identical to RunLocal; the
+	// interesting part here is the node's internal parallelism).
 	nodePayloads := make([][]reduction.Payload, computeNodes)
+	targets := chunkTargets(layout, dataNodes, computeNodes)
 	for dn := 0; dn < dataNodes; dn++ {
-		var clients []int
-		for j := 0; j < computeNodes; j++ {
-			if j%dataNodes == dn {
-				clients = append(clients, j)
-			}
-		}
 		for i, ch := range layout.NodeChunks(dn) {
 			payload := reduction.Payload{Chunk: ch, Fields: fields, Values: gen.ChunkValues(spec, ch)}
 			if overlap > 0 {
@@ -83,56 +84,126 @@ func RunLocalSMP(k reduction.Kernel, spec adr.DatasetSpec, dataNodes, computeNod
 				}
 				payload.HaloBefore, payload.HaloAfter = before, after
 			}
-			j := clients[i%len(clients)]
+			j := targets[dn][i]
 			nodePayloads[j] = append(nodePayloads[j], payload)
 		}
 	}
 
-	start := time.Now()
-	iterations := 0
-	for pass := 0; pass < k.Iterations(); pass++ {
-		iterations++
-		objs := make([]reduction.Object, computeNodes)
-		var nodeWG sync.WaitGroup
-		errs := make(chan error, computeNodes)
-		for j := 0; j < computeNodes; j++ {
-			j := j
-			nodeWG.Add(1)
-			go func() {
-				defer nodeWG.Done()
-				var obj reduction.Object
-				var err error
-				switch opts.Strategy {
-				case FullReplication:
-					obj, err = shmReplicated(k, nodePayloads[j], opts.threads())
-				case FullLocking:
-					obj, err = shmLocked(k, nodePayloads[j], opts.threads())
-				}
-				if err != nil {
-					errs <- err
-					return
-				}
-				objs[j] = obj
-			}()
-		}
-		nodeWG.Wait()
-		select {
-		case err := <-errs:
-			return LocalResult{}, fmt.Errorf("middleware: smp pass %d: %w", pass, err)
-		default:
-		}
-		for j := 1; j < computeNodes; j++ {
-			if err := objs[0].Merge(objs[j]); err != nil {
-				return LocalResult{}, fmt.Errorf("middleware: smp gather merge: %w", err)
+	ex := &smpExecutor{
+		k:            k,
+		opts:         opts,
+		n:            dataNodes,
+		c:            computeNodes,
+		nodePayloads: nodePayloads,
+		start:        time.Now(),
+	}
+	pl := NewPipeline(ex, opts.Trace)
+	if err := pl.Run(); err != nil {
+		return LocalResult{}, err
+	}
+	profile := pl.Breakdown().Profile(k.Name(), core.Config{
+		Cluster:      LocalCluster,
+		DataNodes:    dataNodes,
+		ComputeNodes: computeNodes,
+		Bandwidth:    units.GBPerSec, // nominal in-process "network"
+		DatasetBytes: spec.TotalBytes,
+	}, ex.roBytes, units.KB, pl.Iterations())
+	return LocalResult{Profile: profile, Elapsed: time.Since(ex.start), Iterations: pl.Iterations()}, nil
+}
+
+// smpExecutor runs the protocol on a cluster of SMP nodes: every compute
+// node processes its (pre-materialized) chunk stream with several threads
+// combining through a shared-memory strategy; across nodes the pipeline
+// gathers and reduces globally exactly as on the other backends.
+type smpExecutor struct {
+	k            reduction.Kernel
+	opts         LocalOptions
+	n, c         int
+	nodePayloads [][]reduction.Payload
+	start        time.Time
+
+	objs    []reduction.Object
+	roBytes units.Bytes
+}
+
+// Backend implements Executor.
+func (ex *smpExecutor) Backend() string { return "local-smp" }
+
+// Workload implements Executor.
+func (ex *smpExecutor) Workload() string { return ex.k.Name() }
+
+// Nodes implements Executor.
+func (ex *smpExecutor) Nodes() (int, int) { return ex.n, ex.c }
+
+// Passes implements Executor.
+func (ex *smpExecutor) Passes() int { return ex.k.Iterations() }
+
+// Now implements Executor (wall time since run start).
+func (ex *smpExecutor) Now() time.Duration { return time.Since(ex.start) }
+
+// LocalReduction runs one pass on every SMP node concurrently; within a
+// node, threads share reduction state per the configured strategy.
+func (ex *smpExecutor) LocalReduction(int) (PassStats, error) {
+	ex.objs = make([]reduction.Object, ex.c)
+	nodeTime := make([]time.Duration, ex.c)
+	var nodeWG sync.WaitGroup
+	errs := make(chan error, ex.c)
+	for j := 0; j < ex.c; j++ {
+		j := j
+		nodeWG.Add(1)
+		go func() {
+			defer nodeWG.Done()
+			t0 := time.Now()
+			var obj reduction.Object
+			var err error
+			switch ex.opts.Strategy {
+			case FullReplication:
+				obj, err = shmReplicated(ex.k, ex.nodePayloads[j], ex.opts.threads())
+			case FullLocking:
+				obj, err = shmLocked(ex.k, ex.nodePayloads[j], ex.opts.threads())
 			}
-		}
-		done, err := k.GlobalReduce(objs[0])
-		if err != nil {
-			return LocalResult{}, fmt.Errorf("middleware: smp global reduce pass %d: %w", pass, err)
-		}
-		if done {
-			break
+			nodeTime[j] = time.Since(t0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			ex.objs[j] = obj
+		}()
+	}
+	nodeWG.Wait()
+	select {
+	case err := <-errs:
+		return PassStats{}, err
+	default:
+	}
+	return PassStats{Compute: maxDur(nodeTime)}, nil
+}
+
+// Gather merges the per-node objects into the master's.
+func (ex *smpExecutor) Gather(int) (time.Duration, error) {
+	t0 := time.Now()
+	for j := 0; j < ex.c; j++ {
+		if ex.objs[j].Bytes() > ex.roBytes {
+			ex.roBytes = ex.objs[j].Bytes()
 		}
 	}
-	return LocalResult{Iterations: iterations, Elapsed: time.Since(start)}, nil
+	for j := 1; j < ex.c; j++ {
+		if err := ex.objs[0].Merge(ex.objs[j]); err != nil {
+			return 0, fmt.Errorf("merge: %w", err)
+		}
+	}
+	return time.Since(t0), nil
 }
+
+// GlobalReduce runs the kernel's global reduction on the merged object.
+func (ex *smpExecutor) GlobalReduce(int) (time.Duration, bool, error) {
+	t0 := time.Now()
+	done, err := ex.k.GlobalReduce(ex.objs[0])
+	return time.Since(t0), done, err
+}
+
+// Sync implements Executor; no per-pass coordination cost in-process.
+func (ex *smpExecutor) Sync(int) (time.Duration, error) { return 0, nil }
+
+// Broadcast implements Executor; re-distribution is free in-process.
+func (ex *smpExecutor) Broadcast(int, bool) (time.Duration, error) { return 0, nil }

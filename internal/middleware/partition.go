@@ -1,0 +1,50 @@
+package middleware
+
+import "freerideg/internal/adr"
+
+// serveClients returns, for each of n storage nodes, the compute nodes it
+// serves in ascending order: compute node j is served by storage node
+// j mod n. This is the single source of truth for the repository-to-
+// compute wiring every backend uses.
+func serveClients(n, c int) [][]int {
+	clients := make([][]int, n)
+	for j := 0; j < c; j++ {
+		clients[j%n] = append(clients[j%n], j)
+	}
+	return clients
+}
+
+// chunkTargets maps every chunk of a layout to its compute node: each
+// storage node hands its chunks round-robin to its clients, so
+// targets[dn][i] is the compute node receiving the i-th chunk of storage
+// node dn. All backends derive their chunk placement from this one
+// function, which keeps the goroutine backends' layout identical to the
+// simulated one.
+func chunkTargets(layout *adr.Layout, n, c int) [][]int {
+	clients := serveClients(n, c)
+	targets := make([][]int, n)
+	for dn := 0; dn < n; dn++ {
+		cl := clients[dn]
+		chunks := layout.NodeChunks(dn)
+		targets[dn] = make([]int, len(chunks))
+		for i := range chunks {
+			targets[dn][i] = cl[i%len(cl)]
+		}
+	}
+	return targets
+}
+
+// chunksByCompute assigns the layout's chunks to compute nodes via
+// chunkTargets, returning each compute node's chunk list in delivery
+// order.
+func chunksByCompute(layout *adr.Layout, n, c int) [][]adr.Chunk {
+	targets := chunkTargets(layout, n, c)
+	out := make([][]adr.Chunk, c)
+	for dn := 0; dn < n; dn++ {
+		for i, ch := range layout.NodeChunks(dn) {
+			j := targets[dn][i]
+			out[j] = append(out[j], ch)
+		}
+	}
+	return out
+}

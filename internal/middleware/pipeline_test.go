@@ -1,0 +1,201 @@
+package middleware
+
+import (
+	"testing"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/apps"
+	"freerideg/internal/core"
+	"freerideg/internal/units"
+)
+
+// The collector's per-phase aggregation must reproduce the returned
+// profile's (t_d, t_n, t_c) exactly: both are fed by the same Pipeline
+// accounting, so traced events are a lossless decomposition of the
+// breakdown.
+func TestCollectorBreakdownMatchesSimProfile(t *testing.T) {
+	g := testGrid(t)
+	total := 512 * units.MB
+	a, _ := apps.Get("em")
+	spec := pointsSpec(total)
+	cost, err := a.Cost(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	res, err := g.SimulateOpts(cost, spec, config(2, 8, total), SimOptions{Trace: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := col.Breakdown(), res.Profile.Breakdown; got != want {
+		t.Errorf("collector breakdown %+v != profile breakdown %+v", got, want)
+	}
+	// Phase-level consistency: Tro = gather + broadcast, Tglobal = global.
+	if got, want := col.PhaseTotal(PhaseGather)+col.PhaseTotal(PhaseBroadcast), res.Profile.Tro; got != want {
+		t.Errorf("gather+broadcast = %v, profile Tro = %v", got, want)
+	}
+	if got, want := col.PhaseTotal(PhaseGlobalReduce), res.Profile.Tglobal; got != want {
+		t.Errorf("global-reduce total = %v, profile Tglobal = %v", got, want)
+	}
+	if got, want := col.PhaseTotal(PhaseCachedFetch), res.Profile.TdiskCached; got != want {
+		t.Errorf("cached-fetch total = %v, profile TdiskCached = %v", got, want)
+	}
+}
+
+func TestCollectorBreakdownMatchesLocalProfile(t *testing.T) {
+	spec := localSpec("points")
+	a, _ := apps.Get("kmeans")
+	k, err := a.NewKernel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	res, err := runLocal(k, spec, 1, 2, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := col.Breakdown(), res.Profile.Breakdown; got != want {
+		t.Errorf("collector breakdown %+v != profile breakdown %+v", got, want)
+	}
+}
+
+func TestCollectorBreakdownMatchesSMPProfile(t *testing.T) {
+	spec := localSpec("points")
+	a, _ := apps.Get("kmeans")
+	k, err := a.NewKernel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	res, err := RunLocalSMP(k, spec, 1, 2, LocalOptions{Threads: 2, Strategy: FullLocking, Trace: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := col.Breakdown(), res.Profile.Breakdown; got != want {
+		t.Errorf("collector breakdown %+v != profile breakdown %+v", got, want)
+	}
+	if res.Profile.Breakdown.Tcompute == 0 {
+		t.Error("SMP profile has zero compute time")
+	}
+}
+
+func TestShmRunsThroughPipeline(t *testing.T) {
+	spec := localSpec("points")
+	a, _ := apps.Get("kmeans")
+	k, err := a.NewKernel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	res, err := runShm(k, spec, 2, FullReplication, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := col.Events()
+	if len(events) == 0 {
+		t.Fatal("no events emitted")
+	}
+	if events[0].Phase != PhaseRunStart || events[len(events)-1].Phase != PhaseRunEnd {
+		t.Errorf("stream not framed by run-start/run-end: %v .. %v",
+			events[0].Phase, events[len(events)-1].Phase)
+	}
+	if res.Iterations < 1 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+	if bd := col.Breakdown(); bd.Tcompute == 0 {
+		t.Error("shm run accounted zero compute time")
+	}
+}
+
+// All backends must derive chunk placement from the same partition
+// helpers: the simulated backend's per-compute-node chunk streams and the
+// goroutine backend's delivery targets describe the same assignment.
+func TestPartitionHelpersAgree(t *testing.T) {
+	spec := pointsSpec(512 * units.MB)
+	const n, c = 2, 5
+	layout, err := adr.Partition(spec, n, adr.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := chunkTargets(layout, n, c)
+	byCompute := chunksByCompute(layout, n, c)
+
+	counts := make([]int, c)
+	for dn := 0; dn < n; dn++ {
+		chunks := layout.NodeChunks(dn)
+		if len(targets[dn]) != len(chunks) {
+			t.Fatalf("storage node %d: %d targets for %d chunks", dn, len(targets[dn]), len(chunks))
+		}
+		for i, j := range targets[dn] {
+			if j < 0 || j >= c {
+				t.Fatalf("chunk %d of storage node %d targets invalid node %d", i, dn, j)
+			}
+			if j%n != dn {
+				t.Errorf("compute node %d served by storage node %d, want %d", j, dn, j%n)
+			}
+			counts[j]++
+		}
+	}
+	got := 0
+	for j := 0; j < c; j++ {
+		if len(byCompute[j]) != counts[j] {
+			t.Errorf("compute node %d: %d chunks via chunksByCompute, %d via chunkTargets",
+				j, len(byCompute[j]), counts[j])
+		}
+		got += len(byCompute[j])
+	}
+	if want := len(layout.Chunks()); got != want {
+		t.Errorf("%d chunks assigned, layout has %d", got, want)
+	}
+}
+
+// The ablation stages stay pluggable: tree gather changes the accounted
+// reduction-object communication but leaves the protocol intact.
+func TestTreeGatherStillTraced(t *testing.T) {
+	g := testGrid(t)
+	total := 512 * units.MB
+	a, _ := apps.Get("kmeans")
+	spec := pointsSpec(total)
+	cost, err := a.Cost(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	res, err := g.SimulateOpts(cost, spec, config(2, 8, total), SimOptions{TreeGather: true, Trace: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := col.Breakdown(), res.Profile.Breakdown; got != want {
+		t.Errorf("collector breakdown %+v != profile breakdown %+v", got, want)
+	}
+	if col.PhaseTotal(PhaseGather) == 0 {
+		t.Error("tree gather accounted zero gather time")
+	}
+}
+
+// PhaseBreakdown.Profile must agree with the component mapping.
+func TestPhaseBreakdownMapping(t *testing.T) {
+	b := PhaseBreakdown{
+		Retrieval: 1, Delivery: 2, CachedFetch: 4, Compute: 8,
+		Gather: 16, Global: 32, Sync: 64, Broadcast: 128,
+	}
+	if got := b.Tdisk(); got != 5 {
+		t.Errorf("Tdisk = %v", got)
+	}
+	if got := b.Tnetwork(); got != 2 {
+		t.Errorf("Tnetwork = %v", got)
+	}
+	if got := b.Tcompute(); got != 8+16+32+64+128 {
+		t.Errorf("Tcompute = %v", got)
+	}
+	if got := b.Tro(); got != 16+128 {
+		t.Errorf("Tro = %v", got)
+	}
+	p := b.Profile("x", core.Config{}, 0, 0, 3)
+	if p.Tro != b.Tro() || p.Tglobal != b.Global || p.TdiskCached != b.CachedFetch {
+		t.Errorf("profile fields %+v inconsistent with breakdown %+v", p, b)
+	}
+	if p.Iterations != 3 {
+		t.Errorf("iterations = %d", p.Iterations)
+	}
+}

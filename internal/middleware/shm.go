@@ -50,13 +50,24 @@ type ShmResult struct {
 }
 
 // RunShm executes a kernel on one simulated SMP node with the given
-// number of threads and sharing strategy, processing materialized chunks.
-// It exercises the same Kernel interface as the distributed backends: the
-// associativity/commutativity contract of reduction objects is exactly
-// what makes all three strategies compute the same result.
+// number of threads and sharing strategy, processing materialized chunks
+// through the shared Pipeline (with the cross-node gather and broadcast
+// phases degenerate on a single node). It exercises the same Kernel
+// interface as the distributed backends: the associativity/commutativity
+// contract of reduction objects is exactly what makes all strategies
+// compute the same result.
 func RunShm(k reduction.Kernel, spec adr.DatasetSpec, threads int, strategy ShmStrategy) (ShmResult, error) {
+	return runShm(k, spec, threads, strategy, nil)
+}
+
+func runShm(k reduction.Kernel, spec adr.DatasetSpec, threads int, strategy ShmStrategy, sink Sink) (ShmResult, error) {
 	if threads < 1 {
 		return ShmResult{}, fmt.Errorf("middleware: need >= 1 thread, got %d", threads)
+	}
+	switch strategy {
+	case FullReplication, FullLocking:
+	default:
+		return ShmResult{}, fmt.Errorf("middleware: unknown strategy %v", strategy)
 	}
 	gen, err := datagen.For(spec.Kind)
 	if err != nil {
@@ -88,38 +99,85 @@ func RunShm(k reduction.Kernel, spec adr.DatasetSpec, threads int, strategy ShmS
 		payloads = append(payloads, payload)
 	}
 
-	start := time.Now()
-	iterations := 0
-	for pass := 0; pass < k.Iterations(); pass++ {
-		iterations++
-		var merged reduction.Object
-		var err error
-		switch strategy {
-		case FullReplication:
-			merged, err = shmReplicated(k, payloads, threads)
-		case FullLocking:
-			merged, err = shmLocked(k, payloads, threads)
-		default:
-			return ShmResult{}, fmt.Errorf("middleware: unknown strategy %v", strategy)
-		}
-		if err != nil {
-			return ShmResult{}, fmt.Errorf("middleware: shm pass %d: %w", pass, err)
-		}
-		done, err := k.GlobalReduce(merged)
-		if err != nil {
-			return ShmResult{}, fmt.Errorf("middleware: shm global reduce: %w", err)
-		}
-		if done {
-			break
-		}
+	ex := &shmExecutor{
+		k:        k,
+		threads:  threads,
+		strategy: strategy,
+		payloads: payloads,
+		start:    time.Now(),
+	}
+	pl := NewPipeline(ex, sink)
+	if err := pl.Run(); err != nil {
+		return ShmResult{}, err
 	}
 	return ShmResult{
-		Elapsed:    time.Since(start),
-		Iterations: iterations,
+		Elapsed:    time.Since(ex.start),
+		Iterations: pl.Iterations(),
 		Threads:    threads,
 		Strategy:   strategy,
 	}, nil
 }
+
+// shmExecutor runs the protocol on one SMP node: threads combine through
+// the chosen strategy during local reduction; the cross-node phases are
+// degenerate (the merged object is already at the master).
+type shmExecutor struct {
+	k        reduction.Kernel
+	threads  int
+	strategy ShmStrategy
+	payloads []reduction.Payload
+	start    time.Time
+
+	merged reduction.Object
+}
+
+// Backend implements Executor.
+func (ex *shmExecutor) Backend() string { return "shm" }
+
+// Workload implements Executor.
+func (ex *shmExecutor) Workload() string { return ex.k.Name() }
+
+// Nodes implements Executor: one repository, one compute node.
+func (ex *shmExecutor) Nodes() (int, int) { return 1, 1 }
+
+// Passes implements Executor.
+func (ex *shmExecutor) Passes() int { return ex.k.Iterations() }
+
+// Now implements Executor (wall time since run start).
+func (ex *shmExecutor) Now() time.Duration { return time.Since(ex.start) }
+
+// LocalReduction processes every chunk with the node's threads combining
+// through the configured strategy.
+func (ex *shmExecutor) LocalReduction(int) (PassStats, error) {
+	t0 := time.Now()
+	var err error
+	switch ex.strategy {
+	case FullReplication:
+		ex.merged, err = shmReplicated(ex.k, ex.payloads, ex.threads)
+	case FullLocking:
+		ex.merged, err = shmLocked(ex.k, ex.payloads, ex.threads)
+	}
+	if err != nil {
+		return PassStats{}, err
+	}
+	return PassStats{Compute: time.Since(t0)}, nil
+}
+
+// Gather implements Executor; a single node has nothing to gather.
+func (ex *shmExecutor) Gather(int) (time.Duration, error) { return 0, nil }
+
+// GlobalReduce runs the kernel's global reduction on the merged object.
+func (ex *shmExecutor) GlobalReduce(int) (time.Duration, bool, error) {
+	t0 := time.Now()
+	done, err := ex.k.GlobalReduce(ex.merged)
+	return time.Since(t0), done, err
+}
+
+// Sync implements Executor.
+func (ex *shmExecutor) Sync(int) (time.Duration, error) { return 0, nil }
+
+// Broadcast implements Executor.
+func (ex *shmExecutor) Broadcast(int, bool) (time.Duration, error) { return 0, nil }
 
 // shmReplicated: one private object per thread, merged afterwards.
 func shmReplicated(k reduction.Kernel, payloads []reduction.Payload, threads int) (reduction.Object, error) {

@@ -2,9 +2,7 @@ package middleware
 
 import (
 	"fmt"
-	"io"
 	"math/rand"
-	"sort"
 	"time"
 
 	"freerideg/internal/adr"
@@ -117,18 +115,12 @@ type SimOptions struct {
 	// StragglerFactor is the slowdown of the straggler node (2 = half
 	// speed). Values <= 1 disable the straggler.
 	StragglerFactor float64
-	// Trace, when non-nil, receives one line per middleware phase event
-	// (pass boundaries, gather, global reduction) with virtual
-	// timestamps — the execution log a real deployment would emit.
-	Trace io.Writer
-}
-
-// trace writes one timestamped event line when tracing is enabled.
-func (o SimOptions) trace(at time.Duration, format string, args ...interface{}) {
-	if o.Trace == nil {
-		return
-	}
-	fmt.Fprintf(o.Trace, "t=%-14v %s\n", at, fmt.Sprintf(format, args...))
+	// Trace, when non-nil, receives one structured Event per middleware
+	// phase (run boundaries, per-pass retrieval/delivery/local-reduce/
+	// gather/global-reduce/sync/broadcast) with virtual timestamps — the
+	// execution log a real deployment would emit. Use NewTextSink,
+	// NewJSONSink, or NewCollector.
+	Trace Sink
 }
 
 func (o SimOptions) validate(c int) error {
@@ -152,7 +144,8 @@ type SimResult struct {
 }
 
 // Simulate executes one application run on a simulated configuration,
-// following the FREERIDE-G protocol:
+// following the FREERIDE-G protocol (see Pipeline for the canonical
+// phase sequence):
 //
 //	pass 0:   compute nodes pull chunks from their storage node in
 //	          synchronous chunk rounds — each node has one outstanding
@@ -198,225 +191,368 @@ func (g *Grid) SimulateOpts(cost reduction.CostModel, spec adr.DatasetSpec, cfg 
 	if err != nil {
 		return SimResult{}, err
 	}
-
-	n, c := cfg.DataNodes, cfg.ComputeNodes
-	if err := opts.validate(c); err != nil {
+	if err := opts.validate(cfg.ComputeNodes); err != nil {
 		return SimResult{}, err
 	}
-	totalElems := spec.Elems()
+
+	ex, err := newSimExecutor(cluster, cost, cfg, spec, layout, opts)
+	if err != nil {
+		return SimResult{}, err
+	}
+	pl := NewPipeline(ex, opts.Trace)
+	ex.eng.Spawn("master", func(p *simgrid.Proc) {
+		ex.p = p
+		if err := pl.Run(); err != nil {
+			p.Fail(err)
+		}
+	})
+	ex.spawnWorkers()
+	if err := ex.eng.Run(); err != nil {
+		return SimResult{}, fmt.Errorf("middleware: simulation of %s on %v: %w", cost.Name, cfg, err)
+	}
+
+	profile := pl.Breakdown().Profile(cost.Name, cfg, ex.roBytes, cost.BroadcastBytes, pl.Iterations())
+	if err := profile.Validate(); err != nil {
+		return SimResult{}, fmt.Errorf("middleware: simulation produced invalid profile: %w", err)
+	}
+	return SimResult{Profile: profile, Makespan: ex.eng.Now()}, nil
+}
+
+// simExecutor runs the protocol on simgrid's virtual hardware. Worker
+// processes (one per compute node) perform chunk retrieval, delivery,
+// and local reduction; the pipeline runs inside a dedicated master
+// process whose stage methods coordinate them through mailboxes, exactly
+// as the paper's master node does over the interconnect.
+type simExecutor struct {
+	eng     *simgrid.Engine
+	p       *simgrid.Proc // master process, set at spawn
+	cluster ClusterSpec
+	cost    reduction.CostModel
+	opts    SimOptions
+
+	n, c      int
+	passes    int
+	effRate   float64
+	diskBW    units.Rate
+	bandwidth units.Rate
+
+	roBytes       units.Bytes
+	gatherMsg     time.Duration
+	bcastMsg      time.Duration
+	globalPerPass time.Duration
+	treeRounds    int
+
+	chunksOf [][]adr.Chunk
+	jitter   []float64
+	rounds   int
+
+	servers     []*simgrid.Resource
+	ic          *simgrid.Resource
+	readyBox    *simgrid.Mailbox
+	gatherBox   *simgrid.Mailbox
+	bcastBox    []*simgrid.Mailbox
+	roundBarr   *simgrid.Barrier
+	passBarrier *simgrid.Barrier
+
+	// Per-node busy-time accounting, written by worker processes and read
+	// by the master between passes (simgrid runs exactly one process at a
+	// time, and the pass barrier orders the accesses).
+	diskBusy   []time.Duration
+	netBusy    []time.Duration
+	compTime   []time.Duration
+	cachedTime []time.Duration
+
+	// gatherStage/broadcastStage are the pluggable ablation stages:
+	// serialized master gather/broadcast (the paper's protocol) or the
+	// combining-tree variant.
+	gatherStage    func() time.Duration
+	broadcastStage func(pass int) time.Duration
+}
+
+func newSimExecutor(cluster ClusterSpec, cost reduction.CostModel, cfg core.Config,
+	spec adr.DatasetSpec, layout *adr.Layout, opts SimOptions) (*simExecutor, error) {
+	n, c := cfg.DataNodes, cfg.ComputeNodes
 	effRate := cluster.CPU.EffectiveRate(cost.Mix)
 	if effRate <= 0 {
-		return SimResult{}, fmt.Errorf("middleware: zero effective CPU rate on %q", cfg.Cluster)
+		return nil, fmt.Errorf("middleware: zero effective CPU rate on %q", cfg.Cluster)
 	}
-	diskBW := cluster.EffectiveDiskBW(n)
-	roBytes := cost.ROBytesPerNode(totalElems, c)
-	gatherMsg := cluster.ICMessageTime(roBytes)
-	bcastMsg := cluster.ICMessageTime(cost.BroadcastBytes)
-	globalPerPass := time.Duration(cost.GlobalOps(totalElems, c)) * cluster.GlobalValueCost
-
-	// Assign every chunk to a compute node: compute node j is served by
-	// storage node j mod n; each storage node hands its chunks round-robin
-	// to its clients.
-	clientsOf := make([][]int, n)
+	totalElems := spec.Elems()
+	ex := &simExecutor{
+		eng:           simgrid.NewEngine(),
+		cluster:       cluster,
+		cost:          cost,
+		opts:          opts,
+		n:             n,
+		c:             c,
+		passes:        cost.Iterations,
+		effRate:       effRate,
+		diskBW:        cluster.EffectiveDiskBW(n),
+		bandwidth:     cfg.Bandwidth,
+		roBytes:       cost.ROBytesPerNode(totalElems, c),
+		globalPerPass: time.Duration(cost.GlobalOps(totalElems, c)) * cluster.GlobalValueCost,
+		chunksOf:      chunksByCompute(layout, n, c),
+	}
+	ex.gatherMsg = cluster.ICMessageTime(ex.roBytes)
+	ex.bcastMsg = cluster.ICMessageTime(cost.BroadcastBytes)
+	for span := 1; span < c; span *= 2 {
+		ex.treeRounds++
+	}
 	for j := 0; j < c; j++ {
-		dn := j % n
-		clientsOf[dn] = append(clientsOf[dn], j)
-	}
-	for _, cl := range clientsOf {
-		sort.Ints(cl)
-	}
-	chunksOf := make([][]adr.Chunk, c)
-	for dn := 0; dn < n; dn++ {
-		clients := clientsOf[dn]
-		for i, ch := range layout.NodeChunks(dn) {
-			j := clients[i%len(clients)]
-			chunksOf[j] = append(chunksOf[j], ch)
+		if len(ex.chunksOf[j]) > ex.rounds {
+			ex.rounds = len(ex.chunksOf[j])
 		}
 	}
 
 	// Deterministic per-chunk disk jitter.
 	jrng := rand.New(rand.NewSource(spec.Seed*1000003 + int64(n)*31 + int64(c)))
-	jitter := make([]float64, len(layout.Chunks()))
-	for i := range jitter {
-		jitter[i] = 1 + cluster.JitterAmp*(2*jrng.Float64()-1)
+	ex.jitter = make([]float64, len(layout.Chunks()))
+	for i := range ex.jitter {
+		ex.jitter[i] = 1 + cluster.JitterAmp*(2*jrng.Float64()-1)
 	}
 
-	eng := simgrid.NewEngine()
 	// Each storage node runs a single-threaded data server: one chunk's
 	// disk read and network send are serviced as one unit, so a node's
 	// retrieval and communication work never overlap — the behavior that
 	// makes the paper's additive decomposition hold.
-	servers := make([]*simgrid.Resource, n)
-	diskBusy := make([]time.Duration, n)
-	netBusy := make([]time.Duration, n)
+	ex.servers = make([]*simgrid.Resource, n)
 	for i := 0; i < n; i++ {
-		servers[i] = eng.NewResource(fmt.Sprintf("dataserver%d", i), 1)
+		ex.servers[i] = ex.eng.NewResource(fmt.Sprintf("dataserver%d", i), 1)
 	}
-	ic := eng.NewResource("interconnect", 1)
-	gatherBox := eng.NewMailbox("gather")
-	bcastBox := make([]*simgrid.Mailbox, c)
-	for j := range bcastBox {
-		bcastBox[j] = eng.NewMailbox(fmt.Sprintf("bcast%d", j))
+	ex.ic = ex.eng.NewResource("interconnect", 1)
+	ex.readyBox = ex.eng.NewMailbox("ready")
+	ex.gatherBox = ex.eng.NewMailbox("gather")
+	ex.bcastBox = make([]*simgrid.Mailbox, c)
+	for j := range ex.bcastBox {
+		ex.bcastBox[j] = ex.eng.NewMailbox(fmt.Sprintf("bcast%d", j))
 	}
-
-	compTime := make([]time.Duration, c)
-	cachedTime := make([]time.Duration, c)
-	var tglobal, tsync, treeTro time.Duration
-	treeRounds := 0
-	for span := 1; span < c; span *= 2 {
-		treeRounds++
-	}
-
-	rounds := 0
-	for j := 0; j < c; j++ {
-		if len(chunksOf[j]) > rounds {
-			rounds = len(chunksOf[j])
-		}
-	}
-	roundBarrier := eng.NewBarrier("round", c)
+	ex.roundBarr = ex.eng.NewBarrier("round", c)
 	// The reduction phase is a BSP superstep: all nodes synchronize after
 	// local reduction before objects are gathered.
-	passBarrier := eng.NewBarrier("pass", c)
+	ex.passBarrier = ex.eng.NewBarrier("pass", c)
 
-	for j := 0; j < c; j++ {
+	ex.diskBusy = make([]time.Duration, n)
+	ex.netBusy = make([]time.Duration, n)
+	ex.compTime = make([]time.Duration, c)
+	ex.cachedTime = make([]time.Duration, c)
+
+	if opts.TreeGather && c > 1 {
+		ex.gatherStage = ex.treeGather
+		ex.broadcastStage = ex.treeBroadcast
+	} else {
+		ex.gatherStage = ex.serialGather
+		ex.broadcastStage = ex.serialBroadcast
+	}
+	return ex, nil
+}
+
+// spawnWorkers registers the per-compute-node processes. Spawn order
+// fixes the deterministic tie-breaking of simultaneous events, so the
+// workers are spawned in node order (after the master).
+func (ex *simExecutor) spawnWorkers() {
+	for j := 0; j < ex.c; j++ {
 		j := j
-		dn := j % n
-		eng.Spawn(fmt.Sprintf("compute%d", j), func(p *simgrid.Proc) {
-			rate := effRate
-			if opts.StragglerFactor > 1 && j == opts.StragglerNode {
-				rate /= opts.StragglerFactor
-			}
-			procTime := func(ch adr.Chunk) time.Duration {
-				return units.Seconds(float64(ch.Elems)*cost.OpsPerElem/rate) + cluster.ChunkOverhead
-			}
-			// cachedFetch charges the per-chunk retrieval cost of a pass
-			// after the first, per the configured caching tier.
-			cachedFetch := func(ch adr.Chunk) time.Duration {
-				switch opts.Cache.Mode {
-				case CacheLocalDisk:
-					return cluster.DiskSeek + cluster.DiskBW.TransferTime(ch.Bytes)
-				case CacheRemote:
-					return opts.Cache.Latency + opts.Cache.Bandwidth.TransferTime(ch.Bytes)
-				}
-				return 0
-			}
-			for pass := 0; pass < cost.Iterations; pass++ {
-				if pass == 0 {
-					// Synchronous chunk rounds: retrieve, transfer,
-					// process, then complete the round collectively.
-					for k := 0; k < rounds; k++ {
-						if k < len(chunksOf[j]) {
-							ch := chunksOf[j][k]
-							read := time.Duration(float64(cluster.DiskSeek+diskBW.TransferTime(ch.Bytes)) * jitter[ch.Index])
-							send := cluster.NetLatency + cfg.Bandwidth.TransferTime(ch.Bytes)
-							p.Acquire(servers[dn])
-							p.Wait(read)
-							p.Wait(send)
-							p.Release(servers[dn])
-							diskBusy[dn] += read
-							netBusy[dn] += send
-							proc := procTime(ch)
-							p.Wait(proc)
-							compTime[j] += proc
-						}
-						if !opts.AsyncDelivery {
-							p.Arrive(roundBarrier)
-						}
-					}
-				} else {
-					// Cached passes: retrieval from the caching tier (free
-					// for in-memory caching), then local processing.
-					for _, ch := range chunksOf[j] {
-						if fetch := cachedFetch(ch); fetch > 0 {
-							p.Wait(fetch)
-							cachedTime[j] += fetch
-						}
-						proc := procTime(ch)
-						p.Wait(proc)
-						compTime[j] += proc
-					}
-				}
-				p.Arrive(passBarrier)
-				if j != 0 {
-					// Gather: send this node's reduction object to the
-					// master — serialized over the interconnect, or as
-					// part of a combining tree under the ablation option.
-					if !opts.TreeGather {
-						p.Use(ic, gatherMsg)
-					}
-					gatherBox.Put(j)
-					// Wait for the master's result broadcast.
-					p.Get(bcastBox[j])
-					continue
-				}
-				// Master: await all worker objects, reduce globally,
-				// coordinate the next pass, re-broadcast.
-				opts.trace(p.Now(), "pass=%d local reduction complete on master", pass)
-				for w := 1; w < c; w++ {
-					p.Get(gatherBox)
-				}
-				opts.trace(p.Now(), "pass=%d gathered %d reduction objects (%v each)", pass, c-1, roBytes)
-				if opts.TreeGather && c > 1 {
-					d := time.Duration(treeRounds) * gatherMsg
-					p.Wait(d)
-					treeTro += d
-				}
-				p.Wait(globalPerPass)
-				tglobal += globalPerPass
-				opts.trace(p.Now(), "pass=%d global reduction done (%v)", pass, globalPerPass)
-				p.Wait(cluster.IterSync)
-				tsync += cluster.IterSync
-				if opts.TreeGather && c > 1 {
-					d := time.Duration(treeRounds) * bcastMsg
-					p.Wait(d)
-					treeTro += d
-					for w := 1; w < c; w++ {
-						bcastBox[w].Put(pass)
-					}
-				} else {
-					for w := 1; w < c; w++ {
-						p.Use(ic, bcastMsg)
-						bcastBox[w].Put(pass)
-					}
-				}
-				opts.trace(p.Now(), "pass=%d results broadcast to %d workers", pass, c-1)
-			}
-		})
+		ex.eng.Spawn(fmt.Sprintf("compute%d", j), func(p *simgrid.Proc) { ex.worker(p, j) })
 	}
-	opts.trace(0, "run=%s config=%v chunks=%d iterations=%d", cost.Name, cfg, len(layout.Chunks()), cost.Iterations)
-	if err := eng.Run(); err != nil {
-		return SimResult{}, fmt.Errorf("middleware: simulation of %s on %v: %w", cost.Name, cfg, err)
-	}
-	opts.trace(eng.Now(), "run=%s complete makespan=%v", cost.Name, eng.Now())
+}
 
-	maxDur := func(ds []time.Duration) time.Duration {
-		var m time.Duration
-		for _, d := range ds {
-			if d > m {
-				m = d
+// worker is one compute node: per pass it performs the chunk phase
+// (retrieval/delivery/processing in synchronous rounds on pass 0, cached
+// processing afterwards), synchronizes on the pass barrier, hands its
+// reduction object to the master, and blocks until the master's result
+// broadcast releases it into the next pass.
+func (ex *simExecutor) worker(p *simgrid.Proc, j int) {
+	dn := j % ex.n
+	rate := ex.effRate
+	if ex.opts.StragglerFactor > 1 && j == ex.opts.StragglerNode {
+		rate /= ex.opts.StragglerFactor
+	}
+	procTime := func(ch adr.Chunk) time.Duration {
+		return units.Seconds(float64(ch.Elems)*ex.cost.OpsPerElem/rate) + ex.cluster.ChunkOverhead
+	}
+	// cachedFetch charges the per-chunk retrieval cost of a pass after
+	// the first, per the configured caching tier.
+	cachedFetch := func(ch adr.Chunk) time.Duration {
+		switch ex.opts.Cache.Mode {
+		case CacheLocalDisk:
+			return ex.cluster.DiskSeek + ex.cluster.DiskBW.TransferTime(ch.Bytes)
+		case CacheRemote:
+			return ex.opts.Cache.Latency + ex.opts.Cache.Bandwidth.TransferTime(ch.Bytes)
+		}
+		return 0
+	}
+	for pass := 0; pass < ex.passes; pass++ {
+		if pass == 0 {
+			// Synchronous chunk rounds: retrieve, transfer, process, then
+			// complete the round collectively.
+			for k := 0; k < ex.rounds; k++ {
+				if k < len(ex.chunksOf[j]) {
+					ch := ex.chunksOf[j][k]
+					read := time.Duration(float64(ex.cluster.DiskSeek+ex.diskBW.TransferTime(ch.Bytes)) * ex.jitter[ch.Index])
+					send := ex.cluster.NetLatency + ex.bandwidth.TransferTime(ch.Bytes)
+					p.Acquire(ex.servers[dn])
+					p.Wait(read)
+					p.Wait(send)
+					p.Release(ex.servers[dn])
+					ex.diskBusy[dn] += read
+					ex.netBusy[dn] += send
+					proc := procTime(ch)
+					p.Wait(proc)
+					ex.compTime[j] += proc
+				}
+				if !ex.opts.AsyncDelivery {
+					p.Arrive(ex.roundBarr)
+				}
+			}
+		} else {
+			// Cached passes: retrieval from the caching tier (free for
+			// in-memory caching), then local processing.
+			for _, ch := range ex.chunksOf[j] {
+				if fetch := cachedFetch(ch); fetch > 0 {
+					p.Wait(fetch)
+					ex.cachedTime[j] += fetch
+				}
+				proc := procTime(ch)
+				p.Wait(proc)
+				ex.compTime[j] += proc
 			}
 		}
-		return m
+		p.Arrive(ex.passBarrier)
+		if j == 0 {
+			// Node 0's object is already at the master; signal the pipeline
+			// that the superstep's local reductions are complete.
+			ex.readyBox.Put(pass)
+		} else {
+			// Send this node's reduction object to the master — serialized
+			// over the interconnect, or as part of a combining tree under
+			// the ablation option.
+			if !ex.opts.TreeGather {
+				p.Use(ex.ic, ex.gatherMsg)
+			}
+			ex.gatherBox.Put(j)
+		}
+		// Wait for the master's result broadcast.
+		p.Get(ex.bcastBox[j])
 	}
-	tro := ic.BusyTime() + treeTro
-	cached := maxDur(cachedTime)
-	profile := core.Profile{
-		App:    cost.Name,
-		Config: cfg,
-		Breakdown: core.Breakdown{
-			Tdisk:    maxDur(diskBusy) + cached,
-			Tnetwork: maxDur(netBusy),
-			Tcompute: maxDur(compTime) + tro + tglobal + tsync,
-		},
-		TdiskCached:    cached,
-		Tro:            tro,
-		Tglobal:        tglobal,
-		ROBytesPerNode: roBytes,
-		BroadcastBytes: cost.BroadcastBytes,
-		Iterations:     cost.Iterations,
+}
+
+// Backend implements Executor.
+func (ex *simExecutor) Backend() string { return "sim" }
+
+// Workload implements Executor.
+func (ex *simExecutor) Workload() string { return ex.cost.Name }
+
+// Nodes implements Executor.
+func (ex *simExecutor) Nodes() (int, int) { return ex.n, ex.c }
+
+// Passes implements Executor.
+func (ex *simExecutor) Passes() int { return ex.passes }
+
+// Now implements Executor (virtual time).
+func (ex *simExecutor) Now() time.Duration { return ex.eng.Now() }
+
+// LocalReduction waits for every worker to finish the pass's chunk phase
+// and reports the per-phase busy-time deltas, each the maximum over
+// nodes per the paper's accounting.
+func (ex *simExecutor) LocalReduction(pass int) (PassStats, error) {
+	disk0 := snapshot(ex.diskBusy)
+	net0 := snapshot(ex.netBusy)
+	comp0 := snapshot(ex.compTime)
+	cached0 := snapshot(ex.cachedTime)
+	ex.p.Get(ex.readyBox) // posted by worker 0 at pass-barrier release
+	return PassStats{
+		Retrieval:   maxDelta(ex.diskBusy, disk0),
+		Delivery:    maxDelta(ex.netBusy, net0),
+		CachedFetch: maxDelta(ex.cachedTime, cached0),
+		Compute:     maxDelta(ex.compTime, comp0),
+	}, nil
+}
+
+// Gather implements Executor via the configured gather stage.
+func (ex *simExecutor) Gather(int) (time.Duration, error) { return ex.gatherStage(), nil }
+
+// serialGather awaits the c-1 serialized object transfers (the workers
+// pay the interconnect cost; the stage reports the busy-time delta).
+func (ex *simExecutor) serialGather() time.Duration {
+	busy0 := ex.ic.BusyTime()
+	for w := 1; w < ex.c; w++ {
+		ex.p.Get(ex.gatherBox)
 	}
-	if err := profile.Validate(); err != nil {
-		return SimResult{}, fmt.Errorf("middleware: simulation produced invalid profile: %w", err)
+	return ex.ic.BusyTime() - busy0
+}
+
+// treeGather models ceil(log2 c) parallel combining rounds.
+func (ex *simExecutor) treeGather() time.Duration {
+	for w := 1; w < ex.c; w++ {
+		ex.p.Get(ex.gatherBox)
 	}
-	return SimResult{Profile: profile, Makespan: eng.Now()}, nil
+	d := time.Duration(ex.treeRounds) * ex.gatherMsg
+	ex.p.Wait(d)
+	return d
+}
+
+// GlobalReduce charges the master's per-pass global reduction. The
+// simulated backend runs a fixed number of passes, so it never converges
+// early.
+func (ex *simExecutor) GlobalReduce(int) (time.Duration, bool, error) {
+	ex.p.Wait(ex.globalPerPass)
+	return ex.globalPerPass, false, nil
+}
+
+// Sync charges the constant per-pass coordination overhead.
+func (ex *simExecutor) Sync(int) (time.Duration, error) {
+	ex.p.Wait(ex.cluster.IterSync)
+	return ex.cluster.IterSync, nil
+}
+
+// Broadcast implements Executor via the configured broadcast stage.
+func (ex *simExecutor) Broadcast(pass int, _ bool) (time.Duration, error) {
+	return ex.broadcastStage(pass), nil
+}
+
+// serialBroadcast sends the result to each worker over the interconnect,
+// serialized at the master, then releases node 0 into the next pass.
+func (ex *simExecutor) serialBroadcast(pass int) time.Duration {
+	busy0 := ex.ic.BusyTime()
+	for w := 1; w < ex.c; w++ {
+		ex.p.Use(ex.ic, ex.bcastMsg)
+		ex.bcastBox[w].Put(pass)
+	}
+	ex.bcastBox[0].Put(pass)
+	return ex.ic.BusyTime() - busy0
+}
+
+// treeBroadcast re-distributes the result through the combining tree.
+func (ex *simExecutor) treeBroadcast(pass int) time.Duration {
+	d := time.Duration(ex.treeRounds) * ex.bcastMsg
+	ex.p.Wait(d)
+	for w := 1; w < ex.c; w++ {
+		ex.bcastBox[w].Put(pass)
+	}
+	ex.bcastBox[0].Put(pass)
+	return d
+}
+
+func snapshot(ds []time.Duration) []time.Duration {
+	return append([]time.Duration(nil), ds...)
+}
+
+// maxDelta reports the largest per-node increase since the snapshot.
+func maxDelta(now, before []time.Duration) time.Duration {
+	var m time.Duration
+	for i := range now {
+		if d := now[i] - before[i]; d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func maxDur(ds []time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
 }

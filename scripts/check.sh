@@ -1,0 +1,20 @@
+#!/bin/sh
+# check.sh — the repository's fast correctness gate: formatting, vet, and
+# a race-detector run over the packages with real concurrency (the
+# middleware backends and the reduction kernels they drive).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+
+go test -race ./internal/middleware/... ./internal/reduction/...
+
+echo "check: OK"
