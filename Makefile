@@ -1,6 +1,6 @@
 # Build and verification entry points. `make check` is the fast gate a
-# change must pass before review: formatting, vet, and a race-detector
-# run over the concurrent packages.
+# change must pass before review: formatting, vet, a module-wide
+# race-detector run, and the fuzz seed-corpus regression pass.
 
 .PHONY: all build test check figures
 

@@ -10,6 +10,8 @@
 //	fgrun -app kmeans -size 1.4GB -data 2 -compute 8
 //	fgrun -app defect -size 130MB -data 1 -compute 4 -cluster opteron-infiniband
 //	fgrun -app vortex -size 8MB -local -compute 4
+//	fgrun -app kmeans -size 512MB -data 2 -compute 8 -fault-seed 7 -trace
+//	fgrun -app kmeans -size 512MB -compute 4 -fault-plan 'crash node=1 pass=2; slow-disk node=0 factor=8'
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"freerideg/internal/cliutil"
 	"freerideg/internal/core"
 	"freerideg/internal/middleware"
+	"freerideg/internal/simgrid"
 	"freerideg/internal/units"
 )
 
@@ -37,8 +40,13 @@ func main() {
 		local     = flag.Bool("local", false, "run the real goroutine backend instead of the simulator")
 		trace     = flag.Bool("trace", false, "print the middleware phase trace as text")
 		traceJSON = flag.Bool("trace-json", false, "print the middleware phase trace as JSON lines")
+		faultSeed = flag.Int64("fault-seed", 0, "generate a deterministic fault plan from this seed (0 = no faults)")
+		faultPlan = flag.String("fault-plan", "", "explicit fault plan, e.g. 'crash node=1 pass=2; flaky-link node=0 count=2'")
 	)
 	flag.Parse()
+	if *faultSeed != 0 && *faultPlan != "" {
+		fail(fmt.Errorf("-fault-seed and -fault-plan are mutually exclusive"))
+	}
 
 	var sink middleware.Sink
 	switch {
@@ -70,14 +78,19 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		faults, err := resolveFaults(*faultSeed, *faultPlan, *data, *compute, kernel.Iterations())
+		if err != nil {
+			fail(err)
+		}
 		res, err := middleware.RunLocalSMP(kernel, spec, *data, *compute,
-			middleware.LocalOptions{Trace: sink})
+			middleware.LocalOptions{Faults: faults, Trace: sink})
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("local run: %s on %v, %d data / %d compute goroutines\n",
 			*app, total, *data, *compute)
 		fmt.Printf("  wall time:   %v over %d pass(es)\n", res.Elapsed.Round(time.Millisecond), res.Iterations)
+		printRecovery(res.Recovery, res.Retries)
 		printProfile(res.Profile)
 		return
 	}
@@ -97,13 +110,46 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	res, err := grid.SimulateOpts(cost, spec, cfg, middleware.SimOptions{Trace: sink})
+	faults, err := resolveFaults(*faultSeed, *faultPlan, *data, *compute, cost.Iterations)
+	if err != nil {
+		fail(err)
+	}
+	res, err := grid.SimulateOpts(cost, spec, cfg, middleware.SimOptions{Faults: faults, Trace: sink})
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("simulated run: %s on %v\n", *app, cfg)
 	fmt.Printf("  makespan:    %v\n", res.Makespan.Round(time.Millisecond))
+	printRecovery(res.Recovery, res.Retries)
 	printProfile(res.Profile)
+}
+
+// resolveFaults builds the run's fault plan from the CLI flags: an
+// explicit -fault-plan wins, a nonzero -fault-seed generates a plan
+// deterministically (and echoes it so the run is reproducible with
+// -fault-plan), and nil means fault injection is off.
+func resolveFaults(seed int64, planText string, dataNodes, computeNodes, passes int) (*simgrid.FaultPlan, error) {
+	switch {
+	case planText != "":
+		plan, err := simgrid.ParseFaultPlan(planText)
+		if err != nil {
+			return nil, err
+		}
+		return &plan, nil
+	case seed != 0:
+		plan := simgrid.GenerateFaultPlan(seed, dataNodes, computeNodes, passes)
+		fmt.Printf("fault plan (seed %d): %s\n", seed, plan)
+		return &plan, nil
+	}
+	return nil, nil
+}
+
+func printRecovery(recovery time.Duration, retries int) {
+	if recovery == 0 && retries == 0 {
+		return
+	}
+	fmt.Printf("  recovery:    %v over %d retried deliver(ies)\n",
+		recovery.Round(time.Millisecond), retries)
 }
 
 func printProfile(p core.Profile) {

@@ -305,6 +305,20 @@ func TestAblationStorageScaling(t *testing.T) {
 	}
 }
 
+func TestAblationFaultRecovery(t *testing.T) {
+	h := getHarness(t)
+	res, err := h.AblationFaultRecovery("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fault-unaware predictor must lose accuracy once the middleware
+	// spends time on retries, detection, and failover re-fetches.
+	if res.Variant <= res.Baseline {
+		t.Errorf("fault recovery did not degrade the model: baseline %.2f%%, variant %.2f%%",
+			100*res.Baseline, 100*res.Variant)
+	}
+}
+
 func TestTestbedSatisfiesModelAssumptions(t *testing.T) {
 	// The healthy simulated testbed must pass the paper's own assumption
 	// checks (retrieval/network/compute linearity and scaling) — that is
@@ -358,14 +372,14 @@ func TestRunAblationsCoversAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 4 {
-		t.Fatalf("%d ablations, want 4", len(results))
+	if len(results) != 5 {
+		t.Fatalf("%d ablations, want 5", len(results))
 	}
 	var sb strings.Builder
 	if err := RenderAblations(&sb, results); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"tree-gather", "flow-control", "storage-scaling-term", "disk-cache-model"} {
+	for _, name := range []string{"tree-gather", "flow-control", "storage-scaling-term", "disk-cache-model", "fault-recovery"} {
 		if !strings.Contains(sb.String(), name) {
 			t.Errorf("rendered ablations missing %q", name)
 		}

@@ -73,6 +73,7 @@ func (h *Harness) RunAblations() ([]AblationResult, error) {
 		{"flow-control", h.AblationFlowControl, "knn"},
 		{"storage-scaling-term", h.AblationStorageScaling, "knn"},
 		{"disk-cache-model", h.AblationDiskCache, "kmeans"},
+		{"fault-recovery", h.AblationFaultRecovery, "kmeans"},
 	} {
 		r, err := run.f(run.app)
 		if err != nil {

@@ -59,6 +59,19 @@ func (e *BandwidthEstimator) Observe(site, cluster string, s TransferSample) err
 	return nil
 }
 
+// Feed returns an observation callback bound to one path, in the shape
+// the middleware's SimOptions.Transfers hook expects: wired into a run,
+// every completed chunk delivery becomes a sample for the path, so a
+// degraded repository (slow disk, retried deliveries) drags the path's
+// estimated bandwidth down and the next selection round prefers a
+// healthier replica. Unusable samples are dropped silently — the feed is
+// an observer, never a failure source.
+func (e *BandwidthEstimator) Feed(site, cluster string) func(units.Bytes, time.Duration) {
+	return func(b units.Bytes, elapsed time.Duration) {
+		_ = e.Observe(site, cluster, TransferSample{Bytes: b, Elapsed: elapsed})
+	}
+}
+
 // Samples reports how many observations a path currently holds.
 func (e *BandwidthEstimator) Samples(site, cluster string) int {
 	e.mu.Lock()

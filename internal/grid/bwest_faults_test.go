@@ -1,0 +1,119 @@
+package grid
+
+import (
+	"testing"
+	"time"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/apps"
+	"freerideg/internal/core"
+	"freerideg/internal/middleware"
+	"freerideg/internal/simgrid"
+	"freerideg/internal/units"
+)
+
+// A degraded replica's transfers, observed through the estimator's feed,
+// must lower that path's estimated bandwidth so re-selection prefers the
+// healthy replica: the closed loop from fault injection through transfer
+// observation to replica ranking.
+func TestDegradedReplicaLosesSelection(t *testing.T) {
+	mg, err := middleware.NewGrid(middleware.PentiumMyrinet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := adr.DatasetSpec{
+		Name:       "pts",
+		TotalBytes: 64 * units.MB,
+		ElemBytes:  128,
+		ChunkBytes: 8 * units.MB,
+		Kind:       "points",
+		Dims:       16,
+		Seed:       17,
+	}
+	a, err := apps.Get("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := a.Cost(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		Cluster:      "pentium-myrinet",
+		DataNodes:    1,
+		ComputeNodes: 2,
+		Bandwidth:    middleware.DefaultBandwidth,
+		DatasetBytes: spec.TotalBytes,
+	}
+
+	// Observe one clean run from the healthy site and one run from the
+	// degraded site, whose storage node serves every delivery at an eighth
+	// of its disk speed and drops several of them.
+	est := NewBandwidthEstimator(0)
+	if _, err := mg.SimulateOpts(cost, spec, cfg, middleware.SimOptions{
+		Transfers: est.Feed("healthy", cfg.Cluster),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := simgrid.ParseFaultPlan(
+		"slow-disk node=0 factor=8; flaky-link node=0 chunk=2 count=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg.SimulateOpts(cost, spec, cfg, middleware.SimOptions{
+		Faults:    &plan,
+		Transfers: est.Feed("degraded", cfg.Cluster),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	healthyBW, _, err := est.Estimate("healthy", cfg.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degradedBW, _, err := est.Estimate("degraded", cfg.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degradedBW >= healthyBW {
+		t.Fatalf("degraded path estimated at %v, healthy at %v — faults not visible to the estimator",
+			degradedBW, healthyBW)
+	}
+
+	// Feed both estimates into the information service and rank: the
+	// healthy replica must win for a delivery-sensitive profile.
+	svc := NewService()
+	layout, err := adr.Partition(spec, 1, adr.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, site := range []string{"healthy", "degraded"} {
+		if err := svc.Replicas.Register(adr.Replica{
+			Site: site, Cluster: cfg.Cluster, StorageNodes: 1, Layout: layout,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := svc.AddOffer(ComputeOffer{Cluster: cfg.Cluster, Nodes: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := est.FillService(svc); err != nil {
+		t.Fatal(err)
+	}
+	prof := testProfile()
+	prof.Config.Cluster = cfg.Cluster
+	prof.Config.DatasetBytes = spec.TotalBytes
+	pred, err := core.NewPredictor(prof, core.AppModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred.Links[cfg.Cluster] = core.LinkCalibration{W: 1e-8, L: time.Millisecond}
+	sel := &Selector{Predictor: pred, Variant: core.GlobalReduction}
+	best, err := sel.Select(svc, "pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Replica.Site != "healthy" {
+		t.Errorf("selected replica at %q, want the healthy site", best.Replica.Site)
+	}
+}

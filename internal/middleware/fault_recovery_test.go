@@ -1,0 +1,276 @@
+package middleware
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/apps"
+	"freerideg/internal/reduction"
+	"freerideg/internal/simgrid"
+	"freerideg/internal/units"
+)
+
+// countingKernel decorates a kernel with an exactly-once ledger: every
+// ProcessChunk call is tallied per chunk index, so tests can prove that
+// under failover each chunk is processed exactly once per pass — never
+// dropped with its dead owner, never double-run on a survivor.
+type countingKernel struct {
+	reduction.Kernel
+	mu     sync.Mutex
+	counts map[int]int
+}
+
+func newCountingKernel(k reduction.Kernel) *countingKernel {
+	return &countingKernel{Kernel: k, counts: make(map[int]int)}
+}
+
+func (ck *countingKernel) ProcessChunk(p reduction.Payload, obj reduction.Object) error {
+	ck.mu.Lock()
+	ck.counts[p.Chunk.Index]++
+	ck.mu.Unlock()
+	return ck.Kernel.ProcessChunk(p, obj)
+}
+
+// checkExactlyOnce asserts every chunk of the layout was processed
+// exactly passes times (once per pass).
+func (ck *countingKernel) checkExactlyOnce(t *testing.T, chunks, passes int) {
+	t.Helper()
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if len(ck.counts) != chunks {
+		t.Errorf("%d distinct chunks processed, layout has %d", len(ck.counts), chunks)
+	}
+	for idx, n := range ck.counts {
+		if n != passes {
+			t.Errorf("chunk %d processed %d times over %d passes, want exactly once per pass",
+				idx, n, passes)
+		}
+	}
+}
+
+// centersKernel is the slice of the kmeans kernel the result checks need.
+type centersKernel interface {
+	Centers() [][]float64
+}
+
+// requireCentersClose compares cluster centers within a relative
+// tolerance: failover changes the grouping of floating-point sums, so
+// faulted runs agree with fault-free ones only up to rounding.
+func requireCentersClose(t *testing.T, got, want [][]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d centers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			diff := math.Abs(got[i][j] - want[i][j])
+			scale := math.Max(1, math.Abs(want[i][j]))
+			if diff/scale > 1e-6 {
+				t.Fatalf("center[%d][%d] = %v, want %v (rel err %v)",
+					i, j, got[i][j], want[i][j], diff/scale)
+			}
+		}
+	}
+}
+
+func kmeansKernel(t *testing.T, spec adr.DatasetSpec) reduction.Kernel {
+	t.Helper()
+	a, err := apps.Get("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := a.NewKernel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func chunkCount(t *testing.T, spec adr.DatasetSpec, dataNodes int) int {
+	t.Helper()
+	layout, err := adr.Partition(spec, dataNodes, adr.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(layout.Chunks())
+}
+
+// Under any generated plan that leaves a compute node alive, the
+// simulated backend terminates, processes every chunk exactly once per
+// pass, and its recovery accounting reconciles: the traced retry and
+// failover durations sum to the reported recovery time, and the traced
+// phase totals still reproduce the profile breakdown exactly.
+func TestSimFaultRecoveryProperties(t *testing.T) {
+	g := testGrid(t)
+	total := 64 * units.MB
+	a, _ := apps.Get("kmeans")
+	spec := pointsSpec(total)
+	cost, err := a.Cost(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dataNodes, computeNodes = 2, 4
+	cfg := config(dataNodes, computeNodes, total)
+
+	base, err := g.Simulate(cost, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Recovery != 0 || base.Retries != 0 {
+		t.Fatalf("fault-free run reports recovery %v, %d retries", base.Recovery, base.Retries)
+	}
+
+	for seed := int64(1); seed <= 20; seed++ {
+		plan := simgrid.GenerateFaultPlan(seed, dataNodes, computeNodes, cost.Iterations)
+		col := NewCollector()
+		res, ex, err := g.simulateOpts(cost, spec, cfg, SimOptions{Faults: &plan, Trace: col})
+		if err != nil {
+			t.Fatalf("seed %d (%v): %v", seed, plan.Faults, err)
+		}
+		for pass := range ex.processed {
+			for idx, n := range ex.processed[pass] {
+				if n != 1 {
+					t.Fatalf("seed %d: chunk %d processed %d times in pass %d, want exactly once",
+						seed, idx, n, pass)
+				}
+			}
+		}
+		if got := col.PhaseTotal(PhaseRetry) + col.PhaseTotal(PhaseFailover); got != res.Recovery {
+			t.Errorf("seed %d: traced retry+failover = %v, result recovery = %v", seed, got, res.Recovery)
+		}
+		if got, want := col.Breakdown(), res.Profile.Breakdown; got != want {
+			t.Errorf("seed %d: collector breakdown %+v != profile breakdown %+v", seed, got, want)
+		}
+		if res.Makespan < base.Makespan {
+			t.Errorf("seed %d: faulted makespan %v beats fault-free %v", seed, res.Makespan, base.Makespan)
+		}
+	}
+}
+
+// The goroutine backend computes the same reduction under faults as
+// without: every chunk lands exactly once per pass on a surviving node,
+// and the final kmeans centers match the fault-free run's up to
+// floating-point regrouping.
+func TestLocalFaultRecoveryProperties(t *testing.T) {
+	spec := localSpec("points")
+	const dataNodes, computeNodes = 2, 3
+	chunks := chunkCount(t, spec, dataNodes)
+
+	baseKernel := kmeansKernel(t, spec)
+	baseRes, err := runLocal(baseKernel, spec, dataNodes, computeNodes, LocalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCenters := baseKernel.(centersKernel).Centers()
+
+	for seed := int64(1); seed <= 8; seed++ {
+		plan := simgrid.GenerateFaultPlan(seed, dataNodes, computeNodes, baseKernel.Iterations())
+		ck := newCountingKernel(kmeansKernel(t, spec))
+		col := NewCollector()
+		res, err := runLocal(ck, spec, dataNodes, computeNodes, LocalOptions{Faults: &plan, Trace: col})
+		if err != nil {
+			t.Fatalf("seed %d (%v): %v", seed, plan.Faults, err)
+		}
+		if res.Iterations != baseRes.Iterations {
+			t.Fatalf("seed %d: %d iterations, fault-free run took %d", seed, res.Iterations, baseRes.Iterations)
+		}
+		ck.checkExactlyOnce(t, chunks, res.Iterations)
+		requireCentersClose(t, ck.Kernel.(centersKernel).Centers(), baseCenters)
+		if got := col.PhaseTotal(PhaseRetry) + col.PhaseTotal(PhaseFailover); got != res.Recovery {
+			t.Errorf("seed %d: traced retry+failover = %v, result recovery = %v", seed, got, res.Recovery)
+		}
+		if got, want := col.Breakdown(), res.Profile.Breakdown; got != want {
+			t.Errorf("seed %d: collector breakdown %+v != profile breakdown %+v", seed, got, want)
+		}
+	}
+}
+
+// The SMP backend keeps the same guarantees with multi-threaded nodes and
+// both sharing strategies.
+func TestSMPFaultRecoveryProperties(t *testing.T) {
+	spec := localSpec("points")
+	const dataNodes, computeNodes = 2, 3
+	chunks := chunkCount(t, spec, dataNodes)
+
+	for _, strategy := range []ShmStrategy{FullReplication, FullLocking} {
+		baseKernel := kmeansKernel(t, spec)
+		baseRes, err := RunLocalSMP(baseKernel, spec, dataNodes, computeNodes,
+			LocalOptions{Threads: 2, Strategy: strategy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseCenters := baseKernel.(centersKernel).Centers()
+
+		for seed := int64(1); seed <= 4; seed++ {
+			plan := simgrid.GenerateFaultPlan(seed, dataNodes, computeNodes, baseKernel.Iterations())
+			ck := newCountingKernel(kmeansKernel(t, spec))
+			col := NewCollector()
+			res, err := RunLocalSMP(ck, spec, dataNodes, computeNodes,
+				LocalOptions{Threads: 2, Strategy: strategy, Faults: &plan, Trace: col})
+			if err != nil {
+				t.Fatalf("%v seed %d (%v): %v", strategy, seed, plan.Faults, err)
+			}
+			if res.Iterations != baseRes.Iterations {
+				t.Fatalf("%v seed %d: %d iterations, fault-free run took %d",
+					strategy, seed, res.Iterations, baseRes.Iterations)
+			}
+			ck.checkExactlyOnce(t, chunks, res.Iterations)
+			requireCentersClose(t, ck.Kernel.(centersKernel).Centers(), baseCenters)
+			if got, want := col.Breakdown(), res.Profile.Breakdown; got != want {
+				t.Errorf("%v seed %d: collector breakdown %+v != profile breakdown %+v",
+					strategy, seed, got, want)
+			}
+		}
+	}
+}
+
+// The single-node shm backend accepts storage-tier plans (vacuous — its
+// chunks are pre-materialized) and rejects plans that would crash its
+// only compute node.
+func TestShmFaultPlanHandling(t *testing.T) {
+	spec := localSpec("points")
+	chunks := chunkCount(t, spec, 1)
+
+	for seed := int64(1); seed <= 4; seed++ {
+		// One data node, one compute node: the generator never crashes the
+		// last surviving compute node, so these plans are storage-only.
+		plan := simgrid.GenerateFaultPlan(seed, 1, 1, 10)
+		ck := newCountingKernel(kmeansKernel(t, spec))
+		res, err := RunShmOpts(ck, spec, 2, FullReplication, LocalOptions{Faults: &plan})
+		if err != nil {
+			t.Fatalf("seed %d (%v): %v", seed, plan.Faults, err)
+		}
+		ck.checkExactlyOnce(t, chunks, res.Iterations)
+	}
+
+	crash := simgrid.FaultPlan{Faults: []simgrid.Fault{{Kind: simgrid.FaultCrash, Node: 0}}}
+	if _, err := RunShmOpts(kmeansKernel(t, spec), spec, 2, FullReplication,
+		LocalOptions{Faults: &crash}); err == nil {
+		t.Error("plan crashing the only compute node accepted")
+	}
+}
+
+// A plan that crashes every compute node must be rejected, not deadlock.
+func TestAllNodesCrashedRejected(t *testing.T) {
+	g := testGrid(t)
+	total := 64 * units.MB
+	a, _ := apps.Get("kmeans")
+	spec := pointsSpec(total)
+	cost, err := a.Cost(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := simgrid.FaultPlan{Faults: []simgrid.Fault{
+		{Kind: simgrid.FaultCrash, Node: 0, Pass: 1},
+		{Kind: simgrid.FaultCrash, Node: 1},
+	}}
+	if _, err := g.SimulateOpts(cost, spec, config(1, 2, total), SimOptions{Faults: &plan}); err == nil {
+		t.Error("all-nodes-crash plan accepted by sim backend")
+	}
+	k := kmeansKernel(t, localSpec("points"))
+	if _, err := runLocal(k, localSpec("points"), 1, 2, LocalOptions{Faults: &plan}); err == nil {
+		t.Error("all-nodes-crash plan accepted by local backend")
+	}
+}

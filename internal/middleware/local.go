@@ -25,6 +25,12 @@ type LocalResult struct {
 	// Iterations is the number of passes actually performed (kernels may
 	// converge before their maximum).
 	Iterations int
+	// Recovery is the measured fault-handling overhead and Retries the
+	// failed-delivery count (zero on fault-free runs). The goroutine
+	// backends measure only the real wasted work — re-materialized chunks
+	// — not the modeled detection timeouts the simulated backend charges.
+	Recovery time.Duration
+	Retries  int
 }
 
 // RunLocal executes a kernel for real: dataNodes goroutines materialize
@@ -41,10 +47,10 @@ type LocalResult struct {
 // (max per compute node) processing time plus the serialized gather and
 // global reduction times.
 func RunLocal(k reduction.Kernel, spec adr.DatasetSpec, dataNodes, computeNodes int) (LocalResult, error) {
-	return runLocal(k, spec, dataNodes, computeNodes, nil)
+	return runLocal(k, spec, dataNodes, computeNodes, LocalOptions{})
 }
 
-func runLocal(k reduction.Kernel, spec adr.DatasetSpec, dataNodes, computeNodes int, sink Sink) (LocalResult, error) {
+func runLocal(k reduction.Kernel, spec adr.DatasetSpec, dataNodes, computeNodes int, opts LocalOptions) (LocalResult, error) {
 	if dataNodes < 1 || computeNodes < dataNodes {
 		return LocalResult{}, fmt.Errorf("middleware: need computeNodes >= dataNodes >= 1, got %d-%d",
 			dataNodes, computeNodes)
@@ -61,38 +67,94 @@ func runLocal(k reduction.Kernel, spec adr.DatasetSpec, dataNodes, computeNodes 
 	if or, ok := k.(reduction.OverlapRequester); ok {
 		overlap = or.OverlapElems()
 	}
+	if opts.Faults != nil {
+		if err := opts.Faults.Validate(); err != nil {
+			return LocalResult{}, err
+		}
+	}
 
 	ex := &localExecutor{
-		k:       k,
-		gen:     gen,
-		spec:    spec,
-		layout:  layout,
-		fields:  gen.FieldsPerElem(spec),
-		overlap: overlap,
-		n:       dataNodes,
-		c:       computeNodes,
-		targets: chunkTargets(layout, dataNodes, computeNodes),
-		cache:   make([][]reduction.Payload, computeNodes),
-		start:   time.Now(),
+		k:         k,
+		gen:       gen,
+		spec:      spec,
+		layout:    layout,
+		fields:    gen.FieldsPerElem(spec),
+		overlap:   overlap,
+		n:         dataNodes,
+		c:         computeNodes,
+		targets:   chunkTargets(layout, dataNodes, computeNodes),
+		base:      chunksByCompute(layout, dataNodes, computeNodes),
+		cache:     make([]map[int]reduction.Payload, computeNodes),
+		sched:     newFaultSchedule(opts.Faults, dataNodes, computeNodes),
+		rec:       opts.Recovery.withDefaults(),
+		sink:      opts.Trace,
+		incidents: &incidentLog{},
+		start:     time.Now(),
 	}
-	pl := NewPipeline(ex, sink)
+	for j := range ex.cache {
+		ex.cache[j] = make(map[int]reduction.Payload)
+	}
+	if ex.sched != nil {
+		passes := k.Iterations()
+		assign, err := passAssignments(ex.base, ex.sched, passes)
+		if err != nil {
+			return LocalResult{}, err
+		}
+		ex.assign = assign
+		ex.diskFeeds = newFeedSet(ex.sched.disk)
+		ex.linkFeeds = newFeedSet(ex.sched.link)
+		ex.lost = make([]int, computeNodes)
+		for j := range ex.lost {
+			cp, _, ok := ex.sched.crashPoint(j)
+			if !ok || cp >= passes {
+				continue
+			}
+			wouldBe := ex.base
+			if cp > 0 {
+				wb, err := reassignDead(ex.base, ex.sched.aliveAt(cp-1))
+				if err != nil {
+					return LocalResult{}, err
+				}
+				wouldBe = wb
+			}
+			ex.lost[j] = len(wouldBe[j])
+		}
+	}
+	pl := NewPipeline(ex, opts.Trace)
 	if err := pl.Run(); err != nil {
 		return LocalResult{}, err
 	}
-	profile := pl.Breakdown().Profile(k.Name(), core.Config{
+	bd := pl.Breakdown()
+	profile := bd.Profile(k.Name(), core.Config{
 		Cluster:      LocalCluster,
 		DataNodes:    dataNodes,
 		ComputeNodes: computeNodes,
 		Bandwidth:    units.GBPerSec, // nominal in-process "network"
 		DatasetBytes: spec.TotalBytes,
 	}, ex.roBytes, units.KB, pl.Iterations())
-	return LocalResult{Profile: profile, Elapsed: time.Since(ex.start), Iterations: pl.Iterations()}, nil
+	return LocalResult{
+		Profile:    profile,
+		Elapsed:    time.Since(ex.start),
+		Iterations: pl.Iterations(),
+		Recovery:   bd.Recovery,
+		Retries:    bd.Retries,
+	}, nil
 }
 
 // localExecutor runs the protocol for real on goroutines: data-server
 // goroutines materialize and distribute chunks, compute-server goroutines
 // run local reductions, and the pipeline's master flow gathers, reduces
 // globally, and decides convergence.
+//
+// Under fault injection the backend keeps the simulated backend's
+// semantics on wall time: crashed nodes receive no work from their crash
+// pass on (their fresh per-pass reduction object stays the merge
+// identity, which is exactly a lost contribution), the failover
+// assignment re-deals their chunks to the survivors, survivors
+// re-materialize inherited chunks missing from their cache, and flaky
+// links force data servers to re-materialize lost deliveries. Only the
+// real wasted work is measured — the detection timeout the simulated
+// backend models has no wall-clock counterpart here.
 type localExecutor struct {
 	k       reduction.Kernel
 	gen     datagen.Generator
@@ -102,11 +164,45 @@ type localExecutor struct {
 	overlap int64
 	n, c    int
 	targets [][]int
+	base    [][]adr.Chunk // per compute node, fault-free assignment
 	start   time.Time
 
-	cache   [][]reduction.Payload
+	// Fault-injection state (nil/empty on fault-free runs).
+	sched     *faultSchedule
+	rec       RecoverySpec
+	sink      Sink
+	incidents *incidentLog
+	assign    [][][]adr.Chunk
+	lost      []int
+	diskFeeds feedSet
+	linkFeeds feedSet
+
+	cache   []map[int]reduction.Payload // per compute node, by chunk index
 	objs    []reduction.Object
 	roBytes units.Bytes
+}
+
+// materialize produces one chunk's payload (the local backend's
+// "retrieval").
+func (ex *localExecutor) materialize(ch adr.Chunk) (reduction.Payload, error) {
+	payload := reduction.Payload{Chunk: ch, Fields: ex.fields, Values: ex.gen.ChunkValues(ex.spec, ch)}
+	if ex.overlap > 0 {
+		before, after, err := datagen.HaloFor(ex.gen, ex.spec, ch, ex.overlap)
+		if err != nil {
+			return reduction.Payload{}, err
+		}
+		payload.HaloBefore, payload.HaloAfter = before, after
+	}
+	return payload, nil
+}
+
+// workFor is the pass's chunk list for one compute node under the
+// failover assignment (empty from a node's crash pass on).
+func (ex *localExecutor) workFor(pass, j int) []adr.Chunk {
+	if ex.sched != nil {
+		return ex.assign[pass][j]
+	}
+	return ex.base[j]
 }
 
 // Backend implements Executor.
@@ -125,20 +221,45 @@ func (ex *localExecutor) Passes() int { return ex.k.Iterations() }
 func (ex *localExecutor) Now() time.Duration { return time.Since(ex.start) }
 
 // LocalReduction runs one pass's chunk phase: materialize-and-deliver on
-// pass 0, cache replay afterwards.
+// pass 0, cache replay afterwards. Under fault injection it closes the
+// pass by emitting the pass's crash incidents and flushing the buffered
+// fault/retry/failover events in deterministic order.
 func (ex *localExecutor) LocalReduction(pass int) (PassStats, error) {
 	ex.objs = make([]reduction.Object, ex.c)
 	for j := range ex.objs {
 		ex.objs[j] = ex.k.NewObject()
 	}
+	var st PassStats
+	var err error
 	if pass == 0 {
-		return ex.firstPass()
+		st, err = ex.firstPass()
+	} else {
+		st, err = ex.cachedPass(pass)
 	}
-	return ex.cachedPass()
+	if err != nil {
+		return st, err
+	}
+	if ex.sched != nil {
+		for j := 0; j < ex.c; j++ {
+			if cp, _, ok := ex.sched.crashPoint(j); ok && cp == pass {
+				ex.incidents.add(Event{Pass: pass, Phase: PhaseFault, Node: j, Detail: "crash"})
+				ex.incidents.add(Event{Pass: pass, Phase: PhaseFailover, Node: j,
+					Detail: fmt.Sprintf("node %d down, %d chunks re-dealt to %d survivors",
+						j, ex.lost[j], ex.sched.survivorsAt(pass))})
+			}
+		}
+		rec, retr := ex.incidents.drain(ex.sink, ex.Now())
+		st.Recovery += rec
+		st.Retries += retr
+	}
+	return st, nil
 }
 
 // firstPass materializes chunks on the data servers and streams them to
-// the compute servers, which cache and process them.
+// the compute servers, which cache and process them. Under fault
+// injection the delivery targets follow the pass-0 failover assignment
+// (crashed-at-0 nodes receive nothing) and flaky links force the servers
+// to re-materialize and re-send lost deliveries.
 func (ex *localExecutor) firstPass() (PassStats, error) {
 	diskTime := make([]time.Duration, ex.n)
 	recvTime := make([]time.Duration, ex.c)
@@ -148,6 +269,17 @@ func (ex *localExecutor) firstPass() (PassStats, error) {
 	for j := range chans {
 		chans[j] = make(chan reduction.Payload, 1)
 	}
+	// Under failover, chunk ownership comes from the pass-0 assignment
+	// rather than the static delivery targets.
+	var owner map[int]int
+	if ex.sched != nil {
+		owner = make(map[int]int)
+		for j, list := range ex.assign[0] {
+			for _, ch := range list {
+				owner[ch.Index] = j
+			}
+		}
+	}
 	// Data servers: retrieve (materialize) chunks and distribute them to
 	// their compute clients per the shared chunk assignment.
 	var serveWG sync.WaitGroup
@@ -156,22 +288,66 @@ func (ex *localExecutor) firstPass() (PassStats, error) {
 		serveWG.Add(1)
 		go func() {
 			defer serveWG.Done()
+			serveOrd := 0 // live delivery ordinal, the fault trigger coordinate
 			for i, ch := range ex.layout.NodeChunks(dn) {
-				t0 := time.Now()
-				payload := reduction.Payload{
-					Chunk: ch, Fields: ex.fields, Values: ex.gen.ChunkValues(ex.spec, ch),
+				target := ex.targets[dn][i]
+				if owner != nil {
+					t, ok := owner[ch.Index]
+					if !ok {
+						continue // unreachable: every chunk has a surviving owner
+					}
+					target = t
 				}
-				if ex.overlap > 0 {
-					before, after, err := datagen.HaloFor(ex.gen, ex.spec, ch, ex.overlap)
-					if err != nil {
-						errs <- err
-						diskTime[dn] += time.Since(t0)
+				t0 := time.Now()
+				payload, err := ex.materialize(ch)
+				if err != nil {
+					errs <- err
+					return
+				}
+				d := time.Since(t0)
+				if ex.sched != nil {
+					ok := true
+					for attempt := 1; ; attempt++ {
+						if f, fresh, hit := ex.diskFeeds.next(dn, 0, serveOrd); hit && fresh {
+							// Onset marker only: wall-clock disk speed cannot
+							// be degraded for real here.
+							ex.incidents.add(Event{Pass: 0, Phase: PhaseFault, Node: dn,
+								Detail: fmt.Sprintf("slow-disk x%.3g on storage node %d", f.Factor, dn)})
+						}
+						_, lfresh, lhit := ex.linkFeeds.next(dn, 0, serveOrd)
+						serveOrd++
+						if lhit && lfresh {
+							ex.incidents.add(Event{Pass: 0, Phase: PhaseFault, Node: dn,
+								Detail: fmt.Sprintf("flaky-link on storage node %d", dn)})
+						}
+						if !lhit {
+							break
+						}
+						if attempt > ex.rec.MaxRetries {
+							errs <- fmt.Errorf("middleware: delivery of chunk %d from storage node %d to node %d failed after %d attempts",
+								ch.Index, dn, target, attempt)
+							ok = false
+							break
+						}
+						// The delivery was lost: the wasted materialization is
+						// recovery overhead, and the chunk is re-read.
+						ex.incidents.add(Event{Pass: 0, Phase: PhaseRetry, Node: target, Dur: d,
+							Detail: fmt.Sprintf("chunk %d from storage node %d, attempt %d", ch.Index, dn, attempt)})
+						t0 = time.Now()
+						payload, err = ex.materialize(ch)
+						if err != nil {
+							errs <- err
+							ok = false
+							break
+						}
+						d = time.Since(t0)
+					}
+					if !ok {
 						return
 					}
-					payload.HaloBefore, payload.HaloAfter = before, after
 				}
-				diskTime[dn] += time.Since(t0)
-				chans[ex.targets[dn][i]] <- payload
+				diskTime[dn] += d
+				chans[target] <- payload
 			}
 		}()
 	}
@@ -195,7 +371,7 @@ func (ex *localExecutor) firstPass() (PassStats, error) {
 				if !ok {
 					return
 				}
-				ex.cache[j] = append(ex.cache[j], p)
+				ex.cache[j][p.Chunk.Index] = p
 				t1 := time.Now()
 				if err := ex.k.ProcessChunk(p, ex.objs[j]); err != nil {
 					errs <- err
@@ -218,9 +394,13 @@ func (ex *localExecutor) firstPass() (PassStats, error) {
 	}, nil
 }
 
-// cachedPass replays each node's cached chunks: pure local processing.
-func (ex *localExecutor) cachedPass() (PassStats, error) {
+// cachedPass replays each node's cached chunks per the pass's failover
+// assignment: pure local processing, except that chunks a survivor
+// inherited from a dead node are missing from its cache and must be
+// re-materialized (charged as retrieval, the "failover re-fetch").
+func (ex *localExecutor) cachedPass(pass int) (PassStats, error) {
 	compTime := make([]time.Duration, ex.c)
+	fetchTime := make([]time.Duration, ex.c)
 	errs := make(chan error, ex.c)
 	var wg sync.WaitGroup
 	for j := 0; j < ex.c; j++ {
@@ -228,14 +408,26 @@ func (ex *localExecutor) cachedPass() (PassStats, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			t0 := time.Now()
-			for _, p := range ex.cache[j] {
+			for _, ch := range ex.workFor(pass, j) {
+				p, ok := ex.cache[j][ch.Index]
+				if !ok {
+					t0 := time.Now()
+					var err error
+					p, err = ex.materialize(ch)
+					if err != nil {
+						errs <- err
+						return
+					}
+					fetchTime[j] += time.Since(t0)
+					ex.cache[j][ch.Index] = p
+				}
+				t1 := time.Now()
 				if err := ex.k.ProcessChunk(p, ex.objs[j]); err != nil {
 					errs <- err
 					return
 				}
+				compTime[j] += time.Since(t1)
 			}
-			compTime[j] += time.Since(t0)
 		}()
 	}
 	wg.Wait()
@@ -244,7 +436,7 @@ func (ex *localExecutor) cachedPass() (PassStats, error) {
 		return PassStats{}, err
 	default:
 	}
-	return PassStats{Compute: maxDur(compTime)}, nil
+	return PassStats{Retrieval: maxDur(fetchTime), Compute: maxDur(compTime)}, nil
 }
 
 // Gather merges worker objects into the master's, crossing a real

@@ -9,6 +9,7 @@ import (
 	"freerideg/internal/core"
 	"freerideg/internal/datagen"
 	"freerideg/internal/reduction"
+	"freerideg/internal/simgrid"
 	"freerideg/internal/units"
 )
 
@@ -24,6 +25,16 @@ type LocalOptions struct {
 	Threads int
 	// Strategy selects how a node's threads share reduction state.
 	Strategy ShmStrategy
+	// Faults, when non-nil and non-empty, injects the plan's fault
+	// schedule (same semantics as SimOptions.Faults). The goroutine
+	// backends honor crash faults with real failover re-partitioning; on
+	// the streaming local backend flaky links force re-materialized
+	// deliveries, while the pre-materialized SMP backend treats
+	// storage-tier faults as vacuous.
+	Faults *simgrid.FaultPlan
+	// Recovery tunes retry/backoff handling; the zero value means
+	// DefaultRecovery.
+	Recovery RecoverySpec
 	// Trace, when non-nil, receives the run's structured phase events
 	// (same schema as the simulated backend's SimOptions.Trace).
 	Trace Sink
@@ -44,7 +55,7 @@ func (o LocalOptions) threads() int {
 // backend.
 func RunLocalSMP(k reduction.Kernel, spec adr.DatasetSpec, dataNodes, computeNodes int, opts LocalOptions) (LocalResult, error) {
 	if opts.threads() == 1 && opts.Strategy == FullReplication {
-		return runLocal(k, spec, dataNodes, computeNodes, opts.Trace)
+		return runLocal(k, spec, dataNodes, computeNodes, opts)
 	}
 	if dataNodes < 1 || computeNodes < dataNodes {
 		return LocalResult{}, fmt.Errorf("middleware: need computeNodes >= dataNodes >= 1, got %d-%d",
@@ -54,6 +65,11 @@ func RunLocalSMP(k reduction.Kernel, spec adr.DatasetSpec, dataNodes, computeNod
 	case FullReplication, FullLocking:
 	default:
 		return LocalResult{}, fmt.Errorf("middleware: unknown strategy %v", opts.Strategy)
+	}
+	if opts.Faults != nil {
+		if err := opts.Faults.Validate(); err != nil {
+			return LocalResult{}, err
+		}
 	}
 	gen, err := datagen.For(spec.Kind)
 	if err != nil {
@@ -95,32 +111,77 @@ func RunLocalSMP(k reduction.Kernel, spec adr.DatasetSpec, dataNodes, computeNod
 		n:            dataNodes,
 		c:            computeNodes,
 		nodePayloads: nodePayloads,
+		sched:        newFaultSchedule(opts.Faults, dataNodes, computeNodes),
+		incidents:    &incidentLog{},
 		start:        time.Now(),
+	}
+	if ex.sched != nil {
+		passes := k.Iterations()
+		assign, err := passAssignments(nodePayloads, ex.sched, passes)
+		if err != nil {
+			return LocalResult{}, err
+		}
+		ex.assign = assign
+		ex.lost = make([]int, computeNodes)
+		for j := range ex.lost {
+			cp, _, ok := ex.sched.crashPoint(j)
+			if !ok || cp >= passes {
+				continue
+			}
+			wouldBe := nodePayloads
+			if cp > 0 {
+				wb, err := reassignDead(nodePayloads, ex.sched.aliveAt(cp-1))
+				if err != nil {
+					return LocalResult{}, err
+				}
+				wouldBe = wb
+			}
+			ex.lost[j] = len(wouldBe[j])
+		}
 	}
 	pl := NewPipeline(ex, opts.Trace)
 	if err := pl.Run(); err != nil {
 		return LocalResult{}, err
 	}
-	profile := pl.Breakdown().Profile(k.Name(), core.Config{
+	bd := pl.Breakdown()
+	profile := bd.Profile(k.Name(), core.Config{
 		Cluster:      LocalCluster,
 		DataNodes:    dataNodes,
 		ComputeNodes: computeNodes,
 		Bandwidth:    units.GBPerSec, // nominal in-process "network"
 		DatasetBytes: spec.TotalBytes,
 	}, ex.roBytes, units.KB, pl.Iterations())
-	return LocalResult{Profile: profile, Elapsed: time.Since(ex.start), Iterations: pl.Iterations()}, nil
+	return LocalResult{
+		Profile:    profile,
+		Elapsed:    time.Since(ex.start),
+		Iterations: pl.Iterations(),
+		Recovery:   bd.Recovery,
+		Retries:    bd.Retries,
+	}, nil
 }
 
 // smpExecutor runs the protocol on a cluster of SMP nodes: every compute
 // node processes its (pre-materialized) chunk stream with several threads
 // combining through a shared-memory strategy; across nodes the pipeline
 // gathers and reduces globally exactly as on the other backends.
+//
+// Under fault injection, crash faults apply with real failover: a
+// crashed node's payload list re-deals onto the survivors and its empty
+// per-pass object drops out of the merge. Storage-tier faults
+// (slow-disk, flaky-link) are vacuous here because the chunk streams are
+// pre-materialized — there is no delivery to fail.
 type smpExecutor struct {
 	k            reduction.Kernel
 	opts         LocalOptions
 	n, c         int
 	nodePayloads [][]reduction.Payload
 	start        time.Time
+
+	// Fault-injection state (nil/empty on fault-free runs).
+	sched     *faultSchedule
+	incidents *incidentLog
+	assign    [][][]reduction.Payload
+	lost      []int
 
 	objs    []reduction.Object
 	roBytes units.Bytes
@@ -142,8 +203,11 @@ func (ex *smpExecutor) Passes() int { return ex.k.Iterations() }
 func (ex *smpExecutor) Now() time.Duration { return time.Since(ex.start) }
 
 // LocalReduction runs one pass on every SMP node concurrently; within a
-// node, threads share reduction state per the configured strategy.
-func (ex *smpExecutor) LocalReduction(int) (PassStats, error) {
+// node, threads share reduction state per the configured strategy. Under
+// fault injection the pass's failover assignment decides each node's
+// payload list (empty from a node's crash pass on: the node's fresh
+// object stays the merge identity, exactly a lost contribution).
+func (ex *smpExecutor) LocalReduction(pass int) (PassStats, error) {
 	ex.objs = make([]reduction.Object, ex.c)
 	nodeTime := make([]time.Duration, ex.c)
 	var nodeWG sync.WaitGroup
@@ -153,14 +217,18 @@ func (ex *smpExecutor) LocalReduction(int) (PassStats, error) {
 		nodeWG.Add(1)
 		go func() {
 			defer nodeWG.Done()
+			work := ex.nodePayloads[j]
+			if ex.sched != nil {
+				work = ex.assign[pass][j]
+			}
 			t0 := time.Now()
 			var obj reduction.Object
 			var err error
 			switch ex.opts.Strategy {
 			case FullReplication:
-				obj, err = shmReplicated(ex.k, ex.nodePayloads[j], ex.opts.threads())
+				obj, err = shmReplicated(ex.k, work, ex.opts.threads())
 			case FullLocking:
-				obj, err = shmLocked(ex.k, ex.nodePayloads[j], ex.opts.threads())
+				obj, err = shmLocked(ex.k, work, ex.opts.threads())
 			}
 			nodeTime[j] = time.Since(t0)
 			if err != nil {
@@ -176,7 +244,21 @@ func (ex *smpExecutor) LocalReduction(int) (PassStats, error) {
 		return PassStats{}, err
 	default:
 	}
-	return PassStats{Compute: maxDur(nodeTime)}, nil
+	st := PassStats{Compute: maxDur(nodeTime)}
+	if ex.sched != nil {
+		for j := 0; j < ex.c; j++ {
+			if cp, _, ok := ex.sched.crashPoint(j); ok && cp == pass {
+				ex.incidents.add(Event{Pass: pass, Phase: PhaseFault, Node: j, Detail: "crash"})
+				ex.incidents.add(Event{Pass: pass, Phase: PhaseFailover, Node: j,
+					Detail: fmt.Sprintf("node %d down, %d chunks re-dealt to %d survivors",
+						j, ex.lost[j], ex.sched.survivorsAt(pass))})
+			}
+		}
+		rec, retr := ex.incidents.drain(ex.opts.Trace, ex.Now())
+		st.Recovery += rec
+		st.Retries += retr
+	}
+	return st, nil
 }
 
 // Gather merges the per-node objects into the master's.

@@ -1,0 +1,195 @@
+package middleware
+
+import (
+	"reflect"
+	"testing"
+
+	"freerideg/internal/simgrid"
+)
+
+// equalLists compares per-node chunk lists element-wise, treating nil
+// and empty lists as equal (reassignDead leaves dead and chunkless nodes
+// with nil lists).
+func equalLists(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for j := range a {
+		if len(a[j]) != len(b[j]) {
+			return false
+		}
+		for i := range a[j] {
+			if a[j][i] != b[j][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestReassignDead(t *testing.T) {
+	tests := []struct {
+		name    string
+		base    [][]int
+		alive   []bool
+		want    [][]int
+		wantErr bool
+	}{
+		{
+			name:  "single survivor inherits everything",
+			base:  [][]int{{0, 3}, {1, 4}, {2, 5}},
+			alive: []bool{true, false, false},
+			want:  [][]int{{0, 3, 1, 4, 2, 5}, nil, nil},
+		},
+		{
+			name:  "orphans dealt round-robin in ascending survivor order",
+			base:  [][]int{{0}, {1}, {2, 3, 4}},
+			alive: []bool{true, true, false},
+			want:  [][]int{{0, 2, 4}, {1, 3}, nil},
+		},
+		{
+			name:  "more nodes than chunks: empty lists reassign cleanly",
+			base:  [][]int{{0}, {}, {}, {}},
+			alive: []bool{false, true, true, true},
+			want:  [][]int{nil, {0}, {}, {}},
+		},
+		{
+			name:  "zero chunks everywhere",
+			base:  [][]int{{}, {}},
+			alive: []bool{true, false},
+			want:  [][]int{{}, nil},
+		},
+		{
+			name:  "nobody dead is the identity",
+			base:  [][]int{{0, 2}, {1, 3}},
+			alive: []bool{true, true},
+			want:  [][]int{{0, 2}, {1, 3}},
+		},
+		{
+			name:    "all dead is an error",
+			base:    [][]int{{0}, {1}},
+			alive:   []bool{false, false},
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := reassignDead(tt.base, tt.alive)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("no error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalLists(got, tt.want) {
+				t.Errorf("reassignDead = %v, want %v", got, tt.want)
+			}
+			// Survivors keep their base list as a prefix.
+			for j, a := range tt.alive {
+				if !a {
+					continue
+				}
+				if len(got[j]) < len(tt.base[j]) || !equalLists([][]int{got[j][:len(tt.base[j])]}, [][]int{tt.base[j]}) {
+					t.Errorf("survivor %d list %v does not keep base %v as prefix", j, got[j], tt.base[j])
+				}
+			}
+		})
+	}
+}
+
+// reassignDead is a pure function: repeated invocations on the same
+// inputs produce the identical layout (the property every backend's
+// determinism rests on), and no chunk is lost or duplicated.
+func TestReassignDeadDeterministicAndLossless(t *testing.T) {
+	base := [][]int{{0, 4, 8}, {1, 5}, {2, 6, 9, 10}, {3, 7}}
+	alive := []bool{false, true, false, true}
+	first, err := reassignDead(base, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := reassignDead(base, alive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again, first) {
+			t.Fatalf("run %d: %v != %v", i, again, first)
+		}
+	}
+	seen := map[int]int{}
+	for _, list := range first {
+		for _, ch := range list {
+			seen[ch]++
+		}
+	}
+	for _, list := range base {
+		for _, ch := range list {
+			if seen[ch] != 1 {
+				t.Errorf("chunk %d appears %d times after reassignment", ch, seen[ch])
+			}
+			delete(seen, ch)
+		}
+	}
+	if len(seen) != 0 {
+		t.Errorf("reassignment invented chunks: %v", seen)
+	}
+}
+
+func TestPassAssignments(t *testing.T) {
+	base := [][]int{{0, 3}, {1, 4}, {2, 5}}
+	plan := simgrid.FaultPlan{Faults: []simgrid.Fault{
+		{Kind: simgrid.FaultCrash, Node: 1, Pass: 1},
+		{Kind: simgrid.FaultCrash, Node: 2, Pass: 3},
+	}}
+	sched := newFaultSchedule(&plan, 1, 3)
+	if sched == nil {
+		t.Fatal("schedule empty")
+	}
+	assign, err := passAssignments(base, sched, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pass 0: everyone alive — the base assignment is shared untouched.
+	if !equalLists(assign[0], base) {
+		t.Errorf("pass 0 assignment %v, want base %v", assign[0], base)
+	}
+	// Passes 1-2: node 1 dead, its chunks dealt over nodes 0 and 2.
+	want12 := [][]int{{0, 3, 1}, nil, {2, 5, 4}}
+	for p := 1; p <= 2; p++ {
+		if !equalLists(assign[p], want12) {
+			t.Errorf("pass %d assignment %v, want %v", p, assign[p], want12)
+		}
+	}
+	// Pass 3: nodes 1 and 2 dead — node 0 carries the whole dataset.
+	want3 := [][]int{{0, 3, 1, 4, 2, 5}, nil, nil}
+	if !equalLists(assign[3], want3) {
+		t.Errorf("pass 3 assignment %v, want %v", assign[3], want3)
+	}
+}
+
+func TestPassAssignmentsNilScheduleSharesBase(t *testing.T) {
+	base := [][]int{{0}, {1}}
+	assign, err := passAssignments(base, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range assign {
+		if !equalLists(assign[p], base) {
+			t.Errorf("pass %d assignment %v, want base", p, assign[p])
+		}
+	}
+}
+
+func TestPassAssignmentsAllDeadError(t *testing.T) {
+	plan := simgrid.FaultPlan{Faults: []simgrid.Fault{
+		{Kind: simgrid.FaultCrash, Node: 0, Pass: 2},
+		{Kind: simgrid.FaultCrash, Node: 1, Pass: 1},
+	}}
+	sched := newFaultSchedule(&plan, 1, 2)
+	if _, err := passAssignments([][]int{{0}, {1}}, sched, 4); err == nil {
+		t.Error("no error for a plan that kills every compute node")
+	}
+}

@@ -20,6 +20,15 @@ type PassStats struct {
 	CachedFetch time.Duration
 	// Compute is local reduction processing (max over compute nodes).
 	Compute time.Duration
+	// Recovery is fault-handling overhead: discarded work of crashed
+	// nodes, failure-detection timeouts, and failed delivery attempts with
+	// their backoff. Unlike the component fields it is summed over nodes —
+	// it accounts total overhead, not a critical path — and sits outside
+	// the paper's additive t_d + t_n + t_c decomposition. Zero on
+	// fault-free runs.
+	Recovery time.Duration
+	// Retries counts failed chunk-delivery attempts that were retried.
+	Retries int
 }
 
 // Executor plugs one backend's stage implementations into the Pipeline.
@@ -67,6 +76,11 @@ type PhaseBreakdown struct {
 	Global      time.Duration
 	Sync        time.Duration
 	Broadcast   time.Duration
+	// Recovery and Retries account fault handling (see PassStats); they
+	// are not part of the Tdisk/Tnetwork/Tcompute components. For a traced
+	// run, Recovery equals the collector's retry + failover phase totals.
+	Recovery time.Duration
+	Retries  int
 }
 
 // Tdisk is the paper's data retrieval component t_d.
@@ -170,11 +184,24 @@ func (pl *Pipeline) Run() error {
 		pl.bd.Delivery += st.Delivery
 		pl.bd.CachedFetch += st.CachedFetch
 		pl.bd.Compute += st.Compute
+		pl.bd.Recovery += st.Recovery
+		pl.bd.Retries += st.Retries
 		if pass == 0 {
 			pl.emitPhase(pass, PhaseRetrieval, st.Retrieval, "")
 			pl.emitPhase(pass, PhaseDelivery, st.Delivery, "")
-		} else if st.CachedFetch > 0 {
-			pl.emitPhase(pass, PhaseCachedFetch, st.CachedFetch, "")
+		} else {
+			// Later passes normally serve chunks from the caching tier, but
+			// failover re-partitioning can force fresh repository fetches of
+			// chunks a dead node had cached.
+			if st.Retrieval > 0 {
+				pl.emitPhase(pass, PhaseRetrieval, st.Retrieval, "failover re-fetch")
+			}
+			if st.Delivery > 0 {
+				pl.emitPhase(pass, PhaseDelivery, st.Delivery, "failover re-fetch")
+			}
+			if st.CachedFetch > 0 {
+				pl.emitPhase(pass, PhaseCachedFetch, st.CachedFetch, "")
+			}
 		}
 		pl.emitPhase(pass, PhaseLocalReduce, st.Compute, "")
 
@@ -209,9 +236,13 @@ func (pl *Pipeline) Run() error {
 		pl.bd.Broadcast += bc
 		pl.emitPhase(pass, PhaseBroadcast, bc, fmt.Sprintf("%d workers", c-1))
 	}
+	endDetail := fmt.Sprintf("run=%s passes=%d makespan=%v", pl.exec.Workload(), pl.iterations, pl.exec.Now())
+	if pl.bd.Retries > 0 || pl.bd.Recovery > 0 {
+		endDetail += fmt.Sprintf(" retries=%d recovery=%v", pl.bd.Retries, pl.bd.Recovery)
+	}
 	pl.emit(Event{
 		At: pl.exec.Now(), Pass: -1, Phase: PhaseRunEnd, Node: -1,
-		Detail: fmt.Sprintf("run=%s passes=%d makespan=%v", pl.exec.Workload(), pl.iterations, pl.exec.Now()),
+		Detail: endDetail,
 	})
 	return nil
 }

@@ -50,7 +50,7 @@ func TestCollectorBreakdownMatchesLocalProfile(t *testing.T) {
 		t.Fatal(err)
 	}
 	col := NewCollector()
-	res, err := runLocal(k, spec, 1, 2, col)
+	res, err := runLocal(k, spec, 1, 2, LocalOptions{Trace: col})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -60,6 +60,25 @@ func RunShm(k reduction.Kernel, spec adr.DatasetSpec, threads int, strategy ShmS
 	return runShm(k, spec, threads, strategy, nil)
 }
 
+// RunShmOpts is RunShm accepting the shared LocalOptions, for API
+// uniformity across backends. A single SMP node has no storage tier to
+// degrade and no peers to fail over to, so slow-disk and flaky-link
+// faults are vacuous here; a plan that crashes the node is rejected (it
+// would leave no compute node alive).
+func RunShmOpts(k reduction.Kernel, spec adr.DatasetSpec, threads int, strategy ShmStrategy, opts LocalOptions) (ShmResult, error) {
+	if opts.Faults != nil {
+		if err := opts.Faults.Validate(); err != nil {
+			return ShmResult{}, err
+		}
+		for _, n := range opts.Faults.CrashedNodes() {
+			if n == 0 {
+				return ShmResult{}, fmt.Errorf("middleware: fault plan leaves no compute node alive")
+			}
+		}
+	}
+	return runShm(k, spec, threads, strategy, opts.Trace)
+}
+
 func runShm(k reduction.Kernel, spec adr.DatasetSpec, threads int, strategy ShmStrategy, sink Sink) (ShmResult, error) {
 	if threads < 1 {
 		return ShmResult{}, fmt.Errorf("middleware: need >= 1 thread, got %d", threads)

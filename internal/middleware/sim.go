@@ -115,11 +115,28 @@ type SimOptions struct {
 	// StragglerFactor is the slowdown of the straggler node (2 = half
 	// speed). Values <= 1 disable the straggler.
 	StragglerFactor float64
+	// Faults, when non-nil and non-empty, injects the plan's deterministic
+	// fault schedule into the run: compute-node crashes trigger failover
+	// re-partitioning onto the survivors, slow disks inflate retrieval,
+	// and flaky links force retried deliveries. The plan must leave at
+	// least one compute node alive.
+	Faults *simgrid.FaultPlan
+	// Recovery tunes retry/backoff and failure detection; the zero value
+	// means DefaultRecovery.
+	Recovery RecoverySpec
+	// Transfers, when non-nil, observes every successful repository-to-
+	// compute chunk delivery: the chunk's size and the end-to-end time it
+	// took (server queueing, disk read, network send, and any failed
+	// attempts with their backoff). Wire it to a
+	// grid.BandwidthEstimator's observation feed so replica re-selection
+	// sees degraded paths.
+	Transfers func(bytes units.Bytes, elapsed time.Duration)
 	// Trace, when non-nil, receives one structured Event per middleware
 	// phase (run boundaries, per-pass retrieval/delivery/local-reduce/
-	// gather/global-reduce/sync/broadcast) with virtual timestamps — the
-	// execution log a real deployment would emit. Use NewTextSink,
-	// NewJSONSink, or NewCollector.
+	// gather/global-reduce/sync/broadcast, plus fault/retry/failover under
+	// fault injection) with virtual timestamps — the execution log a real
+	// deployment would emit. Use NewTextSink, NewJSONSink, or
+	// NewCollector.
 	Trace Sink
 }
 
@@ -129,6 +146,11 @@ func (o SimOptions) validate(c int) error {
 	}
 	if o.StragglerFactor > 1 && (o.StragglerNode < 0 || o.StragglerNode >= c) {
 		return fmt.Errorf("middleware: straggler node %d outside 0..%d", o.StragglerNode, c-1)
+	}
+	if o.Faults != nil {
+		if err := o.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -141,6 +163,11 @@ type SimResult struct {
 	// Makespan is the actual wall-clock (virtual) execution time,
 	// the T_exact of the paper's error metric.
 	Makespan time.Duration
+	// Recovery is the run's fault-handling overhead (discarded work,
+	// detection timeouts, retry backoff) and Retries its failed-delivery
+	// count; both are zero on fault-free runs.
+	Recovery time.Duration
+	Retries  int
 }
 
 // Simulate executes one application run on a simulated configuration,
@@ -174,30 +201,38 @@ func (g *Grid) Simulate(cost reduction.CostModel, spec adr.DatasetSpec, cfg core
 
 // SimulateOpts is Simulate with explicit protocol options.
 func (g *Grid) SimulateOpts(cost reduction.CostModel, spec adr.DatasetSpec, cfg core.Config, opts SimOptions) (SimResult, error) {
+	res, _, err := g.simulateOpts(cost, spec, cfg, opts)
+	return res, err
+}
+
+// simulateOpts additionally returns the executor so in-package tests can
+// inspect execution-level state (e.g. per-chunk processing counts under
+// fault injection).
+func (g *Grid) simulateOpts(cost reduction.CostModel, spec adr.DatasetSpec, cfg core.Config, opts SimOptions) (SimResult, *simExecutor, error) {
 	if err := cost.Validate(); err != nil {
-		return SimResult{}, err
+		return SimResult{}, nil, err
 	}
 	if err := cfg.Validate(); err != nil {
-		return SimResult{}, err
+		return SimResult{}, nil, err
 	}
 	cluster, err := g.Cluster(cfg.Cluster)
 	if err != nil {
-		return SimResult{}, err
+		return SimResult{}, nil, err
 	}
 	if cfg.DatasetBytes != spec.TotalBytes {
-		return SimResult{}, fmt.Errorf("middleware: config dataset %v != spec %v", cfg.DatasetBytes, spec.TotalBytes)
+		return SimResult{}, nil, fmt.Errorf("middleware: config dataset %v != spec %v", cfg.DatasetBytes, spec.TotalBytes)
 	}
 	layout, err := adr.Partition(spec, cfg.DataNodes, adr.RoundRobin)
 	if err != nil {
-		return SimResult{}, err
+		return SimResult{}, nil, err
 	}
 	if err := opts.validate(cfg.ComputeNodes); err != nil {
-		return SimResult{}, err
+		return SimResult{}, nil, err
 	}
 
 	ex, err := newSimExecutor(cluster, cost, cfg, spec, layout, opts)
 	if err != nil {
-		return SimResult{}, err
+		return SimResult{}, nil, err
 	}
 	pl := NewPipeline(ex, opts.Trace)
 	ex.eng.Spawn("master", func(p *simgrid.Proc) {
@@ -208,14 +243,20 @@ func (g *Grid) SimulateOpts(cost reduction.CostModel, spec adr.DatasetSpec, cfg 
 	})
 	ex.spawnWorkers()
 	if err := ex.eng.Run(); err != nil {
-		return SimResult{}, fmt.Errorf("middleware: simulation of %s on %v: %w", cost.Name, cfg, err)
+		return SimResult{}, nil, fmt.Errorf("middleware: simulation of %s on %v: %w", cost.Name, cfg, err)
 	}
 
-	profile := pl.Breakdown().Profile(cost.Name, cfg, ex.roBytes, cost.BroadcastBytes, pl.Iterations())
+	bd := pl.Breakdown()
+	profile := bd.Profile(cost.Name, cfg, ex.roBytes, cost.BroadcastBytes, pl.Iterations())
 	if err := profile.Validate(); err != nil {
-		return SimResult{}, fmt.Errorf("middleware: simulation produced invalid profile: %w", err)
+		return SimResult{}, nil, fmt.Errorf("middleware: simulation produced invalid profile: %w", err)
 	}
-	return SimResult{Profile: profile, Makespan: ex.eng.Now()}, nil
+	return SimResult{
+		Profile:  profile,
+		Makespan: ex.eng.Now(),
+		Recovery: bd.Recovery,
+		Retries:  bd.Retries,
+	}, ex, nil
 }
 
 // simExecutor runs the protocol on simgrid's virtual hardware. Worker
@@ -245,6 +286,21 @@ type simExecutor struct {
 	chunksOf [][]adr.Chunk
 	jitter   []float64
 	rounds   int
+
+	// Fault-injection state (nil/empty on fault-free runs).
+	sched     *faultSchedule
+	rec       RecoverySpec
+	sink      Sink
+	assign    [][][]adr.Chunk // per pass, per compute node, under failover
+	wasted    [][]adr.Chunk   // per compute node: discarded work of its crash pass
+	lost      []int           // per compute node: chunks re-dealt at its crash
+	diskFeeds feedSet
+	linkFeeds feedSet
+	serveOrd  []int          // per storage node: live delivery ordinal within the pass
+	cachedSet []map[int]bool // per compute node: chunk indexes in its caching tier
+	recovery  []time.Duration
+	retries   []int
+	processed [][]int // per pass, per chunk index: times locally reduced (test hook)
 
 	servers     []*simgrid.Resource
 	ic          *simgrid.Resource
@@ -310,6 +366,70 @@ func newSimExecutor(cluster ClusterSpec, cost reduction.CostModel, cfg core.Conf
 		ex.jitter[i] = 1 + cluster.JitterAmp*(2*jrng.Float64()-1)
 	}
 
+	// Fault-injection setup: index the plan per node, precompute every
+	// pass's failover assignment, and derive each crashing node's
+	// discarded-work prefix. All of it is a pure function of the plan and
+	// the configuration, which is what makes fault runs deterministic.
+	ex.rec = opts.Recovery.withDefaults()
+	ex.sched = newFaultSchedule(opts.Faults, n, c)
+	ex.sink = opts.Trace
+	if ex.sched != nil {
+		assign, err := passAssignments(ex.chunksOf, ex.sched, ex.passes)
+		if err != nil {
+			return nil, err
+		}
+		ex.assign = assign
+		ex.diskFeeds = newFeedSet(ex.sched.disk)
+		ex.linkFeeds = newFeedSet(ex.sched.link)
+		ex.serveOrd = make([]int, n)
+		ex.recovery = make([]time.Duration, c)
+		ex.retries = make([]int, c)
+		ex.cachedSet = make([]map[int]bool, c)
+		for j := range ex.cachedSet {
+			ex.cachedSet[j] = make(map[int]bool)
+		}
+		ex.processed = make([][]int, ex.passes)
+		for p := range ex.processed {
+			ex.processed[p] = make([]int, len(layout.Chunks()))
+		}
+		ex.wasted = make([][]adr.Chunk, c)
+		ex.lost = make([]int, c)
+		for j := 0; j < c; j++ {
+			cp, ck, ok := ex.sched.crashPoint(j)
+			if !ok || cp >= ex.passes {
+				continue
+			}
+			// The node's would-be list for its crash pass: its assignment
+			// given the nodes already dead before that pass.
+			wouldBe := ex.chunksOf
+			if cp > 0 {
+				wb, err := reassignDead(ex.chunksOf, ex.sched.aliveAt(cp-1))
+				if err != nil {
+					return nil, err
+				}
+				wouldBe = wb
+			}
+			list := wouldBe[j]
+			if ck > len(list) {
+				ck = len(list)
+			}
+			ex.wasted[j] = list[:ck]
+			ex.lost[j] = len(list)
+		}
+		// Pass-0 rounds must cover reassignment-lengthened survivor lists
+		// and pass-0 crashers' discarded prefixes.
+		ex.rounds = 0
+		for j := 0; j < c; j++ {
+			l := len(ex.assign[0][j])
+			if cp, _, ok := ex.sched.crashPoint(j); ok && cp == 0 {
+				l = len(ex.wasted[j])
+			}
+			if l > ex.rounds {
+				ex.rounds = l
+			}
+		}
+	}
+
 	// Each storage node runs a single-threaded data server: one chunk's
 	// disk read and network send are serviced as one unit, so a node's
 	// retrieval and communication work never overlap — the behavior that
@@ -360,6 +480,14 @@ func (ex *simExecutor) spawnWorkers() {
 // processing afterwards), synchronizes on the pass barrier, hands its
 // reduction object to the master, and blocks until the master's result
 // broadcast releases it into the next pass.
+//
+// Under fault injection a node scheduled to crash performs its
+// discarded-work prefix, emits a fault event, rides out the master's
+// detection timeout, and then turns into a zombie cooperator: it keeps
+// arriving at the barriers and mailboxes (so the event engine's rendezvous
+// counts stay intact) but does no further work and contributes no
+// reduction object — its chunks run on the survivors per the precomputed
+// failover assignment.
 func (ex *simExecutor) worker(p *simgrid.Proc, j int) {
 	dn := j % ex.n
 	rate := ex.effRate
@@ -380,58 +508,195 @@ func (ex *simExecutor) worker(p *simgrid.Proc, j int) {
 		}
 		return 0
 	}
+	crashPass, _, hasCrash := ex.sched.crashPoint(j)
+	if hasCrash && crashPass >= ex.passes {
+		hasCrash = false // crash scheduled beyond the run never fires
+	}
 	for pass := 0; pass < ex.passes; pass++ {
+		crashing := hasCrash && pass == crashPass
+		dead := hasCrash && pass > crashPass
+		var work []adr.Chunk
+		switch {
+		case dead:
+			// zombie: no work
+		case crashing:
+			work = ex.wasted[j]
+		case ex.sched != nil:
+			work = ex.assign[pass][j]
+		default:
+			work = ex.chunksOf[j]
+		}
+		var wastedDur time.Duration
 		if pass == 0 {
 			// Synchronous chunk rounds: retrieve, transfer, process, then
 			// complete the round collectively.
+			faulted := false
 			for k := 0; k < ex.rounds; k++ {
-				if k < len(ex.chunksOf[j]) {
-					ch := ex.chunksOf[j][k]
-					read := time.Duration(float64(ex.cluster.DiskSeek+ex.diskBW.TransferTime(ch.Bytes)) * ex.jitter[ch.Index])
-					send := ex.cluster.NetLatency + ex.bandwidth.TransferTime(ch.Bytes)
-					p.Acquire(ex.servers[dn])
-					p.Wait(read)
-					p.Wait(send)
-					p.Release(ex.servers[dn])
-					ex.diskBusy[dn] += read
-					ex.netBusy[dn] += send
+				if k < len(work) {
+					ch := work[k]
+					fetch := ex.fetchChunk(p, j, dn, pass, ch, crashing)
 					proc := procTime(ch)
 					p.Wait(proc)
-					ex.compTime[j] += proc
+					if crashing {
+						wastedDur += fetch + proc
+					} else {
+						ex.compTime[j] += proc
+						ex.markDone(pass, j, ch)
+					}
+				}
+				if crashing && !faulted && k+1 >= len(work) {
+					// The node dies right after its last completed chunk.
+					ex.emitEv(p, pass, PhaseFault, j, 0, "crash")
+					faulted = true
 				}
 				if !ex.opts.AsyncDelivery {
 					p.Arrive(ex.roundBarr)
 				}
 			}
-		} else {
+			if crashing && !faulted {
+				ex.emitEv(p, pass, PhaseFault, j, 0, "crash")
+			}
+		} else if !dead {
 			// Cached passes: retrieval from the caching tier (free for
-			// in-memory caching), then local processing.
-			for _, ch := range ex.chunksOf[j] {
-				if fetch := cachedFetch(ch); fetch > 0 {
-					p.Wait(fetch)
-					ex.cachedTime[j] += fetch
+			// in-memory caching), then local processing. Chunks this node
+			// inherited through failover are not in its cache and must be
+			// re-fetched from the repository.
+			for _, ch := range work {
+				var fetch time.Duration
+				if ex.sched != nil && !ex.cachedSet[j][ch.Index] {
+					fetch = ex.fetchChunk(p, j, dn, pass, ch, crashing)
+				} else if f := cachedFetch(ch); f > 0 {
+					p.Wait(f)
+					fetch = f
+					if !crashing {
+						ex.cachedTime[j] += f
+					}
 				}
 				proc := procTime(ch)
 				p.Wait(proc)
-				ex.compTime[j] += proc
+				if crashing {
+					wastedDur += fetch + proc
+				} else {
+					ex.compTime[j] += proc
+					ex.markDone(pass, j, ch)
+				}
 			}
+			if crashing {
+				ex.emitEv(p, pass, PhaseFault, j, 0, "crash")
+			}
+		}
+		if crashing {
+			// The master notices the silent node only after its detection
+			// timeout; the node's partial pass work is discarded. Both are
+			// pure recovery overhead.
+			p.Wait(ex.rec.DetectTimeout)
+			cost := wastedDur + ex.rec.DetectTimeout
+			ex.recovery[j] += cost
+			ex.emitEv(p, pass, PhaseFailover, j, cost,
+				fmt.Sprintf("node %d down, %d chunks re-dealt to %d survivors",
+					j, ex.lost[j], ex.sched.survivorsAt(pass)))
 		}
 		p.Arrive(ex.passBarrier)
 		if j == 0 {
 			// Node 0's object is already at the master; signal the pipeline
-			// that the superstep's local reductions are complete.
+			// that the superstep's local reductions are complete. (A dead
+			// node 0 still signals: the master's pass clock ticks regardless
+			// of which nodes contributed.)
 			ex.readyBox.Put(pass)
 		} else {
 			// Send this node's reduction object to the master — serialized
 			// over the interconnect, or as part of a combining tree under
-			// the ablation option.
-			if !ex.opts.TreeGather {
+			// the ablation option. Crashed nodes have no object: they keep
+			// the gather rendezvous count intact but pay no interconnect.
+			if !ex.opts.TreeGather && !crashing && !dead {
 				p.Use(ex.ic, ex.gatherMsg)
 			}
 			ex.gatherBox.Put(j)
 		}
 		// Wait for the master's result broadcast.
 		p.Get(ex.bcastBox[j])
+	}
+}
+
+// fetchChunk performs one repository chunk fetch for compute node j from
+// storage node dn, riding out injected disk and link faults. Successful
+// transfers charge the storage node's disk/uplink busy time (the paper's
+// t_d/t_n accounting) and feed the Transfers observer with the
+// end-to-end elapsed time; failed attempts and their exponential backoff
+// charge the fetching node's recovery time and emit retry events. When
+// wasted is true (the node is in its crash pass) nothing is charged or
+// consumed here — the caller folds the returned elapsed time into the
+// discarded-work total, and fault ordinals keep counting live deliveries
+// only.
+func (ex *simExecutor) fetchChunk(p *simgrid.Proc, j, dn, pass int, ch adr.Chunk, wasted bool) time.Duration {
+	t0 := p.Now()
+	baseRead := time.Duration(float64(ex.cluster.DiskSeek+ex.diskBW.TransferTime(ch.Bytes)) * ex.jitter[ch.Index])
+	send := ex.cluster.NetLatency + ex.bandwidth.TransferTime(ch.Bytes)
+	for attempt := 1; ; attempt++ {
+		read := baseRead
+		linkDown := false
+		if ex.sched != nil && !wasted {
+			ord := ex.serveOrd[dn]
+			if f, fresh, hit := ex.diskFeeds.next(dn, pass, ord); hit {
+				read = time.Duration(float64(read) * f.Factor)
+				if fresh {
+					ex.emitEv(p, pass, PhaseFault, dn, 0,
+						fmt.Sprintf("slow-disk x%.3g on storage node %d", f.Factor, dn))
+				}
+			}
+			if _, fresh, hit := ex.linkFeeds.next(dn, pass, ord); hit {
+				linkDown = true
+				if fresh {
+					ex.emitEv(p, pass, PhaseFault, dn, 0,
+						fmt.Sprintf("flaky-link on storage node %d", dn))
+				}
+			}
+			ex.serveOrd[dn]++
+		}
+		p.Acquire(ex.servers[dn])
+		p.Wait(read)
+		p.Wait(send)
+		p.Release(ex.servers[dn])
+		if linkDown {
+			if attempt > ex.rec.MaxRetries {
+				p.Fail(fmt.Errorf("middleware: delivery of chunk %d from storage node %d to node %d failed after %d attempts",
+					ch.Index, dn, j, attempt))
+			}
+			backoff := ex.rec.Backoff << (attempt - 1)
+			p.Wait(backoff)
+			cost := read + send + backoff
+			ex.recovery[j] += cost
+			ex.retries[j]++
+			ex.emitEv(p, pass, PhaseRetry, j, cost,
+				fmt.Sprintf("chunk %d from storage node %d, attempt %d", ch.Index, dn, attempt))
+			continue
+		}
+		if !wasted {
+			ex.diskBusy[dn] += read
+			ex.netBusy[dn] += send
+			if ex.opts.Transfers != nil {
+				ex.opts.Transfers(ch.Bytes, p.Now()-t0)
+			}
+		}
+		return p.Now() - t0
+	}
+}
+
+// markDone records a completed local reduction of one chunk: the chunk
+// enters the node's caching tier and, under fault injection, the
+// exactly-once ledger.
+func (ex *simExecutor) markDone(pass, j int, ch adr.Chunk) {
+	if ex.sched == nil {
+		return
+	}
+	ex.cachedSet[j][ch.Index] = true
+	ex.processed[pass][ch.Index]++
+}
+
+// emitEv emits one worker-side event at the current virtual time.
+func (ex *simExecutor) emitEv(p *simgrid.Proc, pass int, ph Phase, node int, dur time.Duration, detail string) {
+	if ex.sink != nil {
+		ex.sink.Emit(Event{At: p.Now(), Pass: pass, Phase: ph, Node: node, Dur: dur, Detail: detail})
 	}
 }
 
@@ -458,13 +723,22 @@ func (ex *simExecutor) LocalReduction(pass int) (PassStats, error) {
 	net0 := snapshot(ex.netBusy)
 	comp0 := snapshot(ex.compTime)
 	cached0 := snapshot(ex.cachedTime)
+	rec0 := snapshot(ex.recovery)
+	ret0 := append([]int(nil), ex.retries...)
 	ex.p.Get(ex.readyBox) // posted by worker 0 at pass-barrier release
-	return PassStats{
+	st := PassStats{
 		Retrieval:   maxDelta(ex.diskBusy, disk0),
 		Delivery:    maxDelta(ex.netBusy, net0),
 		CachedFetch: maxDelta(ex.cachedTime, cached0),
 		Compute:     maxDelta(ex.compTime, comp0),
-	}, nil
+	}
+	// Recovery overhead and retries are summed over nodes (total
+	// overhead, not a critical path).
+	for i := range ex.recovery {
+		st.Recovery += ex.recovery[i] - rec0[i]
+		st.Retries += ex.retries[i] - ret0[i]
+	}
+	return st, nil
 }
 
 // Gather implements Executor via the configured gather stage.
@@ -505,7 +779,14 @@ func (ex *simExecutor) Sync(int) (time.Duration, error) {
 }
 
 // Broadcast implements Executor via the configured broadcast stage.
+// With faults active it also resets the storage nodes' per-pass delivery
+// ordinals before releasing the workers into the next pass (all workers
+// are parked on their broadcast mailboxes at this point, so the reset is
+// ordered before any next-pass delivery).
 func (ex *simExecutor) Broadcast(pass int, _ bool) (time.Duration, error) {
+	for i := range ex.serveOrd {
+		ex.serveOrd[i] = 0
+	}
 	return ex.broadcastStage(pass), nil
 }
 

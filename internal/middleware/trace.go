@@ -42,6 +42,20 @@ const (
 	PhaseSync
 	// PhaseBroadcast is the master-to-workers result re-broadcast.
 	PhaseBroadcast
+	// PhaseFault marks an injected fault taking effect (a node crash or
+	// the onset of a disk/link degradation). Fault events carry zero Dur —
+	// the cost of riding the fault out shows up as retry and failover
+	// events.
+	PhaseFault
+	// PhaseRetry is one failed chunk-delivery attempt: the wasted
+	// retrieval and transfer plus the exponential-backoff delay before the
+	// re-request.
+	PhaseRetry
+	// PhaseFailover is the recovery from one compute-node crash: the
+	// crashed node's discarded partial work plus the master's detection
+	// timeout, after which the node's chunks are re-partitioned onto the
+	// survivors.
+	PhaseFailover
 	// PhaseRunEnd closes a run (pass = -1).
 	PhaseRunEnd
 )
@@ -56,6 +70,9 @@ var phaseNames = [...]string{
 	PhaseGather:       "gather",
 	PhaseSync:         "sync",
 	PhaseBroadcast:    "broadcast",
+	PhaseFault:        "fault",
+	PhaseRetry:        "retry",
+	PhaseFailover:     "failover",
 	PhaseRunEnd:       "run-end",
 }
 
@@ -107,8 +124,9 @@ type Event struct {
 }
 
 // Component reports which of the paper's breakdown components the
-// event's phase contributes to: "disk", "network", "compute", or "" for
-// run-level events.
+// event's phase contributes to: "disk", "network", "compute",
+// "recovery" for fault-handling overhead that sits outside the additive
+// t_d + t_n + t_c decomposition, or "" for run-level events.
 func (ev Event) Component() string {
 	switch ev.Phase {
 	case PhaseRetrieval, PhaseCachedFetch:
@@ -117,6 +135,8 @@ func (ev Event) Component() string {
 		return "network"
 	case PhaseLocalReduce, PhaseGather, PhaseGlobalReduce, PhaseSync, PhaseBroadcast:
 		return "compute"
+	case PhaseFault, PhaseRetry, PhaseFailover:
+		return "recovery"
 	}
 	return ""
 }
@@ -142,7 +162,11 @@ func (s *TextSink) Emit(ev Event) {
 	case PhaseRunStart, PhaseRunEnd:
 		fmt.Fprintf(s.w, "t=%-14v %-13s %s\n", ev.At, ev.Phase, ev.Detail)
 	default:
-		line := fmt.Sprintf("t=%-14v %-13s pass=%d dur=%v", ev.At, ev.Phase, ev.Pass, ev.Dur)
+		line := fmt.Sprintf("t=%-14v %-13s pass=%d", ev.At, ev.Phase, ev.Pass)
+		if ev.Node >= 0 {
+			line += fmt.Sprintf(" node=%d", ev.Node)
+		}
+		line += fmt.Sprintf(" dur=%v", ev.Dur)
 		if ev.Detail != "" {
 			line += " " + ev.Detail
 		}

@@ -1,0 +1,59 @@
+package simgrid
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseFaultPlan pins down the -fault-plan text format: any input
+// either parses into a valid plan that round-trips through String, or
+// errors — it must never panic. The seed corpus covers every kind,
+// defaults, separators, and known-tricky numeric forms; `go test` runs
+// the seeds in regression mode without -fuzz.
+func FuzzParseFaultPlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"crash node=0",
+		"crash node=2 pass=1 chunk=3",
+		"slow-disk node=1 factor=4.5 count=8",
+		"slow-disk node=0",
+		"flaky-link node=0 count=2; crash node=1 pass=2",
+		"crash node=1\nflaky-link node=0",
+		";; crash node=0 ;",
+		"crash node=0; crash node=0",
+		// Known-tricky inputs: huge numbers, float edge syntax, stray
+		// separators, missing values.
+		"crash node=99999999999999999999",
+		"slow-disk node=0 factor=1e309",
+		"slow-disk node=0 factor=NaN",
+		"slow-disk node=0 factor=-4",
+		"slow-disk node=0 factor=0x1p4",
+		"flaky-link node=0 count=-9223372036854775808",
+		"crash node=",
+		"crash =0",
+		"crash node==0",
+		"crash node=0 pass=1 pass=2",
+		"crash\tnode=0",
+		"\x00crash node=0",
+		"crash node=0\r",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		plan, err := ParseFaultPlan(s)
+		if err != nil {
+			return
+		}
+		if verr := plan.Validate(); verr != nil {
+			t.Fatalf("ParseFaultPlan(%q) accepted an invalid plan: %v", s, verr)
+		}
+		// Canonical text must re-parse to the same schedule.
+		again, err := ParseFaultPlan(plan.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", plan.String(), s, err)
+		}
+		if !reflect.DeepEqual(plan.Faults, again.Faults) {
+			t.Fatalf("round trip changed plan: %+v -> %+v", plan.Faults, again.Faults)
+		}
+	})
+}

@@ -1,7 +1,9 @@
 #!/bin/sh
-# check.sh — the repository's fast correctness gate: formatting, vet, and
-# a race-detector run over the packages with real concurrency (the
-# middleware backends and the reduction kernels they drive).
+# check.sh — the repository's fast correctness gate: formatting, vet, a
+# module-wide race-detector run (the fault-injected goroutine backends
+# exercise real concurrency well beyond the middleware package), and a
+# fuzz seed-corpus regression pass (every Fuzz* target replayed against
+# its checked-in corpus, no new fuzzing).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,6 +17,10 @@ fi
 
 go vet ./...
 
-go test -race ./internal/middleware/... ./internal/reduction/...
+go test -race ./...
+
+# Fuzz regression mode: -run='^Fuzz' replays each target's seed corpus
+# (f.Add seeds plus files under testdata/fuzz/) as ordinary tests.
+go test -run='^Fuzz' ./internal/simgrid/
 
 echo "check: OK"
