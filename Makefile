@@ -1,8 +1,10 @@
 # Build and verification entry points. `make check` is the fast gate a
 # change must pass before review: formatting, vet, a module-wide
-# race-detector run, and the fuzz seed-corpus regression pass.
+# race-detector run, a benchmark compile/smoke pass, and the fuzz
+# seed-corpus regression pass. `make bench` runs the tracked performance
+# suite and refreshes BENCH_sweep.json.
 
-.PHONY: all build test check figures
+.PHONY: all build test check figures bench
 
 all: build
 
@@ -17,3 +19,6 @@ check:
 
 figures:
 	go run ./cmd/fgexperiments
+
+bench:
+	sh scripts/bench.sh

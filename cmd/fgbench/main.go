@@ -1,0 +1,177 @@
+// Command fgbench turns `go test -bench` output into the tracked
+// BENCH_sweep.json summary: per-benchmark ns/op, B/op, and allocs/op
+// aggregated across repeated counts (min and mean), plus the
+// serial-vs-parallel sweep speedup derived from BenchmarkRunAllSerial
+// and BenchmarkRunAllParallel. The machine's core count is recorded
+// because the speedup is only observable with cores to spare.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchtime=1x -count=3 ./internal/... > bench.txt
+//	fgbench -in bench.txt -out BENCH_sweep.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one `go test -bench` result line. The trailing
+// -N GOMAXPROCS suffix on the name is stripped so runs from machines
+// with different core counts aggregate under one key.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// sample is one parsed benchmark measurement.
+type sample struct {
+	nsOp     float64
+	bOp      float64
+	allocsOp float64
+	hasMem   bool
+}
+
+// Result summarizes one benchmark across its repeated counts.
+type Result struct {
+	Name     string  `json:"name"`
+	Count    int     `json:"count"`
+	MinNsOp  float64 `json:"min_ns_op"`
+	MeanNsOp float64 `json:"mean_ns_op"`
+	BOp      float64 `json:"b_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+}
+
+// Report is the BENCH_sweep.json schema.
+type Report struct {
+	GoVersion  string `json:"go_version"`
+	Cores      int    `json:"cores"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// SweepSpeedup is serial/parallel wall time for the full figure
+	// sweep (min over counts). On a single-core machine this is ~1 by
+	// construction; >=2 is expected with 4+ cores.
+	SweepSpeedup float64  `json:"sweep_speedup,omitempty"`
+	Benchmarks   []Result `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "-", "benchmark output file (- = stdin)")
+	out := flag.String("out", "BENCH_sweep.json", "summary file to write")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	samples, err := parse(r)
+	if err != nil {
+		fail(err)
+	}
+	if len(samples) == 0 {
+		fail(fmt.Errorf("no benchmark lines in %s", *in))
+	}
+
+	report := Report{
+		GoVersion:  runtime.Version(),
+		Cores:      runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	byName := make(map[string]Result, len(names))
+	for _, name := range names {
+		res := summarize(name, samples[name])
+		byName[name] = res
+		report.Benchmarks = append(report.Benchmarks, res)
+	}
+	serial, okS := byName["BenchmarkRunAllSerial"]
+	parallel, okP := byName["BenchmarkRunAllParallel"]
+	if okS && okP && parallel.MinNsOp > 0 {
+		report.SweepSpeedup = serial.MinNsOp / parallel.MinNsOp
+	}
+
+	js, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	js = append(js, '\n')
+	if err := os.WriteFile(*out, js, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("fgbench: %d benchmarks -> %s\n", len(report.Benchmarks), *out)
+}
+
+// parse collects the samples per benchmark name from -bench output.
+func parse(r io.Reader) (map[string][]sample, error) {
+	out := make(map[string][]sample)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		s := sample{nsOp: atof(m[3])}
+		if m[4] != "" {
+			s.bOp = atof(m[4])
+			s.hasMem = true
+		}
+		if m[5] != "" {
+			s.allocsOp = atof(m[5])
+			s.hasMem = true
+		}
+		out[m[1]] = append(out[m[1]], s)
+	}
+	return out, sc.Err()
+}
+
+// summarize folds repeated counts into min/mean ns/op and mean memory
+// stats.
+func summarize(name string, ss []sample) Result {
+	res := Result{Name: name, Count: len(ss), MinNsOp: ss[0].nsOp}
+	var sumNs, sumB, sumAllocs float64
+	mem := 0
+	for _, s := range ss {
+		sumNs += s.nsOp
+		if s.nsOp < res.MinNsOp {
+			res.MinNsOp = s.nsOp
+		}
+		if s.hasMem {
+			sumB += s.bOp
+			sumAllocs += s.allocsOp
+			mem++
+		}
+	}
+	res.MeanNsOp = sumNs / float64(len(ss))
+	if mem > 0 {
+		res.BOp = sumB / float64(mem)
+		res.AllocsOp = sumAllocs / float64(mem)
+	}
+	return res
+}
+
+func atof(s string) float64 {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		fail(fmt.Errorf("parsing %q: %w", s, err))
+	}
+	return f
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fgbench:", err)
+	os.Exit(1)
+}

@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	fgexperiments            # run every figure
-//	fgexperiments -fig 2     # run one figure
-//	fgexperiments -list      # list available figures
+//	fgexperiments              # run every figure
+//	fgexperiments -fig 2       # run one figure
+//	fgexperiments -list        # list available figures
+//	fgexperiments -parallel 1  # force a strictly serial sweep
 package main
 
 import (
@@ -23,6 +24,7 @@ func main() {
 	list := flag.Bool("list", false, "list available figures")
 	asJSON := flag.Bool("json", false, "emit figures as JSON instead of tables")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations instead of figures")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial); output is identical either way")
 	flag.Parse()
 
 	if *list {
@@ -35,6 +37,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	h.SetParallelism(*parallel)
 	if *ablations {
 		results, err := h.RunAblations()
 		if err != nil {

@@ -3,7 +3,9 @@
 //
 // By default the run uses the simulated testbed (paper-scale datasets in
 // milliseconds of wall time); -local runs the real goroutine backend with
-// materialized data instead.
+// materialized data instead. -size accepts a comma-separated list of
+// sizes: the simulated runs then fan out over a bounded worker pool
+// (-parallel) and their reports print in list order.
 //
 // Examples:
 //
@@ -12,12 +14,18 @@
 //	fgrun -app vortex -size 8MB -local -compute 4
 //	fgrun -app kmeans -size 512MB -data 2 -compute 8 -fault-seed 7 -trace
 //	fgrun -app kmeans -size 512MB -compute 4 -fault-plan 'crash node=1 pass=2; slow-disk node=0 factor=8'
+//	fgrun -app kmeans -size 256MB,512MB,1GB,2GB -compute 8 -parallel 4
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
 	"time"
 
 	"freerideg/internal/apps"
@@ -32,7 +40,7 @@ import (
 func main() {
 	var (
 		app       = flag.String("app", "kmeans", "application: "+fmt.Sprint(apps.Names()))
-		size      = flag.String("size", "512MB", "dataset size (e.g. 1.4GB)")
+		size      = flag.String("size", "512MB", "dataset size, or a comma-separated sweep (e.g. 256MB,1.4GB)")
 		data      = flag.Int("data", 1, "storage (data server) nodes")
 		compute   = flag.Int("compute", 1, "compute nodes (must be >= data nodes)")
 		bwFlag    = flag.String("bw", "100MB", "storage-to-compute bandwidth per node, per second")
@@ -42,23 +50,20 @@ func main() {
 		traceJSON = flag.Bool("trace-json", false, "print the middleware phase trace as JSON lines")
 		faultSeed = flag.Int64("fault-seed", 0, "generate a deterministic fault plan from this seed (0 = no faults)")
 		faultPlan = flag.String("fault-plan", "", "explicit fault plan, e.g. 'crash node=1 pass=2; flaky-link node=0 count=2'")
+		parallel  = flag.Int("parallel", 0, "max concurrent simulations in a -size sweep (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *faultSeed != 0 && *faultPlan != "" {
 		fail(fmt.Errorf("-fault-seed and -fault-plan are mutually exclusive"))
 	}
 
-	var sink middleware.Sink
-	switch {
-	case *traceJSON:
-		sink = middleware.NewJSONSink(os.Stdout)
-	case *trace:
-		sink = middleware.NewTextSink(os.Stdout)
-	}
-
-	total, err := units.ParseBytes(*size)
-	if err != nil {
-		fail(err)
+	var totals []units.Bytes
+	for _, s := range strings.Split(*size, ",") {
+		total, err := units.ParseBytes(strings.TrimSpace(s))
+		if err != nil {
+			fail(err)
+		}
+		totals = append(totals, total)
 	}
 	bw, err := cliutil.ParseRate(*bwFlag)
 	if err != nil {
@@ -68,30 +73,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	spec, err := bench.Dataset(*app, total)
-	if err != nil {
-		fail(err)
-	}
 
 	if *local {
-		kernel, err := a.NewKernel(spec)
-		if err != nil {
-			fail(err)
+		if len(totals) > 1 {
+			fail(fmt.Errorf("-local runs on real wall time; sweep one size at a time"))
 		}
-		faults, err := resolveFaults(*faultSeed, *faultPlan, *data, *compute, kernel.Iterations())
-		if err != nil {
-			fail(err)
-		}
-		res, err := middleware.RunLocalSMP(kernel, spec, *data, *compute,
-			middleware.LocalOptions{Faults: faults, Trace: sink})
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("local run: %s on %v, %d data / %d compute goroutines\n",
-			*app, total, *data, *compute)
-		fmt.Printf("  wall time:   %v over %d pass(es)\n", res.Elapsed.Round(time.Millisecond), res.Iterations)
-		printRecovery(res.Recovery, res.Retries)
-		printProfile(res.Profile)
+		runLocal(os.Stdout, a, *app, totals[0], *data, *compute,
+			*trace, *traceJSON, *faultSeed, *faultPlan)
 		return
 	}
 
@@ -99,36 +87,130 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	run := func(w io.Writer, total units.Bytes) error {
+		return runSimulated(w, grid, a, *app, total, *data, *compute, bw, *cluster,
+			*trace, *traceJSON, *faultSeed, *faultPlan)
+	}
+	if len(totals) == 1 {
+		if err := run(os.Stdout, totals[0]); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	// Size sweep: each size runs into its own buffer on a bounded pool,
+	// and reports print in list order as they complete.
+	workers := *parallel
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	bufs := make([]bytes.Buffer, len(totals))
+	errs := make([]error, len(totals))
+	done := make([]chan struct{}, len(totals))
+	var wg sync.WaitGroup
+	for i := range totals {
+		done[i] = make(chan struct{})
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer close(done[i])
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = run(&bufs[i], totals[i])
+		}(i)
+	}
+	for i := range totals {
+		<-done[i]
+		os.Stdout.Write(bufs[i].Bytes())
+		if errs[i] != nil {
+			fail(errs[i])
+		}
+	}
+	wg.Wait()
+}
+
+// runSimulated executes one simulated run and writes its report (and any
+// requested trace) to w, so sweep output never interleaves.
+func runSimulated(w io.Writer, grid *middleware.Grid, a apps.App, app string, total units.Bytes,
+	data, compute int, bw units.Rate, cluster string,
+	trace, traceJSON bool, faultSeed int64, faultPlan string) error {
+	spec, err := bench.Dataset(app, total)
+	if err != nil {
+		return err
+	}
 	cfg := core.Config{
-		Cluster:      *cluster,
-		DataNodes:    *data,
-		ComputeNodes: *compute,
+		Cluster:      cluster,
+		DataNodes:    data,
+		ComputeNodes: compute,
 		Bandwidth:    bw,
 		DatasetBytes: total,
 	}
 	cost, err := a.Cost(spec)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	faults, err := resolveFaults(*faultSeed, *faultPlan, *data, *compute, cost.Iterations)
+	faults, err := resolveFaults(w, faultSeed, faultPlan, data, compute, cost.Iterations)
 	if err != nil {
-		fail(err)
+		return err
+	}
+	var sink middleware.Sink
+	switch {
+	case traceJSON:
+		sink = middleware.NewJSONSink(w)
+	case trace:
+		sink = middleware.NewTextSink(w)
 	}
 	res, err := grid.SimulateOpts(cost, spec, cfg, middleware.SimOptions{Faults: faults, Trace: sink})
 	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "simulated run: %s on %v\n", app, cfg)
+	fmt.Fprintf(w, "  makespan:    %v\n", res.Makespan.Round(time.Millisecond))
+	printRecovery(w, res.Recovery, res.Retries)
+	printProfile(w, res.Profile)
+	return nil
+}
+
+// runLocal executes the real goroutine backend for one size.
+func runLocal(w io.Writer, a apps.App, app string, total units.Bytes,
+	data, compute int, trace, traceJSON bool, faultSeed int64, faultPlan string) {
+	spec, err := bench.Dataset(app, total)
+	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("simulated run: %s on %v\n", *app, cfg)
-	fmt.Printf("  makespan:    %v\n", res.Makespan.Round(time.Millisecond))
-	printRecovery(res.Recovery, res.Retries)
-	printProfile(res.Profile)
+	kernel, err := a.NewKernel(spec)
+	if err != nil {
+		fail(err)
+	}
+	faults, err := resolveFaults(w, faultSeed, faultPlan, data, compute, kernel.Iterations())
+	if err != nil {
+		fail(err)
+	}
+	var sink middleware.Sink
+	switch {
+	case traceJSON:
+		sink = middleware.NewJSONSink(w)
+	case trace:
+		sink = middleware.NewTextSink(w)
+	}
+	res, err := middleware.RunLocalSMP(kernel, spec, data, compute,
+		middleware.LocalOptions{Faults: faults, Trace: sink})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(w, "local run: %s on %v, %d data / %d compute goroutines\n",
+		app, total, data, compute)
+	fmt.Fprintf(w, "  wall time:   %v over %d pass(es)\n", res.Elapsed.Round(time.Millisecond), res.Iterations)
+	printRecovery(w, res.Recovery, res.Retries)
+	printProfile(w, res.Profile)
 }
 
 // resolveFaults builds the run's fault plan from the CLI flags: an
 // explicit -fault-plan wins, a nonzero -fault-seed generates a plan
 // deterministically (and echoes it so the run is reproducible with
 // -fault-plan), and nil means fault injection is off.
-func resolveFaults(seed int64, planText string, dataNodes, computeNodes, passes int) (*simgrid.FaultPlan, error) {
+func resolveFaults(w io.Writer, seed int64, planText string, dataNodes, computeNodes, passes int) (*simgrid.FaultPlan, error) {
 	switch {
 	case planText != "":
 		plan, err := simgrid.ParseFaultPlan(planText)
@@ -138,27 +220,27 @@ func resolveFaults(seed int64, planText string, dataNodes, computeNodes, passes 
 		return &plan, nil
 	case seed != 0:
 		plan := simgrid.GenerateFaultPlan(seed, dataNodes, computeNodes, passes)
-		fmt.Printf("fault plan (seed %d): %s\n", seed, plan)
+		fmt.Fprintf(w, "fault plan (seed %d): %s\n", seed, plan)
 		return &plan, nil
 	}
 	return nil, nil
 }
 
-func printRecovery(recovery time.Duration, retries int) {
+func printRecovery(w io.Writer, recovery time.Duration, retries int) {
 	if recovery == 0 && retries == 0 {
 		return
 	}
-	fmt.Printf("  recovery:    %v over %d retried deliver(ies)\n",
+	fmt.Fprintf(w, "  recovery:    %v over %d retried deliver(ies)\n",
 		recovery.Round(time.Millisecond), retries)
 }
 
-func printProfile(p core.Profile) {
-	fmt.Printf("  T_disk:      %v\n", p.Tdisk.Round(time.Millisecond))
-	fmt.Printf("  T_network:   %v\n", p.Tnetwork.Round(time.Millisecond))
-	fmt.Printf("  T_compute:   %v (T_ro %v, T_g %v)\n",
+func printProfile(w io.Writer, p core.Profile) {
+	fmt.Fprintf(w, "  T_disk:      %v\n", p.Tdisk.Round(time.Millisecond))
+	fmt.Fprintf(w, "  T_network:   %v\n", p.Tnetwork.Round(time.Millisecond))
+	fmt.Fprintf(w, "  T_compute:   %v (T_ro %v, T_g %v)\n",
 		p.Tcompute.Round(time.Millisecond), p.Tro.Round(time.Millisecond), p.Tglobal.Round(time.Millisecond))
-	fmt.Printf("  T_exec:      %v\n", p.Texec().Round(time.Millisecond))
-	fmt.Printf("  RO per node: %v, broadcast %v, %d iteration(s)\n",
+	fmt.Fprintf(w, "  T_exec:      %v\n", p.Texec().Round(time.Millisecond))
+	fmt.Fprintf(w, "  RO per node: %v, broadcast %v, %d iteration(s)\n",
 		p.ROBytesPerNode, p.BroadcastBytes, p.Iterations)
 }
 

@@ -29,6 +29,7 @@ func main() {
 		app      = flag.String("app", "kmeans", "application: "+fmt.Sprint(apps.Names()))
 		size     = flag.String("size", "1.4GB", "dataset size")
 		deadline = flag.Duration("deadline", 0, "plan the cheapest configuration meeting this deadline instead of the fastest")
+		parallel = flag.Int("parallel", 0, "max workers evaluating candidate predictions (0 = GOMAXPROCS); ranking is identical either way")
 	)
 	flag.Parse()
 
@@ -103,7 +104,7 @@ func main() {
 		}
 	}
 
-	sel := &grid.Selector{Predictor: pred, Variant: core.GlobalReduction}
+	sel := &grid.Selector{Predictor: pred, Variant: core.GlobalReduction, Parallel: *parallel}
 	if *deadline > 0 {
 		cand, err := grid.PlanCapacity(sel, svc, spec.Name, *deadline)
 		if err != nil {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"freerideg/internal/apps"
@@ -11,19 +12,28 @@ import (
 	"freerideg/internal/units"
 )
 
-// Harness runs figure experiments on the simulated testbed.
+// Harness runs figure experiments on the simulated testbed. Sweeps fan
+// out over a bounded worker pool (SetParallelism) and memoize repeated
+// simulations; see sweep.go. A Harness is safe for concurrent sweeps:
+// the grid is immutable, the cache synchronizes itself, and the worker
+// pool is a shared bound.
 type Harness struct {
 	grid  *middleware.Grid
 	links map[string]core.LinkCalibration
+	par   int
+	sem   chan struct{}
+	cache *simCache
 }
 
-// NewHarness builds a harness over the paper's two clusters.
+// NewHarness builds a harness over the paper's two clusters, with the
+// worker pool sized to GOMAXPROCS.
 func NewHarness() (*Harness, error) {
 	g, err := middleware.NewGrid(middleware.PentiumMyrinet(), middleware.OpteronInfiniband())
 	if err != nil {
 		return nil, err
 	}
-	h := &Harness{grid: g, links: make(map[string]core.LinkCalibration)}
+	h := &Harness{grid: g, links: make(map[string]core.LinkCalibration), cache: newSimCache()}
+	h.SetParallelism(runtime.GOMAXPROCS(0))
 	for _, cl := range []string{PentiumCluster, OpteronCluster} {
 		cal, err := core.CalibrateLink(g.MeasureIC(cl))
 		if err != nil {
@@ -48,21 +58,45 @@ func (h *Harness) Links() map[string]core.LinkCalibration {
 
 // simulate runs one application configuration on the simulated testbed,
 // using the experiment's chunk size. A non-nil sink receives the run's
-// phase events.
+// phase events. Sink-less runs are memoized (the simulator is
+// deterministic, so equal inputs yield equal results); traced runs
+// always execute — their events cannot be replayed from a cache — but
+// publish their result for later sink-less callers.
 func (h *Harness) simulate(app string, total, chunk units.Bytes, cfg core.Config, sink middleware.Sink) (middleware.SimResult, error) {
-	a, err := apps.Get(app)
-	if err != nil {
-		return middleware.SimResult{}, err
+	key := simKey{app: app, total: total, chunk: chunk, cfg: cfg}
+	if sink != nil {
+		res, err := h.runSim(app, total, chunk, cfg, sink)
+		if err == nil {
+			h.cache.publish(key, res)
+		}
+		return res, err
 	}
-	spec, err := DatasetChunked(app, total, chunk)
-	if err != nil {
-		return middleware.SimResult{}, err
-	}
-	cost, err := a.Cost(spec)
-	if err != nil {
-		return middleware.SimResult{}, err
-	}
-	return h.grid.SimulateOpts(cost, spec, cfg, middleware.SimOptions{Trace: sink})
+	return h.cache.do(key, func() (middleware.SimResult, error) {
+		return h.runSim(app, total, chunk, cfg, nil)
+	})
+}
+
+// runSim executes one simulation while holding a worker-pool slot.
+func (h *Harness) runSim(app string, total, chunk units.Bytes, cfg core.Config, sink middleware.Sink) (res middleware.SimResult, err error) {
+	h.slot(func() {
+		a, aerr := apps.Get(app)
+		if aerr != nil {
+			err = aerr
+			return
+		}
+		spec, serr := DatasetChunked(app, total, chunk)
+		if serr != nil {
+			err = serr
+			return
+		}
+		cost, cerr := a.Cost(spec)
+		if cerr != nil {
+			err = cerr
+			return
+		}
+		res, err = h.grid.SimulateOpts(cost, spec, cfg, middleware.SimOptions{Trace: sink})
+	})
+	return res, err
 }
 
 // repDatasetBytes is the dataset size used by the representative
@@ -71,34 +105,54 @@ const repDatasetBytes = 256 * units.MB
 
 // scalingFactors measures the component scaling factors between the base
 // cluster and the target cluster using the representative applications on
-// identical configurations, per Section 3.4 of the paper.
+// identical configurations, per Section 3.4 of the paper. The 2×|repApps|
+// profile runs are independent and go through the worker pool; across
+// figures the identical representative runs are memoized, so each is
+// simulated once per harness.
 func (h *Harness) scalingFactors(e experiment) (core.Scaling, []core.Profile, error) {
-	var onA, onB []core.Profile
+	type repRun struct{ app, cluster string }
+	var runs []repRun
 	for _, rep := range e.repApps {
 		for _, cl := range []string{PentiumCluster, e.targetCluster} {
-			cfg := core.Config{
-				Cluster:      cl,
-				DataNodes:    e.baseN,
-				ComputeNodes: e.baseC,
-				Bandwidth:    e.baseBW,
-				DatasetBytes: repDatasetBytes,
-			}
-			res, err := h.simulate(rep, repDatasetBytes, ChunkFor(repDatasetBytes), cfg, nil)
-			if err != nil {
-				return core.Scaling{}, nil, fmt.Errorf("bench: representative %s on %s: %w", rep, cl, err)
-			}
-			if cl == PentiumCluster {
-				onA = append(onA, res.Profile)
-			} else {
-				onB = append(onB, res.Profile)
-			}
+			runs = append(runs, repRun{rep, cl})
+		}
+	}
+	profiles := make([]core.Profile, len(runs))
+	err := h.fanOut(len(runs), func(i int) error {
+		r := runs[i]
+		cfg := core.Config{
+			Cluster:      r.cluster,
+			DataNodes:    e.baseN,
+			ComputeNodes: e.baseC,
+			Bandwidth:    e.baseBW,
+			DatasetBytes: repDatasetBytes,
+		}
+		res, err := h.simulate(r.app, repDatasetBytes, ChunkFor(repDatasetBytes), cfg, nil)
+		if err != nil {
+			return fmt.Errorf("bench: representative %s on %s: %w", r.app, r.cluster, err)
+		}
+		profiles[i] = res.Profile
+		return nil
+	})
+	if err != nil {
+		return core.Scaling{}, nil, err
+	}
+	var onA, onB []core.Profile
+	for i, r := range runs {
+		if r.cluster == PentiumCluster {
+			onA = append(onA, profiles[i])
+		} else {
+			onB = append(onB, profiles[i])
 		}
 	}
 	s, err := core.ComputeScaling(onA, onB)
 	return s, onB, err
 }
 
-// Run regenerates one figure.
+// Run regenerates one figure. The 14 grid cells are independent
+// simulations and fan out over the worker pool; the base profile and
+// (for cross-cluster figures) the scaling factors are computed first
+// because every cell's prediction depends on them.
 func (h *Harness) Run(id string) (Figure, error) {
 	e, ok := experiments()[id]
 	if !ok {
@@ -155,47 +209,74 @@ func (h *Harness) Run(id string) (Figure, error) {
 			e.repApps, scaling.Disk, scaling.Network, scaling.Compute))
 	}
 
-	for _, nc := range ConfigGrid() {
-		cfg := core.Config{
-			Cluster:      e.targetCluster,
-			DataNodes:    nc[0],
-			ComputeNodes: nc[1],
-			Bandwidth:    e.targetBW,
-			DatasetBytes: e.targetBytes,
-		}
-		actual, err := h.simulate(e.app, e.targetBytes, chunk, cfg, nil)
+	grid := ConfigGrid()
+	cells := make([]Cell, len(grid))
+	err = h.fanOut(len(grid), func(i int) error {
+		cell, err := h.runCell(e, pred, chunk, grid[i])
 		if err != nil {
-			return Figure{}, fmt.Errorf("bench: %s actual %d-%d: %w", id, nc[0], nc[1], err)
+			return err
 		}
-		cell := Cell{
-			DataNodes:    nc[0],
-			ComputeNodes: nc[1],
-			Actual:       actual.Makespan,
-			Predicted:    make(map[core.Variant]time.Duration, len(e.variants)),
-			Errors:       make(map[core.Variant]float64, len(e.variants)),
-		}
-		for _, v := range e.variants {
-			p, err := pred.Predict(cfg, v)
-			if err != nil {
-				return Figure{}, fmt.Errorf("bench: %s predict %d-%d %v: %w", id, nc[0], nc[1], v, err)
-			}
-			cell.Predicted[v] = p.Texec()
-			cell.Errors[v] = stats.RelError(actual.Makespan.Seconds(), p.Texec().Seconds())
-		}
-		fig.Cells = append(fig.Cells, cell)
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return Figure{}, err
 	}
+	fig.Cells = cells
 	return fig, nil
 }
 
-// RunAll regenerates every figure in paper order.
-func (h *Harness) RunAll() ([]Figure, error) {
-	var out []Figure
-	for _, id := range FigureIDs() {
-		fig, err := h.Run(id)
+// runCell simulates one grid configuration and predicts it with every
+// plotted variant. Predictor.Predict is pure, so concurrent cells may
+// share one predictor.
+func (h *Harness) runCell(e experiment, pred *core.Predictor, chunk units.Bytes, nc [2]int) (Cell, error) {
+	cfg := core.Config{
+		Cluster:      e.targetCluster,
+		DataNodes:    nc[0],
+		ComputeNodes: nc[1],
+		Bandwidth:    e.targetBW,
+		DatasetBytes: e.targetBytes,
+	}
+	actual, err := h.simulate(e.app, e.targetBytes, chunk, cfg, nil)
+	if err != nil {
+		return Cell{}, fmt.Errorf("bench: %s actual %d-%d: %w", e.id, nc[0], nc[1], err)
+	}
+	cell := Cell{
+		DataNodes:    nc[0],
+		ComputeNodes: nc[1],
+		Actual:       actual.Makespan,
+		Predicted:    make(map[core.Variant]time.Duration, len(e.variants)),
+		Errors:       make(map[core.Variant]float64, len(e.variants)),
+	}
+	for _, v := range e.variants {
+		p, err := pred.Predict(cfg, v)
 		if err != nil {
-			return nil, err
+			return Cell{}, fmt.Errorf("bench: %s predict %d-%d %v: %w", e.id, nc[0], nc[1], v, err)
 		}
-		out = append(out, fig)
+		cell.Predicted[v] = p.Texec()
+		cell.Errors[v] = stats.RelError(actual.Makespan.Seconds(), p.Texec().Seconds())
+	}
+	return cell, nil
+}
+
+// RunAll regenerates every figure in paper order. Whole figures fan out
+// concurrently on top of the per-figure cell fan-out; the worker pool
+// bounds total simulation concurrency either way, and the output is
+// identical to a serial run because every figure slots into its paper
+// position.
+func (h *Harness) RunAll() ([]Figure, error) {
+	ids := FigureIDs()
+	out := make([]Figure, len(ids))
+	err := h.fanOut(len(ids), func(i int) error {
+		fig, err := h.Run(ids[i])
+		if err != nil {
+			return err
+		}
+		out[i] = fig
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

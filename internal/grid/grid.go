@@ -9,7 +9,9 @@ package grid
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"freerideg/internal/adr"
 	"freerideg/internal/core"
@@ -90,7 +92,17 @@ type Selector struct {
 	// Variant selects the prediction model; the paper's most accurate is
 	// GlobalReduction.
 	Variant core.Variant
+	// Parallel bounds the workers evaluating candidate predictions
+	// concurrently (Predictor.Predict is pure, so candidates are
+	// independent). Values < 1 select GOMAXPROCS; 1 forces strictly
+	// serial evaluation. The ranking is identical either way.
+	Parallel int
 }
+
+// minParallelRank is the candidate count below which Rank stays serial:
+// a prediction is microseconds of arithmetic, so goroutine fan-out only
+// pays for itself on larger (replica, offer) grids.
+const minParallelRank = 16
 
 // ErrNoCandidates is returned when no (replica, offer) pair is feasible.
 var ErrNoCandidates = errors.New("grid: no feasible (replica, configuration) pair")
@@ -109,8 +121,13 @@ func (s *Selector) Rank(svc *Service, dataset string) ([]Candidate, error) {
 	if len(replicas) == 0 {
 		return nil, fmt.Errorf("grid: no replicas of dataset %q", dataset)
 	}
-	var out []Candidate
-	var lastErr error
+	// Enumerate the feasible pairs first (cheap filtering), then predict
+	// them — concurrently on larger grids, since Predictor.Predict is a
+	// pure function of its arguments. Results are collected by index, so
+	// the candidate order (and therefore the stable-sorted ranking and
+	// the reported "last" prediction error) is identical to a serial
+	// evaluation.
+	var pairs []Candidate
 	for _, rep := range replicas {
 		for _, off := range svc.Offers() {
 			if off.Nodes < rep.StorageNodes {
@@ -120,20 +137,61 @@ func (s *Selector) Rank(svc *Service, dataset string) ([]Candidate, error) {
 			if !ok {
 				continue
 			}
-			cfg := core.Config{
+			pairs = append(pairs, Candidate{Replica: rep, Offer: off, Config: core.Config{
 				Cluster:      off.Cluster,
 				DataNodes:    rep.StorageNodes,
 				ComputeNodes: off.Nodes,
 				Bandwidth:    bw,
 				DatasetBytes: rep.Layout.Spec.TotalBytes,
-			}
-			pred, err := s.Predictor.Predict(cfg, s.Variant)
-			if err != nil {
-				lastErr = err
-				continue
-			}
-			out = append(out, Candidate{Replica: rep, Offer: off, Config: cfg, Prediction: pred})
+			}})
 		}
+	}
+	errs := make([]error, len(pairs))
+	predict := func(i int) {
+		p, err := s.Predictor.Predict(pairs[i].Config, s.Variant)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		pairs[i].Prediction = p
+	}
+	workers := s.Parallel
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers > 1 && len(pairs) >= minParallelRank {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					predict(i)
+				}
+			}()
+		}
+		for i := range pairs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for i := range pairs {
+			predict(i)
+		}
+	}
+	out := make([]Candidate, 0, len(pairs))
+	var lastErr error
+	for i, cand := range pairs {
+		if errs[i] != nil {
+			lastErr = errs[i]
+			continue
+		}
+		out = append(out, cand)
 	}
 	if len(out) == 0 {
 		if lastErr != nil {

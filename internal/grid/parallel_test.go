@@ -1,0 +1,137 @@
+package grid
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/core"
+	"freerideg/internal/units"
+)
+
+// bigService builds a service large enough to cross minParallelRank:
+// eight replica sites times six compute offers, all feasible, yielding
+// 48 (replica, offer) pairs.
+func bigService(tb testing.TB) *Service {
+	tb.Helper()
+	svc := NewService()
+	spec := testSpec()
+	layout, err := adr.Partition(spec, 2, adr.RoundRobin)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		site := fmt.Sprintf("site%d", i)
+		if err := svc.Replicas.Register(adr.Replica{Site: site, Cluster: "A", StorageNodes: 2, Layout: layout}); err != nil {
+			tb.Fatal(err)
+		}
+		// Distinct bandwidths so the ranking has a meaningful order.
+		if err := svc.SetBandwidth(site, "A", units.Rate(10+10*i)*units.MBPerSec); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for _, n := range []int{2, 4, 6, 8, 12, 16} {
+		if err := svc.AddOffer(ComputeOffer{Cluster: "A", Nodes: n}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return svc
+}
+
+func bigSelector(tb testing.TB, parallel int) *Selector {
+	tb.Helper()
+	pred, err := core.NewPredictor(testProfile(), core.AppModel{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pred.Links["A"] = core.LinkCalibration{W: 1e-8, L: 0}
+	return &Selector{Predictor: pred, Variant: core.GlobalReduction, Parallel: parallel}
+}
+
+// TestRankParallelMatchesSerial checks that concurrent candidate
+// evaluation produces the exact ranking (order included, which pins the
+// stable-sort tie behaviour) of a strictly serial evaluation.
+func TestRankParallelMatchesSerial(t *testing.T) {
+	svc := bigService(t)
+	serial, err := bigSelector(t, 1).Rank(svc, "pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := bigSelector(t, 8).Rank(svc, "pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial ranked %d candidates, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Replica.Site != parallel[i].Replica.Site ||
+			serial[i].Offer != parallel[i].Offer ||
+			serial[i].Config != parallel[i].Config ||
+			serial[i].Prediction != parallel[i].Prediction {
+			t.Errorf("rank %d: serial %s/%d differs from parallel %s/%d",
+				i, serial[i].Replica.Site, serial[i].Offer.Nodes,
+				parallel[i].Replica.Site, parallel[i].Offer.Nodes)
+		}
+	}
+}
+
+// TestRankConcurrentCallers hammers one shared Selector from many
+// goroutines (run under -race via make check): Rank only reads the
+// selector and the service, so concurrent calls must be safe and all
+// agree.
+func TestRankConcurrentCallers(t *testing.T) {
+	svc := bigService(t)
+	sel := bigSelector(t, 4)
+	want, err := sel.Rank(svc, "pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := sel.Rank(svc, "pts")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(got) != len(want) {
+				t.Errorf("concurrent Rank returned %d candidates, want %d", len(got), len(want))
+				return
+			}
+			for i := range got {
+				if got[i].Prediction != want[i].Prediction || got[i].Config != want[i].Config {
+					t.Errorf("concurrent Rank diverged at %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkSelectorRank measures ranking the 48-pair grid, serial vs
+// worker-pool evaluation.
+func BenchmarkSelectorRank(b *testing.B) {
+	for _, par := range []int{1, 0} {
+		name := "serial"
+		if par == 0 {
+			name = "gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			svc := bigService(b)
+			sel := bigSelector(b, par)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sel.Rank(svc, "pts"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

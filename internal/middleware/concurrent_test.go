@@ -1,0 +1,68 @@
+package middleware
+
+import (
+	"sync"
+	"testing"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/apps"
+	"freerideg/internal/reduction"
+	"freerideg/internal/units"
+)
+
+func appCost(spec adr.DatasetSpec) (reduction.CostModel, error) {
+	a, err := apps.Get("kmeans")
+	if err != nil {
+		return reduction.CostModel{}, err
+	}
+	return a.Cost(spec)
+}
+
+// TestConcurrentSimulateSharedGrid hammers one shared Grid with
+// concurrent Simulate calls (run under -race by make check) and verifies
+// every concurrent result is identical to its serial reference — the
+// contract the parallel sweep runner depends on.
+func TestConcurrentSimulateSharedGrid(t *testing.T) {
+	g := testGrid(t)
+	spec := pointsSpec(128 * units.MB)
+	configs := [][2]int{{1, 1}, {1, 2}, {2, 4}, {4, 8}, {2, 2}, {1, 4}}
+
+	// Serial references first.
+	want := make([]SimResult, len(configs))
+	for i, nc := range configs {
+		want[i] = simulate(t, g, "kmeans", spec, config(nc[0], nc[1], spec.TotalBytes))
+	}
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make([]error, len(configs)*rounds)
+	got := make([]SimResult, len(configs)*rounds)
+	for r := 0; r < rounds; r++ {
+		for i := range configs {
+			idx := r*len(configs) + i
+			nc := configs[i]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				a, err := appCost(spec)
+				if err != nil {
+					errs[idx] = err
+					return
+				}
+				got[idx], errs[idx] = g.Simulate(a, spec, config(nc[0], nc[1], spec.TotalBytes))
+			}()
+		}
+	}
+	wg.Wait()
+	for idx, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent run %d: %v", idx, err)
+		}
+	}
+	for idx, res := range got {
+		ref := want[idx%len(configs)]
+		if res != ref {
+			t.Errorf("concurrent run %d diverged from serial reference:\n got %+v\nwant %+v", idx, res, ref)
+		}
+	}
+}

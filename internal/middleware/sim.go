@@ -13,6 +13,13 @@ import (
 )
 
 // Grid is a set of simulated clusters that runs the FREERIDE-G protocol.
+//
+// A Grid is immutable after NewGrid and safe for concurrent use: every
+// Simulate/SimulateOpts call builds its own simgrid.Engine and executor,
+// so any number of simulations may run concurrently against one shared
+// Grid (the bench package's parallel sweep runner does exactly that).
+// Concurrent runs stay individually deterministic — each engine owns all
+// of its mutable state and only reads the shared ClusterSpec values.
 type Grid struct {
 	clusters map[string]ClusterSpec
 }

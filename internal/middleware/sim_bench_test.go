@@ -1,0 +1,30 @@
+package middleware
+
+import (
+	"testing"
+
+	"freerideg/internal/units"
+)
+
+// BenchmarkGridSimulateMid measures one mid-size simulated execution
+// (512 MB, 4 storage / 8 compute nodes) — the harness's inner loop and
+// the unit of work the parallel sweep engine fans out.
+func BenchmarkGridSimulateMid(b *testing.B) {
+	b.ReportAllocs()
+	g, err := NewGrid(PentiumMyrinet(), OpteronInfiniband())
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := pointsSpec(512 * units.MB)
+	cost, err := appCost(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := config(4, 8, spec.TotalBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Simulate(cost, spec, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

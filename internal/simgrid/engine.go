@@ -9,10 +9,15 @@
 // returns to the engine, which advances the clock to the next event.
 // Ties are broken by event sequence number, so simulations are fully
 // deterministic and repeatable.
+//
+// An Engine confines all of its mutable state (clock, calendar, blocked
+// set) to itself and runs exactly one process at a time, so independent
+// Engines may run concurrently on separate goroutines without any
+// synchronization between them — the property the bench package's
+// parallel sweep runner relies on.
 package simgrid
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"time"
@@ -25,9 +30,16 @@ type Engine struct {
 	seq     uint64
 	procSeq int
 	active  int // processes spawned and not yet finished
-	blocked map[*Proc]string
+	blocked map[*Proc]blockReason
 	yield   chan yieldMsg
 	failure error
+
+	// procSlab hands out Proc structs from block allocations and
+	// freeProcs recycles completed processes' structs (and their resume
+	// channels), so a simulation that spawns many short-lived processes
+	// does not pay one heap allocation per Spawn.
+	procSlab  []Proc
+	freeProcs []*Proc
 }
 
 type yieldMsg struct {
@@ -36,36 +48,97 @@ type yieldMsg struct {
 	err  error
 }
 
+// event is one calendar entry. Events live inline in the heap slice —
+// no per-event heap allocation, and the slice's backing array is reused
+// as the calendar grows and shrinks.
 type event struct {
 	at   time.Duration
 	seq  uint64
 	proc *Proc
 }
 
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a concrete binary min-heap of events, ordered by time
+// then sequence number. It replaces container/heap to keep interface{}
+// boxing (one heap allocation per Push) off the per-event hot path.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].before(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{}
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s[l].before(s[min]) {
+			min = l
+		}
+		if r < n && s[r].before(s[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// blockReason records why a process is parked without formatting it:
+// parking is the simulator's hottest path and deadlocks are rare, so the
+// human-readable string is rendered only when deadlock diagnostics
+// actually need it.
+type blockReason struct {
+	op   string        // one of the op* constants
+	name string        // resource/mailbox/barrier name (op != opWaiting)
+	dur  time.Duration // wait duration (op == opWaiting)
+}
+
+const (
+	opWaiting = "waiting"
+	opAcquire = "acquire"
+	opRecv    = "recv"
+	opBarrier = "barrier"
+)
+
+func (r blockReason) String() string {
+	if r.op == opWaiting {
+		return fmt.Sprintf("waiting %v", r.dur)
+	}
+	return r.op + " " + r.name
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
 	return &Engine{
 		yield:   make(chan yieldMsg),
-		blocked: make(map[*Proc]string),
+		blocked: make(map[*Proc]blockReason),
 	}
 }
 
@@ -88,12 +161,39 @@ func (p *Proc) Name() string { return p.name }
 // Now reports the current virtual time.
 func (p *Proc) Now() time.Duration { return p.e.now }
 
+// procSlabSize is how many Proc structs one slab allocation covers.
+const procSlabSize = 64
+
+// newProc returns a Proc for a fresh spawn, recycling a completed
+// process's struct and resume channel when one is available and drawing
+// from the current slab otherwise.
+func (e *Engine) newProc(name string) *Proc {
+	e.procSeq++
+	if n := len(e.freeProcs); n > 0 {
+		p := e.freeProcs[n-1]
+		e.freeProcs = e.freeProcs[:n-1]
+		*p = Proc{e: e, id: e.procSeq, name: name, resume: p.resume}
+		return p
+	}
+	if len(e.procSlab) == 0 {
+		e.procSlab = make([]Proc, procSlabSize)
+	}
+	p := &e.procSlab[0]
+	e.procSlab = e.procSlab[1:]
+	*p = Proc{e: e, id: e.procSeq, name: name, resume: make(chan struct{})}
+	return p
+}
+
 // Spawn registers a new process. The body runs when Run is called (or
 // immediately at the current virtual time if the simulation is already
 // running). A body may itself spawn further processes.
+//
+// The returned *Proc identifies the process only while it is live: once
+// the process has finished and Run has observed its completion, the
+// engine may recycle the struct for a later Spawn, so callers must not
+// retain the pointer past the process's lifetime.
 func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
-	e.procSeq++
-	p := &Proc{e: e, id: e.procSeq, name: name, resume: make(chan struct{})}
+	p := e.newProc(name)
 	e.active++
 	go func() {
 		<-p.resume // wait for first scheduling
@@ -113,12 +213,12 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 
 func (e *Engine) schedule(at time.Duration, p *Proc) {
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, proc: p})
+	e.events.push(event{at: at, seq: e.seq, proc: p})
 }
 
 // park blocks the calling process until the engine resumes it. reason is
 // recorded for deadlock diagnostics.
-func (p *Proc) park(reason string) {
+func (p *Proc) park(reason blockReason) {
 	p.e.blocked[p] = reason
 	p.e.yield <- yieldMsg{proc: p}
 	<-p.resume
@@ -133,13 +233,15 @@ func (p *Proc) park(reason string) {
 type abortSignal struct{}
 
 // Wait advances the process by d of virtual time. Negative durations are
-// treated as zero.
+// treated as zero. Wait performs no heap allocations on the steady-state
+// path (the event calendar and the block-reason record are both inline
+// values), which keeps the per-event cost of large simulations flat.
 func (p *Proc) Wait(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
 	p.e.schedule(p.e.now+d, p)
-	p.park(fmt.Sprintf("waiting %v", d))
+	p.park(blockReason{op: opWaiting, dur: d})
 }
 
 // Fail aborts the process's simulation run with an error. The engine's Run
@@ -154,10 +256,10 @@ func (p *Proc) Fail(err error) {
 // blocked with no pending event (deadlock).
 func (e *Engine) Run() error {
 	for e.active > 0 {
-		if e.events.Len() == 0 {
+		if len(e.events) == 0 {
 			return e.deadlock()
 		}
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		if ev.at < e.now {
 			return fmt.Errorf("simgrid: event scheduled in the past (%v < %v)", ev.at, e.now)
 		}
@@ -168,6 +270,9 @@ func (e *Engine) Run() error {
 			e.active--
 			if msg.err != nil && e.failure == nil {
 				e.failure = msg.err
+			}
+			if e.failure == nil {
+				e.freeProcs = append(e.freeProcs, msg.proc)
 			}
 		}
 		if e.failure != nil {
@@ -196,8 +301,8 @@ func (e *Engine) drain() {
 	}
 	// Processes still sitting in the event queue (not parked in a resource)
 	// are woken likewise.
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(event)
+	for len(e.events) > 0 {
+		ev := e.events.pop()
 		select {
 		case ev.proc.resume <- struct{}{}:
 			msg := <-e.yield

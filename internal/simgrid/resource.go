@@ -52,7 +52,7 @@ func (p *Proc) Acquire(r *Resource) {
 		return
 	}
 	r.waiters = append(r.waiters, p)
-	p.park("acquire " + r.name)
+	p.park(blockReason{op: opAcquire, name: r.name})
 	// Woken by Release, which already transferred the unit to us.
 	if r.granted[p] == 0 {
 		panic(fmt.Sprintf("simgrid: %s woken without grant on %s", p.name, r.name))
@@ -76,8 +76,7 @@ func (p *Proc) Release(r *Resource) {
 	}
 	r.inUse--
 	if len(r.waiters) > 0 {
-		next := r.waiters[0]
-		r.waiters = r.waiters[1:]
+		next := popProc(&r.waiters)
 		r.inUse++ // unit transferred directly to the waiter
 		r.granted[next]++
 		r.e.schedule(r.e.now, next)
@@ -116,9 +115,7 @@ func (m *Mailbox) Len() int { return len(m.queue) }
 func (m *Mailbox) Put(v interface{}) {
 	m.queue = append(m.queue, v)
 	if len(m.waiters) > 0 {
-		next := m.waiters[0]
-		m.waiters = m.waiters[1:]
-		m.e.schedule(m.e.now, next)
+		m.e.schedule(m.e.now, popProc(&m.waiters))
 	}
 }
 
@@ -126,11 +123,30 @@ func (m *Mailbox) Put(v interface{}) {
 func (p *Proc) Get(m *Mailbox) interface{} {
 	for len(m.queue) == 0 {
 		m.waiters = append(m.waiters, p)
-		p.park("recv " + m.name)
+		p.park(blockReason{op: opRecv, name: m.name})
 	}
+	n := len(m.queue)
 	v := m.queue[0]
-	m.queue = m.queue[1:]
+	copy(m.queue, m.queue[1:])
+	m.queue[n-1] = nil
+	m.queue = m.queue[:n-1]
 	return v
+}
+
+// popProc dequeues the first waiter by shifting in place, keeping the
+// slice anchored to its backing array. Re-slicing from the front
+// (s = s[1:]) would shrink the capacity on every wake and force a fresh
+// allocation per park/resume cycle; waiter queues are short (bounded by
+// the process count), so the copy is cheaper than that steady-state
+// garbage.
+func popProc(s *[]*Proc) *Proc {
+	q := *s
+	n := len(q)
+	p := q[0]
+	copy(q, q[1:])
+	q[n-1] = nil
+	*s = q[:n-1]
+	return p
 }
 
 // Barrier blocks a group of processes until n of them have arrived.
@@ -167,6 +183,6 @@ func (p *Proc) Arrive(b *Barrier) {
 	epoch := b.epoch
 	b.waiters = append(b.waiters, p)
 	for b.epoch == epoch {
-		p.park("barrier " + b.name)
+		p.park(blockReason{op: opBarrier, name: b.name})
 	}
 }

@@ -1,0 +1,21 @@
+#!/bin/sh
+# bench.sh — run the tracked performance suite and refresh
+# BENCH_sweep.json at the repo root. The benchmarks live under
+# ./internal/... (engine event loop, Grid.Simulate, Selector.Rank, and
+# the serial-vs-parallel figure sweep); -benchtime=1x -count=3 keeps the
+# run cheap while letting fgbench report min/mean over three samples.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+if ! go test -run='^$' -bench=. -benchtime=1x -count=3 ./internal/... > "$out" 2>&1; then
+    echo "bench.sh: benchmark run failed:" >&2
+    cat "$out" >&2
+    exit 1
+fi
+cat "$out"
+
+go run ./cmd/fgbench -in "$out" -out BENCH_sweep.json

@@ -19,6 +19,10 @@ go vet ./...
 
 go test -race ./...
 
+# Benchmark smoke pass: compile and run every Benchmark* exactly once so
+# the tracked perf suite can't rot between `make bench` refreshes.
+go test -run='^$' -bench=. -benchtime=1x ./...
+
 # Fuzz regression mode: -run='^Fuzz' replays each target's seed corpus
 # (f.Add seeds plus files under testdata/fuzz/) as ordinary tests.
 go test -run='^Fuzz' ./internal/simgrid/
