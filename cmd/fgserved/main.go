@@ -1,0 +1,131 @@
+// Command fgserved is the long-running prediction service: it loads the
+// simulated grid and the profile store once, then serves live
+// resource-selection queries over HTTP — the deployment shape the paper
+// assumes, where the framework answers "which replica / which
+// configuration" questions from inside the grid middleware rather than
+// per-invocation batch runs.
+//
+// Endpoints (see README for example curl calls):
+//
+//	POST /predict  profile + target config -> T̂_disk/T̂_network/T̂_compute
+//	POST /select   dataset -> ranked (replica, configuration) candidates
+//	POST /observe  feed an observed transfer into the bandwidth estimator
+//	GET  /healthz  liveness
+//	GET  /metrics  Prometheus text metrics
+//
+// Example:
+//
+//	fgserved -addr :8080 -base-size 256MB
+//	fgserved -selfcheck   # start, probe every endpoint, shut down
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"freerideg/internal/cliutil"
+	"freerideg/internal/core"
+	"freerideg/internal/fgservice"
+	"freerideg/internal/units"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		profiles  = flag.String("profiles", "", "profile store JSON (fgpredict -save output) seeding app profiles")
+		baseStr   = flag.String("base", "1,1", "self-profiling base config as data,compute")
+		baseSize  = flag.String("base-size", "256MB", "self-profiling base dataset size")
+		baseBW    = flag.String("base-bw", "100MB", "self-profiling base bandwidth per storage node, per second")
+		variant   = flag.String("variant", "global", "default prediction variant: nocomm, reduction, or global")
+		inflight  = flag.Int("max-inflight", 0, "max concurrently handled requests (0 = 4x GOMAXPROCS); excess gets 503")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request handling timeout")
+		grace     = flag.Duration("grace", 15*time.Second, "graceful shutdown grace period")
+		selfcheck = flag.Bool("selfcheck", false, "start on an ephemeral port, probe every endpoint, shut down (the make check smoke step)")
+	)
+	flag.Parse()
+
+	total, err := units.ParseBytes(*baseSize)
+	if err != nil {
+		fail(err)
+	}
+	bw, err := cliutil.ParseRate(*baseBW)
+	if err != nil {
+		fail(err)
+	}
+	baseN, baseC, err := cliutil.ParseNodePair(*baseStr)
+	if err != nil {
+		fail(err)
+	}
+	opts := fgservice.Options{
+		Variant:          *variant,
+		BaseDataNodes:    baseN,
+		BaseComputeNodes: baseC,
+		BaseBandwidth:    bw,
+		BaseBytes:        total,
+		MaxInFlight:      *inflight,
+		RequestTimeout:   *timeout,
+	}
+	if *profiles != "" {
+		store, err := core.LoadStore(*profiles)
+		if err != nil {
+			fail(err)
+		}
+		opts.Store = &store
+		fmt.Printf("fgserved: loaded %d profile(s) from %s\n", len(store.Profiles), *profiles)
+	}
+	srv, err := fgservice.New(opts)
+	if err != nil {
+		fail(err)
+	}
+
+	if *selfcheck {
+		if err := runSelfcheck(srv, *grace); err != nil {
+			fail(fmt.Errorf("selfcheck: %w", err))
+		}
+		fmt.Println("fgserved: selfcheck OK")
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{
+		Handler: srv.Handler(),
+		// The TimeoutHandler inside Handler() bounds handling; these bound
+		// slow clients.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("fgserved: serving on %s (variant %s, shutdown grace %v)\n", ln.Addr(), *variant, *grace)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+		stop()
+		fmt.Println("fgserved: shutting down, draining in-flight requests")
+		shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fail(fmt.Errorf("shutdown: %w", err))
+		}
+		fmt.Println("fgserved: stopped")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fgserved:", err)
+	os.Exit(1)
+}

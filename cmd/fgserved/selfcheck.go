@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"freerideg/internal/fgservice"
+)
+
+// runSelfcheck is the make-check smoke step: start the service on an
+// ephemeral port, drive every endpoint over real TCP, prove the request
+// counters move between two /metrics scrapes, and shut down gracefully.
+func runSelfcheck(srv *fgservice.Server, grace time.Duration) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	served := make(chan error, 1)
+	go func() { served <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	probe := func(method, path, body string) (string, error) {
+		var req *http.Request
+		var err error
+		if method == http.MethodGet {
+			req, err = http.NewRequest(method, base+path, nil)
+		} else {
+			req, err = http.NewRequest(method, base+path, bytes.NewReader([]byte(body)))
+			if req != nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+		}
+		if err != nil {
+			return "", err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return "", fmt.Errorf("%s %s: %w", method, path, err)
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, out)
+		}
+		return string(out), nil
+	}
+
+	if _, err := probe(http.MethodGet, "/healthz", ""); err != nil {
+		return err
+	}
+	before, err := probe(http.MethodGet, "/metrics", "")
+	if err != nil {
+		return err
+	}
+	predictBody := `{"app":"kmeans","config":{"cluster":"pentium-myrinet","dataNodes":4,` +
+		`"computeNodes":8,"bandwidth":"100MB","datasetBytes":"512MB"}}`
+	if out, err := probe(http.MethodPost, "/predict", predictBody); err != nil {
+		return err
+	} else if !strings.Contains(out, "texecNs") {
+		return fmt.Errorf("/predict response missing texecNs: %s", out)
+	}
+	selectBody := `{"app":"kmeans","size":"512MB"}`
+	if out, err := probe(http.MethodPost, "/select", selectBody); err != nil {
+		return err
+	} else if !strings.Contains(out, "candidates") {
+		return fmt.Errorf("/select response missing candidates: %s", out)
+	}
+	observeBody := `{"site":"osu-repository","cluster":"pentium-myrinet","bytes":"64MB","elapsed":"700ms"}`
+	if _, err := probe(http.MethodPost, "/observe", observeBody); err != nil {
+		return err
+	}
+	after, err := probe(http.MethodGet, "/metrics", "")
+	if err != nil {
+		return err
+	}
+
+	// The request counters must have moved between the two scrapes, and
+	// the hot-layer instrumentation must be present.
+	for _, series := range []string{
+		`fg_http_requests_total{path="/predict"}`,
+		`fg_http_requests_total{path="/select"}`,
+		`fg_grid_rank_total`,
+		`fg_grid_estimator_samples_total`,
+		`fg_sim_runs_started_total`,
+		`fg_mw_runs_total`,
+	} {
+		b, aft := seriesValue(before, series), seriesValue(after, series)
+		if aft <= b {
+			return fmt.Errorf("metric %s did not increase across requests (%v -> %v)", series, b, aft)
+		}
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	if err := <-served; err != http.ErrServerClosed {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+// seriesValue extracts one series' value from a text exposition (0 when
+// absent, so "did it increase" checks also catch missing series).
+func seriesValue(exposition, series string) float64 {
+	for _, line := range strings.Split(exposition, "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err == nil {
+			return v
+		}
+	}
+	return 0
+}

@@ -76,9 +76,17 @@ func (h *Harness) simulate(app string, total, chunk units.Bytes, cfg core.Config
 	})
 }
 
+// Simulate runs one application configuration through the harness's
+// worker pool and memo cache — the entry point long-running callers
+// (fgserved) use, so repeated profile requests cost one engine run.
+func (h *Harness) Simulate(app string, total, chunk units.Bytes, cfg core.Config) (middleware.SimResult, error) {
+	return h.simulate(app, total, chunk, cfg, nil)
+}
+
 // runSim executes one simulation while holding a worker-pool slot.
 func (h *Harness) runSim(app string, total, chunk units.Bytes, cfg core.Config, sink middleware.Sink) (res middleware.SimResult, err error) {
 	h.slot(func() {
+		simStarted.Inc()
 		a, aerr := apps.Get(app)
 		if aerr != nil {
 			err = aerr
@@ -95,6 +103,9 @@ func (h *Harness) runSim(app string, total, chunk units.Bytes, cfg core.Config, 
 			return
 		}
 		res, err = h.grid.SimulateOpts(cost, spec, cfg, middleware.SimOptions{Trace: sink})
+		if err == nil {
+			simCompleted.Inc()
+		}
 	})
 	return res, err
 }

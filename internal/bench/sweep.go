@@ -5,8 +5,19 @@ import (
 	"sync"
 
 	"freerideg/internal/core"
+	"freerideg/internal/metrics"
 	"freerideg/internal/middleware"
 	"freerideg/internal/units"
+)
+
+// Harness simulation metrics: engine executions versus memo-cache reuse.
+var (
+	simStarted = metrics.GetCounter("fg_sim_runs_started_total",
+		"Simulator executions started by the bench harness (cache misses and traced runs).")
+	simCompleted = metrics.GetCounter("fg_sim_runs_completed_total",
+		"Simulator executions that completed without error.")
+	simCacheHits = metrics.GetCounter("fg_sim_cache_hits_total",
+		"Simulations served from the harness memo cache (including waits on in-flight duplicates).")
 )
 
 // The parallel sweep engine. Every figure cell, base profile, and
@@ -59,6 +70,7 @@ func (c *simCache) do(k simKey, f func() (middleware.SimResult, error)) (middlew
 	c.mu.Lock()
 	if e, ok := c.m[k]; ok {
 		c.mu.Unlock()
+		simCacheHits.Inc()
 		<-e.done
 		return e.res, e.err
 	}

@@ -52,3 +52,15 @@ func TestParseRate(t *testing.T) {
 		t.Error("zero rate accepted")
 	}
 }
+
+func TestParseRateRejectsNonFiniteAndOverflow(t *testing.T) {
+	// ParseRate goes through units.ParseBytes and must inherit its
+	// non-finite/overflow rejection: these all used to come back as
+	// math.MinInt64 with a nil error and then flow into every backend
+	// as a negative bandwidth.
+	for _, in := range []string{"inf", "-inf", "nan", "1e300GB", "NaNMB"} {
+		if r, err := ParseRate(in); err == nil {
+			t.Errorf("ParseRate(%q) = %v, want error", in, r)
+		}
+	}
+}

@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"freerideg/internal/units"
@@ -216,6 +217,21 @@ func (v Variant) String() string {
 
 // Variants lists the three predictor variants in paper order.
 func Variants() []Variant { return []Variant{NoComm, ReductionComm, GlobalReduction} }
+
+// ParseVariant resolves a user-supplied variant name. It accepts the
+// String() forms plus the short aliases the CLI tools and the prediction
+// service use ("nocomm", "reduction", "global").
+func ParseVariant(s string) (Variant, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "nocomm", "no-comm", "no communication":
+		return NoComm, nil
+	case "reduction", "ro", "reduction communication":
+		return ReductionComm, nil
+	case "global", "global reduction":
+		return GlobalReduction, nil
+	}
+	return 0, fmt.Errorf("core: unknown predictor variant %q (want nocomm, reduction, or global)", s)
+}
 
 // Prediction is a predicted execution time with its component split.
 type Prediction struct {

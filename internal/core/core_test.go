@@ -336,3 +336,28 @@ func TestVariantAndClassStrings(t *testing.T) {
 		t.Error("Variants() must list the paper's three curves")
 	}
 }
+
+func TestParseVariant(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Variant
+	}{
+		{"nocomm", NoComm},
+		{"no-comm", NoComm},
+		{"no communication", NoComm},
+		{"reduction", ReductionComm},
+		{"RO", ReductionComm},
+		{"reduction communication", ReductionComm},
+		{"global", GlobalReduction},
+		{" Global Reduction ", GlobalReduction},
+	}
+	for _, c := range cases {
+		got, err := ParseVariant(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseVariant(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseVariant("bogus"); err == nil {
+		t.Error("ParseVariant accepted bogus variant")
+	}
+}

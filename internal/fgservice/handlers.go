@@ -1,0 +1,377 @@
+package fgservice
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"freerideg/internal/apps"
+	"freerideg/internal/bench"
+	"freerideg/internal/cliutil"
+	"freerideg/internal/core"
+	"freerideg/internal/grid"
+	"freerideg/internal/metrics"
+	"freerideg/internal/units"
+)
+
+// ConfigRequest is the wire form of a target configuration. Sizes and
+// rates are strings ("1.4GB", "100MB") parsed by units.ParseBytes — the
+// input boundary where non-finite and overflowing values are rejected
+// with 400 instead of poisoning a run.
+type ConfigRequest struct {
+	Cluster      string `json:"cluster"`
+	DataNodes    int    `json:"dataNodes"`
+	ComputeNodes int    `json:"computeNodes"`
+	Bandwidth    string `json:"bandwidth"`
+	DatasetBytes string `json:"datasetBytes"`
+}
+
+// Config parses the wire form into a core.Config (not yet validated).
+func (c ConfigRequest) Config() (core.Config, error) {
+	bw, err := cliutil.ParseRate(c.Bandwidth)
+	if err != nil {
+		return core.Config{}, fmt.Errorf("bandwidth: %w", err)
+	}
+	total, err := units.ParseBytes(c.DatasetBytes)
+	if err != nil {
+		return core.Config{}, fmt.Errorf("datasetBytes: %w", err)
+	}
+	return core.Config{
+		Cluster:      c.Cluster,
+		DataNodes:    c.DataNodes,
+		ComputeNodes: c.ComputeNodes,
+		Bandwidth:    bw,
+		DatasetBytes: total,
+	}, nil
+}
+
+// PredictRequest asks for one prediction of app on a target config.
+type PredictRequest struct {
+	App     string        `json:"app"`
+	Variant string        `json:"variant,omitempty"`
+	Config  ConfigRequest `json:"config"`
+}
+
+// PredictResponse is the component breakdown of one prediction.
+// Durations are integer nanoseconds; Pretty is a human-readable summary.
+type PredictResponse struct {
+	App      string        `json:"app"`
+	Variant  string        `json:"variant"`
+	Config   core.Config   `json:"config"`
+	Tdisk    time.Duration `json:"tdiskNs"`
+	Tnetwork time.Duration `json:"tnetworkNs"`
+	Tcompute time.Duration `json:"tcomputeNs"`
+	Tro      time.Duration `json:"troNs"`
+	Tglobal  time.Duration `json:"tglobalNs"`
+	Texec    time.Duration `json:"texecNs"`
+	Pretty   string        `json:"pretty"`
+}
+
+// SelectRequest asks for a ranking of (replica, configuration) pairs for
+// one dataset.
+type SelectRequest struct {
+	App  string `json:"app"`
+	Size string `json:"size"`
+	// Limit truncates the returned ranking (0 = all candidates).
+	Limit int `json:"limit,omitempty"`
+	// Deadline, when set (a Go duration string), switches to capacity
+	// planning: the cheapest configuration meeting it instead of the
+	// fastest overall.
+	Deadline string `json:"deadline,omitempty"`
+	Variant  string `json:"variant,omitempty"`
+}
+
+// SelectCandidate is one ranked (replica, configuration) pair.
+type SelectCandidate struct {
+	Site         string        `json:"site"`
+	Cluster      string        `json:"cluster"`
+	DataNodes    int           `json:"dataNodes"`
+	ComputeNodes int           `json:"computeNodes"`
+	Bandwidth    units.Rate    `json:"bandwidthBps"`
+	Predicted    time.Duration `json:"predictedNs"`
+	Pretty       string        `json:"pretty"`
+}
+
+// SelectResponse is the ranking (or the single planned candidate when a
+// deadline was given).
+type SelectResponse struct {
+	App        string            `json:"app"`
+	Dataset    string            `json:"dataset"`
+	Size       units.Bytes       `json:"sizeBytes"`
+	Candidates []SelectCandidate `json:"candidates"`
+	Selected   *SelectCandidate  `json:"selected,omitempty"`
+}
+
+// ObserveRequest feeds one completed transfer into the bandwidth
+// estimator, updating the live b̂ for the site→cluster path.
+type ObserveRequest struct {
+	Site    string `json:"site"`
+	Cluster string `json:"cluster"`
+	Bytes   string `json:"bytes"`
+	Elapsed string `json:"elapsed"` // Go duration string, e.g. "800ms"
+}
+
+// ObserveResponse reports the path's state after the observation.
+type ObserveResponse struct {
+	Site    string `json:"site"`
+	Cluster string `json:"cluster"`
+	Samples int    `json:"samples"`
+	// Bandwidth is the path's current estimate ("" while the path has
+	// too few samples to fit).
+	Bandwidth string `json:"bandwidth,omitempty"`
+}
+
+// HealthResponse answers /healthz.
+type HealthResponse struct {
+	Status        string   `json:"status"`
+	UptimeSeconds float64  `json:"uptimeSeconds"`
+	Apps          []string `json:"apps"`
+	ProfiledApps  int      `json:"profiledApps"`
+}
+
+// apiError is the JSON error envelope every handler uses.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// decodeJSON strictly decodes one JSON request body.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+// requestVariant resolves the request's variant override against the
+// server default.
+func (s *Server) requestVariant(name string) (core.Variant, error) {
+	if name == "" {
+		return s.variant, nil
+	}
+	return core.ParseVariant(name)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := s.requestVariant(req.Variant)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := req.Config.Config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := cfg.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := apps.Get(req.App); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	pred, err := s.predictor(req.App)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	p, err := pred.Predict(cfg, v)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{
+		App:      req.App,
+		Variant:  v.String(),
+		Config:   cfg,
+		Tdisk:    p.Tdisk,
+		Tnetwork: p.Tnetwork,
+		Tcompute: p.Tcompute,
+		Tro:      p.Tro,
+		Tglobal:  p.Tglobal,
+		Texec:    p.Texec(),
+		Pretty: fmt.Sprintf("t_d=%v t_n=%v t_c=%v (T_exec %v)",
+			round(p.Tdisk), round(p.Tnetwork), round(p.Tcompute), round(p.Texec())),
+	})
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req SelectRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := s.requestVariant(req.Variant)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	total, err := units.ParseBytes(req.Size)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var deadline time.Duration
+	if req.Deadline != "" {
+		deadline, err = time.ParseDuration(req.Deadline)
+		if err != nil || deadline <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("deadline %q: want a positive Go duration", req.Deadline))
+			return
+		}
+	}
+	if _, err := apps.Get(req.App); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	spec, err := bench.Dataset(req.App, total)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pred, err := s.predictor(req.App)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	svc, err := s.selectionService(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	sel := &grid.Selector{Predictor: pred, Variant: v}
+	resp := SelectResponse{App: req.App, Dataset: spec.Name, Size: total}
+	if deadline > 0 {
+		cand, err := grid.PlanCapacity(sel, svc, spec.Name, deadline)
+		if err != nil {
+			writeError(w, statusForRankError(err), err)
+			return
+		}
+		c := toCandidate(cand)
+		resp.Selected = &c
+		resp.Candidates = []SelectCandidate{c}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	ranked, err := sel.Rank(svc, spec.Name)
+	if err != nil {
+		writeError(w, statusForRankError(err), err)
+		return
+	}
+	if req.Limit > 0 && req.Limit < len(ranked) {
+		ranked = ranked[:req.Limit]
+	}
+	resp.Candidates = make([]SelectCandidate, len(ranked))
+	for i, cand := range ranked {
+		resp.Candidates[i] = toCandidate(cand)
+	}
+	best := resp.Candidates[0]
+	resp.Selected = &best
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req ObserveRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Site == "" || req.Cluster == "" {
+		writeError(w, http.StatusBadRequest, errors.New("observe: site and cluster are required"))
+		return
+	}
+	b, err := units.ParseBytes(req.Bytes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	elapsed, err := time.ParseDuration(req.Elapsed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("elapsed %q: %v", req.Elapsed, err))
+		return
+	}
+	if err := s.est.Observe(req.Site, req.Cluster, grid.TransferSample{Bytes: b, Elapsed: elapsed}); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := ObserveResponse{
+		Site:    req.Site,
+		Cluster: req.Cluster,
+		Samples: s.est.Samples(req.Site, req.Cluster),
+	}
+	if bw, _, err := s.est.Estimate(req.Site, req.Cluster); err == nil {
+		resp.Bandwidth = bw.String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	profiled := len(s.preds)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Apps:          apps.Names(),
+		ProfiledApps:  profiled,
+	})
+}
+
+// Handler assembles the service mux: instrumented, concurrency-bounded,
+// per-request-timed handlers plus the metrics exposition.
+func (s *Server) Handler() http.Handler {
+	lim := newLimiter(s.opts.MaxInFlight)
+	mux := http.NewServeMux()
+	mux.Handle("/predict", s.instrument("/predict", lim, http.MethodPost, s.handlePredict))
+	mux.Handle("/select", s.instrument("/select", lim, http.MethodPost, s.handleSelect))
+	mux.Handle("/observe", s.instrument("/observe", lim, http.MethodPost, s.handleObserve))
+	mux.Handle("/healthz", s.instrument("/healthz", nil, http.MethodGet, s.handleHealthz))
+	mux.Handle("/metrics", metrics.Default().Handler())
+	return http.TimeoutHandler(mux, s.opts.RequestTimeout, "request timed out\n")
+}
+
+func toCandidate(cand grid.Candidate) SelectCandidate {
+	return SelectCandidate{
+		Site:         cand.Replica.Site,
+		Cluster:      cand.Config.Cluster,
+		DataNodes:    cand.Config.DataNodes,
+		ComputeNodes: cand.Config.ComputeNodes,
+		Bandwidth:    cand.Config.Bandwidth,
+		Predicted:    cand.Prediction.Texec(),
+		Pretty: fmt.Sprintf("%s: %d storage / %d compute @ %v, predicted %v",
+			cand.Replica.Site, cand.Config.DataNodes, cand.Config.ComputeNodes,
+			cand.Config.Bandwidth, round(cand.Prediction.Texec())),
+	}
+}
+
+// statusForRankError maps "no feasible candidate" and "deadline
+// unreachable" to 422: the request was well-formed, the grid just has
+// nothing that satisfies it.
+func statusForRankError(err error) int {
+	if errors.Is(err, grid.ErrNoCandidates) || errors.Is(err, grid.ErrDeadlineUnreachable) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusInternalServerError
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Millisecond) }

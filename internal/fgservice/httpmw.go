@@ -1,0 +1,115 @@
+package fgservice
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+
+	"freerideg/internal/metrics"
+)
+
+// limiter bounds concurrently handled requests with the same
+// semaphore-channel shape as the bench harness's worker pool. Unlike the
+// pool, a full limiter rejects instead of queueing: a saturated
+// prediction service should shed load with 503s, not build an unbounded
+// backlog of goroutines.
+type limiter struct {
+	slots chan struct{}
+}
+
+// newLimiter builds a limiter admitting n concurrent requests (n < 1
+// selects 4×GOMAXPROCS, enough to keep the prediction arithmetic and the
+// occasional profiling simulation busy without unbounded fan-out).
+func newLimiter(n int) *limiter {
+	if n < 1 {
+		n = 4 * runtime.GOMAXPROCS(0)
+	}
+	return &limiter{slots: make(chan struct{}, n)}
+}
+
+// tryAcquire claims a slot without blocking.
+func (l *limiter) tryAcquire() bool {
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *limiter) release() { <-l.slots }
+
+// statusRecorder captures the response status for the request counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one endpoint with method filtering, the concurrency
+// bound (nil lim admits everything — /healthz must answer even under
+// load), the test-only slowdown, and per-endpoint request metrics.
+func (s *Server) instrument(path string, lim *limiter, method string, h http.HandlerFunc) http.Handler {
+	label := metrics.Label{Key: "path", Value: path}
+	requests := metrics.GetCounter("fg_http_requests_total",
+		"HTTP requests handled, by endpoint.", label)
+	errs := metrics.GetCounter("fg_http_errors_total",
+		"HTTP responses with status >= 400, by endpoint.", label)
+	throttled := metrics.GetCounter("fg_http_throttled_total",
+		"HTTP requests rejected with 503 by the concurrency bound, by endpoint.", label)
+	latency := metrics.GetHistogram("fg_http_request_seconds",
+		"HTTP request handling latency in seconds, by endpoint.", nil, label)
+	inflight := metrics.GetGauge("fg_http_inflight_requests",
+		"Requests currently being handled, by endpoint.", label)
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		if r.Method != method {
+			errs.Inc()
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed,
+				&methodError{method: r.Method, want: method, path: path})
+			return
+		}
+		if lim != nil {
+			if !lim.tryAcquire() {
+				throttled.Inc()
+				errs.Inc()
+				writeError(w, http.StatusServiceUnavailable, errOverloaded)
+				return
+			}
+			defer lim.release()
+		}
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		if s.delay > 0 {
+			time.Sleep(s.delay)
+		}
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		latency.Observe(time.Since(start).Seconds())
+		if rec.status >= 400 {
+			errs.Inc()
+		}
+	})
+}
+
+type methodError struct {
+	method, want, path string
+}
+
+func (e *methodError) Error() string {
+	return "method " + e.method + " not allowed on " + e.path + " (want " + e.want + ")"
+}
+
+type constError string
+
+func (e constError) Error() string { return string(e) }
+
+// errOverloaded is the load-shedding response body.
+const errOverloaded = constError("service overloaded: concurrency bound reached, retry later")

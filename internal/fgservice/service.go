@@ -1,0 +1,265 @@
+// Package fgservice implements the long-running prediction service the
+// fgserved command serves: the resource-selection framework running
+// inside grid middleware, answering live "which replica / which
+// configuration" queries from observed state instead of forking a CLI
+// per prediction. The server loads the simulated grid and the profile
+// store once; request handlers only do prediction arithmetic, ranking,
+// and estimator updates, so steady-state requests never re-build state.
+//
+// Endpoints:
+//
+//	POST /predict  profile + target config -> T̂_disk/T̂_network/T̂_compute
+//	POST /select   dataset -> ranked (replica, configuration) candidates
+//	POST /observe  feed a TransferSample into the bandwidth estimator
+//	GET  /healthz  liveness + readiness
+//	GET  /metrics  Prometheus text exposition of the process registry
+package fgservice
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"freerideg/internal/adr"
+	"freerideg/internal/apps"
+	"freerideg/internal/bench"
+	"freerideg/internal/core"
+	"freerideg/internal/grid"
+	"freerideg/internal/units"
+)
+
+// Site is one repository site of the service's replica topology. Its
+// Bandwidth is the static b̂ used until live observations on the
+// site→cluster path let the estimator override it.
+type Site struct {
+	Name         string
+	Cluster      string
+	StorageNodes int
+	Bandwidth    units.Rate
+}
+
+// Options configure a Server. Zero values select the defaults noted on
+// each field.
+type Options struct {
+	// Variant names the default prediction model variant for requests
+	// that don't carry one ("nocomm", "reduction", "global"); empty
+	// selects "global", the paper's most accurate.
+	Variant string
+	// Base profile configuration used when an application must be
+	// profiled on the simulated testbed because the store has no profile
+	// for it. Defaults: 1 data node, 1 compute node, 100MB/s, 256MB.
+	BaseDataNodes    int
+	BaseComputeNodes int
+	BaseBandwidth    units.Rate
+	BaseBytes        units.Bytes
+	// Store optionally seeds profiles, link calibrations, and scaling
+	// factors from a profile store (fgpredict -save output).
+	Store *core.ProfileStore
+	// Sites and Offers describe the selection topology. Defaults mirror
+	// the fgselect demo: two repository sites and three Pentium-cluster
+	// compute offers.
+	Sites  []Site
+	Offers []grid.ComputeOffer
+	// MaxInFlight bounds concurrently handled requests (default
+	// 4×GOMAXPROCS via the HTTP middleware); excess requests get 503.
+	MaxInFlight int
+	// RequestTimeout bounds one request's handling time (default 30s).
+	RequestTimeout time.Duration
+}
+
+// DefaultSites returns the demo replica topology.
+func DefaultSites() []Site {
+	return []Site{
+		{Name: "osu-repository", Cluster: bench.PentiumCluster, StorageNodes: 4, Bandwidth: 100 * units.MBPerSec},
+		{Name: "remote-mirror", Cluster: bench.PentiumCluster, StorageNodes: 8, Bandwidth: 25 * units.MBPerSec},
+	}
+}
+
+// DefaultOffers returns the demo compute offers.
+func DefaultOffers() []grid.ComputeOffer {
+	return []grid.ComputeOffer{
+		{Cluster: bench.PentiumCluster, Nodes: 4},
+		{Cluster: bench.PentiumCluster, Nodes: 8},
+		{Cluster: bench.PentiumCluster, Nodes: 16},
+	}
+}
+
+// predEntry is one cached (or in-flight) per-application predictor, the
+// same duplicate-suppression shape as the bench harness's simCache: the
+// first request for an app profiles it, concurrent requests wait for
+// that one profiling run.
+type predEntry struct {
+	done chan struct{}
+	pred *core.Predictor
+	err  error
+}
+
+// Server holds the loaded-once state behind the HTTP handlers.
+type Server struct {
+	opts    Options
+	variant core.Variant
+	harness *bench.Harness
+	est     *grid.BandwidthEstimator
+	start   time.Time
+
+	mu    sync.Mutex
+	preds map[string]*predEntry
+
+	// delay artificially slows request handling; tests set it to prove
+	// in-flight requests survive graceful shutdown.
+	delay time.Duration
+}
+
+// New builds a server: the simulated grid and link calibrations are
+// loaded here, once, and shared by every request.
+func New(opts Options) (*Server, error) {
+	if opts.BaseDataNodes < 1 {
+		opts.BaseDataNodes = 1
+	}
+	if opts.BaseComputeNodes < opts.BaseDataNodes {
+		opts.BaseComputeNodes = opts.BaseDataNodes
+	}
+	if opts.BaseBandwidth <= 0 {
+		opts.BaseBandwidth = 100 * units.MBPerSec
+	}
+	if opts.BaseBytes <= 0 {
+		opts.BaseBytes = 256 * units.MB
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 30 * time.Second
+	}
+	if len(opts.Sites) == 0 {
+		opts.Sites = DefaultSites()
+	}
+	if len(opts.Offers) == 0 {
+		opts.Offers = DefaultOffers()
+	}
+	if opts.Store != nil {
+		if err := opts.Store.Validate(); err != nil {
+			return nil, fmt.Errorf("fgservice: profile store: %w", err)
+		}
+	}
+	if opts.Variant == "" {
+		opts.Variant = "global"
+	}
+	variant, err := core.ParseVariant(opts.Variant)
+	if err != nil {
+		return nil, fmt.Errorf("fgservice: %w", err)
+	}
+	h, err := bench.NewHarness()
+	if err != nil {
+		return nil, fmt.Errorf("fgservice: building harness: %w", err)
+	}
+	return &Server{
+		opts:    opts,
+		variant: variant,
+		harness: h,
+		est:     grid.NewBandwidthEstimator(0),
+		start:   time.Now(),
+		preds:   make(map[string]*predEntry),
+	}, nil
+}
+
+// Estimator exposes the live bandwidth estimator (the /observe sink).
+func (s *Server) Estimator() *grid.BandwidthEstimator { return s.est }
+
+// predictor returns the cached predictor for app, profiling it on first
+// use: from the store when present, otherwise by one simulated run of
+// the base configuration through the harness's memoized worker pool.
+func (s *Server) predictor(app string) (*core.Predictor, error) {
+	s.mu.Lock()
+	if e, ok := s.preds[app]; ok {
+		s.mu.Unlock()
+		<-e.done
+		return e.pred, e.err
+	}
+	e := &predEntry{done: make(chan struct{})}
+	s.preds[app] = e
+	s.mu.Unlock()
+
+	e.pred, e.err = s.buildPredictor(app)
+	close(e.done)
+	if e.err != nil {
+		// Failed profiling is not cached: a later request may succeed
+		// (e.g. after a transient harness error) and must be able to retry.
+		s.mu.Lock()
+		if s.preds[app] == e {
+			delete(s.preds, app)
+		}
+		s.mu.Unlock()
+	}
+	return e.pred, e.err
+}
+
+func (s *Server) buildPredictor(app string) (*core.Predictor, error) {
+	a, err := apps.Get(app)
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.Store != nil {
+		if _, ok := s.opts.Store.Find(app); ok {
+			return core.NewPredictorFromStore(*s.opts.Store, app, a.Model)
+		}
+	}
+	cfg := core.Config{
+		Cluster:      bench.PentiumCluster,
+		DataNodes:    s.opts.BaseDataNodes,
+		ComputeNodes: s.opts.BaseComputeNodes,
+		Bandwidth:    s.opts.BaseBandwidth,
+		DatasetBytes: s.opts.BaseBytes,
+	}
+	res, err := s.harness.Simulate(app, s.opts.BaseBytes, bench.ChunkFor(s.opts.BaseBytes), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fgservice: profiling %s: %w", app, err)
+	}
+	pred, err := core.NewPredictor(res.Profile, a.Model)
+	if err != nil {
+		return nil, err
+	}
+	for cl, cal := range s.harness.Links() {
+		pred.Links[cl] = cal
+	}
+	return pred, nil
+}
+
+// pathBandwidth resolves a site→cluster path's b̂: the estimator's live
+// fit when the path has enough observations, the static topology value
+// otherwise. Estimate guarantees a finite positive rate on nil error.
+func (s *Server) pathBandwidth(site Site) units.Rate {
+	if bw, _, err := s.est.Estimate(site.Name, site.Cluster); err == nil {
+		return bw
+	}
+	return site.Bandwidth
+}
+
+// selectionService builds the per-request information service for one
+// dataset spec: replicas partitioned per site, current bandwidths, and
+// the configured compute offers. Building it per request keeps the
+// shared server state immutable under concurrency (the estimator
+// synchronizes itself).
+func (s *Server) selectionService(spec adr.DatasetSpec) (*grid.Service, error) {
+	svc := grid.NewService()
+	for _, site := range s.opts.Sites {
+		layout, err := adr.Partition(spec, site.StorageNodes, adr.RoundRobin)
+		if err != nil {
+			return nil, fmt.Errorf("fgservice: partitioning for %s: %w", site.Name, err)
+		}
+		if err := svc.Replicas.Register(adr.Replica{
+			Site:         site.Name,
+			Cluster:      site.Cluster,
+			StorageNodes: site.StorageNodes,
+			Layout:       layout,
+		}); err != nil {
+			return nil, err
+		}
+		if err := svc.SetBandwidth(site.Name, site.Cluster, s.pathBandwidth(site)); err != nil {
+			return nil, err
+		}
+	}
+	for _, off := range s.opts.Offers {
+		if err := svc.AddOffer(off); err != nil {
+			return nil, err
+		}
+	}
+	return svc, nil
+}

@@ -2,13 +2,20 @@ package grid
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
 
+	"freerideg/internal/metrics"
 	"freerideg/internal/stats"
 	"freerideg/internal/units"
 )
+
+// estimatorSamples counts transfer observations accepted across all
+// estimators in the process (the paper's b̂ measurement stream).
+var estimatorSamples = metrics.GetCounter("fg_grid_estimator_samples_total",
+	"Transfer samples accepted by bandwidth estimators.")
 
 // TransferSample is one observed data movement on a site-to-cluster path.
 type TransferSample struct {
@@ -56,6 +63,7 @@ func (e *BandwidthEstimator) Observe(site, cluster string, s TransferSample) err
 		list = list[len(list)-e.window:]
 	}
 	e.samples[key] = list
+	estimatorSamples.Inc()
 	return nil
 }
 
@@ -79,8 +87,20 @@ func (e *BandwidthEstimator) Samples(site, cluster string) int {
 	return len(e.samples[[2]string{site, cluster}])
 }
 
+// saneRate reports whether r is a usable bandwidth estimate: strictly
+// positive and finite. A fitted slope that underflows toward zero turns
+// 1/slope into +Inf (or an absurd finite value next to it); such an
+// estimate must never reach the information service as b̂.
+func saneRate(r units.Rate) bool {
+	f := float64(r)
+	return f > 0 && !math.IsInf(f, 0) && !math.IsNaN(f)
+}
+
 // Estimate predicts a path's effective bandwidth and latency. It needs at
-// least two observations with distinct sizes.
+// least two observations with distinct sizes. The returned rate is
+// guaranteed finite and positive: a degenerate or underflowing fit falls
+// back to the median direct bytes/elapsed ratio, and when that is
+// unusable too, Estimate reports an error instead of a garbage b̂.
 func (e *BandwidthEstimator) Estimate(site, cluster string) (units.Rate, time.Duration, error) {
 	e.mu.Lock()
 	list := append([]TransferSample(nil), e.samples[[2]string{site, cluster}]...)
@@ -95,24 +115,26 @@ func (e *BandwidthEstimator) Estimate(site, cluster string) (units.Rate, time.Du
 		ys[i] = s.Elapsed.Seconds()
 	}
 	slope, intercept, err := stats.LinFit(xs, ys)
-	if err != nil || slope <= 0 {
-		// Degenerate fit (identical sizes, or latency-dominated tiny
-		// transfers): fall back to the median direct ratio.
-		ratios := make([]float64, len(list))
-		for i, s := range list {
-			ratios[i] = float64(s.Bytes) / s.Elapsed.Seconds()
+	if err == nil && slope > 0 {
+		if bw := units.Rate(1 / slope); saneRate(bw) {
+			lat := units.Seconds(intercept)
+			if lat < 0 {
+				lat = 0
+			}
+			return bw, lat, nil
 		}
-		med, qerr := stats.Quantile(ratios, 0.5)
-		if qerr != nil || med <= 0 {
-			return 0, 0, fmt.Errorf("grid: path %s->%s has no usable bandwidth signal", site, cluster)
-		}
-		return units.Rate(med), 0, nil
 	}
-	lat := units.Seconds(intercept)
-	if lat < 0 {
-		lat = 0
+	// Degenerate fit (identical sizes, latency-dominated tiny transfers,
+	// or a slope underflow): fall back to the median direct ratio.
+	ratios := make([]float64, len(list))
+	for i, s := range list {
+		ratios[i] = float64(s.Bytes) / s.Elapsed.Seconds()
 	}
-	return units.Rate(1 / slope), lat, nil
+	med, qerr := stats.Quantile(ratios, 0.5)
+	if qerr != nil || !saneRate(units.Rate(med)) {
+		return 0, 0, fmt.Errorf("grid: path %s->%s has no usable bandwidth signal", site, cluster)
+	}
+	return units.Rate(med), 0, nil
 }
 
 // Paths lists the observed paths, sorted.

@@ -126,3 +126,100 @@ func TestFillServiceWiresEstimates(t *testing.T) {
 		t.Fatalf("Paths() = %d entries, want 3", got)
 	}
 }
+
+func TestSaneRate(t *testing.T) {
+	cases := []struct {
+		r    units.Rate
+		want bool
+	}{
+		{100 * units.MBPerSec, true},
+		{units.Rate(1), true},
+		{0, false},
+		{units.Rate(-5), false},
+		{units.Rate(math.Inf(1)), false},
+		{units.Rate(math.Inf(-1)), false},
+		{units.Rate(math.NaN()), false},
+	}
+	for _, c := range cases {
+		if got := saneRate(c.r); got != c.want {
+			t.Errorf("saneRate(%v) = %v, want %v", float64(c.r), got, c.want)
+		}
+	}
+}
+
+// TestEstimateNearIdenticalSizesStaysFinite is the regression test for
+// the slope-underflow bug: sizes that differ by a handful of bytes make
+// the least-squares denominator tiny, and the fitted slope can collapse
+// toward zero so that 1/slope explodes. Whatever path Estimate takes, a
+// nil error must come with a finite, positive rate.
+func TestEstimateNearIdenticalSizesStaysFinite(t *testing.T) {
+	e := NewBandwidthEstimator(0)
+	base := units.Bytes(1_000_000)
+	elapsed := []time.Duration{time.Second, time.Second, time.Second + time.Nanosecond}
+	for i, d := range elapsed {
+		s := TransferSample{Bytes: base + units.Bytes(i%2), Elapsed: d}
+		if err := e.Observe("site", "cl", s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bw, lat, err := e.Estimate("site", "cl")
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	if !saneRate(bw) {
+		t.Fatalf("Estimate returned non-sane rate %v", float64(bw))
+	}
+	if lat < 0 {
+		t.Fatalf("Estimate returned negative latency %v", lat)
+	}
+}
+
+// TestEstimateIdenticalSizesFallsBackToMedian pins the degenerate-fit
+// path: all-equal sizes have no slope at all, so the median direct ratio
+// is the estimate.
+func TestEstimateIdenticalSizesFallsBackToMedian(t *testing.T) {
+	e := NewBandwidthEstimator(0)
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 4 * time.Second} {
+		if err := e.Observe("s", "c", TransferSample{Bytes: 64 * units.MB, Elapsed: d}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bw, lat, err := e.Estimate("s", "c")
+	if err != nil {
+		t.Fatalf("Estimate: %v", err)
+	}
+	want := units.Rate(float64(64*units.MB) / 2) // median elapsed is 2s
+	if math.Abs(float64(bw)-float64(want)) > 1 {
+		t.Fatalf("median fallback = %v, want %v", bw, want)
+	}
+	if lat != 0 {
+		t.Fatalf("median fallback latency = %v, want 0", lat)
+	}
+}
+
+// TestFillServiceNeverWritesGarbageBandwidth drives the estimator with
+// pathological sample mixes and checks every bandwidth that reaches the
+// information service is finite and positive.
+func TestFillServiceNeverWritesGarbageBandwidth(t *testing.T) {
+	e := NewBandwidthEstimator(0)
+	// Near-identical sizes on one path, identical on another, healthy on
+	// a third.
+	for i := 0; i < 8; i++ {
+		_ = e.Observe("p1", "c", TransferSample{Bytes: 1_000_000 + units.Bytes(i%2), Elapsed: time.Second + time.Duration(i)*time.Nanosecond})
+		_ = e.Observe("p2", "c", TransferSample{Bytes: 32 * units.MB, Elapsed: time.Second})
+		_ = e.Observe("p3", "c", synthTransfer(units.Bytes(i+1)*16*units.MB, 50*units.MBPerSec, 10*time.Millisecond))
+	}
+	svc := NewService()
+	if err := e.FillService(svc); err != nil {
+		t.Fatalf("FillService: %v", err)
+	}
+	for _, path := range e.Paths() {
+		bw, ok := svc.Bandwidth(path[0], path[1])
+		if !ok {
+			continue // not estimable is fine; garbage is not
+		}
+		if !saneRate(bw) {
+			t.Errorf("service holds non-sane bandwidth %v for %v", float64(bw), path)
+		}
+	}
+}

@@ -15,7 +15,17 @@ import (
 
 	"freerideg/internal/adr"
 	"freerideg/internal/core"
+	"freerideg/internal/metrics"
 	"freerideg/internal/units"
+)
+
+// Selection metrics: how many ranking rounds ran and how many candidate
+// (replica, configuration) predictions they evaluated.
+var (
+	rankRounds = metrics.GetCounter("fg_grid_rank_total",
+		"Selector.Rank invocations.")
+	rankCandidates = metrics.GetCounter("fg_grid_rank_candidates_total",
+		"Candidate (replica, configuration) predictions evaluated by Selector.Rank.")
 )
 
 // ComputeOffer is one compute configuration a grid information service
@@ -146,6 +156,8 @@ func (s *Selector) Rank(svc *Service, dataset string) ([]Candidate, error) {
 			}})
 		}
 	}
+	rankRounds.Inc()
+	rankCandidates.Add(float64(len(pairs)))
 	errs := make([]error, len(pairs))
 	predict := func(i int) {
 		p, err := s.Predictor.Predict(pairs[i].Config, s.Variant)

@@ -1,0 +1,349 @@
+// Package metrics is a small, dependency-free registry of counters,
+// gauges, and histograms with a Prometheus text-format exposition
+// endpoint. The hot layers of the system (the bench harness's simulation
+// cache, the middleware's fault recovery, the grid selector and bandwidth
+// estimator, and the fgserved HTTP handlers) register their instruments
+// against the process-wide Default registry; fgserved serves them on
+// /metrics.
+//
+// Instruments are identified by a family name plus an optional set of
+// constant labels. Registering the same (name, labels) pair twice returns
+// the same instrument, so package-level instrumentation can use
+// package-level vars without coordination. Registering one name with two
+// different instrument kinds panics: that is a programming error, not a
+// runtime condition.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant name/value pair attached to an instrument.
+type Label struct {
+	Key, Value string
+}
+
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	case histogramKind:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v to the counter. Negative and NaN deltas are ignored:
+// counters only go up.
+func (c *Counter) Add(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (which may be negative) to the gauge.
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into cumulative buckets.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds, +Inf implicit
+	counts []uint64  // len(bounds)+1, last is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+// DefSecondsBuckets are reasonable latency buckets for sub-second to
+// tens-of-seconds request handling.
+func DefSecondsBuckets() []float64 {
+	return []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30}
+}
+
+// Observe records one sample. Non-finite samples are dropped: a NaN or
+// ±Inf observation would poison sum forever.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// family is every series registered under one metric name.
+type family struct {
+	name, help string
+	kind       kind
+	series     map[string]any // rendered label string -> *Counter/*Gauge/*Histogram
+}
+
+// Registry holds instrument families and renders them in Prometheus text
+// format. The zero value is not usable; use NewRegistry or Default.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var def = NewRegistry()
+
+// Default returns the process-wide registry that package-level helpers
+// register against.
+func Default() *Registry { return def }
+
+// GetCounter registers (or returns the existing) counter under name with
+// the given constant labels on the default registry.
+func GetCounter(name, help string, labels ...Label) *Counter {
+	return def.Counter(name, help, labels...)
+}
+
+// GetGauge is the default-registry gauge helper.
+func GetGauge(name, help string, labels ...Label) *Gauge {
+	return def.Gauge(name, help, labels...)
+}
+
+// GetHistogram is the default-registry histogram helper.
+func GetHistogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	return def.Histogram(name, help, buckets, labels...)
+}
+
+func (r *Registry) lookup(name, help string, k kind, labels []Label) (any, string, *family) {
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, kind: k, series: make(map[string]any)}
+		r.families[name] = fam
+	}
+	if fam.kind != k {
+		panic(fmt.Sprintf("metrics: %q registered as %v, requested as %v", name, fam.kind, k))
+	}
+	key := renderLabels(labels)
+	m := fam.series[key]
+	return m, key, fam
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, key, fam := r.lookup(name, help, counterKind, labels)
+	if m != nil {
+		return m.(*Counter)
+	}
+	c := &Counter{}
+	fam.series[key] = c
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, key, fam := r.lookup(name, help, gaugeKind, labels)
+	if m != nil {
+		return m.(*Gauge)
+	}
+	g := &Gauge{}
+	fam.series[key] = g
+	return g
+}
+
+// Histogram registers (or returns the existing) histogram series. buckets
+// are upper bounds; nil selects DefSecondsBuckets. The bounds of the
+// first registration win.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, key, fam := r.lookup(name, help, histogramKind, labels)
+	if m != nil {
+		return m.(*Histogram)
+	}
+	if buckets == nil {
+		buckets = DefSecondsBuckets()
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	h := &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	fam.series[key] = h
+	return h
+}
+
+// renderLabels renders a deterministic `{k="v",...}` label string
+// (empty for no labels), escaping backslash, quote, and newline as the
+// text format requires.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// mergeLabelKey splices an extra label (e.g. le="...") into a rendered
+// label string.
+func mergeLabelKey(rendered, extra string) string {
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format, deterministically ordered (families by name, series
+// by label string).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	for _, fam := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", fam.name, fam.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.kind)
+		keys := make([]string, 0, len(fam.series))
+		for k := range fam.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			switch m := fam.series[k].(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s%s %s\n", fam.name, k, formatFloat(m.Value()))
+			case *Gauge:
+				fmt.Fprintf(w, "%s%s %s\n", fam.name, k, formatFloat(m.Value()))
+			case *Histogram:
+				m.mu.Lock()
+				cum := uint64(0)
+				for i, bound := range m.bounds {
+					cum += m.counts[i]
+					le := mergeLabelKey(k, `le="`+formatFloat(bound)+`"`)
+					fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, le, cum)
+				}
+				cum += m.counts[len(m.bounds)]
+				le := mergeLabelKey(k, `le="+Inf"`)
+				fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, le, cum)
+				fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, k, formatFloat(m.sum))
+				fmt.Fprintf(w, "%s_count%s %d\n", fam.name, k, m.count)
+				m.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Expose renders the registry to a string (the /metrics payload).
+func (r *Registry) Expose() string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+// Handler returns an http.Handler serving the registry in text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, r.Expose())
+	})
+}

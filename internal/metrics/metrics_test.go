@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAddAndMonotonicity(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-10)        // ignored
+	c.Add(math.NaN()) // ignored
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "help", Label{"path", "/x"})
+	b := r.Counter("c_total", "help", Label{"path", "/x"})
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	other := r.Counter("c_total", "help", Label{"path", "/y"})
+	if a == other {
+		t.Fatal("distinct labels returned the same counter")
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("metric", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("metric", "help")
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("inflight", "in-flight requests")
+	g.Set(4)
+	g.Add(-1)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+}
+
+func TestHistogramBucketsAndNonFinite(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "latency", []float64{0.1, 1})
+	for _, v := range []float64{0.05, 0.5, 5, math.NaN(), math.Inf(1)} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 3 {
+		t.Fatalf("histogram count = %d, want 3 (non-finite dropped)", got)
+	}
+	out := r.Expose()
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		`latency_seconds_sum 5.55`,
+		`latency_seconds_count 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "second family").Add(2)
+	r.Counter("a_total", "first family", Label{"path", "/predict"}).Inc()
+	r.Gauge("g", `quoted "value"`+"\n").Set(1.5)
+
+	out := r.Expose()
+	want := `# HELP a_total first family
+# TYPE a_total counter
+a_total{path="/predict"} 1
+# HELP b_total second family
+# TYPE b_total counter
+b_total 2
+`
+	if !strings.HasPrefix(out, want) {
+		t.Errorf("exposition not deterministic/sorted:\n%s", out)
+	}
+	if !strings.Contains(out, "g 1.5") {
+		t.Errorf("gauge missing from exposition:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("e_total", "h", Label{"k", `a\b"c` + "\n"}).Inc()
+	out := r.Expose()
+	if !strings.Contains(out, `e_total{k="a\\b\"c\n"} 1`) {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+}
+
+func TestHandlerServesTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "h").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "served_total 1") {
+		t.Errorf("body: %s", rec.Body.String())
+	}
+}
+
+func TestConcurrentUseIsRaceFree(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("conc_total", "h")
+			h := r.Histogram("conc_seconds", "h", nil)
+			g := r.Gauge("conc_gauge", "h")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j) / 1000)
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			_ = r.Expose()
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Counter("conc_total", "h").Value(); got != 8000 {
+		t.Fatalf("counter = %v, want 8000", got)
+	}
+}
+
+func TestDefaultRegistryHelpers(t *testing.T) {
+	c := GetCounter("fg_test_default_total", "h")
+	c.Inc()
+	if GetCounter("fg_test_default_total", "h") != c {
+		t.Fatal("default helper not idempotent")
+	}
+	if !strings.Contains(Default().Expose(), "fg_test_default_total") {
+		t.Fatal("default registry missing helper-registered counter")
+	}
+}

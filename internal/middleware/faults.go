@@ -260,6 +260,7 @@ func (l *incidentLog) drain(sink Sink, at time.Duration) (recovery time.Duration
 			recovery += ev.Dur
 		case PhaseFailover:
 			recovery += ev.Dur
+			mwFailovers.Inc()
 		}
 		if sink != nil {
 			sink.Emit(ev)

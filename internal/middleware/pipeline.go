@@ -5,7 +5,24 @@ import (
 	"time"
 
 	"freerideg/internal/core"
+	"freerideg/internal/metrics"
 	"freerideg/internal/units"
+)
+
+// Fault-recovery metrics, accumulated across every backend: the pipeline
+// is the one place all four execution paths converge, so run and retry
+// totals are counted here; failovers are counted at their emission sites
+// (the simulated executor emits directly, the goroutine backends through
+// the incident log).
+var (
+	mwRuns = metrics.GetCounter("fg_mw_runs_total",
+		"Pipeline runs completed across all execution backends.")
+	mwRetries = metrics.GetCounter("fg_mw_retries_total",
+		"Chunk-delivery retries across all execution backends.")
+	mwFailovers = metrics.GetCounter("fg_mw_failovers_total",
+		"Compute-node crash failovers recovered across all execution backends.")
+	mwRecoverySeconds = metrics.GetCounter("fg_mw_recovery_seconds_total",
+		"Fault-recovery overhead (discarded work, detection timeouts, retry backoff) in seconds.")
 )
 
 // PassStats reports the per-phase durations one backend accounted for a
@@ -236,6 +253,9 @@ func (pl *Pipeline) Run() error {
 		pl.bd.Broadcast += bc
 		pl.emitPhase(pass, PhaseBroadcast, bc, fmt.Sprintf("%d workers", c-1))
 	}
+	mwRuns.Inc()
+	mwRetries.Add(float64(pl.bd.Retries))
+	mwRecoverySeconds.Add(pl.bd.Recovery.Seconds())
 	endDetail := fmt.Sprintf("run=%s passes=%d makespan=%v", pl.exec.Workload(), pl.iterations, pl.exec.Now())
 	if pl.bd.Retries > 0 || pl.bd.Recovery > 0 {
 		endDetail += fmt.Sprintf(" retries=%d recovery=%v", pl.bd.Retries, pl.bd.Recovery)

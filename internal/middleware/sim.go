@@ -599,6 +599,7 @@ func (ex *simExecutor) worker(p *simgrid.Proc, j int) {
 			p.Wait(ex.rec.DetectTimeout)
 			cost := wastedDur + ex.rec.DetectTimeout
 			ex.recovery[j] += cost
+			mwFailovers.Inc()
 			ex.emitEv(p, pass, PhaseFailover, j, cost,
 				fmt.Sprintf("node %d down, %d chunks re-dealt to %d survivors",
 					j, ex.lost[j], ex.sched.survivorsAt(pass)))

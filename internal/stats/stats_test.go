@@ -168,3 +168,63 @@ func TestPearsonR(t *testing.T) {
 		t.Errorf("PearsonR mismatched = %v, want 0", got)
 	}
 }
+
+func TestQuantileRejectsNonFinite(t *testing.T) {
+	for _, xs := range [][]float64{
+		{1, math.NaN(), 3},
+		{math.Inf(1), 2},
+		{1, 2, math.Inf(-1)},
+	} {
+		if v, err := Quantile(xs, 0.5); err != ErrNonFinite {
+			t.Errorf("Quantile(%v) = %v, %v; want ErrNonFinite", xs, v, err)
+		}
+	}
+	if _, err := Quantile([]float64{1, 2}, math.NaN()); err == nil {
+		t.Error("Quantile with NaN q accepted")
+	}
+	if v, err := Quantile([]float64{1, 2, 3}, 0.5); err != nil || v != 2 {
+		t.Errorf("finite Quantile = %v, %v", v, err)
+	}
+}
+
+func TestLinFitRejectsNonFinite(t *testing.T) {
+	cases := []struct{ xs, ys []float64 }{
+		{[]float64{1, math.NaN()}, []float64{1, 2}},
+		{[]float64{1, 2}, []float64{math.Inf(1), 2}},
+		{[]float64{math.Inf(-1), 2}, []float64{1, 2}},
+	}
+	for _, c := range cases {
+		if _, _, err := LinFit(c.xs, c.ys); err != ErrNonFinite {
+			t.Errorf("LinFit(%v, %v) err = %v, want ErrNonFinite", c.xs, c.ys, err)
+		}
+	}
+	slope, intercept, err := LinFit([]float64{1, 2, 3}, []float64{3, 5, 7})
+	if err != nil || !almost(slope, 2) || !almost(intercept, 1) {
+		t.Errorf("finite LinFit = %v, %v, %v", slope, intercept, err)
+	}
+}
+
+func TestRelErrorNonFiniteInputsReportNaN(t *testing.T) {
+	cases := [][2]float64{
+		{math.NaN(), 1},
+		{1, math.NaN()},
+		{math.Inf(1), 1},
+		{1, math.Inf(-1)},
+		{math.Inf(1), math.Inf(1)},
+	}
+	for _, c := range cases {
+		if got := RelError(c[0], c[1]); !math.IsNaN(got) {
+			t.Errorf("RelError(%v, %v) = %v, want NaN", c[0], c[1], got)
+		}
+	}
+	// The documented finite semantics are unchanged.
+	if got := RelError(0, 0); got != 0 {
+		t.Errorf("RelError(0,0) = %v, want 0", got)
+	}
+	if got := RelError(0, 1); !math.IsInf(got, 1) {
+		t.Errorf("RelError(0,1) = %v, want +Inf", got)
+	}
+	if got := RelError(10, 8); !almost(got, 0.2) {
+		t.Errorf("RelError(10,8) = %v, want 0.2", got)
+	}
+}

@@ -63,10 +63,22 @@ func ParseBytes(s string) (Bytes, error) {
 	if err != nil {
 		return 0, fmt.Errorf("units: cannot parse %q as bytes: %v", s, err)
 	}
+	// strconv.ParseFloat accepts "inf", "nan", and values whose scaled
+	// volume exceeds int64; all of them would silently convert to
+	// math.MinInt64 below, poisoning every downstream size computation.
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("units: non-finite byte volume %q", s)
+	}
 	if v < 0 {
 		return 0, fmt.Errorf("units: negative byte volume %q", s)
 	}
-	return Bytes(math.Round(v * float64(unit))), nil
+	scaled := v * float64(unit)
+	// float64(math.MaxInt64) is exactly 2^63; any float strictly below it
+	// rounds to a representable int64, anything at or above overflows.
+	if scaled >= float64(math.MaxInt64) {
+		return 0, fmt.Errorf("units: byte volume %q overflows int64", s)
+	}
+	return Bytes(math.Round(scaled)), nil
 }
 
 // Rate is a transfer or processing rate in bytes per second.

@@ -56,9 +56,62 @@ func TestParseBytes(t *testing.T) {
 }
 
 func TestParseBytesErrors(t *testing.T) {
-	for _, in := range []string{"", "abc", "12XB", "-5MB", "GB"} {
-		if v, err := ParseBytes(in); err == nil {
-			t.Errorf("ParseBytes(%q) = %v, want error", in, v)
+	cases := []struct {
+		in     string
+		reason string
+	}{
+		{"", "empty string"},
+		{"abc", "not a number"},
+		{"12XB", "unknown unit"},
+		{"-5MB", "negative"},
+		{"-0.4KB", "negative fraction"},
+		{"GB", "unit without value"},
+		// Non-finite and overflowing volumes used to parse to
+		// math.MinInt64 with a nil error.
+		{"inf", "positive infinity"},
+		{"+Inf", "positive infinity"},
+		{"-inf", "negative infinity"},
+		{"Infinity", "spelled-out infinity"},
+		{"infGB", "infinite volume with unit"},
+		{"nan", "not-a-number"},
+		{"NaNKB", "not-a-number with unit"},
+		{"1e300GB", "overflow after unit scaling"},
+		{"1e19", "overflow without unit"},
+		{"9223372036854775808", "one past MaxInt64"},
+	}
+	for _, c := range cases {
+		if v, err := ParseBytes(c.in); err == nil {
+			t.Errorf("ParseBytes(%q) = %d, want error (%s)", c.in, int64(v), c.reason)
+		}
+	}
+}
+
+func TestParseBytesNearOverflowBoundary(t *testing.T) {
+	// Just below 2^63 must still parse; the largest float64 below 2^63 is
+	// 2^63 - 1024.
+	got, err := ParseBytes("9223372036854774784")
+	if err != nil {
+		t.Fatalf("ParseBytes near MaxInt64: %v", err)
+	}
+	if got <= 0 {
+		t.Fatalf("ParseBytes near MaxInt64 = %d, want positive", int64(got))
+	}
+	// 8 exbibytes exactly (2^63) must be rejected, 2^62 accepted.
+	if v, err := ParseBytes("8388608TB"); err == nil {
+		t.Fatalf("ParseBytes(8EiB) = %d, want overflow error", int64(v))
+	}
+	if _, err := ParseBytes("4194304TB"); err != nil {
+		t.Fatalf("ParseBytes(4EiB): %v", err)
+	}
+}
+
+func TestParseBytesNeverReturnsNegative(t *testing.T) {
+	// Property pinning the original bug: whatever the input, a nil error
+	// implies a non-negative, in-range volume.
+	for _, in := range []string{"inf", "nan", "1e300GB", "1e308", "512MB", "0", "2TB"} {
+		v, err := ParseBytes(in)
+		if err == nil && v < 0 {
+			t.Errorf("ParseBytes(%q) = %d with nil error", in, int64(v))
 		}
 	}
 }

@@ -27,4 +27,13 @@ go test -run='^$' -bench=. -benchtime=1x ./...
 # (f.Add seeds plus files under testdata/fuzz/) as ordinary tests.
 go test -run='^Fuzz' ./internal/simgrid/
 
+# Every command must build — a broken main is invisible to `go test`.
+go build ./cmd/...
+
+# fgserved smoke: start the service on an ephemeral port, drive every
+# endpoint over real TCP, assert the request/instrumentation counters
+# moved between two /metrics scrapes, and shut down gracefully. A small
+# base size keeps the self-profiling simulation quick.
+go run ./cmd/fgserved -selfcheck -base-size 64MB
+
 echo "check: OK"
