@@ -12,7 +12,7 @@ build:
 	go build ./...
 
 test:
-	go test ./...
+	go test -shuffle=on ./...
 
 check:
 	sh scripts/check.sh

@@ -22,6 +22,8 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+
+	"freerideg/internal/cliutil"
 )
 
 // benchLine matches one `go test -bench` result line. The trailing
@@ -171,7 +173,4 @@ func atof(s string) float64 {
 	return f
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "fgbench:", err)
-	os.Exit(1)
-}
+func fail(err error) { cliutil.Fatal("fgbench", err) }

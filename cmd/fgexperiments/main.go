@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"freerideg/internal/bench"
+	"freerideg/internal/cliutil"
 )
 
 func main() {
@@ -24,7 +25,7 @@ func main() {
 	list := flag.Bool("list", false, "list available figures")
 	asJSON := flag.Bool("json", false, "emit figures as JSON instead of tables")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations instead of figures")
-	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial); output is identical either way")
+	parallel := cliutil.Parallel("max concurrent simulations (0 = GOMAXPROCS, 1 = serial); output is identical either way")
 	flag.Parse()
 
 	if *list {
@@ -87,7 +88,4 @@ func emitJSON(v interface{}) {
 	}
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "fgexperiments:", err)
-	os.Exit(1)
-}
+func fail(err error) { cliutil.Fatal("fgexperiments", err) }

@@ -4,6 +4,11 @@
 // with all three model variants, and compares against the target's actual
 // (simulated) execution time.
 //
+// Profiles are exchanged through the versioned profile store: -save
+// writes one (with version metadata a long-running fgserved can keep
+// recalibrating), -load reads one back in either the versioned or the
+// plain core format.
+//
 // Example:
 //
 //	fgpredict -app em -size 350MB -base 1,1 -target 8,16 -target-size 1.4GB
@@ -12,59 +17,40 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"freerideg/internal/apps"
 	"freerideg/internal/bench"
 	"freerideg/internal/cliutil"
 	"freerideg/internal/core"
+	"freerideg/internal/profile"
 	"freerideg/internal/stats"
 	"freerideg/internal/units"
 )
 
 func main() {
 	var (
-		app        = flag.String("app", "kmeans", "application: "+fmt.Sprint(apps.Names()))
-		size       = flag.String("size", "512MB", "base profile dataset size")
-		baseStr    = flag.String("base", "1,1", "base profile config as data,compute")
-		targetStr  = flag.String("target", "8,16", "target config as data,compute")
-		targetSize = flag.String("target-size", "", "target dataset size (default: base size)")
-		bwFlag     = flag.String("bw", "100MB", "bandwidth per storage node, per second")
-		targetBW   = flag.String("target-bw", "", "target bandwidth (default: base bandwidth)")
+		app        = cliutil.App("kmeans", apps.Names())
+		size       = cliutil.Bytes("size", 512*units.MB, "base profile dataset size")
+		basePair   = cliutil.NodePair("base", 1, 1, "base profile config as data,compute")
+		targetPair = cliutil.NodePair("target", 8, 16, "target config as data,compute")
+		targetSize = cliutil.Bytes("target-size", 0, "target dataset size (default: base size)")
+		bw         = cliutil.Rate("bw", 100*units.MBPerSec, "bandwidth per storage node, per second")
+		targetBW   = cliutil.Rate("target-bw", 0, "target bandwidth (default: base bandwidth)")
 		cluster    = flag.String("target-cluster", bench.PentiumCluster, "target cluster")
-		savePath   = flag.String("save", "", "write the base profile, calibrations, and factors to this JSON file")
-		loadPath   = flag.String("load", "", "read the base profile from this JSON file instead of profiling")
+		savePath   = flag.String("save", "", "write the base profile, calibrations, and factors to this versioned profile store")
+		loadPath   = flag.String("load", "", "read the base profile from this profile store instead of profiling")
 	)
 	flag.Parse()
 
-	baseTotal, err := units.ParseBytes(*size)
-	if err != nil {
-		fail(err)
-	}
+	baseTotal := size.Bytes
 	tgtTotal := baseTotal
-	if *targetSize != "" {
-		if tgtTotal, err = units.ParseBytes(*targetSize); err != nil {
-			fail(err)
-		}
+	if targetSize.IsSet() {
+		tgtTotal = targetSize.Bytes
 	}
-	bw, err := cliutil.ParseRate(*bwFlag)
-	if err != nil {
-		fail(err)
-	}
-	tgtBW := bw
-	if *targetBW != "" {
-		if tgtBW, err = cliutil.ParseRate(*targetBW); err != nil {
-			fail(err)
-		}
-	}
-	baseN, baseC, err := cliutil.ParseNodePair(*baseStr)
-	if err != nil {
-		fail(err)
-	}
-	tgtN, tgtC, err := cliutil.ParseNodePair(*targetStr)
-	if err != nil {
-		fail(err)
+	tgtBW := bw.Rate
+	if targetBW.IsSet() {
+		tgtBW = targetBW.Rate
 	}
 
 	h, err := bench.NewHarness()
@@ -75,26 +61,34 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	chunk := bench.ChunkFor(baseTotal)
-	var baseProfile core.Profile
+	var (
+		baseProfile core.Profile
+		pred        *core.Predictor
+	)
 	if *loadPath != "" {
-		store, err := core.LoadStore(*loadPath)
+		store, err := profile.Open(*loadPath, profile.Options{Lookup: modelLookup})
 		if err != nil {
 			fail(err)
 		}
-		p, ok := store.Find(*app)
+		snap := store.Snapshot()
+		p, ver, ok := snap.Find(*app)
 		if !ok {
 			fail(fmt.Errorf("no profile for %q in %s", *app, *loadPath))
 		}
 		baseProfile = p
 		baseTotal = p.Config.DatasetBytes
-		chunk = bench.ChunkFor(baseTotal)
-		if *targetSize == "" {
+		if !targetSize.IsSet() {
 			tgtTotal = baseTotal
 		}
-		fmt.Printf("loaded base profile (%s) from %s: %v\n", *app, *loadPath, p.Config)
+		fmt.Printf("loaded base profile (%s v%d) from %s (store version %d): %v\n",
+			*app, ver, *loadPath, snap.Version(), p.Config)
+		// The snapshot predictor carries the store's own link calibrations
+		// and scaling factors.
+		if pred, err = snap.Predictor(*app, a.Model); err != nil {
+			fail(err)
+		}
 	} else {
-		baseSpec, err := bench.DatasetChunked(*app, baseTotal, chunk)
+		baseSpec, err := bench.DatasetChunked(*app, baseTotal, bench.ChunkFor(baseTotal))
 		if err != nil {
 			fail(err)
 		}
@@ -103,8 +97,8 @@ func main() {
 			fail(err)
 		}
 		baseCfg := core.Config{
-			Cluster: bench.PentiumCluster, DataNodes: baseN, ComputeNodes: baseC,
-			Bandwidth: bw, DatasetBytes: baseTotal,
+			Cluster: bench.PentiumCluster, DataNodes: basePair.Data, ComputeNodes: basePair.Compute,
+			Bandwidth: bw.Rate, DatasetBytes: baseTotal,
 		}
 		baseRes, err := h.Grid().Simulate(baseCost, baseSpec, baseCfg)
 		if err != nil {
@@ -112,24 +106,28 @@ func main() {
 		}
 		baseProfile = baseRes.Profile
 		fmt.Printf("base profile (%s): %v\n", *app, baseCfg)
+		if pred, err = core.NewPredictor(baseProfile, a.Model); err != nil {
+			fail(err)
+		}
 	}
+	chunk := bench.ChunkFor(baseTotal)
 	fmt.Printf("  t_d=%v t_n=%v t_c=%v (T_ro=%v T_g=%v), RO/node=%v, %d iter\n",
 		rnd(baseProfile.Tdisk), rnd(baseProfile.Tnetwork), rnd(baseProfile.Tcompute),
 		rnd(baseProfile.Tro), rnd(baseProfile.Tglobal),
 		baseProfile.ROBytesPerNode, baseProfile.Iterations)
 
-	pred, err := core.NewPredictor(baseProfile, a.Model)
-	if err != nil {
-		fail(err)
-	}
+	// The harness's measured interconnects backstop clusters the loaded
+	// store has no calibration for; loaded calibrations win.
 	for cl, cal := range h.Links() {
-		pred.Links[cl] = cal
+		if _, ok := pred.Links[cl]; !ok {
+			pred.Links[cl] = cal
+		}
 	}
-	if *cluster != bench.PentiumCluster {
+	if _, ok := pred.Scalings[*cluster]; !ok && *cluster != bench.PentiumCluster {
 		// Cross-cluster prediction needs experimentally measured scaling
 		// factors (paper Section 3.4).
 		fmt.Println("note: cross-cluster prediction uses kmeans/knn/vortex scaling factors")
-		scal, err := crossScaling(h, baseN, baseC, bw, *cluster)
+		scal, err := crossScaling(h, basePair.Data, basePair.Compute, bw.Rate, *cluster)
 		if err != nil {
 			fail(err)
 		}
@@ -137,15 +135,21 @@ func main() {
 	}
 
 	if *savePath != "" {
-		store := core.ProfileStore{
+		// Saving through the store layer stamps version metadata, so a
+		// long-running service can pick the file up and keep recalibrating
+		// it; core.LoadStore still reads the same file.
+		st, err := profile.NewStore(core.ProfileStore{
 			Profiles: []core.Profile{baseProfile},
 			Links:    h.Links(),
 			Scalings: pred.Scalings,
-		}
-		if err := core.SaveStore(*savePath, store); err != nil {
+		}, profile.Options{Lookup: modelLookup})
+		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("profile store written to %s\n", *savePath)
+		if err := st.SaveAs(*savePath); err != nil {
+			fail(err)
+		}
+		fmt.Printf("versioned profile store written to %s\n", *savePath)
 	}
 
 	tgtSpec, err := bench.DatasetChunked(*app, tgtTotal, chunk)
@@ -157,7 +161,7 @@ func main() {
 		fail(err)
 	}
 	tgtCfg := core.Config{
-		Cluster: *cluster, DataNodes: tgtN, ComputeNodes: tgtC,
+		Cluster: *cluster, DataNodes: targetPair.Data, ComputeNodes: targetPair.Compute,
 		Bandwidth: tgtBW, DatasetBytes: tgtTotal,
 	}
 	actual, err := h.Grid().Simulate(tgtCost, tgtSpec, tgtCfg)
@@ -174,6 +178,16 @@ func main() {
 		e := stats.RelError(actual.Makespan.Seconds(), p.Texec().Seconds())
 		fmt.Printf("  %-24s predicted %v (error %.2f%%)\n", v.String()+":", rnd(p.Texec()), 100*e)
 	}
+}
+
+// modelLookup resolves an application's scaling-class model for the
+// profile store layer.
+func modelLookup(name string) core.AppModel {
+	a, err := apps.Get(name)
+	if err != nil {
+		return core.AppModel{}
+	}
+	return a.Model
 }
 
 func crossScaling(h *bench.Harness, n, c int, bw units.Rate, target string) (core.Scaling, error) {
@@ -210,7 +224,4 @@ func crossScaling(h *bench.Harness, n, c int, bw units.Rate, target string) (cor
 
 func rnd(d time.Duration) time.Duration { return d.Round(time.Millisecond) }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "fgpredict:", err)
-	os.Exit(1)
-}
+func fail(err error) { cliutil.Fatal("fgpredict", err) }

@@ -24,7 +24,6 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"strings"
 	"sync"
 	"time"
 
@@ -39,36 +38,26 @@ import (
 
 func main() {
 	var (
-		app       = flag.String("app", "kmeans", "application: "+fmt.Sprint(apps.Names()))
-		size      = flag.String("size", "512MB", "dataset size, or a comma-separated sweep (e.g. 256MB,1.4GB)")
+		app       = cliutil.App("kmeans", apps.Names())
+		size      = cliutil.BytesList("size", 512*units.MB, "dataset size, or a comma-separated sweep (e.g. 256MB,1.4GB)")
 		data      = flag.Int("data", 1, "storage (data server) nodes")
 		compute   = flag.Int("compute", 1, "compute nodes (must be >= data nodes)")
-		bwFlag    = flag.String("bw", "100MB", "storage-to-compute bandwidth per node, per second")
+		bwFlag    = cliutil.Rate("bw", 100*units.MBPerSec, "storage-to-compute bandwidth per node, per second")
 		cluster   = flag.String("cluster", bench.PentiumCluster, "simulated cluster")
 		local     = flag.Bool("local", false, "run the real goroutine backend instead of the simulator")
 		trace     = flag.Bool("trace", false, "print the middleware phase trace as text")
 		traceJSON = flag.Bool("trace-json", false, "print the middleware phase trace as JSON lines")
 		faultSeed = flag.Int64("fault-seed", 0, "generate a deterministic fault plan from this seed (0 = no faults)")
 		faultPlan = flag.String("fault-plan", "", "explicit fault plan, e.g. 'crash node=1 pass=2; flaky-link node=0 count=2'")
-		parallel  = flag.Int("parallel", 0, "max concurrent simulations in a -size sweep (0 = GOMAXPROCS)")
+		parallel  = cliutil.Parallel("max concurrent simulations in a -size sweep (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *faultSeed != 0 && *faultPlan != "" {
 		fail(fmt.Errorf("-fault-seed and -fault-plan are mutually exclusive"))
 	}
 
-	var totals []units.Bytes
-	for _, s := range strings.Split(*size, ",") {
-		total, err := units.ParseBytes(strings.TrimSpace(s))
-		if err != nil {
-			fail(err)
-		}
-		totals = append(totals, total)
-	}
-	bw, err := cliutil.ParseRate(*bwFlag)
-	if err != nil {
-		fail(err)
-	}
+	totals := size.Sizes
+	bw := bwFlag.Rate
 	a, err := apps.Get(*app)
 	if err != nil {
 		fail(err)
@@ -244,7 +233,4 @@ func printProfile(w io.Writer, p core.Profile) {
 		p.ROBytesPerNode, p.BroadcastBytes, p.Iterations)
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "fgrun:", err)
-	os.Exit(1)
-}
+func fail(err error) { cliutil.Fatal("fgrun", err) }

@@ -5,6 +5,11 @@
 // pair by predicted execution time and picks the cheapest — the decision
 // the FREERIDE-G middleware automates.
 //
+// The application profile lives in a versioned profile store (loaded
+// with -load, or self-profiled and adopted into an in-memory store), and
+// the selector resolves it through the store's live snapshot — the same
+// path the fgserved service uses.
+//
 // Example:
 //
 //	fgselect -app kmeans -size 1.4GB
@@ -13,30 +18,29 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"freerideg/internal/adr"
 	"freerideg/internal/apps"
 	"freerideg/internal/bench"
+	"freerideg/internal/cliutil"
 	"freerideg/internal/core"
 	"freerideg/internal/grid"
+	"freerideg/internal/profile"
 	"freerideg/internal/units"
 )
 
 func main() {
 	var (
-		app      = flag.String("app", "kmeans", "application: "+fmt.Sprint(apps.Names()))
-		size     = flag.String("size", "1.4GB", "dataset size")
+		app      = cliutil.App("kmeans", apps.Names())
+		size     = cliutil.Bytes("size", 7*units.GB/5, "dataset size")
+		loadPath = flag.String("load", "", "read the application profile from this profile store instead of self-profiling")
 		deadline = flag.Duration("deadline", 0, "plan the cheapest configuration meeting this deadline instead of the fastest")
-		parallel = flag.Int("parallel", 0, "max workers evaluating candidate predictions (0 = GOMAXPROCS); ranking is identical either way")
+		parallel = cliutil.Parallel("max workers evaluating candidate predictions (0 = GOMAXPROCS); ranking is identical either way")
 	)
 	flag.Parse()
 
-	total, err := units.ParseBytes(*size)
-	if err != nil {
-		fail(err)
-	}
+	total := size.Bytes
 	h, err := bench.NewHarness()
 	if err != nil {
 		fail(err)
@@ -54,25 +58,42 @@ func main() {
 		fail(err)
 	}
 
-	// Base profile: 1-1 on the Pentium cluster.
-	baseCfg := core.Config{
-		Cluster:      bench.PentiumCluster,
-		DataNodes:    1,
-		ComputeNodes: 1,
-		Bandwidth:    100 * units.MBPerSec,
-		DatasetBytes: total,
+	// The application profile comes through the store layer either way: a
+	// -load file opens it directly; otherwise a 1-1 profiling run on the
+	// Pentium cluster is adopted into a fresh in-memory store.
+	var store *profile.Store
+	if *loadPath != "" {
+		if store, err = profile.Open(*loadPath, profile.Options{Lookup: modelLookup}); err != nil {
+			fail(err)
+		}
+		snap := store.Snapshot()
+		p, ver, ok := snap.Find(*app)
+		if !ok {
+			fail(fmt.Errorf("no profile for %q in %s", *app, *loadPath))
+		}
+		fmt.Printf("loaded profile (%s v%d) from %s: %v\n", *app, ver, *loadPath, p.Config)
+	} else {
+		baseCfg := core.Config{
+			Cluster:      bench.PentiumCluster,
+			DataNodes:    1,
+			ComputeNodes: 1,
+			Bandwidth:    100 * units.MBPerSec,
+			DatasetBytes: total,
+		}
+		baseRes, err := h.Grid().Simulate(cost, spec, baseCfg)
+		if err != nil {
+			fail(err)
+		}
+		if store, err = profile.NewStore(core.ProfileStore{}, profile.Options{Lookup: modelLookup}); err != nil {
+			fail(err)
+		}
+		if _, err := store.Ingest(profile.FromProfile(baseRes.Profile)); err != nil {
+			fail(err)
+		}
 	}
-	baseRes, err := h.Grid().Simulate(cost, spec, baseCfg)
-	if err != nil {
-		fail(err)
-	}
-	pred, err := core.NewPredictor(baseRes.Profile, a.Model)
-	if err != nil {
-		fail(err)
-	}
-	for cl, cal := range h.Links() {
-		pred.Links[cl] = cal
-	}
+	// Measured interconnects backstop clusters the store has no link
+	// calibration for.
+	store.SeedLinks(h.Links())
 
 	// Grid information service: two replicas, three compute offers.
 	svc := grid.NewService()
@@ -104,7 +125,9 @@ func main() {
 		}
 	}
 
-	sel := &grid.Selector{Predictor: pred, Variant: core.GlobalReduction, Parallel: *parallel}
+	// The selector resolves the predictor from the store's live snapshot
+	// per ranking round.
+	sel := &grid.Selector{Source: store.NewSource(*app, a.Model), Variant: core.GlobalReduction, Parallel: *parallel}
 	if *deadline > 0 {
 		cand, err := grid.PlanCapacity(sel, svc, spec.Name, *deadline)
 		if err != nil {
@@ -138,7 +161,14 @@ func main() {
 		best.Replica.Site, best.Config.ComputeNodes, actual.Makespan.Round(time.Millisecond))
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "fgselect:", err)
-	os.Exit(1)
+// modelLookup resolves an application's scaling-class model for the
+// profile store layer.
+func modelLookup(name string) core.AppModel {
+	a, err := apps.Get(name)
+	if err != nil {
+		return core.AppModel{}
+	}
+	return a.Model
 }
+
+func fail(err error) { cliutil.Fatal("fgselect", err) }

@@ -31,8 +31,8 @@ import (
 	"time"
 
 	"freerideg/internal/cliutil"
-	"freerideg/internal/core"
 	"freerideg/internal/fgservice"
+	"freerideg/internal/profile"
 	"freerideg/internal/units"
 )
 
@@ -40,9 +40,10 @@ func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		profiles  = flag.String("profiles", "", "profile store JSON (fgpredict -save output) seeding app profiles")
-		baseStr   = flag.String("base", "1,1", "self-profiling base config as data,compute")
-		baseSize  = flag.String("base-size", "256MB", "self-profiling base dataset size")
-		baseBW    = flag.String("base-bw", "100MB", "self-profiling base bandwidth per storage node, per second")
+		persist   = flag.Bool("persist", false, "write recalibrated profiles back to the -profiles file after every content change")
+		basePair  = cliutil.NodePair("base", 1, 1, "self-profiling base config as data,compute")
+		baseSize  = cliutil.Bytes("base-size", 256*units.MB, "self-profiling base dataset size")
+		baseBW    = cliutil.Rate("base-bw", 100*units.MBPerSec, "self-profiling base bandwidth per storage node, per second")
 		variant   = flag.String("variant", "global", "default prediction variant: nocomm, reduction, or global")
 		inflight  = flag.Int("max-inflight", 0, "max concurrently handled requests (0 = 4x GOMAXPROCS); excess gets 503")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request handling timeout")
@@ -51,34 +52,27 @@ func main() {
 	)
 	flag.Parse()
 
-	total, err := units.ParseBytes(*baseSize)
-	if err != nil {
-		fail(err)
-	}
-	bw, err := cliutil.ParseRate(*baseBW)
-	if err != nil {
-		fail(err)
-	}
-	baseN, baseC, err := cliutil.ParseNodePair(*baseStr)
-	if err != nil {
-		fail(err)
-	}
 	opts := fgservice.Options{
 		Variant:          *variant,
-		BaseDataNodes:    baseN,
-		BaseComputeNodes: baseC,
-		BaseBandwidth:    bw,
-		BaseBytes:        total,
+		BaseDataNodes:    basePair.Data,
+		BaseComputeNodes: basePair.Compute,
+		BaseBandwidth:    baseBW.Rate,
+		BaseBytes:        baseSize.Bytes,
 		MaxInFlight:      *inflight,
 		RequestTimeout:   *timeout,
 	}
 	if *profiles != "" {
-		store, err := core.LoadStore(*profiles)
+		store, err := profile.Open(*profiles, profile.Options{
+			Lookup:      fgservice.AppModelLookup,
+			AutoPersist: *persist,
+		})
 		if err != nil {
 			fail(err)
 		}
-		opts.Store = &store
-		fmt.Printf("fgserved: loaded %d profile(s) from %s\n", len(store.Profiles), *profiles)
+		opts.Store = store
+		snap := store.Snapshot()
+		fmt.Printf("fgserved: loaded %d profile(s) from %s (store version %d)\n",
+			len(snap.Apps()), *profiles, snap.Version())
 	}
 	srv, err := fgservice.New(opts)
 	if err != nil {
@@ -125,7 +119,4 @@ func main() {
 	}
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "fgserved:", err)
-	os.Exit(1)
-}
+func fail(err error) { cliutil.Fatal("fgserved", err) }

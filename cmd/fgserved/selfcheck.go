@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -81,6 +82,47 @@ func runSelfcheck(srv *fgservice.Server, grace time.Duration) error {
 	if _, err := probe(http.MethodPost, "/observe", observeBody); err != nil {
 		return err
 	}
+
+	// Close the run → observe → recalibrate → predict loop: the /predict
+	// above self-profiled kmeans into the store (an adoption); posting
+	// observed runs that disagree wildly with that profile must drive the
+	// drift window over its threshold and trigger a recalibration.
+	for i, mb := range []int{96, 128, 160, 192, 224, 256} {
+		runBody := fmt.Sprintf(`{"app":"kmeans","config":{"cluster":"pentium-myrinet",`+
+			`"dataNodes":1,"computeNodes":%d,"bandwidth":"100MB","datasetBytes":"%dMB"},`+
+			`"tdisk":"5m","tnetwork":"10m","tcompute":"20m","tro":"30s","tglobal":"10s"}`,
+			1+i%3, mb)
+		if out, err := probe(http.MethodPost, "/runs", runBody); err != nil {
+			return err
+		} else if !strings.Contains(out, "storeVersion") {
+			return fmt.Errorf("/runs response missing storeVersion: %s", out)
+		}
+	}
+	profilesOut, err := probe(http.MethodGet, "/profiles", "")
+	if err != nil {
+		return err
+	}
+	var profiles struct {
+		StoreVersion uint64 `json:"storeVersion"`
+		Profiles     []struct {
+			App            string `json:"app"`
+			Version        uint64 `json:"version"`
+			Recalibrations uint64 `json:"recalibrations"`
+		} `json:"profiles"`
+	}
+	if err := json.Unmarshal([]byte(profilesOut), &profiles); err != nil {
+		return fmt.Errorf("/profiles response: %w", err)
+	}
+	recalibrated := false
+	for _, p := range profiles.Profiles {
+		if p.App == "kmeans" && p.Version >= 2 && p.Recalibrations >= 1 {
+			recalibrated = true
+		}
+	}
+	if !recalibrated {
+		return fmt.Errorf("posted runs did not recalibrate the kmeans profile: %s", profilesOut)
+	}
+
 	after, err := probe(http.MethodGet, "/metrics", "")
 	if err != nil {
 		return err
@@ -95,6 +137,9 @@ func runSelfcheck(srv *fgservice.Server, grace time.Duration) error {
 		`fg_grid_estimator_samples_total`,
 		`fg_sim_runs_started_total`,
 		`fg_mw_runs_total`,
+		`fg_profile_observations_total`,
+		`fg_profile_adoptions_total`,
+		`fg_profile_recalibrations_total`,
 	} {
 		b, aft := seriesValue(before, series), seriesValue(after, series)
 		if aft <= b {

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"freerideg/internal/apps"
@@ -23,6 +24,31 @@ type Harness struct {
 	par   int
 	sem   chan struct{}
 	cache *simCache
+
+	obsMu sync.RWMutex
+	obs   Observer
+}
+
+// Observer receives the profile of every simulated run the harness
+// actually executes. Memoized cache hits are not re-reported, so a
+// sweep's observation stream carries each distinct run once — the shape
+// a calibration corpus wants (feed it to profile.Store.Observer to turn
+// a figure sweep into calibration samples).
+type Observer func(core.Profile)
+
+// SetObserver installs fn as the run observer (nil removes it). Runs
+// fan out over the worker pool, so fn must be safe for concurrent
+// calls.
+func (h *Harness) SetObserver(fn Observer) {
+	h.obsMu.Lock()
+	h.obs = fn
+	h.obsMu.Unlock()
+}
+
+func (h *Harness) observer() Observer {
+	h.obsMu.RLock()
+	defer h.obsMu.RUnlock()
+	return h.obs
 }
 
 // NewHarness builds a harness over the paper's two clusters, with the
@@ -105,6 +131,9 @@ func (h *Harness) runSim(app string, total, chunk units.Bytes, cfg core.Config, 
 		res, err = h.grid.SimulateOpts(cost, spec, cfg, middleware.SimOptions{Trace: sink})
 		if err == nil {
 			simCompleted.Inc()
+			if fn := h.observer(); fn != nil {
+				fn(res.Profile)
+			}
 		}
 	})
 	return res, err

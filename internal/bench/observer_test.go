@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+
+	"freerideg/internal/core"
+	"freerideg/internal/profile"
+	"freerideg/internal/units"
+)
+
+func observerConfig(total units.Bytes) core.Config {
+	return core.Config{
+		Cluster:      PentiumCluster,
+		DataNodes:    1,
+		ComputeNodes: 2,
+		Bandwidth:    100 * units.MBPerSec,
+		DatasetBytes: total,
+	}
+}
+
+// TestObserverSeesEachDistinctRunOnce checks the observer contract: one
+// callback per executed simulation, none for memoized repeats, none
+// after the observer is removed.
+func TestObserverSeesEachDistinctRunOnce(t *testing.T) {
+	h, err := NewHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []core.Profile
+	h.SetObserver(func(p core.Profile) {
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+	})
+
+	total := 64 * units.MB
+	if _, err := h.Simulate("kmeans", total, ChunkFor(total), observerConfig(total)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("observations after one run: %d, want 1", len(got))
+	}
+	if got[0].App != "kmeans" || got[0].Config != observerConfig(total) {
+		t.Fatalf("observed profile = %+v", got[0])
+	}
+
+	// An identical run replays from the memo cache: no new observation.
+	if _, err := h.Simulate("kmeans", total, ChunkFor(total), observerConfig(total)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("memoized repeat re-observed: %d observations", len(got))
+	}
+
+	// A removed observer sees nothing, even for fresh runs.
+	h.SetObserver(nil)
+	small := 32 * units.MB
+	if _, err := h.Simulate("kmeans", small, ChunkFor(small), observerConfig(small)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("removed observer still called: %d observations", len(got))
+	}
+}
+
+// TestObserverFeedsProfileStore wires a harness into a profile store so
+// simulated runs become calibration samples — the sweep-as-corpus hook.
+func TestObserverFeedsProfileStore(t *testing.T) {
+	h, err := NewHarness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := profile.NewStore(core.ProfileStore{}, profile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetObserver(store.Observer())
+
+	total := 64 * units.MB
+	for _, app := range []string{"kmeans", "knn"} {
+		if _, err := h.Simulate(app, total, ChunkFor(total), observerConfig(total)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := store.Snapshot()
+	if snap.Version() == 0 {
+		t.Fatal("store version did not advance after observed runs")
+	}
+	for _, app := range []string{"kmeans", "knn"} {
+		if _, _, ok := snap.Find(app); !ok {
+			t.Fatalf("store did not adopt %q from the observed sweep", app)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"freerideg/internal/units"
+)
+
+// Fatal prints "tool: err" to stderr and exits 1 — the shared failure
+// path of every command-line tool.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}
+
+// App registers the shared -app flag; names is the application
+// registry listing shown in the usage string.
+func App(def string, names []string) *string {
+	return flag.String("app", def, "application: "+fmt.Sprint(names))
+}
+
+// Parallel registers the shared -parallel worker-bound flag (0 means
+// GOMAXPROCS everywhere it is used).
+func Parallel(usage string) *int {
+	return flag.Int("parallel", 0, usage)
+}
+
+// BytesValue is a flag.Value for byte sizes ("512MB", "1.4GB"). Parsing
+// happens at flag-parse time, so a bad size fails in the usage message
+// instead of deep in the run.
+type BytesValue struct {
+	Bytes units.Bytes
+	set   bool
+}
+
+// Bytes registers a byte-size flag with a default value.
+func Bytes(name string, def units.Bytes, usage string) *BytesValue {
+	v := &BytesValue{Bytes: def}
+	flag.Var(v, name, usage)
+	return v
+}
+
+func (v *BytesValue) String() string {
+	if v == nil || v.Bytes == 0 {
+		return ""
+	}
+	return v.Bytes.String()
+}
+
+func (v *BytesValue) Set(s string) error {
+	b, err := units.ParseBytes(s)
+	if err != nil {
+		return err
+	}
+	if b <= 0 {
+		return fmt.Errorf("cliutil: non-positive size %q", s)
+	}
+	v.Bytes, v.set = b, true
+	return nil
+}
+
+// IsSet reports whether the flag appeared on the command line (vs.
+// holding its default), so optional flags can fall back to another
+// flag's value.
+func (v *BytesValue) IsSet() bool { return v.set }
+
+// RateValue is a flag.Value for per-second rates given as byte volumes
+// ("100MB", "500KB").
+type RateValue struct {
+	Rate units.Rate
+	set  bool
+}
+
+// Rate registers a rate flag with a default value.
+func Rate(name string, def units.Rate, usage string) *RateValue {
+	v := &RateValue{Rate: def}
+	flag.Var(v, name, usage)
+	return v
+}
+
+func (v *RateValue) String() string {
+	if v == nil || v.Rate == 0 {
+		return ""
+	}
+	return v.Rate.String()
+}
+
+func (v *RateValue) Set(s string) error {
+	r, err := ParseRate(s)
+	if err != nil {
+		return err
+	}
+	v.Rate, v.set = r, true
+	return nil
+}
+
+// IsSet reports whether the flag appeared on the command line.
+func (v *RateValue) IsSet() bool { return v.set }
+
+// NodePairValue is a flag.Value for "data,compute" node-count pairs,
+// validated against the middleware's compute >= data >= 1 constraint.
+type NodePairValue struct {
+	Data, Compute int
+}
+
+// NodePair registers a node-pair flag with default counts.
+func NodePair(name string, data, compute int, usage string) *NodePairValue {
+	v := &NodePairValue{Data: data, Compute: compute}
+	flag.Var(v, name, usage)
+	return v
+}
+
+func (v *NodePairValue) String() string {
+	if v == nil || v.Data == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d,%d", v.Data, v.Compute)
+}
+
+func (v *NodePairValue) Set(s string) error {
+	data, compute, err := ParseNodePair(s)
+	if err != nil {
+		return err
+	}
+	v.Data, v.Compute = data, compute
+	return nil
+}
+
+// BytesListValue is a flag.Value for comma-separated byte-size sweeps
+// ("256MB,1.4GB").
+type BytesListValue struct {
+	Sizes []units.Bytes
+}
+
+// BytesList registers a size-sweep flag with a single default size.
+func BytesList(name string, def units.Bytes, usage string) *BytesListValue {
+	v := &BytesListValue{Sizes: []units.Bytes{def}}
+	flag.Var(v, name, usage)
+	return v
+}
+
+func (v *BytesListValue) String() string {
+	if v == nil {
+		return ""
+	}
+	parts := make([]string, len(v.Sizes))
+	for i, b := range v.Sizes {
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+func (v *BytesListValue) Set(s string) error {
+	var sizes []units.Bytes
+	for _, part := range strings.Split(s, ",") {
+		b, err := units.ParseBytes(strings.TrimSpace(part))
+		if err != nil {
+			return err
+		}
+		if b <= 0 {
+			return fmt.Errorf("cliutil: non-positive size %q in %q", part, s)
+		}
+		sizes = append(sizes, b)
+	}
+	if len(sizes) == 0 {
+		return fmt.Errorf("cliutil: empty size list %q", s)
+	}
+	v.Sizes = sizes
+	return nil
+}

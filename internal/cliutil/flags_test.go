@@ -1,0 +1,87 @@
+package cliutil
+
+import (
+	"testing"
+
+	"freerideg/internal/units"
+)
+
+func TestBytesValue(t *testing.T) {
+	v := &BytesValue{Bytes: 256 * units.MB}
+	if v.IsSet() {
+		t.Error("default value reports set")
+	}
+	if v.String() != "256.00MB" {
+		t.Errorf("String() = %q", v.String())
+	}
+	if err := v.Set("1.5GB"); err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsSet() || v.Bytes != units.Bytes(1.5*float64(units.GB)) {
+		t.Errorf("after Set: %+v", v)
+	}
+	for _, bad := range []string{"", "fast", "-1MB", "0"} {
+		if err := v.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRateValue(t *testing.T) {
+	v := &RateValue{Rate: 100 * units.MBPerSec}
+	if err := v.Set("25MB"); err != nil {
+		t.Fatal(err)
+	}
+	if v.Rate != 25*units.MBPerSec || !v.IsSet() {
+		t.Errorf("after Set: %+v", v)
+	}
+	if err := v.Set("-5MB"); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestNodePairValue(t *testing.T) {
+	v := &NodePairValue{Data: 1, Compute: 1}
+	if v.String() != "1,1" {
+		t.Errorf("String() = %q", v.String())
+	}
+	if err := v.Set("2, 8"); err != nil {
+		t.Fatal(err)
+	}
+	if v.Data != 2 || v.Compute != 8 {
+		t.Errorf("after Set: %+v", v)
+	}
+	for _, bad := range []string{"8", "8,2", "0,4", "a,b"} {
+		if err := v.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBytesListValue(t *testing.T) {
+	v := &BytesListValue{Sizes: []units.Bytes{512 * units.MB}}
+	if v.String() != "512.00MB" {
+		t.Errorf("String() = %q", v.String())
+	}
+	if err := v.Set("256MB, 1GB ,2GB"); err != nil {
+		t.Fatal(err)
+	}
+	want := []units.Bytes{256 * units.MB, units.GB, 2 * units.GB}
+	if len(v.Sizes) != len(want) {
+		t.Fatalf("Sizes = %v", v.Sizes)
+	}
+	for i := range want {
+		if v.Sizes[i] != want[i] {
+			t.Fatalf("Sizes = %v, want %v", v.Sizes, want)
+		}
+	}
+	if v.String() != "256.00MB,1.00GB,2.00GB" {
+		t.Errorf("String() = %q", v.String())
+	}
+	if err := v.Set("256MB,,1GB"); err == nil {
+		t.Error("empty element accepted")
+	}
+	if err := v.Set("256MB,nope"); err == nil {
+		t.Error("bad element accepted")
+	}
+}

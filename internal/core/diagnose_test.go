@@ -109,6 +109,41 @@ func TestCheckAssumptionsDeduplicates(t *testing.T) {
 	}
 }
 
+func TestCheckAssumptionsFlagsBrokenComputeScaling(t *testing.T) {
+	// Same dataset/storage/bandwidth, 2x compute nodes, but the local
+	// reduction barely speeds up: stragglers break linear speedup.
+	base := scaledProfile(1, 100*units.MB, 100*units.MBPerSec, 10*time.Second, 5*time.Second, 100*time.Second)
+	base.Config.ComputeNodes = 8
+	slow := scaledProfile(1, 100*units.MB, 100*units.MBPerSec, 10*time.Second, 5*time.Second, 90*time.Second)
+	slow.Config.ComputeNodes = 16
+	warnings, err := CheckAssumptions([]Profile{base, slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 1 || warnings[0].Check != "compute-scaling" {
+		t.Fatalf("warnings = %v, want one compute-scaling", warnings)
+	}
+	if !strings.Contains(warnings[0].Detail, "stragglers") {
+		t.Errorf("warning does not explain the failure mode: %s", warnings[0])
+	}
+}
+
+func TestCheckAssumptionsIgnoresZeroSignalComponents(t *testing.T) {
+	// A zero-duration component carries no ratio signal and must not
+	// produce division-by-zero warnings.
+	base := scaledProfile(1, 100*units.MB, 100*units.MBPerSec, 0, 5*time.Second, 100*time.Second)
+	bigger := scaledProfile(1, 200*units.MB, 100*units.MBPerSec, 0, 10*time.Second, 200*time.Second)
+	warnings, err := CheckAssumptions([]Profile{base, bigger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range warnings {
+		if w.Check == "retrieval-linearity" {
+			t.Fatalf("zero t_d produced a retrieval warning: %v", w)
+		}
+	}
+}
+
 func TestCheckAssumptionsInputErrors(t *testing.T) {
 	one := []Profile{baseProfile()}
 	if _, err := CheckAssumptions(one); err == nil {

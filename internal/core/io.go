@@ -16,15 +16,22 @@ type ProfileStore struct {
 	Scalings map[string]Scaling         `json:"scalings,omitempty"`
 }
 
-// Validate checks every profile in the store.
+// Validate checks every profile in the store. An application may appear
+// at most once: Find returns the first match, so a duplicate entry would
+// silently shadow the later one.
 func (s ProfileStore) Validate() error {
 	if len(s.Profiles) == 0 {
 		return fmt.Errorf("core: profile store is empty")
 	}
+	seen := make(map[string]int, len(s.Profiles))
 	for i, p := range s.Profiles {
 		if err := p.Validate(); err != nil {
 			return fmt.Errorf("core: profile %d: %w", i, err)
 		}
+		if j, dup := seen[p.App]; dup {
+			return fmt.Errorf("core: profiles %d and %d both describe %q", j, i, p.App)
+		}
+		seen[p.App] = i
 	}
 	return nil
 }

@@ -77,6 +77,66 @@ func TestStoreValidation(t *testing.T) {
 	}
 }
 
+func TestStoreValidateRejectsDuplicateApps(t *testing.T) {
+	dup := sampleStore()
+	second := dup.Profiles[0]
+	second.Tdisk *= 2
+	dup.Profiles = append(dup.Profiles, second)
+	err := dup.Validate()
+	if err == nil {
+		t.Fatal("duplicate app entries validated")
+	}
+	if !strings.Contains(err.Error(), `"toy"`) {
+		t.Errorf("error does not name the duplicated app: %v", err)
+	}
+	if err := WriteStore(&bytes.Buffer{}, dup); err == nil {
+		t.Error("duplicate app entries written")
+	}
+	// Distinct apps stay valid.
+	ok := sampleStore()
+	other := ok.Profiles[0]
+	other.App = "other"
+	ok.Profiles = append(ok.Profiles, other)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("distinct apps rejected: %v", err)
+	}
+}
+
+// TestReadStoreIgnoresUnknownKeys pins the compatibility contract the
+// versioned profile store relies on: its Document format is a
+// ProfileStore plus extra version keys, and plain core readers must
+// load it.
+func TestReadStoreIgnoresUnknownKeys(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteStore(&buf, sampleStore()); err != nil {
+		t.Fatal(err)
+	}
+	doc := strings.TrimSpace(buf.String())
+	doc = doc[:len(doc)-1] + `,"version":7,"appVersions":{"toy":3}}`
+	back, err := ReadStore(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back.Find("toy"); !ok {
+		t.Fatal("profile lost when extra keys present")
+	}
+}
+
+func TestSaveStoreBadPath(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "profiles.json")
+	if err := SaveStore(bad, sampleStore()); err == nil {
+		t.Error("save into a missing directory succeeded")
+	}
+}
+
+func TestNewPredictorFromStoreRejectsInvalidProfile(t *testing.T) {
+	s := sampleStore()
+	s.Profiles[0].Iterations = 0
+	if _, err := NewPredictorFromStore(s, "toy", AppModel{}); err == nil {
+		t.Error("predictor built from an invalid profile")
+	}
+}
+
 func TestNewPredictorFromStore(t *testing.T) {
 	s := sampleStore()
 	pred, err := NewPredictorFromStore(s, "toy", AppModel{})

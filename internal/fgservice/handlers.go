@@ -13,6 +13,7 @@ import (
 	"freerideg/internal/core"
 	"freerideg/internal/grid"
 	"freerideg/internal/metrics"
+	"freerideg/internal/profile"
 	"freerideg/internal/units"
 )
 
@@ -123,12 +124,105 @@ type ObserveResponse struct {
 	Bandwidth string `json:"bandwidth,omitempty"`
 }
 
+// RunRequest posts one observed run — the configuration it executed on
+// and its measured component breakdown — as a calibration sample.
+// Durations are Go duration strings ("42s", "1m30s"); sizes are byte
+// strings ("1MB"). Tro, Tglobal, RO/broadcast sizes, and iterations are
+// optional (filled from the app's current base profile).
+type RunRequest struct {
+	App            string        `json:"app"`
+	Config         ConfigRequest `json:"config"`
+	Tdisk          string        `json:"tdisk"`
+	Tnetwork       string        `json:"tnetwork"`
+	Tcompute       string        `json:"tcompute"`
+	TdiskCached    string        `json:"tdiskCached,omitempty"`
+	Tro            string        `json:"tro,omitempty"`
+	Tglobal        string        `json:"tglobal,omitempty"`
+	ROBytesPerNode string        `json:"roBytesPerNode,omitempty"`
+	BroadcastBytes string        `json:"broadcastBytes,omitempty"`
+	Iterations     int           `json:"iterations,omitempty"`
+}
+
+// observation parses the wire form into a calibration sample.
+func (r RunRequest) observation() (profile.Observation, error) {
+	cfg, err := r.Config.Config()
+	if err != nil {
+		return profile.Observation{}, err
+	}
+	obs := profile.Observation{App: r.App, Config: cfg, Iterations: r.Iterations}
+	for _, d := range []struct {
+		name     string
+		val      string
+		dst      *time.Duration
+		required bool
+	}{
+		{"tdisk", r.Tdisk, &obs.Tdisk, true},
+		{"tnetwork", r.Tnetwork, &obs.Tnetwork, true},
+		{"tcompute", r.Tcompute, &obs.Tcompute, true},
+		{"tdiskCached", r.TdiskCached, &obs.TdiskCached, false},
+		{"tro", r.Tro, &obs.Tro, false},
+		{"tglobal", r.Tglobal, &obs.Tglobal, false},
+	} {
+		if d.val == "" {
+			if d.required {
+				return profile.Observation{}, fmt.Errorf("%s: required (a Go duration such as \"42s\")", d.name)
+			}
+			continue
+		}
+		v, err := time.ParseDuration(d.val)
+		if err != nil {
+			return profile.Observation{}, fmt.Errorf("%s %q: %v", d.name, d.val, err)
+		}
+		*d.dst = v
+	}
+	for _, b := range []struct {
+		name string
+		val  string
+		dst  *units.Bytes
+	}{
+		{"roBytesPerNode", r.ROBytesPerNode, &obs.ROBytesPerNode},
+		{"broadcastBytes", r.BroadcastBytes, &obs.BroadcastBytes},
+	} {
+		if b.val == "" {
+			continue
+		}
+		v, err := units.ParseBytes(b.val)
+		if err != nil {
+			return profile.Observation{}, fmt.Errorf("%s: %w", b.name, err)
+		}
+		*b.dst = v
+	}
+	return obs, nil
+}
+
+// ProfileInfo is one application's live profile as reported by
+// GET /profiles: the profile content plus its version and drift state.
+type ProfileInfo struct {
+	App            string        `json:"app"`
+	Version        uint64        `json:"version"`
+	Config         core.Config   `json:"config"`
+	Texec          time.Duration `json:"texecNs"`
+	Samples        int           `json:"samples"`
+	Pending        int           `json:"pending"`
+	Recalibrations int           `json:"recalibrations"`
+	Drift          float64       `json:"drift"`
+	DriftSamples   int           `json:"driftSamples"`
+	Drifting       bool          `json:"drifting"`
+}
+
+// ProfilesResponse answers GET /profiles from one store snapshot.
+type ProfilesResponse struct {
+	StoreVersion uint64        `json:"storeVersion"`
+	Profiles     []ProfileInfo `json:"profiles"`
+}
+
 // HealthResponse answers /healthz.
 type HealthResponse struct {
 	Status        string   `json:"status"`
 	UptimeSeconds float64  `json:"uptimeSeconds"`
 	Apps          []string `json:"apps"`
 	ProfiledApps  int      `json:"profiledApps"`
+	StoreVersion  uint64   `json:"storeVersion"`
 }
 
 // apiError is the JSON error envelope every handler uses.
@@ -259,7 +353,15 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	sel := &grid.Selector{Predictor: pred, Variant: v}
+	// The source resolves the store's latest snapshot each ranking round,
+	// so a recalibration between requests re-ranks with fresh profiles.
+	// The pinned predictor stays as the fallback, though the predictor()
+	// call above guarantees the app is in the store by now.
+	sel := &grid.Selector{
+		Predictor: pred,
+		Source:    s.store.NewSource(req.App, AppModelLookup(req.App)),
+		Variant:   v,
+	}
 	resp := SelectResponse{App: req.App, Dataset: spec.Name, Size: total}
 	if deadline > 0 {
 		cand, err := grid.PlanCapacity(sel, svc, spec.Name, deadline)
@@ -325,6 +427,56 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleRuns ingests one observed run as a calibration sample: drift is
+// tracked against the current prediction, and enough mis-predicted runs
+// trigger a recalibration (reported in the response).
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.App == "" {
+		writeError(w, http.StatusBadRequest, errors.New("runs: app is required"))
+		return
+	}
+	obs, err := req.observation()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.store.Ingest(obs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleProfiles reports the live store: every profile with its version,
+// accumulated samples, and drift state, from one consistent snapshot.
+func (s *Server) handleProfiles(w http.ResponseWriter, _ *http.Request) {
+	snap := s.store.Snapshot()
+	resp := ProfilesResponse{
+		StoreVersion: snap.Version(),
+		Profiles:     make([]ProfileInfo, 0, len(snap.Apps())),
+	}
+	for _, app := range snap.Apps() {
+		p, ver, _ := snap.Find(app)
+		info := ProfileInfo{App: app, Version: ver, Config: p.Config, Texec: p.Texec()}
+		if st, ok := snap.Status(app); ok {
+			info.Samples = st.Samples
+			info.Pending = st.Pending
+			info.Recalibrations = st.Recalibrations
+			info.Drift = st.Drift
+			info.DriftSamples = st.DriftSamples
+			info.Drifting = st.Drifting
+		}
+		resp.Profiles = append(resp.Profiles, info)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	profiled := len(s.preds)
@@ -334,6 +486,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Apps:          apps.Names(),
 		ProfiledApps:  profiled,
+		StoreVersion:  s.store.Snapshot().Version(),
 	})
 }
 
@@ -345,6 +498,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/predict", s.instrument("/predict", lim, http.MethodPost, s.handlePredict))
 	mux.Handle("/select", s.instrument("/select", lim, http.MethodPost, s.handleSelect))
 	mux.Handle("/observe", s.instrument("/observe", lim, http.MethodPost, s.handleObserve))
+	mux.Handle("/runs", s.instrument("/runs", lim, http.MethodPost, s.handleRuns))
+	mux.Handle("/profiles", s.instrument("/profiles", nil, http.MethodGet, s.handleProfiles))
 	mux.Handle("/healthz", s.instrument("/healthz", nil, http.MethodGet, s.handleHealthz))
 	mux.Handle("/metrics", metrics.Default().Handler())
 	return http.TimeoutHandler(mux, s.opts.RequestTimeout, "request timed out\n")

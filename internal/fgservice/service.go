@@ -11,8 +11,14 @@
 //	POST /predict  profile + target config -> T̂_disk/T̂_network/T̂_compute
 //	POST /select   dataset -> ranked (replica, configuration) candidates
 //	POST /observe  feed a TransferSample into the bandwidth estimator
+//	POST /runs     ingest an observed run breakdown as a calibration sample
+//	GET  /profiles live profile store content, versions, and drift state
 //	GET  /healthz  liveness + readiness
 //	GET  /metrics  Prometheus text exposition of the process registry
+//
+// Profiles live in a versioned profile.Store rather than a pinned
+// document: observed runs posted to /runs recalibrate them, and every
+// request resolves the latest snapshot.
 package fgservice
 
 import (
@@ -25,6 +31,7 @@ import (
 	"freerideg/internal/bench"
 	"freerideg/internal/core"
 	"freerideg/internal/grid"
+	"freerideg/internal/profile"
 	"freerideg/internal/units"
 )
 
@@ -52,9 +59,10 @@ type Options struct {
 	BaseComputeNodes int
 	BaseBandwidth    units.Rate
 	BaseBytes        units.Bytes
-	// Store optionally seeds profiles, link calibrations, and scaling
-	// factors from a profile store (fgpredict -save output).
-	Store *core.ProfileStore
+	// Store is the live profile store behind every prediction. Nil
+	// selects a fresh in-memory store that grows by adopting
+	// self-profiled applications.
+	Store *profile.Store
 	// Sites and Offers describe the selection topology. Defaults mirror
 	// the fgselect demo: two repository sites and three Pentium-cluster
 	// compute offers.
@@ -87,11 +95,13 @@ func DefaultOffers() []grid.ComputeOffer {
 // predEntry is one cached (or in-flight) per-application predictor, the
 // same duplicate-suppression shape as the bench harness's simCache: the
 // first request for an app profiles it, concurrent requests wait for
-// that one profiling run.
+// that one profiling run. The entry is pinned to the app's profile
+// version; a recalibration invalidates it by moving the version.
 type predEntry struct {
-	done chan struct{}
-	pred *core.Predictor
-	err  error
+	done    chan struct{}
+	version uint64
+	pred    *core.Predictor
+	err     error
 }
 
 // Server holds the loaded-once state behind the HTTP handlers.
@@ -100,6 +110,7 @@ type Server struct {
 	variant core.Variant
 	harness *bench.Harness
 	est     *grid.BandwidthEstimator
+	store   *profile.Store
 	start   time.Time
 
 	mu    sync.Mutex
@@ -134,11 +145,6 @@ func New(opts Options) (*Server, error) {
 	if len(opts.Offers) == 0 {
 		opts.Offers = DefaultOffers()
 	}
-	if opts.Store != nil {
-		if err := opts.Store.Validate(); err != nil {
-			return nil, fmt.Errorf("fgservice: profile store: %w", err)
-		}
-	}
 	if opts.Variant == "" {
 		opts.Variant = "global"
 	}
@@ -150,34 +156,79 @@ func New(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fgservice: building harness: %w", err)
 	}
+	store := opts.Store
+	if store == nil {
+		store, err = profile.NewStore(core.ProfileStore{}, profile.Options{Lookup: AppModelLookup})
+		if err != nil {
+			return nil, fmt.Errorf("fgservice: profile store: %w", err)
+		}
+	}
+	// The harness's calibrated interconnects backstop clusters the store
+	// has no measured link calibration for; measured values win.
+	store.SeedLinks(h.Links())
 	return &Server{
 		opts:    opts,
 		variant: variant,
 		harness: h,
 		est:     grid.NewBandwidthEstimator(0),
+		store:   store,
 		start:   time.Now(),
 		preds:   make(map[string]*predEntry),
 	}, nil
 }
 
+// AppModelLookup resolves an application's scaling-class model from the
+// registry, the Lookup hook a service-facing profile.Store should use.
+func AppModelLookup(name string) core.AppModel {
+	a, err := apps.Get(name)
+	if err != nil {
+		return core.AppModel{}
+	}
+	return a.Model
+}
+
 // Estimator exposes the live bandwidth estimator (the /observe sink).
 func (s *Server) Estimator() *grid.BandwidthEstimator { return s.est }
 
-// predictor returns the cached predictor for app, profiling it on first
-// use: from the store when present, otherwise by one simulated run of
-// the base configuration through the harness's memoized worker pool.
+// Store exposes the live profile store behind the handlers.
+func (s *Server) Store() *profile.Store { return s.store }
+
+// predictor returns the predictor for app at the store's current
+// profile version. Unknown apps are profiled once by a simulated run of
+// the base configuration and adopted into the store; a recalibration
+// moves the app's version, so the stale cache entry is rebuilt from the
+// fresh snapshot on the next request.
 func (s *Server) predictor(app string) (*core.Predictor, error) {
+	a, err := apps.Get(app)
+	if err != nil {
+		return nil, err
+	}
+	snap := s.store.Snapshot()
+	_, ver, known := snap.Find(app)
+
 	s.mu.Lock()
-	if e, ok := s.preds[app]; ok {
+	if e, ok := s.preds[app]; ok && (!known || e.version == ver) {
+		// Either the cached entry matches the live version, or a
+		// self-profiling run is in flight (the app has no profile yet);
+		// both mean: wait for that entry.
 		s.mu.Unlock()
 		<-e.done
 		return e.pred, e.err
 	}
-	e := &predEntry{done: make(chan struct{})}
+	e := &predEntry{done: make(chan struct{}), version: ver}
 	s.preds[app] = e
 	s.mu.Unlock()
 
-	e.pred, e.err = s.buildPredictor(app)
+	e.pred, e.err = s.buildPredictor(app, a.Model, snap, known)
+	if e.err == nil && !known {
+		// Adoption assigned the version; pin the entry to it. Concurrent
+		// requests read e.version under mu, so write it there too.
+		if _, v, ok := s.store.Snapshot().Find(app); ok {
+			s.mu.Lock()
+			e.version = v
+			s.mu.Unlock()
+		}
+	}
 	close(e.done)
 	if e.err != nil {
 		// Failed profiling is not cached: a later request may succeed
@@ -191,15 +242,9 @@ func (s *Server) predictor(app string) (*core.Predictor, error) {
 	return e.pred, e.err
 }
 
-func (s *Server) buildPredictor(app string) (*core.Predictor, error) {
-	a, err := apps.Get(app)
-	if err != nil {
-		return nil, err
-	}
-	if s.opts.Store != nil {
-		if _, ok := s.opts.Store.Find(app); ok {
-			return core.NewPredictorFromStore(*s.opts.Store, app, a.Model)
-		}
+func (s *Server) buildPredictor(app string, m core.AppModel, snap *profile.Snapshot, known bool) (*core.Predictor, error) {
+	if known {
+		return snap.Predictor(app, m)
 	}
 	cfg := core.Config{
 		Cluster:      bench.PentiumCluster,
@@ -212,14 +257,10 @@ func (s *Server) buildPredictor(app string) (*core.Predictor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fgservice: profiling %s: %w", app, err)
 	}
-	pred, err := core.NewPredictor(res.Profile, a.Model)
-	if err != nil {
-		return nil, err
+	if _, err := s.store.Ingest(profile.FromProfile(res.Profile)); err != nil {
+		return nil, fmt.Errorf("fgservice: adopting %s profile: %w", app, err)
 	}
-	for cl, cal := range s.harness.Links() {
-		pred.Links[cl] = cal
-	}
-	return pred, nil
+	return s.store.Snapshot().Predictor(app, m)
 }
 
 // pathBandwidth resolves a site→cluster path's b̂: the estimator's live

@@ -19,6 +19,7 @@ import (
 
 	"freerideg/internal/core"
 	"freerideg/internal/metrics"
+	"freerideg/internal/profile"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -26,13 +27,17 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // testStore loads the checked-in profile store so handler tests exercise
 // pure prediction arithmetic — no simulation, so goldens don't rot when
 // the simulator changes.
-func testStore(t *testing.T) *core.ProfileStore {
+func testStore(t *testing.T) *profile.Store {
 	t.Helper()
-	store, err := core.LoadStore(filepath.Join("testdata", "store.json"))
+	doc, err := core.LoadStore(filepath.Join("testdata", "store.json"))
 	if err != nil {
 		t.Fatalf("loading test store: %v", err)
 	}
-	return &store
+	store, err := profile.NewStore(doc, profile.Options{Lookup: AppModelLookup})
+	if err != nil {
+		t.Fatalf("building test store: %v", err)
+	}
+	return store
 }
 
 func testServer(t *testing.T) *Server {

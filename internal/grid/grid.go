@@ -94,11 +94,22 @@ type Candidate struct {
 	Prediction core.Prediction
 }
 
+// PredictorSource supplies the predictor a ranking round should use.
+// A live profile store (internal/profile) satisfies it: each round then
+// sees the latest recalibrated snapshot, while a round in flight keeps
+// the predictor it resolved.
+type PredictorSource interface {
+	Predictor() (*core.Predictor, error)
+}
+
 // Selector ranks candidates using an application's predictor.
 type Selector struct {
 	// Predictor is seeded with the application's base profile, link
 	// calibrations, and (for cross-cluster offers) scaling factors.
 	Predictor *core.Predictor
+	// Source, when set, is resolved at the start of every ranking round
+	// and takes precedence over the pinned Predictor.
+	Source PredictorSource
 	// Variant selects the prediction model; the paper's most accurate is
 	// GlobalReduction.
 	Variant core.Variant
@@ -124,7 +135,14 @@ var ErrNoCandidates = errors.New("grid: no feasible (replica, configuration) pai
 // site-to-cluster bandwidth is known, and the predictor covers the
 // offer's cluster.
 func (s *Selector) Rank(svc *Service, dataset string) ([]Candidate, error) {
-	if s.Predictor == nil {
+	pred := s.Predictor
+	if s.Source != nil {
+		var err error
+		if pred, err = s.Source.Predictor(); err != nil {
+			return nil, fmt.Errorf("grid: resolving predictor: %w", err)
+		}
+	}
+	if pred == nil {
 		return nil, errors.New("grid: selector without predictor")
 	}
 	replicas := svc.Replicas.Replicas(dataset)
@@ -160,7 +178,7 @@ func (s *Selector) Rank(svc *Service, dataset string) ([]Candidate, error) {
 	rankCandidates.Add(float64(len(pairs)))
 	errs := make([]error, len(pairs))
 	predict := func(i int) {
-		p, err := s.Predictor.Predict(pairs[i].Config, s.Variant)
+		p, err := pred.Predict(pairs[i].Config, s.Variant)
 		if err != nil {
 			errs[i] = err
 			return

@@ -1,0 +1,211 @@
+package profile
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"freerideg/internal/core"
+	"freerideg/internal/stats"
+	"freerideg/internal/units"
+)
+
+// heldOut is a configuration none of the calibration samples use.
+func heldOut() core.Config {
+	cfg := truthProfile().Config
+	cfg.DatasetBytes = 400 * units.MB
+	cfg.ComputeNodes = 4
+	return cfg
+}
+
+// predictionError predicts the held-out configuration from the store's
+// current snapshot and reports the relative error against the truth.
+func predictionError(t *testing.T, snap *Snapshot) float64 {
+	t.Helper()
+	exact, err := truthPredictor(t).Predict(heldOut(), core.GlobalReduction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := snap.Predictor("kmeans", core.AppModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pred.Predict(heldOut(), core.GlobalReduction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats.RelError(exact.Texec().Seconds(), got.Texec().Seconds())
+}
+
+// TestClosedLoopRecalibrationImprovesPrediction is the end-to-end loop:
+// a store seeded with a 3×-mis-scaled profile ingests observed runs,
+// the drift window flags the model, auto-recalibration refits it, and
+// the held-out prediction error collapses.
+func TestClosedLoopRecalibrationImprovesPrediction(t *testing.T) {
+	s, err := NewStore(staleDoc(), Options{MinSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := s.Snapshot()
+	staleErr := predictionError(t, stale)
+	if staleErr < 0.5 {
+		t.Fatalf("precondition: stale profile error %.3f is not badly mis-scaled", staleErr)
+	}
+
+	var recalibrated bool
+	for _, cfg := range sampleConfigs() {
+		res, err := s.Ingest(observeTruth(t, cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Drifting && res.DriftSamples >= 4 && !res.Recalibrated && !recalibrated {
+			t.Errorf("drifting with %d pending samples but no recalibration: %+v", res.Pending, res)
+		}
+		recalibrated = recalibrated || res.Recalibrated
+	}
+	if !recalibrated {
+		t.Fatal("ingesting mis-predicted runs never triggered a recalibration")
+	}
+
+	fresh := s.Snapshot()
+	if fresh.Version() <= stale.Version() {
+		t.Fatalf("store version did not advance: %d -> %d", stale.Version(), fresh.Version())
+	}
+	if _, v, _ := fresh.Find("kmeans"); v < 2 {
+		t.Fatalf("app version did not advance: %d", v)
+	}
+	freshErr := predictionError(t, fresh)
+	if freshErr >= staleErr {
+		t.Fatalf("recalibration did not improve held-out error: %.3f -> %.3f", staleErr, freshErr)
+	}
+	if freshErr > 0.05 {
+		t.Fatalf("post-recalibration held-out error %.3f, want < 0.05 (stale was %.3f)", freshErr, staleErr)
+	}
+
+	st, ok := fresh.Status("kmeans")
+	if !ok || st.Recalibrations < 1 {
+		t.Fatalf("status after the loop: %+v ok=%v", st, ok)
+	}
+	if st.Drifting {
+		t.Fatalf("drift flag not cleared by recalibration: %+v", st)
+	}
+}
+
+// TestConcurrentIngestAndPredict hammers one store with concurrent
+// ingestion, snapshot prediction, status reads, and explicit
+// recalibrations. It exists to fail under -race.
+func TestConcurrentIngestAndPredict(t *testing.T) {
+	s, err := NewStore(staleDoc(), Options{MinSamples: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := sampleConfigs()
+	obs := make([]Observation, len(cfgs))
+	for i, cfg := range cfgs {
+		obs[i] = observeTruth(t, cfg)
+	}
+
+	const writers, readers, rounds = 4, 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				o := obs[(w+i)%len(obs)]
+				if w%2 == 1 {
+					// Half the writers also adopt fresh apps.
+					o.App = fmt.Sprintf("adopted-%d", w)
+				}
+				if _, err := s.Ingest(o); err != nil {
+					t.Errorf("ingest: %v", err)
+					return
+				}
+				if i%10 == 9 {
+					if _, err := s.Recalibrate("kmeans"); err != nil {
+						t.Errorf("recalibrate: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				snap := s.Snapshot()
+				pred, err := snap.Predictor("kmeans", core.AppModel{})
+				if err != nil {
+					t.Errorf("predictor: %v", err)
+					return
+				}
+				if _, err := pred.Predict(heldOut(), core.GlobalReduction); err != nil {
+					t.Errorf("predict: %v", err)
+					return
+				}
+				snap.Status("kmeans")
+				snap.Apps()
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := s.Snapshot()
+	st, ok := snap.Status("kmeans")
+	if !ok {
+		t.Fatal("kmeans status missing after concurrent load")
+	}
+	if want := writers / 2 * rounds; st.Samples != want {
+		t.Fatalf("kmeans samples = %d, want %d", st.Samples, want)
+	}
+	for w := 1; w < writers; w += 2 {
+		if _, _, ok := snap.Find(fmt.Sprintf("adopted-%d", w)); !ok {
+			t.Fatalf("adopted-%d missing after concurrent load", w)
+		}
+	}
+}
+
+// TestSourceTracksStoreVersion checks the selector-facing predictor
+// source rebuilds only when the app's profile version moves.
+func TestSourceTracksStoreVersion(t *testing.T) {
+	s, err := NewStore(staleDoc(), Options{MinSamples: 3, DisableAutoRecalibrate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := s.NewSource("kmeans", core.AppModel{})
+	p1, err := src.Predictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := src.Predictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("source rebuilt the predictor without a version change")
+	}
+	for _, cfg := range sampleConfigs()[:3] {
+		if _, err := s.Ingest(observeTruth(t, cfg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if changed, err := s.Recalibrate("kmeans"); err != nil || !changed {
+		t.Fatalf("recalibration changed=%v err=%v", changed, err)
+	}
+	p3, err := src.Predictor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Fatal("source kept serving the stale predictor after recalibration")
+	}
+	if p3.Profile.Tdisk == p1.Profile.Tdisk {
+		t.Fatal("rebuilt predictor still carries the stale profile")
+	}
+
+	if _, err := s.NewSource("nope", core.AppModel{}).Predictor(); err == nil {
+		t.Fatal("source resolved a predictor for an unknown app")
+	}
+}

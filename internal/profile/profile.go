@@ -1,0 +1,274 @@
+// Package profile is the live profile subsystem: it owns the profiles,
+// link calibrations, and cross-cluster scaling factors the prediction
+// framework runs on, and keeps them honest over the lifetime of a
+// long-running service.
+//
+// The paper's framework is profile-based — predictions are only as good
+// as the calibrations behind them — and its authors refit scaling
+// factors and link parameters from training runs. A static profile
+// document read once at startup drifts exactly the way Vazhkudai &
+// Schopf warn static transfer models do. This package closes the
+// run → observe → recalibrate → predict loop:
+//
+//   - Store is a concurrency-safe, versioned holder of the profile
+//     document: every content change (adoption of a new app profile,
+//     recalibration, reload) produces a fresh copy-on-write Snapshot and
+//     advances a monotonic version, per app and store-wide. Stores are
+//     in-memory or file-backed (atomic write-temp-rename persistence,
+//     reload).
+//   - Observations — middleware run results, bench sweep cells, or
+//     POST /runs bodies — are ingested as calibration samples.
+//   - Recalibration refits the base profile's component times, the
+//     cross-cluster Scaling factors, and the interconnect
+//     LinkCalibration from accumulated samples with the stats package's
+//     least-squares and quantile machinery, gated by a minimum-sample
+//     threshold.
+//   - Drift detection keeps a sliding window of predicted-vs-observed
+//     relative error per app and flags when recalibration is warranted;
+//     the window mean is exported through internal/metrics.
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"freerideg/internal/core"
+	"freerideg/internal/metrics"
+	"freerideg/internal/units"
+)
+
+// Subsystem metrics. The per-app drift gauge is registered lazily, one
+// instrument per application, when the first drift sample lands.
+var (
+	ingestedTotal = metrics.GetCounter("fg_profile_observations_total",
+		"Observed runs ingested as calibration samples.")
+	adoptedTotal = metrics.GetCounter("fg_profile_adoptions_total",
+		"Applications adopted into a profile store from their first observed run.")
+	recalTotal = metrics.GetCounter("fg_profile_recalibrations_total",
+		"Recalibrations that changed profile store content.")
+	storeVersion = metrics.GetGauge("fg_profile_store_version",
+		"Monotonic content version of the process's most recently mutated profile store.")
+)
+
+func driftGauge(app string) *metrics.Gauge {
+	return metrics.GetGauge("fg_profile_drift_relerr",
+		"Mean predicted-vs-observed relative error over the app's sliding drift window.",
+		metrics.Label{Key: "app", Value: app})
+}
+
+// Defaults for Options fields left zero.
+const (
+	DefaultMinSamples     = 5
+	DefaultDriftWindow    = 16
+	DefaultDriftThreshold = 0.15
+)
+
+// Options tune a Store's recalibration and drift behavior. The zero
+// value selects the defaults noted on each field.
+type Options struct {
+	// MinSamples is the minimum number of pending calibration samples an
+	// application (and each per-cluster refit group) needs before a
+	// recalibration runs. Default DefaultMinSamples.
+	MinSamples int
+	// DriftWindow is how many recent predicted-vs-observed relative
+	// errors the sliding drift window keeps per app. Default
+	// DefaultDriftWindow.
+	DriftWindow int
+	// DriftThreshold is the window mean relative error above which an
+	// app is flagged as drifting (and, with enough pending samples,
+	// recalibrated). Default DefaultDriftThreshold.
+	DriftThreshold float64
+	// Lookup resolves an application's scaling-class model, used when
+	// building predictors for drift checks and recalibration ratio
+	// fits. Nil uses the zero AppModel (constant RO, linear-constant
+	// global) — adequate for drift signals, exact for most apps.
+	Lookup func(app string) core.AppModel
+	// DisableAutoRecalibrate stops Ingest from recalibrating on its own;
+	// callers then trigger Recalibrate explicitly.
+	DisableAutoRecalibrate bool
+	// AutoPersist writes the store back to its file after every content
+	// change. Ignored by in-memory stores.
+	AutoPersist bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSamples < 1 {
+		o.MinSamples = DefaultMinSamples
+	}
+	if o.DriftWindow < 1 {
+		o.DriftWindow = DefaultDriftWindow
+	}
+	if o.DriftThreshold <= 0 {
+		o.DriftThreshold = DefaultDriftThreshold
+	}
+	return o
+}
+
+// Observation is one observed execution offered to a store as a
+// calibration sample: the configuration it ran on and the measured
+// component breakdown, in the shape the middleware's PhaseBreakdown
+// accounting produces.
+type Observation struct {
+	// App names the application the run executed.
+	App string
+	// Config is the configuration the run used.
+	Config core.Config
+	// Breakdown is the measured t_d / t_n / t_c split.
+	core.Breakdown
+	// TdiskCached is the cached-pass re-read part of Tdisk (see
+	// core.Profile).
+	TdiskCached time.Duration
+	// Tro and Tglobal are the serialized parts of Tcompute.
+	Tro     time.Duration
+	Tglobal time.Duration
+	// ROBytesPerNode and BroadcastBytes describe the reduction-object
+	// traffic; zero values are filled from the app's current base
+	// profile at ingestion.
+	ROBytesPerNode units.Bytes
+	BroadcastBytes units.Bytes
+	// Iterations is the number of passes; zero is filled from the app's
+	// current base profile at ingestion (1 for unknown apps).
+	Iterations int
+}
+
+// FromProfile wraps a measured run profile as an observation.
+func FromProfile(p core.Profile) Observation {
+	return Observation{
+		App:            p.App,
+		Config:         p.Config,
+		Breakdown:      p.Breakdown,
+		TdiskCached:    p.TdiskCached,
+		Tro:            p.Tro,
+		Tglobal:        p.Tglobal,
+		ROBytesPerNode: p.ROBytesPerNode,
+		BroadcastBytes: p.BroadcastBytes,
+		Iterations:     p.Iterations,
+	}
+}
+
+// Profile converts the observation into a core.Profile (not yet
+// validated).
+func (o Observation) Profile() core.Profile {
+	return core.Profile{
+		App:            o.App,
+		Config:         o.Config,
+		Breakdown:      o.Breakdown,
+		TdiskCached:    o.TdiskCached,
+		Tro:            o.Tro,
+		Tglobal:        o.Tglobal,
+		ROBytesPerNode: o.ROBytesPerNode,
+		BroadcastBytes: o.BroadcastBytes,
+		Iterations:     o.Iterations,
+	}
+}
+
+// IngestResult reports what one observation did to the store.
+type IngestResult struct {
+	App string `json:"app"`
+	// Adopted is true when the app was unknown and the observation
+	// became its base profile.
+	Adopted bool `json:"adopted,omitempty"`
+	// Samples is the app's total accepted observation count; Pending is
+	// how many await the next recalibration.
+	Samples int `json:"samples"`
+	Pending int `json:"pending"`
+	// Drift is the mean predicted-vs-observed relative error over the
+	// app's sliding window (0 until DriftSamples > 0).
+	Drift        float64 `json:"drift"`
+	DriftSamples int     `json:"driftSamples"`
+	Drifting     bool    `json:"drifting"`
+	// Recalibrated is true when this ingestion triggered a
+	// recalibration that changed store content.
+	Recalibrated bool `json:"recalibrated"`
+	// AppVersion and StoreVersion are the monotonic content versions
+	// after the ingestion.
+	AppVersion   uint64 `json:"appVersion"`
+	StoreVersion uint64 `json:"storeVersion"`
+}
+
+// AppStatus is one application's live calibration state as seen in a
+// Snapshot.
+type AppStatus struct {
+	App            string  `json:"app"`
+	Version        uint64  `json:"version"`
+	Samples        int     `json:"samples"`
+	Pending        int     `json:"pending"`
+	Recalibrations int     `json:"recalibrations"`
+	Drift          float64 `json:"drift"`
+	DriftSamples   int     `json:"driftSamples"`
+	Drifting       bool    `json:"drifting"`
+}
+
+// ErrNotFileBacked is returned by Persist and Reload on in-memory
+// stores.
+var ErrNotFileBacked = errors.New("profile: store is not file-backed")
+
+// driftRing is a fixed-size sliding window of relative errors.
+type driftRing struct {
+	errs []float64
+	next int
+	n    int
+}
+
+func newDriftRing(size int) *driftRing { return &driftRing{errs: make([]float64, size)} }
+
+func (r *driftRing) push(e float64) {
+	r.errs[r.next] = e
+	r.next = (r.next + 1) % len(r.errs)
+	if r.n < len(r.errs) {
+		r.n++
+	}
+}
+
+// mean reports the window mean and the number of samples behind it.
+func (r *driftRing) mean() (float64, int) {
+	if r.n == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for i := 0; i < r.n; i++ {
+		sum += r.errs[i]
+	}
+	return sum / float64(r.n), r.n
+}
+
+func (r *driftRing) reset() { r.next, r.n = 0, 0 }
+
+// validateDoc checks a store document: every profile valid, no duplicate
+// apps. Unlike core.ProfileStore.Validate it allows an empty profile
+// list — a live store legitimately starts cold and grows by adoption.
+func validateDoc(doc core.ProfileStore) error {
+	seen := make(map[string]bool, len(doc.Profiles))
+	for i, p := range doc.Profiles {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("profile: document profile %d: %w", i, err)
+		}
+		if seen[p.App] {
+			return fmt.Errorf("profile: document has duplicate profiles for app %q", p.App)
+		}
+		seen[p.App] = true
+	}
+	return nil
+}
+
+// copyDoc deep-copies a store document so snapshots never alias the
+// store's mutable master copy.
+func copyDoc(doc core.ProfileStore) core.ProfileStore {
+	out := core.ProfileStore{
+		Profiles: append([]core.Profile(nil), doc.Profiles...),
+	}
+	if doc.Links != nil {
+		out.Links = make(map[string]core.LinkCalibration, len(doc.Links))
+		for k, v := range doc.Links {
+			out.Links[k] = v
+		}
+	}
+	if doc.Scalings != nil {
+		out.Scalings = make(map[string]core.Scaling, len(doc.Scalings))
+		for k, v := range doc.Scalings {
+			out.Scalings[k] = v
+		}
+	}
+	return out
+}

@@ -17,7 +17,9 @@ fi
 
 go vet ./...
 
-go test -race ./...
+# -shuffle=on randomizes test and subtest order so hidden inter-test
+# state dependencies surface instead of calcifying.
+go test -race -shuffle=on ./...
 
 # Benchmark smoke pass: compile and run every Benchmark* exactly once so
 # the tracked perf suite can't rot between `make bench` refreshes.
