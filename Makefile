@@ -1,10 +1,12 @@
 # Build and verification entry points. `make check` is the fast gate a
 # change must pass before review: formatting, vet, a module-wide
-# race-detector run, a benchmark compile/smoke pass, and the fuzz
-# seed-corpus regression pass. `make bench` runs the tracked performance
-# suite and refreshes BENCH_sweep.json.
+# race-detector run (plus a -count=2 pass over the serve path), a
+# benchmark compile/smoke pass, the fuzz seed-corpus regression pass,
+# and the fgserved/fgload smokes. `make bench` runs the tracked
+# performance suite and refreshes BENCH_sweep.json and BENCH_serve.json;
+# `make load` runs a longer standalone soak with coherence checking.
 
-.PHONY: all build test check figures bench
+.PHONY: all build test check figures bench load
 
 all: build
 
@@ -22,3 +24,6 @@ figures:
 
 bench:
 	sh scripts/bench.sh
+
+load:
+	go run ./cmd/fgload -requests 2000 -concurrency 8 -seed 1 -coherence-batches 8

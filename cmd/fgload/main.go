@@ -1,0 +1,240 @@
+// Command fgload is the deterministic load and soak harness for the
+// prediction service. It replays a seeded workload mix (/predict,
+// /select, /observe, /runs at configurable weights and concurrency)
+// against an in-process server or a remote -addr, and reports
+// per-endpoint p50/p95/p99 latency, error rates, and — with
+// -coherence-batches — the cache-coherence check that interleaves real
+// recalibrations with the read traffic and asserts no response ever
+// predates a completed recalibration.
+//
+// Modes:
+//
+//	fgload                                  # in-process, cache on
+//	fgload -compare -out BENCH_serve.json   # cold (cache off) vs warm A/B
+//	fgload -addr http://localhost:8080      # drive a running fgserved
+//
+// The exit status is the gate load scripts rely on: nonzero when any
+// request failed at the transport, any response was a 5xx, or the
+// coherence check counted a violation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+
+	"freerideg/internal/cliutil"
+	"freerideg/internal/fgservice"
+	"freerideg/internal/loadgen"
+	"freerideg/internal/servecache"
+	"freerideg/internal/units"
+)
+
+// cacheCounters is the JSON view of one cache's servecache.Stats.
+type cacheCounters struct {
+	Hits          float64 `json:"hits"`
+	Misses        float64 `json:"misses"`
+	Coalesced     float64 `json:"coalesced"`
+	Invalidations float64 `json:"invalidations"`
+	Evictions     float64 `json:"evictions"`
+}
+
+func fromStats(s servecache.Stats) cacheCounters {
+	return cacheCounters{
+		Hits:          s.Hits,
+		Misses:        s.Misses,
+		Coalesced:     s.Coalesced,
+		Invalidations: s.Invalidations,
+		Evictions:     s.Evictions,
+	}
+}
+
+func sub(a, b servecache.Stats) servecache.Stats {
+	return servecache.Stats{
+		Hits:          a.Hits - b.Hits,
+		Misses:        a.Misses - b.Misses,
+		Coalesced:     a.Coalesced - b.Coalesced,
+		Invalidations: a.Invalidations - b.Invalidations,
+		Evictions:     a.Evictions - b.Evictions,
+	}
+}
+
+// runOutput is one run's report plus, for in-process runs with the
+// cache enabled, the cache counters the run moved.
+type runOutput struct {
+	loadgen.Report
+	PredictCache *cacheCounters `json:"predictCache,omitempty"`
+	SelectCache  *cacheCounters `json:"selectCache,omitempty"`
+}
+
+// output is the fgload report schema (BENCH_serve.json in -compare
+// mode). SpeedupP50/SpeedupMean compare the cold (cache disabled) run
+// against the warm run on overall latency.
+type output struct {
+	GoVersion   string     `json:"goVersion"`
+	Cores       int        `json:"cores"`
+	Mode        string     `json:"mode"`
+	Run         *runOutput `json:"run,omitempty"`
+	Cold        *runOutput `json:"cold,omitempty"`
+	Warm        *runOutput `json:"warm,omitempty"`
+	SpeedupP50  float64    `json:"speedupP50,omitempty"`
+	SpeedupMean float64    `json:"speedupMean,omitempty"`
+	// EndpointSpeedupMean breaks the cold/warm ratio down per endpoint:
+	// the cheap /predict arithmetic is dominated by HTTP overhead either
+	// way, while the ranking behind /select is where the cache pays.
+	EndpointSpeedupMean map[string]float64 `json:"endpointSpeedupMean,omitempty"`
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "base URL of a running service (empty = in-process server)")
+		requests  = flag.Int("requests", 400, "total generated requests")
+		conc      = flag.Int("concurrency", 8, "concurrent workers")
+		seed      = flag.Int64("seed", 1, "workload seed; equal seeds replay identical request streams")
+		mixFlag   = flag.String("mix", "", "workload mix weights, e.g. predict=6,select=2,observe=1,runs=1")
+		app       = flag.String("app", "kmeans", "application every request targets")
+		baseSize  = cliutil.Bytes("base-size", 64*units.MB, "mid-point dataset size; generated sizes span 0.5x..2x")
+		coherence = flag.Int("coherence-batches", 0, "drift-driven recalibration batches interleaved with the reads (asserts cache coherence)")
+		compare   = flag.Bool("compare", false, "A/B an in-process cold (cache disabled) run against a warm one and report the speedup")
+		out       = flag.String("out", "", "report file (empty = stdout)")
+	)
+	flag.Parse()
+
+	mix, err := loadgen.ParseMix(*mixFlag)
+	if err != nil {
+		fail(err)
+	}
+	opts := loadgen.Options{
+		Requests:    *requests,
+		Concurrency: *conc,
+		Seed:        *seed,
+		Mix:         mix,
+		App:         *app,
+		BaseBytes:   baseSize.Bytes,
+		Coherence:   *coherence,
+	}
+
+	rep := output{GoVersion: runtime.Version(), Cores: runtime.NumCPU()}
+	switch {
+	case *compare:
+		if *addr != "" {
+			fail(fmt.Errorf("-compare runs in-process; it cannot be combined with -addr"))
+		}
+		rep.Mode = "compare"
+		cold, err := runInProcess(opts, *conc, true)
+		if err != nil {
+			fail(err)
+		}
+		warm, err := runInProcess(opts, *conc, false)
+		if err != nil {
+			fail(err)
+		}
+		rep.Cold, rep.Warm = cold, warm
+		if warm.Overall.P50Ms > 0 {
+			rep.SpeedupP50 = cold.Overall.P50Ms / warm.Overall.P50Ms
+		}
+		if warm.Overall.MeanMs > 0 {
+			rep.SpeedupMean = cold.Overall.MeanMs / warm.Overall.MeanMs
+		}
+		rep.EndpointSpeedupMean = make(map[string]float64)
+		for path, c := range cold.Endpoints {
+			if w, ok := warm.Endpoints[path]; ok && w.MeanMs > 0 {
+				rep.EndpointSpeedupMean[path] = c.MeanMs / w.MeanMs
+			}
+		}
+	case *addr == "":
+		rep.Mode = "in-process"
+		run, err := runInProcess(opts, *conc, false)
+		if err != nil {
+			fail(err)
+		}
+		rep.Run = run
+	default:
+		rep.Mode = "remote"
+		r := loadgen.New(loadgen.NewHTTPTarget(*addr, nil), opts)
+		report, err := r.Run()
+		if err != nil {
+			fail(err)
+		}
+		rep.Run = &runOutput{Report: report}
+	}
+
+	js, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	js = append(js, '\n')
+	if *out == "" {
+		os.Stdout.Write(js)
+	} else {
+		if err := os.WriteFile(*out, js, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("fgload: %s report -> %s\n", rep.Mode, *out)
+	}
+
+	for _, r := range []*runOutput{rep.Run, rep.Cold, rep.Warm} {
+		if err := gate(r); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// runInProcess stands up a fresh server (cache on or off) and drives
+// the workload straight into its handler. MaxInFlight admits every
+// worker plus the coherence coordinator so the limiter never sheds the
+// harness's own load.
+func runInProcess(opts loadgen.Options, conc int, disableCache bool) (*runOutput, error) {
+	srv, err := fgservice.New(fgservice.Options{
+		DisableCache: disableCache,
+		MaxInFlight:  conc + 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	basePredict, baseSelect := srv.CacheStats()
+	r := loadgen.New(loadgen.NewHandlerTarget(srv.Handler()), opts)
+	report, err := r.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &runOutput{Report: report}
+	if !disableCache {
+		p, s := srv.CacheStats()
+		pc, sc := fromStats(sub(p, basePredict)), fromStats(sub(s, baseSelect))
+		out.PredictCache, out.SelectCache = &pc, &sc
+	}
+	return out, nil
+}
+
+// gate turns run-level failures into a nonzero exit: transport errors,
+// server-side 5xx responses, or coherence violations. Client-side 4xx
+// are reported but not fatal — a remote target may legitimately reject
+// parts of a mix (e.g. an app it does not know).
+func gate(r *runOutput) error {
+	if r == nil {
+		return nil
+	}
+	if r.TransportErrors > 0 {
+		return fmt.Errorf("%d requests failed at the transport", r.TransportErrors)
+	}
+	for code, n := range r.StatusCounts {
+		if c, err := strconv.Atoi(code); err == nil && c >= 500 && n > 0 {
+			return fmt.Errorf("%d responses with status %s", n, code)
+		}
+	}
+	if coh := r.Coherence; coh != nil {
+		if coh.Errors > 0 {
+			return fmt.Errorf("coherence coordinator hit %d errors", coh.Errors)
+		}
+		if coh.Violations > 0 {
+			return fmt.Errorf("%d cache-coherence violations (reads served pre-recalibration answers)", coh.Violations)
+		}
+	}
+	return nil
+}
+
+func fail(err error) { cliutil.Fatal("fgload", err) }

@@ -109,6 +109,10 @@ func main() {
 		fail(err)
 	case <-ctx.Done():
 		stop()
+		// Flip /healthz to 503 "degraded: draining" first, so load
+		// balancers and harnesses stop routing new work here while
+		// Shutdown lets the in-flight requests finish.
+		srv.StartDrain()
 		fmt.Println("fgserved: shutting down, draining in-flight requests")
 		shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()

@@ -1,0 +1,337 @@
+package fgservice
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"testing"
+	"time"
+
+	"freerideg/internal/core"
+	"freerideg/internal/metrics"
+	"freerideg/internal/profile"
+	"freerideg/internal/units"
+)
+
+const cachedPredictBody = `{"app":"kmeans","config":{"cluster":"pentium-myrinet",` +
+	`"dataNodes":1,"computeNodes":2,"bandwidth":"100MB","datasetBytes":"1GB"}}`
+
+func cacheCounter(t *testing.T, name, cache string) *metrics.Counter {
+	t.Helper()
+	return metrics.GetCounter(name, "", metrics.Label{Key: "cache", Value: cache})
+}
+
+// TestPredictServedFromCache proves a repeated /predict request is a
+// cache hit: the hit counter moves and the responses are identical.
+func TestPredictServedFromCache(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	hits := cacheCounter(t, "fg_servecache_hits_total", "predict")
+	misses := cacheCounter(t, "fg_servecache_misses_total", "predict")
+	h0, m0 := hits.Value(), misses.Value()
+
+	first := postJSON(t, h, "/predict", cachedPredictBody)
+	if first.Code != http.StatusOK {
+		t.Fatalf("/predict status %d: %s", first.Code, first.Body)
+	}
+	if got := misses.Value() - m0; got != 1 {
+		t.Fatalf("cold request: misses moved %v, want 1", got)
+	}
+	for i := 0; i < 3; i++ {
+		rec := postJSON(t, h, "/predict", cachedPredictBody)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("repeat %d: status %d", i, rec.Code)
+		}
+		if rec.Body.String() != first.Body.String() {
+			t.Fatalf("cached response differs from first:\n%s\nvs\n%s", rec.Body, first.Body)
+		}
+	}
+	if got := hits.Value() - h0; got != 3 {
+		t.Fatalf("hits moved %v, want 3", got)
+	}
+	if got := misses.Value() - m0; got != 1 {
+		t.Fatalf("repeats recomputed: misses moved %v, want 1", got)
+	}
+}
+
+// TestRecalibrationInvalidatesPredictCache is the coherence acceptance
+// check: a profile recalibration must invalidate the cached prediction —
+// a post-recalibration read never returns the pre-recalibration answer.
+func TestRecalibrationInvalidatesPredictCache(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	inval := cacheCounter(t, "fg_servecache_invalidations_total", "predict")
+	i0 := inval.Value()
+
+	before := predictResponseOf(t, h, cachedPredictBody)
+	// Prime the cache and prove it's serving.
+	if again := predictResponseOf(t, h, cachedPredictBody); again.Texec != before.Texec {
+		t.Fatalf("unstable prediction before recalibration: %v vs %v", again.Texec, before.Texec)
+	}
+
+	halveProfile(t, s)
+
+	after := predictResponseOf(t, h, cachedPredictBody)
+	if after.StoreVersion <= before.StoreVersion {
+		t.Fatalf("store version did not advance across recalibration: %d -> %d",
+			before.StoreVersion, after.StoreVersion)
+	}
+	if after.Texec == before.Texec {
+		t.Fatalf("post-recalibration read returned the pre-recalibration prediction (%v)", after.Texec)
+	}
+	if got := inval.Value() - i0; got < 1 {
+		t.Fatalf("invalidations moved %v, want >= 1", got)
+	}
+}
+
+// TestObserveInvalidatesSelectCache: selection answers depend on the
+// live bandwidth estimator, so an accepted /observe must stop cached
+// rankings from being served.
+func TestObserveInvalidatesSelectCache(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	body := `{"app":"kmeans","size":"512MB"}`
+
+	first := postJSON(t, h, "/select", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("/select status %d: %s", first.Code, first.Body)
+	}
+	// Enough observations to move the osu-repository b̂ from its static
+	// 100MB/s to ~5MB/s.
+	for i := 1; i <= 7; i++ {
+		ob := fmt.Sprintf(`{"site":"osu-repository","cluster":"pentium-myrinet",`+
+			`"bytes":"%dMB","elapsed":"%dms"}`, 5*i, 1000*i)
+		if rec := postJSON(t, h, "/observe", ob); rec.Code != http.StatusOK {
+			t.Fatalf("/observe status %d: %s", rec.Code, rec.Body)
+		}
+	}
+	second := postJSON(t, h, "/select", body)
+	if second.Code != http.StatusOK {
+		t.Fatalf("/select status %d: %s", second.Code, second.Body)
+	}
+	if first.Body.String() == second.Body.String() {
+		t.Fatal("observations did not invalidate the cached ranking")
+	}
+}
+
+// TestSelectLimitServedFromOneEntry: Limit is not part of the cache key —
+// the full ranking is cached once and truncated per request.
+func TestSelectLimitServedFromOneEntry(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	misses := cacheCounter(t, "fg_servecache_misses_total", "select")
+	m0 := misses.Value()
+
+	var lens []int
+	for _, limit := range []int{0, 3, 1, 2} {
+		body := `{"app":"kmeans","size":"512MB"}`
+		if limit > 0 {
+			body = fmt.Sprintf(`{"app":"kmeans","size":"512MB","limit":%d}`, limit)
+		}
+		rec := postJSON(t, h, "/select", body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("limit %d: status %d: %s", limit, rec.Code, rec.Body)
+		}
+		var resp SelectResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		lens = append(lens, len(resp.Candidates))
+	}
+	want := []int{5, 3, 1, 2}
+	if fmt.Sprint(lens) != fmt.Sprint(want) {
+		t.Fatalf("candidate counts = %v, want %v", lens, want)
+	}
+	if got := misses.Value() - m0; got != 1 {
+		t.Fatalf("limited reads recomputed the ranking: misses moved %v, want 1", got)
+	}
+}
+
+// TestDisableCacheRecomputes pins the cold baseline the load harness
+// compares against: with the cache off, counters never move.
+func TestDisableCacheRecomputes(t *testing.T) {
+	s, err := New(Options{Store: testStore(t), DisableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	hits := cacheCounter(t, "fg_servecache_hits_total", "predict")
+	h0 := hits.Value()
+	first := postJSON(t, h, "/predict", cachedPredictBody)
+	second := postJSON(t, h, "/predict", cachedPredictBody)
+	if first.Code != http.StatusOK || second.Code != http.StatusOK {
+		t.Fatalf("statuses %d, %d", first.Code, second.Code)
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Fatal("uncached recomputation is not deterministic")
+	}
+	if hits.Value() != h0 {
+		t.Fatal("cache hit recorded with the cache disabled")
+	}
+}
+
+// TestCacheHitLatencyAdvantage is the ≥5× acceptance measurement at the
+// service layer (no HTTP encode/decode noise): the median cached read
+// must be at least 5× faster than the median cold computation.
+func TestCacheHitLatencyAdvantage(t *testing.T) {
+	s := testServer(t)
+	app, v := "kmeans", core.GlobalReduction
+	total := 512 * units.MB
+	// Prime.
+	if _, err := s.selectResponse(app, v, total, 0); err != nil {
+		t.Fatal(err)
+	}
+	const iters = 300
+	median := func(f func()) time.Duration {
+		ds := make([]time.Duration, iters)
+		for i := range ds {
+			start := time.Now()
+			f()
+			ds[i] = time.Since(start)
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[iters/2]
+	}
+	warm := median(func() {
+		if _, err := s.selectResponse(app, v, total, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ver := s.store.Snapshot().Version()
+	cold := median(func() {
+		if _, err := s.computeSelect(app, v, total, 0, ver); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("median select latency: warm %v, cold %v (%.1fx)", warm, cold, float64(cold)/float64(warm))
+	if warm*5 > cold {
+		t.Fatalf("cache hit not >=5x faster: warm %v, cold %v", warm, cold)
+	}
+}
+
+// halveProfile ingests drifted observations and forces a recalibration
+// that roughly halves the kmeans profile.
+func halveProfile(t *testing.T, s *Server) {
+	t.Helper()
+	doc := s.Store().Snapshot().Doc()
+	base := doc.Profiles[0]
+	for i := 0; i < 5; i++ {
+		cfg := base.Config
+		cfg.DatasetBytes += units.Bytes(i+1) * units.MB
+		scale := 0.5 * float64(cfg.DatasetBytes) / float64(base.Config.DatasetBytes)
+		obs := profileObservation(base, cfg, scale)
+		if _, err := s.Store().Ingest(obs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Store().Recalibrate(base.App); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// profileObservation builds one observation of base's app on cfg with
+// every component scaled by scale.
+func profileObservation(base core.Profile, cfg core.Config, scale float64) profile.Observation {
+	return profile.Observation{
+		App:    base.App,
+		Config: cfg,
+		Breakdown: core.Breakdown{
+			Tdisk:    time.Duration(float64(base.Tdisk) * scale),
+			Tnetwork: time.Duration(float64(base.Tnetwork) * scale),
+			Tcompute: time.Duration(float64(base.Tcompute) * scale),
+		},
+		Tro:     time.Duration(float64(base.Tro) * scale),
+		Tglobal: time.Duration(float64(base.Tglobal) * scale),
+	}
+}
+
+func profileStoreForBench(doc core.ProfileStore) (*profile.Store, error) {
+	return profile.NewStore(doc, profile.Options{Lookup: AppModelLookup})
+}
+
+func predictResponseOf(t *testing.T, h http.Handler, body string) PredictResponse {
+	t.Helper()
+	rec := postJSON(t, h, "/predict", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/predict status %d: %s", rec.Code, rec.Body)
+	}
+	var resp PredictResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// BenchmarkPredictWarm / BenchmarkPredictCold and the select pair
+// quantify the serve-path cache for the tracked benchmark suite.
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	doc, err := core.LoadStore("testdata/store.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := profileStoreForBench(doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(Options{Store: store})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkPredictWarm(b *testing.B) {
+	s := benchServer(b)
+	cfg := core.Config{Cluster: "pentium-myrinet", DataNodes: 1, ComputeNodes: 2,
+		Bandwidth: 100 * units.MBPerSec, DatasetBytes: units.GB}
+	if _, err := s.predictResponse("kmeans", core.GlobalReduction, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.predictResponse("kmeans", core.GlobalReduction, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictCold(b *testing.B) {
+	s := benchServer(b)
+	cfg := core.Config{Cluster: "pentium-myrinet", DataNodes: 1, ComputeNodes: 2,
+		Bandwidth: 100 * units.MBPerSec, DatasetBytes: units.GB}
+	ver := s.store.Snapshot().Version()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.computePredict("kmeans", core.GlobalReduction, cfg, ver); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectWarm(b *testing.B) {
+	s := benchServer(b)
+	if _, err := s.selectResponse("kmeans", core.GlobalReduction, 512*units.MB, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.selectResponse("kmeans", core.GlobalReduction, 512*units.MB, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectCold(b *testing.B) {
+	s := benchServer(b)
+	ver := s.store.Snapshot().Version()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.computeSelect("kmeans", core.GlobalReduction, 512*units.MB, 0, ver); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

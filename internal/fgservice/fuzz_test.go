@@ -1,0 +1,94 @@
+package fgservice
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzConfigRequestConfig fuzzes the wire→core boundary of a target
+// configuration. The pinned contract: whatever JSON arrives, Config()
+// either errors or returns finite quantities — a nil error never
+// smuggles NaN/±Inf bandwidths or sizes into the prediction arithmetic
+// (where they would poison every downstream duration).
+func FuzzConfigRequestConfig(f *testing.F) {
+	for _, seed := range []string{
+		`{"cluster":"pentium-myrinet","dataNodes":1,"computeNodes":1,"bandwidth":"100MB","datasetBytes":"512MB"}`,
+		`{"bandwidth":"NaNMB","datasetBytes":"1GB"}`,
+		`{"bandwidth":"+InfMB","datasetBytes":"NaNGB"}`,
+		`{"bandwidth":"1e308GB","datasetBytes":"1e308GB"}`,
+		`{"cluster":"","dataNodes":-1,"computeNodes":0,"bandwidth":"","datasetBytes":""}`,
+		`{"bandwidth":"-100MB","datasetBytes":"-5MB"}`,
+		`{"bandwidth":"100","datasetBytes":"0.0000001KB"}`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		var req ConfigRequest
+		if json.Unmarshal([]byte(raw), &req) != nil {
+			return
+		}
+		cfg, err := req.Config()
+		if err != nil {
+			return
+		}
+		if bw := float64(cfg.Bandwidth); math.IsNaN(bw) || math.IsInf(bw, 0) {
+			t.Fatalf("Config() accepted non-finite bandwidth %v from %q", bw, raw)
+		}
+		if sz := float64(cfg.DatasetBytes); math.IsNaN(sz) || math.IsInf(sz, 0) {
+			t.Fatalf("Config() accepted non-finite dataset size %v from %q", sz, raw)
+		}
+	})
+}
+
+// FuzzRunRequestObservation fuzzes the /runs calibration-sample parser.
+// Contract: observation() either errors or yields an observation whose
+// config is finite and whose durations are exactly what the duration
+// strings parse to — no partial fills where one bad field leaves the
+// others applied.
+func FuzzRunRequestObservation(f *testing.F) {
+	for _, seed := range []string{
+		`{"app":"kmeans","config":{"cluster":"pentium-myrinet","dataNodes":1,"computeNodes":1,"bandwidth":"100MB","datasetBytes":"512MB"},"tdisk":"2s","tnetwork":"1s","tcompute":"8s"}`,
+		`{"app":"kmeans","config":{"cluster":"c","dataNodes":1,"computeNodes":1,"bandwidth":"1MB","datasetBytes":"1MB"},"tdisk":"-2s","tnetwork":"1s","tcompute":"8s"}`,
+		`{"app":"","tdisk":"2s"}`,
+		`{"app":"kmeans","config":{"bandwidth":"NaNMB","datasetBytes":"1MB"},"tdisk":"2s","tnetwork":"1s","tcompute":"8s"}`,
+		`{"app":"kmeans","config":{"cluster":"c","dataNodes":1,"computeNodes":1,"bandwidth":"1MB","datasetBytes":"1MB"},"tdisk":"2s","tnetwork":"1s","tcompute":"8s","roBytesPerNode":"InfKB"}`,
+		`{"app":"kmeans","config":{"cluster":"c","dataNodes":1,"computeNodes":1,"bandwidth":"1MB","datasetBytes":"1MB"},"tdisk":"9999999h","tnetwork":"1ns","tcompute":"1s","iterations":-3}`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		var req RunRequest
+		if json.Unmarshal([]byte(raw), &req) != nil {
+			return
+		}
+		obs, err := req.observation()
+		if err != nil {
+			return
+		}
+		if bw := float64(obs.Config.Bandwidth); math.IsNaN(bw) || math.IsInf(bw, 0) {
+			t.Fatalf("observation() accepted non-finite bandwidth %v from %q", bw, raw)
+		}
+		if sz := float64(obs.Config.DatasetBytes); math.IsNaN(sz) || math.IsInf(sz, 0) {
+			t.Fatalf("observation() accepted non-finite dataset size %v from %q", sz, raw)
+		}
+		for _, d := range []struct {
+			name string
+			raw  string
+			got  time.Duration
+		}{
+			{"tdisk", req.Tdisk, obs.Tdisk},
+			{"tnetwork", req.Tnetwork, obs.Tnetwork},
+			{"tcompute", req.Tcompute, obs.Tcompute},
+		} {
+			want, perr := time.ParseDuration(d.raw)
+			if perr != nil {
+				t.Fatalf("observation() succeeded with unparseable %s %q", d.name, d.raw)
+			}
+			if d.got != want {
+				t.Fatalf("%s = %v, want %v (from %q)", d.name, d.got, want, d.raw)
+			}
+		}
+	})
+}

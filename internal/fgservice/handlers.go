@@ -57,17 +57,21 @@ type PredictRequest struct {
 
 // PredictResponse is the component breakdown of one prediction.
 // Durations are integer nanoseconds; Pretty is a human-readable summary.
+// StoreVersion is the profile store snapshot the prediction was
+// computed from — load harnesses use its monotonicity to prove a
+// post-recalibration read never served a pre-recalibration answer.
 type PredictResponse struct {
-	App      string        `json:"app"`
-	Variant  string        `json:"variant"`
-	Config   core.Config   `json:"config"`
-	Tdisk    time.Duration `json:"tdiskNs"`
-	Tnetwork time.Duration `json:"tnetworkNs"`
-	Tcompute time.Duration `json:"tcomputeNs"`
-	Tro      time.Duration `json:"troNs"`
-	Tglobal  time.Duration `json:"tglobalNs"`
-	Texec    time.Duration `json:"texecNs"`
-	Pretty   string        `json:"pretty"`
+	App          string        `json:"app"`
+	Variant      string        `json:"variant"`
+	StoreVersion uint64        `json:"storeVersion"`
+	Config       core.Config   `json:"config"`
+	Tdisk        time.Duration `json:"tdiskNs"`
+	Tnetwork     time.Duration `json:"tnetworkNs"`
+	Tcompute     time.Duration `json:"tcomputeNs"`
+	Tro          time.Duration `json:"troNs"`
+	Tglobal      time.Duration `json:"tglobalNs"`
+	Texec        time.Duration `json:"texecNs"`
+	Pretty       string        `json:"pretty"`
 }
 
 // SelectRequest asks for a ranking of (replica, configuration) pairs for
@@ -96,13 +100,15 @@ type SelectCandidate struct {
 }
 
 // SelectResponse is the ranking (or the single planned candidate when a
-// deadline was given).
+// deadline was given). StoreVersion mirrors PredictResponse's coherence
+// marker.
 type SelectResponse struct {
-	App        string            `json:"app"`
-	Dataset    string            `json:"dataset"`
-	Size       units.Bytes       `json:"sizeBytes"`
-	Candidates []SelectCandidate `json:"candidates"`
-	Selected   *SelectCandidate  `json:"selected,omitempty"`
+	App          string            `json:"app"`
+	Dataset      string            `json:"dataset"`
+	StoreVersion uint64            `json:"storeVersion"`
+	Size         units.Bytes       `json:"sizeBytes"`
+	Candidates   []SelectCandidate `json:"candidates"`
+	Selected     *SelectCandidate  `json:"selected,omitempty"`
 }
 
 // ObserveRequest feeds one completed transfer into the bandwidth
@@ -216,18 +222,25 @@ type ProfilesResponse struct {
 	Profiles     []ProfileInfo `json:"profiles"`
 }
 
-// HealthResponse answers /healthz.
+// HealthResponse answers /healthz. Status is "ok" (200) or "degraded"
+// (503, with Reason saying why): a draining server or a saturated
+// concurrency limiter is still alive but should not receive new work,
+// and load harnesses need to tell that apart from a crash.
 type HealthResponse struct {
 	Status        string   `json:"status"`
+	Reason        string   `json:"reason,omitempty"`
 	UptimeSeconds float64  `json:"uptimeSeconds"`
 	Apps          []string `json:"apps"`
 	ProfiledApps  int      `json:"profiledApps"`
 	StoreVersion  uint64   `json:"storeVersion"`
 }
 
-// apiError is the JSON error envelope every handler uses.
+// apiError is the JSON error envelope every handler uses: the message
+// plus the HTTP status it rode in on, so callers (and the load harness)
+// can classify failures without re-parsing transport state.
 type apiError struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Status int    `json:"status"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -239,15 +252,56 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, apiError{Error: err.Error()})
+	writeJSON(w, status, apiError{Error: err.Error(), Status: status})
 }
 
-// decodeJSON strictly decodes one JSON request body.
-func decodeJSON(r *http.Request, v any) error {
+// statusError carries the HTTP status a computation failure maps to, so
+// the cache fill path can report errors through one channel without
+// flattening 404/422 distinctions into 500s.
+type statusError struct {
+	status int
+	err    error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
+func withStatus(status int, err error) error {
+	return &statusError{status: status, err: err}
+}
+
+// errorStatus extracts a statusError's code, falling back to 500.
+func errorStatus(err error) int {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.status
+	}
+	return http.StatusInternalServerError
+}
+
+// MaxRequestBody bounds every JSON request body. The largest legitimate
+// request (a /runs observation) is under a kilobyte; a megabyte leaves
+// three orders of magnitude of slack while keeping a misbehaving client
+// from buffering unbounded input into the decoder.
+const MaxRequestBody = 1 << 20
+
+// decodeJSON strictly decodes one JSON request body: unknown fields are
+// rejected, the body is capped at MaxRequestBody, and trailing content
+// after the first JSON value is an error. Every failure is a client
+// error (400), never a 500.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxRequestBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return fmt.Errorf("request body exceeds %d bytes", maxErr.Limit)
+		}
 		return fmt.Errorf("decoding request: %w", err)
+	}
+	if dec.More() {
+		return errors.New("request body holds more than one JSON value")
 	}
 	return nil
 }
@@ -263,7 +317,7 @@ func (s *Server) requestVariant(name string) (core.Variant, error) {
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req PredictRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -285,34 +339,65 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	pred, err := s.predictor(req.App)
+	resp, err := s.predictResponse(req.App, v, cfg)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, errorStatus(err), err)
 		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// predictKey renders the cache key for one prediction. %g round-trips
+// float64 exactly, so distinct bandwidths never collide.
+func predictKey(app string, v core.Variant, cfg core.Config) string {
+	return fmt.Sprintf("%s|%s|%s|%d|%d|%g|%d",
+		app, v, cfg.Cluster, cfg.DataNodes, cfg.ComputeNodes,
+		float64(cfg.Bandwidth), int64(cfg.DatasetBytes))
+}
+
+// predictResponse serves one prediction through the response cache,
+// pinned to the profile store snapshot version. Inputs are validated by
+// the handler; only successful computations are cached.
+func (s *Server) predictResponse(app string, v core.Variant, cfg core.Config) (PredictResponse, error) {
+	ver := s.store.Snapshot().Version()
+	if s.predictCache == nil {
+		return s.computePredict(app, v, cfg, ver)
+	}
+	return s.predictCache.Get(predictKey(app, v, cfg), ver, func() (PredictResponse, error) {
+		return s.computePredict(app, v, cfg, ver)
+	})
+}
+
+// computePredict is the cold path: resolve the app's predictor (which
+// may self-profile an unknown app) and run the prediction arithmetic.
+func (s *Server) computePredict(app string, v core.Variant, cfg core.Config, ver uint64) (PredictResponse, error) {
+	pred, err := s.predictor(app)
+	if err != nil {
+		return PredictResponse{}, withStatus(http.StatusInternalServerError, err)
 	}
 	p, err := pred.Predict(cfg, v)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
-		return
+		return PredictResponse{}, withStatus(http.StatusUnprocessableEntity, err)
 	}
-	writeJSON(w, http.StatusOK, PredictResponse{
-		App:      req.App,
-		Variant:  v.String(),
-		Config:   cfg,
-		Tdisk:    p.Tdisk,
-		Tnetwork: p.Tnetwork,
-		Tcompute: p.Tcompute,
-		Tro:      p.Tro,
-		Tglobal:  p.Tglobal,
-		Texec:    p.Texec(),
+	return PredictResponse{
+		App:          app,
+		Variant:      v.String(),
+		StoreVersion: ver,
+		Config:       cfg,
+		Tdisk:        p.Tdisk,
+		Tnetwork:     p.Tnetwork,
+		Tcompute:     p.Tcompute,
+		Tro:          p.Tro,
+		Tglobal:      p.Tglobal,
+		Texec:        p.Texec(),
 		Pretty: fmt.Sprintf("t_d=%v t_n=%v t_c=%v (T_exec %v)",
 			round(p.Tdisk), round(p.Tnetwork), round(p.Tcompute), round(p.Texec())),
-	})
+	}, nil
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	var req SelectRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -338,20 +423,55 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	spec, err := bench.Dataset(req.App, total)
+	resp, err := s.selectResponse(req.App, v, total, deadline)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, errorStatus(err), err)
 		return
 	}
-	pred, err := s.predictor(req.App)
+	// resp is a copy of the (possibly cached, shared) value; Limit
+	// truncates only this request's view of the ranking.
+	if req.Limit > 0 && req.Limit < len(resp.Candidates) {
+		resp.Candidates = resp.Candidates[:req.Limit]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// selectKey renders the cache key for one ranking. Limit is deliberately
+// absent: the full ranking is cached once and truncated per request.
+func selectKey(app string, v core.Variant, total units.Bytes, deadline time.Duration) string {
+	return fmt.Sprintf("%s|%s|%d|%d", app, v, int64(total), int64(deadline))
+}
+
+// selectResponse serves one ranking through the response cache. A
+// ranking depends on the profile store and on the live bandwidth
+// estimator, so the cache version is the snapshot version plus the
+// observation epoch (see Server.estEpoch for why the sum is sound).
+func (s *Server) selectResponse(app string, v core.Variant, total units.Bytes, deadline time.Duration) (SelectResponse, error) {
+	snapVer := s.store.Snapshot().Version()
+	if s.selectCache == nil {
+		return s.computeSelect(app, v, total, deadline, snapVer)
+	}
+	ver := snapVer + s.estEpoch.Load()
+	return s.selectCache.Get(selectKey(app, v, total, deadline), ver, func() (SelectResponse, error) {
+		return s.computeSelect(app, v, total, deadline, snapVer)
+	})
+}
+
+// computeSelect is the cold path: build the per-request selection
+// service (replica layouts, live bandwidths, offers) and rank — or,
+// with a deadline, capacity-plan — the candidates.
+func (s *Server) computeSelect(app string, v core.Variant, total units.Bytes, deadline time.Duration, ver uint64) (SelectResponse, error) {
+	spec, err := bench.Dataset(app, total)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+		return SelectResponse{}, withStatus(http.StatusBadRequest, err)
+	}
+	pred, err := s.predictor(app)
+	if err != nil {
+		return SelectResponse{}, withStatus(http.StatusInternalServerError, err)
 	}
 	svc, err := s.selectionService(spec)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+		return SelectResponse{}, withStatus(http.StatusInternalServerError, err)
 	}
 	// The source resolves the store's latest snapshot each ranking round,
 	// so a recalibration between requests re-ranks with fresh profiles.
@@ -359,29 +479,23 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	// call above guarantees the app is in the store by now.
 	sel := &grid.Selector{
 		Predictor: pred,
-		Source:    s.store.NewSource(req.App, AppModelLookup(req.App)),
+		Source:    s.store.NewSource(app, AppModelLookup(app)),
 		Variant:   v,
 	}
-	resp := SelectResponse{App: req.App, Dataset: spec.Name, Size: total}
+	resp := SelectResponse{App: app, Dataset: spec.Name, StoreVersion: ver, Size: total}
 	if deadline > 0 {
 		cand, err := grid.PlanCapacity(sel, svc, spec.Name, deadline)
 		if err != nil {
-			writeError(w, statusForRankError(err), err)
-			return
+			return SelectResponse{}, withStatus(statusForRankError(err), err)
 		}
 		c := toCandidate(cand)
 		resp.Selected = &c
 		resp.Candidates = []SelectCandidate{c}
-		writeJSON(w, http.StatusOK, resp)
-		return
+		return resp, nil
 	}
 	ranked, err := sel.Rank(svc, spec.Name)
 	if err != nil {
-		writeError(w, statusForRankError(err), err)
-		return
-	}
-	if req.Limit > 0 && req.Limit < len(ranked) {
-		ranked = ranked[:req.Limit]
+		return SelectResponse{}, withStatus(statusForRankError(err), err)
 	}
 	resp.Candidates = make([]SelectCandidate, len(ranked))
 	for i, cand := range ranked {
@@ -389,12 +503,12 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	best := resp.Candidates[0]
 	resp.Selected = &best
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	var req ObserveRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -416,6 +530,9 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// The estimator's state feeds selection bandwidths: bump the epoch so
+	// cached rankings computed before this observation stop matching.
+	s.estEpoch.Add(1)
 	resp := ObserveResponse{
 		Site:    req.Site,
 		Cluster: req.Cluster,
@@ -432,7 +549,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 // trigger a recalibration (reported in the response).
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -481,19 +598,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	profiled := len(s.preds)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Apps:          apps.Names(),
 		ProfiledApps:  profiled,
 		StoreVersion:  s.store.Snapshot().Version(),
-	})
+	}
+	code := http.StatusOK
+	switch {
+	case s.draining.Load():
+		resp.Status, code = "degraded", http.StatusServiceUnavailable
+		resp.Reason = "draining: shutdown in progress, in-flight requests are completing"
+	case s.lim.saturated():
+		resp.Status, code = "degraded", http.StatusServiceUnavailable
+		resp.Reason = "overloaded: concurrency limiter saturated, requests are being shed with 503"
+	}
+	writeJSON(w, code, resp)
 }
 
 // Handler assembles the service mux: instrumented, concurrency-bounded,
 // per-request-timed handlers plus the metrics exposition.
 func (s *Server) Handler() http.Handler {
-	lim := newLimiter(s.opts.MaxInFlight)
+	lim := s.lim
 	mux := http.NewServeMux()
 	mux.Handle("/predict", s.instrument("/predict", lim, http.MethodPost, s.handlePredict))
 	mux.Handle("/select", s.instrument("/select", lim, http.MethodPost, s.handleSelect))

@@ -1,0 +1,181 @@
+package fgservice
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"freerideg/internal/metrics"
+)
+
+// errorCounter reads the per-endpoint HTTP error counter the
+// instrumentation middleware maintains.
+func errorCounter(path string) *metrics.Counter {
+	return metrics.GetCounter("fg_http_errors_total", "", metrics.Label{Key: "path", Value: path})
+}
+
+// doRequest issues one request with an arbitrary method against the
+// handler (postJSON is POST-only).
+func doRequest(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, path, nil)
+	} else {
+		req = httptest.NewRequest(method, path, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// oversizedBody is a syntactically valid JSON object just past the
+// request body cap, so the only thing wrong with it is its size.
+func oversizedBody() string {
+	return `{"pad":"` + strings.Repeat("x", MaxRequestBody) + `"}`
+}
+
+const (
+	goodConfig  = `{"cluster":"pentium-myrinet","dataNodes":1,"computeNodes":1,"bandwidth":"100MB","datasetBytes":"512MB"}`
+	goodPredict = `{"app":"kmeans","config":` + goodConfig + `}`
+	goodRun     = `{"app":"kmeans","config":` + goodConfig + `,"tdisk":"2s","tnetwork":"1s","tcompute":"8s"}`
+)
+
+// TestHandlerErrorPaths drives every endpoint through its client-error
+// classes and pins three contracts per case: the HTTP status, the
+// structured apiError envelope (a client mistake is never a bare 500
+// body), and that the per-endpoint error counter moved by exactly one.
+func TestHandlerErrorPaths(t *testing.T) {
+	h := testServer(t).Handler()
+
+	cases := []struct {
+		name     string
+		method   string
+		path     string
+		body     string
+		status   int
+		contains string // required substring of the error message
+	}{
+		// Wrong method on every endpoint.
+		{"predict wrong method", http.MethodGet, "/predict", "", http.StatusMethodNotAllowed, "method"},
+		{"select wrong method", http.MethodGet, "/select", "", http.StatusMethodNotAllowed, "method"},
+		{"observe wrong method", http.MethodGet, "/observe", "", http.StatusMethodNotAllowed, "method"},
+		{"runs wrong method", http.MethodDelete, "/runs", "", http.StatusMethodNotAllowed, "method"},
+		{"profiles wrong method", http.MethodPost, "/profiles", "{}", http.StatusMethodNotAllowed, "method"},
+		{"healthz wrong method", http.MethodPost, "/healthz", "{}", http.StatusMethodNotAllowed, "method"},
+
+		// Malformed JSON.
+		{"predict malformed json", http.MethodPost, "/predict", "{nope", http.StatusBadRequest, "decoding request"},
+		{"select malformed json", http.MethodPost, "/select", "[", http.StatusBadRequest, "decoding request"},
+		{"observe malformed json", http.MethodPost, "/observe", "not json", http.StatusBadRequest, "decoding request"},
+		{"runs malformed json", http.MethodPost, "/runs", `{"app":}`, http.StatusBadRequest, "decoding request"},
+
+		// Empty body is a decode error too, not a panic or a 500.
+		{"predict empty body", http.MethodPost, "/predict", "", http.StatusBadRequest, "decoding request"},
+
+		// Unknown fields are rejected — a misspelled key must not be
+		// silently dropped into a default.
+		{"predict unknown field", http.MethodPost, "/predict",
+			`{"app":"kmeans","confg":` + goodConfig + `}`, http.StatusBadRequest, "unknown field"},
+		{"select unknown field", http.MethodPost, "/select",
+			`{"app":"kmeans","size":"1GB","lmit":3}`, http.StatusBadRequest, "unknown field"},
+		{"observe unknown field", http.MethodPost, "/observe",
+			`{"site":"osu-repository","cluster":"pentium-myrinet","bytes":"1MB","elapsed":"1s","speed":"9"}`,
+			http.StatusBadRequest, "unknown field"},
+		{"runs unknown field", http.MethodPost, "/runs",
+			`{"app":"kmeans","twall":"10s"}`, http.StatusBadRequest, "unknown field"},
+
+		// Trailing content after the first JSON value.
+		{"predict trailing value", http.MethodPost, "/predict", goodPredict + `{}`,
+			http.StatusBadRequest, "more than one JSON value"},
+
+		// Oversized bodies on each POST endpoint.
+		{"predict oversized body", http.MethodPost, "/predict", oversizedBody(), http.StatusBadRequest, "exceeds"},
+		{"select oversized body", http.MethodPost, "/select", oversizedBody(), http.StatusBadRequest, "exceeds"},
+		{"observe oversized body", http.MethodPost, "/observe", oversizedBody(), http.StatusBadRequest, "exceeds"},
+		{"runs oversized body", http.MethodPost, "/runs", oversizedBody(), http.StatusBadRequest, "exceeds"},
+
+		// Non-finite numerics are stopped at the parse boundary.
+		{"predict non-finite size", http.MethodPost, "/predict",
+			`{"app":"kmeans","config":{"cluster":"pentium-myrinet","dataNodes":1,"computeNodes":1,"bandwidth":"100MB","datasetBytes":"NaNGB"}}`,
+			http.StatusBadRequest, "non-finite"},
+		{"predict non-finite bandwidth", http.MethodPost, "/predict",
+			`{"app":"kmeans","config":{"cluster":"pentium-myrinet","dataNodes":1,"computeNodes":1,"bandwidth":"+InfMB","datasetBytes":"512MB"}}`,
+			http.StatusBadRequest, "non-finite"},
+		{"select non-finite size", http.MethodPost, "/select",
+			`{"app":"kmeans","size":"NaNGB"}`, http.StatusBadRequest, "non-finite"},
+		{"observe non-finite bytes", http.MethodPost, "/observe",
+			`{"site":"osu-repository","cluster":"pentium-myrinet","bytes":"InfMB","elapsed":"1s"}`,
+			http.StatusBadRequest, "non-finite"},
+		{"runs non-finite size", http.MethodPost, "/runs",
+			`{"app":"kmeans","config":{"cluster":"pentium-myrinet","dataNodes":1,"computeNodes":1,"bandwidth":"100MB","datasetBytes":"InfGB"},"tdisk":"2s","tnetwork":"1s","tcompute":"8s"}`,
+			http.StatusBadRequest, "non-finite"},
+
+		// Unknown application and variant.
+		{"predict unknown app", http.MethodPost, "/predict",
+			`{"app":"warpdrive","config":` + goodConfig + `}`, http.StatusNotFound, "warpdrive"},
+		{"select unknown app", http.MethodPost, "/select",
+			`{"app":"warpdrive","size":"1GB"}`, http.StatusNotFound, "warpdrive"},
+		{"predict unknown variant", http.MethodPost, "/predict",
+			`{"app":"kmeans","variant":"psychic","config":` + goodConfig + `}`, http.StatusBadRequest, "psychic"},
+		{"select unknown variant", http.MethodPost, "/select",
+			`{"app":"kmeans","size":"1GB","variant":"psychic"}`, http.StatusBadRequest, "psychic"},
+
+		// Semantic validation after a clean decode.
+		{"predict invalid config", http.MethodPost, "/predict",
+			`{"app":"kmeans","config":{"cluster":"pentium-myrinet","dataNodes":4,"computeNodes":2,"bandwidth":"100MB","datasetBytes":"512MB"}}`,
+			http.StatusBadRequest, "compute nodes"},
+		{"select bad deadline", http.MethodPost, "/select",
+			`{"app":"kmeans","size":"1GB","deadline":"soon"}`, http.StatusBadRequest, "deadline"},
+		{"observe missing site", http.MethodPost, "/observe",
+			`{"cluster":"pentium-myrinet","bytes":"1MB","elapsed":"1s"}`, http.StatusBadRequest, "site"},
+		{"runs missing duration", http.MethodPost, "/runs",
+			`{"app":"kmeans","config":` + goodConfig + `,"tnetwork":"1s","tcompute":"8s"}`,
+			http.StatusBadRequest, "tdisk"},
+		{"runs missing app", http.MethodPost, "/runs",
+			`{"config":` + goodConfig + `,"tdisk":"2s","tnetwork":"1s","tcompute":"8s"}`,
+			http.StatusBadRequest, "app"},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errsBefore := errorCounter(tc.path).Value()
+			rec := doRequest(t, h, tc.method, tc.path, tc.body)
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d, want %d (%s)", rec.Code, tc.status, rec.Body)
+			}
+			var apiErr struct {
+				Error  string `json:"error"`
+				Status int    `json:"status"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &apiErr); err != nil {
+				t.Fatalf("error body is not the apiError envelope: %v (%s)", err, rec.Body)
+			}
+			if apiErr.Error == "" || apiErr.Status != tc.status {
+				t.Fatalf("envelope = %+v, want non-empty error with status %d", apiErr, tc.status)
+			}
+			if !strings.Contains(apiErr.Error, tc.contains) {
+				t.Errorf("error %q does not mention %q", apiErr.Error, tc.contains)
+			}
+			if got := errorCounter(tc.path).Value() - errsBefore; got != 1 {
+				t.Errorf("fg_http_errors_total{path=%s} moved by %v, want 1", tc.path, got)
+			}
+		})
+	}
+}
+
+// TestErrorPathsLeaveSuccessCounterClean pins that an error request
+// still answers a later valid one — the handler state (limiter slots,
+// caches) survives every error class above.
+func TestErrorPathsLeaveSuccessCounterClean(t *testing.T) {
+	h := testServer(t).Handler()
+	if rec := postJSON(t, h, "/predict", `{"app":"kmeans","confg":{}}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad request: %d", rec.Code)
+	}
+	if rec := postJSON(t, h, "/predict", goodPredict); rec.Code != http.StatusOK {
+		t.Fatalf("valid request after error: %d (%s)", rec.Code, rec.Body)
+	}
+}

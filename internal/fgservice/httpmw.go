@@ -39,6 +39,10 @@ func (l *limiter) tryAcquire() bool {
 
 func (l *limiter) release() { <-l.slots }
 
+// saturated reports whether every slot is taken right now — the signal
+// /healthz uses to report degraded state while load is being shed.
+func (l *limiter) saturated() bool { return len(l.slots) == cap(l.slots) }
+
 // statusRecorder captures the response status for the request counters.
 type statusRecorder struct {
 	http.ResponseWriter
@@ -86,7 +90,10 @@ func (s *Server) instrument(path string, lim *limiter, method string, h http.Han
 		}
 		inflight.Add(1)
 		defer inflight.Add(-1)
-		if s.delay > 0 {
+		// The test-only slowdown models handler work, which only the
+		// bounded endpoints do; a delayed health probe would observe the
+		// world after the load it is meant to report has drained.
+		if s.delay > 0 && lim != nil {
 			time.Sleep(s.delay)
 		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}

@@ -24,6 +24,7 @@ package fgservice
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"freerideg/internal/adr"
@@ -32,6 +33,7 @@ import (
 	"freerideg/internal/core"
 	"freerideg/internal/grid"
 	"freerideg/internal/profile"
+	"freerideg/internal/servecache"
 	"freerideg/internal/units"
 )
 
@@ -73,6 +75,13 @@ type Options struct {
 	MaxInFlight int
 	// RequestTimeout bounds one request's handling time (default 30s).
 	RequestTimeout time.Duration
+	// DisableCache turns the response cache off: every request runs the
+	// full prediction/ranking path. The cold baseline fgload compares
+	// against.
+	DisableCache bool
+	// CacheEntries bounds each response cache's entry count (default
+	// servecache.DefaultMaxEntries).
+	CacheEntries int
 }
 
 // DefaultSites returns the demo replica topology.
@@ -95,8 +104,9 @@ func DefaultOffers() []grid.ComputeOffer {
 // predEntry is one cached (or in-flight) per-application predictor, the
 // same duplicate-suppression shape as the bench harness's simCache: the
 // first request for an app profiles it, concurrent requests wait for
-// that one profiling run. The entry is pinned to the app's profile
-// version; a recalibration invalidates it by moving the version.
+// that one profiling run. The entry is pinned to the store snapshot
+// version it was built from; any content change invalidates it by
+// moving the version.
 type predEntry struct {
 	done    chan struct{}
 	version uint64
@@ -112,9 +122,27 @@ type Server struct {
 	est     *grid.BandwidthEstimator
 	store   *profile.Store
 	start   time.Time
+	lim     *limiter
 
 	mu    sync.Mutex
 	preds map[string]*predEntry
+
+	// Response caches, keyed by the rendered request and pinned to the
+	// store snapshot version (selections also fold in estEpoch). Nil
+	// when Options.DisableCache is set.
+	predictCache *servecache.Cache[PredictResponse]
+	selectCache  *servecache.Cache[SelectResponse]
+
+	// estEpoch counts accepted /observe samples. Selection answers
+	// depend on the live bandwidth estimator as well as the profile
+	// store, so the select cache's version is the sum of the snapshot
+	// version and this epoch: both are monotonic, every accepted change
+	// bumps the sum by at least one, and a sum value can therefore never
+	// recur for a different (store, estimator) state.
+	estEpoch atomic.Uint64
+
+	// draining is set once shutdown begins; /healthz reports degraded.
+	draining atomic.Bool
 
 	// delay artificially slows request handling; tests set it to prove
 	// in-flight requests survive graceful shutdown.
@@ -166,16 +194,47 @@ func New(opts Options) (*Server, error) {
 	// The harness's calibrated interconnects backstop clusters the store
 	// has no measured link calibration for; measured values win.
 	store.SeedLinks(h.Links())
-	return &Server{
+	s := &Server{
 		opts:    opts,
 		variant: variant,
 		harness: h,
 		est:     grid.NewBandwidthEstimator(0),
 		store:   store,
 		start:   time.Now(),
+		lim:     newLimiter(opts.MaxInFlight),
 		preds:   make(map[string]*predEntry),
-	}, nil
+	}
+	if !opts.DisableCache {
+		s.predictCache = servecache.New[PredictResponse](servecache.Options{
+			Name: "predict", MaxEntries: opts.CacheEntries})
+		s.selectCache = servecache.New[SelectResponse](servecache.Options{
+			Name: "select", MaxEntries: opts.CacheEntries})
+	}
+	return s, nil
 }
+
+// CacheStats reads the response caches' counters (zero when the cache
+// is disabled). Counter series are shared per cache name across servers
+// in one process, so callers comparing runs should subtract a reading
+// taken at server construction.
+func (s *Server) CacheStats() (predict, sel servecache.Stats) {
+	if s.predictCache != nil {
+		predict = s.predictCache.Stats()
+	}
+	if s.selectCache != nil {
+		sel = s.selectCache.Stats()
+	}
+	return predict, sel
+}
+
+// StartDrain flips the server into draining state: requests in flight
+// keep being served (http.Server.Shutdown handles that), but /healthz
+// answers 503 so load balancers and load harnesses stop sending new
+// work here and can tell an orderly drain from a crash.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // AppModelLookup resolves an application's scaling-class model from the
 // registry, the Lookup hook a service-facing profile.Store should use.
@@ -194,17 +253,21 @@ func (s *Server) Estimator() *grid.BandwidthEstimator { return s.est }
 func (s *Server) Store() *profile.Store { return s.store }
 
 // predictor returns the predictor for app at the store's current
-// profile version. Unknown apps are profiled once by a simulated run of
-// the base configuration and adopted into the store; a recalibration
-// moves the app's version, so the stale cache entry is rebuilt from the
-// fresh snapshot on the next request.
+// snapshot version. Unknown apps are profiled once by a simulated run
+// of the base configuration and adopted into the store; any content
+// change — a recalibration of this app, but also a link or scaling
+// refit landed by another app's samples — moves the snapshot version,
+// so the stale cache entry is rebuilt from the fresh snapshot on the
+// next request. (Pinning to the per-app version would miss those
+// shared-calibration changes.)
 func (s *Server) predictor(app string) (*core.Predictor, error) {
 	a, err := apps.Get(app)
 	if err != nil {
 		return nil, err
 	}
 	snap := s.store.Snapshot()
-	_, ver, known := snap.Find(app)
+	_, _, known := snap.Find(app)
+	ver := snap.Version()
 
 	s.mu.Lock()
 	if e, ok := s.preds[app]; ok && (!known || e.version == ver) {
@@ -221,13 +284,12 @@ func (s *Server) predictor(app string) (*core.Predictor, error) {
 
 	e.pred, e.err = s.buildPredictor(app, a.Model, snap, known)
 	if e.err == nil && !known {
-		// Adoption assigned the version; pin the entry to it. Concurrent
-		// requests read e.version under mu, so write it there too.
-		if _, v, ok := s.store.Snapshot().Find(app); ok {
-			s.mu.Lock()
-			e.version = v
-			s.mu.Unlock()
-		}
+		// Adoption advanced the store; pin the entry to the post-adoption
+		// snapshot. Concurrent requests read e.version under mu, so write
+		// it there too.
+		s.mu.Lock()
+		e.version = s.store.Snapshot().Version()
+		s.mu.Unlock()
 	}
 	close(e.done)
 	if e.err != nil {

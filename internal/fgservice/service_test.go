@@ -386,11 +386,53 @@ func TestThrottlingShedsLoad(t *testing.T) {
 	if code := postJSON(t, h, "/predict", body).Code; code != http.StatusServiceUnavailable {
 		t.Fatalf("second concurrent request: status %d, want 503", code)
 	}
-	if code := getPath(t, h, "/healthz").Code; code != http.StatusOK {
-		t.Fatalf("/healthz throttled: status %d, want 200 (health must bypass the bound)", code)
+	// /healthz bypasses the bound (it must answer under load) but reports
+	// the saturation as degraded state, so load tests can tell shedding
+	// from failure.
+	rec := getPath(t, h, "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz under saturation: status %d, want 503 degraded (%s)", rec.Code, rec.Body)
+	}
+	var health HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" || !strings.Contains(health.Reason, "overloaded") {
+		t.Fatalf("saturated health = %+v, want degraded/overloaded", health)
 	}
 	if code := <-first; code != http.StatusOK {
 		t.Fatalf("first request: status %d, want 200", code)
+	}
+	// With the slot free again, health must recover to ok/200.
+	if code := getPath(t, h, "/healthz").Code; code != http.StatusOK {
+		t.Fatalf("/healthz after load drained: status %d, want 200", code)
+	}
+}
+
+// TestHealthzReportsDraining pins the drain half of the degraded state.
+func TestHealthzReportsDraining(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	if code := getPath(t, h, "/healthz").Code; code != http.StatusOK {
+		t.Fatalf("fresh server /healthz: %d", code)
+	}
+	s.StartDrain()
+	rec := getPath(t, h, "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz: status %d, want 503", rec.Code)
+	}
+	var health HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" || !strings.Contains(health.Reason, "draining") {
+		t.Fatalf("draining health = %+v", health)
+	}
+	// Draining sheds only new health probes, not requests already allowed
+	// in: /predict still answers.
+	body := `{"app":"kmeans","config":{"cluster":"pentium-myrinet","dataNodes":1,"computeNodes":1,"bandwidth":"100MB","datasetBytes":"512MB"}}`
+	if code := postJSON(t, h, "/predict", body).Code; code != http.StatusOK {
+		t.Fatalf("/predict while draining: status %d, want 200", code)
 	}
 }
 

@@ -1,0 +1,299 @@
+// Package loadgen is the deterministic load-generation and soak harness
+// for the prediction service: it replays a seeded workload mix of
+// /predict, /select, /observe, and /runs requests at configurable
+// concurrency against an in-process or remote server, records
+// per-endpoint latency quantiles and error rates, and — when asked —
+// interleaves drift-driven recalibrations with the read traffic to
+// assert the serve-path cache never serves a pre-recalibration answer
+// after the recalibration is known complete.
+//
+// Determinism contract: the op sequence (kinds, bodies, per-worker
+// assignment) is a pure function of Options, fingerprinted by the
+// workload checksum in the report. Two runs with equal options replay
+// byte-identical request streams; only the measured latencies and the
+// interleaving across workers vary.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"freerideg/internal/bench"
+	"freerideg/internal/fgservice"
+	"freerideg/internal/units"
+)
+
+// Mix holds the relative weights of the four request kinds in the
+// generated workload. The zero value selects DefaultMix.
+type Mix struct {
+	Predict int `json:"predict"`
+	Select  int `json:"select"`
+	Observe int `json:"observe"`
+	Runs    int `json:"runs"`
+}
+
+// DefaultMix is a read-heavy mix: mostly predictions, some selections,
+// a trickle of estimator observations and calibration runs — enough
+// write traffic to keep the caches honest without drowning the reads.
+func DefaultMix() Mix { return Mix{Predict: 6, Select: 2, Observe: 1, Runs: 1} }
+
+func (m Mix) total() int { return m.Predict + m.Select + m.Observe + m.Runs }
+
+// ParseMix parses "predict=6,select=2,observe=1,runs=1". Omitted kinds
+// weigh zero; an empty string selects DefaultMix.
+func ParseMix(s string) (Mix, error) {
+	if strings.TrimSpace(s) == "" {
+		return DefaultMix(), nil
+	}
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("loadgen: mix term %q: want kind=weight", part)
+		}
+		w, err := strconv.Atoi(v)
+		if err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("loadgen: mix weight %q: want a non-negative integer", v)
+		}
+		switch k {
+		case "predict":
+			m.Predict = w
+		case "select":
+			m.Select = w
+		case "observe":
+			m.Observe = w
+		case "runs":
+			m.Runs = w
+		default:
+			return Mix{}, fmt.Errorf("loadgen: unknown mix kind %q (want predict, select, observe, or runs)", k)
+		}
+	}
+	if m.total() == 0 {
+		return Mix{}, fmt.Errorf("loadgen: mix %q has zero total weight", s)
+	}
+	return m, nil
+}
+
+// Options configure one load run. Zero values select the defaults noted
+// per field.
+type Options struct {
+	// Requests is the total number of generated operations (default 200).
+	Requests int
+	// Concurrency is the worker count; op i runs on worker i mod
+	// Concurrency (default 4).
+	Concurrency int
+	// Seed drives every random choice in the workload.
+	Seed int64
+	// Mix weighs the request kinds (zero value: DefaultMix).
+	Mix Mix
+	// App is the application every request targets (default "kmeans").
+	App string
+	// BaseBytes is the mid-point dataset size; generated sizes span
+	// 0.5×..2× around it (default 64MB).
+	BaseBytes units.Bytes
+	// Coherence, when positive, runs that many drift-driven
+	// recalibration batches concurrently with the workers and turns on
+	// the storeVersion monotonicity check on every /predict and /select
+	// response (see Report.Coherence).
+	Coherence int
+	// Sites are the replica sites /observe ops report transfers for
+	// (default: the fgservice demo topology's site names).
+	Sites []string
+	// Cluster is the compute cluster every generated config targets
+	// (default: the calibrated Pentium/Myrinet testbed cluster).
+	Cluster string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Requests <= 0 {
+		o.Requests = 200
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 4
+	}
+	if o.Mix.total() == 0 {
+		o.Mix = DefaultMix()
+	}
+	if o.App == "" {
+		o.App = "kmeans"
+	}
+	if o.BaseBytes <= 0 {
+		o.BaseBytes = 64 * units.MB
+	}
+	if len(o.Sites) == 0 {
+		for _, s := range fgservice.DefaultSites() {
+			o.Sites = append(o.Sites, s.Name)
+		}
+	}
+	if o.Cluster == "" {
+		o.Cluster = bench.PentiumCluster
+	}
+	return o
+}
+
+// op is one pre-generated request of the workload.
+type op struct {
+	path string
+	body string
+}
+
+// variants rotates requests across the paper's three model variants
+// (plus the server default) so cache keys span the variant dimension.
+var variants = []string{"", "nocomm", "reduction", "global"}
+
+// sizeStrings renders the three dataset sizes the workload draws from:
+// half, base, and double, in whole megabytes so they survive the wire
+// round-trip through units.ParseBytes exactly.
+func sizeStrings(base units.Bytes) []string {
+	mb := int64(base / units.MB)
+	if mb < 2 {
+		mb = 2
+	}
+	return []string{
+		fmt.Sprintf("%dMB", mb/2),
+		fmt.Sprintf("%dMB", mb),
+		fmt.Sprintf("%dMB", 2*mb),
+	}
+}
+
+// baseConfig is the fixed configuration /runs samples (and the warmup
+// prediction) use: calibration traffic concentrates on one config so
+// drift accumulates there instead of scattering.
+func baseConfig(o Options, size string) fgservice.ConfigRequest {
+	return fgservice.ConfigRequest{
+		Cluster:      o.Cluster,
+		DataNodes:    1,
+		ComputeNodes: 2,
+		Bandwidth:    "100MB",
+		DatasetBytes: size,
+	}
+}
+
+// schedule pre-generates the whole op sequence from the seed and
+// fingerprints it. Generating everything up front (rather than rolling
+// dice inside workers) is what makes the workload independent of
+// scheduling: the request stream is fixed before the first byte is
+// sent.
+func schedule(o Options) ([]op, string) {
+	rng := rand.New(rand.NewSource(o.Seed))
+	sizes := sizeStrings(o.BaseBytes)
+	ops := make([]op, o.Requests)
+	sum := fnv.New64a()
+	bounds := [4]int{
+		o.Mix.Predict,
+		o.Mix.Predict + o.Mix.Select,
+		o.Mix.Predict + o.Mix.Select + o.Mix.Observe,
+		o.Mix.total(),
+	}
+	for i := range ops {
+		k := rng.Intn(bounds[3])
+		switch {
+		case k < bounds[0]:
+			ops[i] = predictOp(rng, o, sizes)
+		case k < bounds[1]:
+			ops[i] = selectOp(rng, o, sizes)
+		case k < bounds[2]:
+			ops[i] = observeOp(rng, o, sizes)
+		default:
+			ops[i] = runsOp(rng, o, sizes)
+		}
+		sum.Write([]byte(ops[i].path))
+		sum.Write([]byte{0})
+		sum.Write([]byte(ops[i].body))
+		sum.Write([]byte{0})
+	}
+	return ops, fmt.Sprintf("%016x", sum.Sum64())
+}
+
+func marshalOp(path string, req any) op {
+	b, err := json.Marshal(req)
+	if err != nil {
+		// The request types marshal by construction; a failure here is a
+		// programming error, not load-dependent.
+		panic(fmt.Sprintf("loadgen: marshaling %s request: %v", path, err))
+	}
+	return op{path: path, body: string(b)}
+}
+
+func predictOp(rng *rand.Rand, o Options, sizes []string) op {
+	dn := []int{1, 2, 4}[rng.Intn(3)]
+	cn := dn * []int{1, 2, 4}[rng.Intn(3)]
+	bw := []string{"50MB", "100MB", "200MB"}[rng.Intn(3)]
+	size := sizes[rng.Intn(len(sizes))]
+	variant := variants[rng.Intn(len(variants))]
+	return marshalOp("/predict", fgservice.PredictRequest{
+		App:     o.App,
+		Variant: variant,
+		Config: fgservice.ConfigRequest{
+			Cluster:      o.Cluster,
+			DataNodes:    dn,
+			ComputeNodes: cn,
+			Bandwidth:    bw,
+			DatasetBytes: size,
+		},
+	})
+}
+
+func selectOp(rng *rand.Rand, o Options, sizes []string) op {
+	size := sizes[rng.Intn(len(sizes))]
+	limit := []int{0, 1, 3}[rng.Intn(3)]
+	variant := variants[rng.Intn(len(variants))]
+	deadline := ""
+	if rng.Intn(4) == 0 {
+		// A generous deadline keeps the capacity-planning path exercised
+		// without ever being unreachable for these dataset sizes.
+		deadline = "2h"
+	}
+	return marshalOp("/select", fgservice.SelectRequest{
+		App:      o.App,
+		Size:     size,
+		Limit:    limit,
+		Deadline: deadline,
+		Variant:  variant,
+	})
+}
+
+func observeOp(rng *rand.Rand, o Options, sizes []string) op {
+	site := o.Sites[rng.Intn(len(o.Sites))]
+	size := sizes[rng.Intn(len(sizes))]
+	elapsed := []string{"500ms", "1s", "2s", "4s"}[rng.Intn(4)]
+	return marshalOp("/observe", fgservice.ObserveRequest{
+		Site:    site,
+		Cluster: o.Cluster,
+		Bytes:   size,
+		Elapsed: elapsed,
+	})
+}
+
+func runsOp(rng *rand.Rand, o Options, sizes []string) op {
+	// Jitter within ±10% stays under the 15% drift threshold on its own;
+	// sustained recalibration pressure comes from the coherence batches,
+	// not the background run stream.
+	jitter := 0.9 + 0.2*rng.Float64()
+	return marshalOp("/runs", fgservice.RunRequest{
+		App:      o.App,
+		Config:   baseConfig(o, sizes[1]),
+		Tdisk:    scaleDur(2*time.Second, jitter),
+		Tnetwork: scaleDur(time.Second, jitter),
+		Tcompute: scaleDur(8*time.Second, jitter),
+		// An explicit iteration count keeps adopted-on-first-run profiles
+		// valid even when a /runs op wins the race against self-profiling.
+		Iterations: 10,
+	})
+}
+
+func scaleDur(d time.Duration, f float64) string {
+	return (time.Duration(float64(d) * f)).String()
+}
+
+// post is the shared POST-JSON helper for the warmup request and the
+// recalibration coordinator.
+func post(t Target, path, body string) (int, []byte, error) {
+	return t.Do(http.MethodPost, path, []byte(body))
+}

@@ -1,0 +1,175 @@
+package loadgen
+
+import (
+	"net/http"
+	"testing"
+
+	"freerideg/internal/fgservice"
+	"freerideg/internal/units"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("predict=3,select=2,runs=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (Mix{Predict: 3, Select: 2, Runs: 1}) {
+		t.Fatalf("ParseMix = %+v", m)
+	}
+	if m, err := ParseMix(""); err != nil || m != DefaultMix() {
+		t.Fatalf("empty mix = %+v, %v; want default", m, err)
+	}
+	for _, bad := range []string{"predict", "predict=-1", "walk=3", "predict=0,select=0", "predict=x"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	opts := Options{Requests: 300, Seed: 42}
+	a := New(nil, opts)
+	b := New(nil, opts)
+	if a.Checksum() != b.Checksum() {
+		t.Fatalf("same seed, different checksums: %s vs %s", a.Checksum(), b.Checksum())
+	}
+	for i := range a.ops {
+		if a.ops[i] != b.ops[i] {
+			t.Fatalf("op %d differs:\n %+v\n %+v", i, a.ops[i], b.ops[i])
+		}
+	}
+	c := New(nil, Options{Requests: 300, Seed: 43})
+	if c.Checksum() == a.Checksum() {
+		t.Fatal("different seeds produced the same workload checksum")
+	}
+}
+
+func TestScheduleCoversAllKinds(t *testing.T) {
+	r := New(nil, Options{Requests: 200, Seed: 7})
+	seen := make(map[string]int)
+	for _, o := range r.ops {
+		seen[o.path]++
+	}
+	for _, path := range []string{"/predict", "/select", "/observe", "/runs"} {
+		if seen[path] == 0 {
+			t.Errorf("200-op default-mix schedule generated no %s ops (%v)", path, seen)
+		}
+	}
+}
+
+// testTarget builds an in-process target over a fresh service.
+func testTarget(t *testing.T) Target {
+	t.Helper()
+	// MaxInFlight must admit every worker plus the coherence coordinator,
+	// or the limiter sheds load and the soak's zero-error assertion reads
+	// throttling as failure.
+	srv, err := fgservice.New(fgservice.Options{BaseBytes: 16 * units.MB, MaxInFlight: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewHandlerTarget(srv.Handler())
+}
+
+func TestRunInProcess(t *testing.T) {
+	r := New(testTarget(t), Options{Requests: 60, Concurrency: 4, Seed: 1, BaseBytes: 16 * units.MB})
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WorkloadChecksum != r.Checksum() {
+		t.Errorf("report checksum %s != runner checksum %s", rep.WorkloadChecksum, r.Checksum())
+	}
+	if rep.TransportErrors != 0 {
+		t.Fatalf("%d transport errors", rep.TransportErrors)
+	}
+	if rep.Overall.Count != 60 {
+		t.Fatalf("overall count = %d, want 60", rep.Overall.Count)
+	}
+	if rep.Overall.Errors != 0 || rep.StatusCounts["200"] != 60 {
+		t.Fatalf("expected 60 clean 200s, got errors=%d statusCounts=%v",
+			rep.Overall.Errors, rep.StatusCounts)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Error("non-positive throughput")
+	}
+	sum := 0
+	for path, st := range rep.Endpoints {
+		sum += st.Count
+		if st.P50Ms > st.P95Ms || st.P95Ms > st.P99Ms || st.P99Ms > st.MaxMs {
+			t.Errorf("%s: quantiles out of order: %+v", path, st)
+		}
+	}
+	if sum != rep.Overall.Count {
+		t.Errorf("endpoint counts sum to %d, want %d", sum, rep.Overall.Count)
+	}
+	if rep.Coherence != nil {
+		t.Error("coherence report present without Coherence option")
+	}
+}
+
+// TestCoherenceSoak is the race-focused soak: workers hammer the
+// cached read path while the coordinator drives real recalibrations
+// through /runs. Run under -race (scripts/check.sh does) it doubles as
+// the concurrency check on the serve cache; the report must show
+// recalibrations happening and zero monotonicity violations — no read
+// ever returned a pre-recalibration answer after its recalibration
+// completed.
+func TestCoherenceSoak(t *testing.T) {
+	r := New(testTarget(t), Options{
+		Requests:    150,
+		Concurrency: 8,
+		Seed:        3,
+		BaseBytes:   16 * units.MB,
+		Coherence:   4,
+	})
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coh := rep.Coherence
+	if coh == nil {
+		t.Fatal("no coherence report")
+	}
+	if coh.Errors != 0 {
+		t.Fatalf("coherence coordinator errors: %+v", coh)
+	}
+	if coh.Recalibrations < 1 {
+		t.Fatalf("no recalibrations triggered: %+v", coh)
+	}
+	if coh.Checked == 0 {
+		t.Fatalf("no responses version-checked: %+v", coh)
+	}
+	if coh.Violations != 0 {
+		t.Fatalf("%d coherence violations: a cached response predated a completed recalibration (%+v)",
+			coh.Violations, coh)
+	}
+	if coh.VersionFloor == 0 {
+		t.Fatalf("recalibrations reported but floor never rose: %+v", coh)
+	}
+	if rep.TransportErrors != 0 || rep.Overall.Errors != 0 {
+		t.Fatalf("soak saw errors: transport=%d http=%d status=%v",
+			rep.TransportErrors, rep.Overall.Errors, rep.StatusCounts)
+	}
+}
+
+func TestHandlerTargetRecordsStatusAndBody(t *testing.T) {
+	tgt := NewHandlerTarget(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			return
+		}
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("short and stout"))
+	}))
+	status, body, err := tgt.Do(http.MethodPost, "/x", []byte("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusTeapot || string(body) != "short and stout" {
+		t.Fatalf("got %d %q", status, body)
+	}
+	status, _, err = tgt.Do(http.MethodGet, "/x", nil)
+	if err != nil || status != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: %d, %v", status, err)
+	}
+}

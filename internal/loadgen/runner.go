@@ -1,0 +1,375 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"freerideg/internal/fgservice"
+	"freerideg/internal/stats"
+)
+
+// Runner replays one pre-generated workload against a target. Build it
+// with New; the op schedule is fixed at construction, so Checksum is
+// available before (and unchanged by) Run.
+type Runner struct {
+	opts     Options
+	target   Target
+	ops      []op
+	checksum string
+
+	// floor is the highest profile-store version published by a
+	// completed recalibration. Workers load it before each read; any
+	// /predict or /select response carrying a smaller storeVersion was
+	// computed before a recalibration the service had already finished —
+	// a stale cache serve, counted as a coherence violation.
+	floor  atomic.Uint64
+	recals atomic.Uint64
+}
+
+// New builds a runner: options are defaulted and the full op schedule
+// is generated from the seed immediately.
+func New(target Target, opts Options) *Runner {
+	opts = opts.withDefaults()
+	ops, sum := schedule(opts)
+	return &Runner{opts: opts, target: target, ops: ops, checksum: sum}
+}
+
+// Checksum fingerprints the generated workload. Equal options yield
+// equal checksums — the determinism handle load scripts assert on.
+func (r *Runner) Checksum() string { return r.checksum }
+
+// LatencyStats summarizes one latency population in milliseconds.
+type LatencyStats struct {
+	Count     int     `json:"count"`
+	Errors    int     `json:"errors"`
+	ErrorRate float64 `json:"errorRate"`
+	MeanMs    float64 `json:"meanMs"`
+	P50Ms     float64 `json:"p50Ms"`
+	P95Ms     float64 `json:"p95Ms"`
+	P99Ms     float64 `json:"p99Ms"`
+	MaxMs     float64 `json:"maxMs"`
+}
+
+// CoherenceReport is the outcome of the interleaved-recalibration
+// check: how many drifted batches ran, how many recalibrations they
+// triggered, and whether any read observed a pre-recalibration answer
+// after its recalibration had completed (Violations must be zero on a
+// correct cache).
+type CoherenceReport struct {
+	Batches        int    `json:"batches"`
+	Recalibrations int    `json:"recalibrations"`
+	VersionFloor   uint64 `json:"versionFloor"`
+	Checked        int    `json:"checked"`
+	Violations     int    `json:"violations"`
+	Errors         int    `json:"errors"`
+}
+
+// Report is one run's outcome. StatusCounts keys are the decimal HTTP
+// status codes ("200", "503"); TransportErrors counts requests that
+// never produced a status at all.
+type Report struct {
+	Seed             int64                   `json:"seed"`
+	Requests         int                     `json:"requests"`
+	Concurrency      int                     `json:"concurrency"`
+	Mix              Mix                     `json:"mix"`
+	App              string                  `json:"app"`
+	WorkloadChecksum string                  `json:"workloadChecksum"`
+	DurationSeconds  float64                 `json:"durationSeconds"`
+	ThroughputRPS    float64                 `json:"throughputRps"`
+	Overall          LatencyStats            `json:"overall"`
+	Endpoints        map[string]LatencyStats `json:"endpoints"`
+	StatusCounts     map[string]int          `json:"statusCounts"`
+	TransportErrors  int                     `json:"transportErrors"`
+	Coherence        *CoherenceReport        `json:"coherence,omitempty"`
+}
+
+// workerStats is one worker's private recorder; workers never share
+// mutable state, so the hot loop takes no locks.
+type workerStats struct {
+	lat        map[string][]float64 // latency seconds per endpoint
+	errs       map[string]int       // status >= 400 per endpoint
+	status     map[int]int
+	transport  int
+	checked    int
+	violations int
+}
+
+func newWorkerStats() *workerStats {
+	return &workerStats{
+		lat:    make(map[string][]float64),
+		errs:   make(map[string]int),
+		status: make(map[int]int),
+	}
+}
+
+// versionedResponse is the slice of a /predict or /select response the
+// coherence check needs.
+type versionedResponse struct {
+	StoreVersion uint64 `json:"storeVersion"`
+}
+
+// Run executes the workload and returns the report. The warmup request
+// (one /predict at the base config, uncounted) forces the app's profile
+// into the store first, so measured latencies never include the one-off
+// self-profiling simulation and the coherence coordinator has a
+// baseline to drift against.
+func (r *Runner) Run() (Report, error) {
+	warm := marshalOp("/predict", predictWarmup(r.opts))
+	if status, body, err := post(r.target, warm.path, warm.body); err != nil {
+		return Report{}, fmt.Errorf("loadgen: warmup predict: %w", err)
+	} else if status != http.StatusOK {
+		return Report{}, fmt.Errorf("loadgen: warmup predict: status %d: %s", status, body)
+	}
+
+	coh := &CoherenceReport{Batches: r.opts.Coherence}
+	start := time.Now()
+	var cohWG sync.WaitGroup
+	if r.opts.Coherence > 0 {
+		cohWG.Add(1)
+		go func() {
+			defer cohWG.Done()
+			r.driveRecalibrations(coh)
+		}()
+	}
+
+	perWorker := make([]*workerStats, r.opts.Concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < r.opts.Concurrency; w++ {
+		ws := newWorkerStats()
+		perWorker[w] = ws
+		wg.Add(1)
+		go func(w int, ws *workerStats) {
+			defer wg.Done()
+			for i := w; i < len(r.ops); i += r.opts.Concurrency {
+				r.runOp(r.ops[i], ws)
+			}
+		}(w, ws)
+	}
+	wg.Wait()
+	cohWG.Wait()
+	elapsed := time.Since(start)
+
+	rep, err := r.assemble(perWorker, elapsed)
+	if err != nil {
+		return Report{}, err
+	}
+	if r.opts.Coherence > 0 {
+		coh.Recalibrations = int(r.recals.Load())
+		coh.VersionFloor = r.floor.Load()
+		for _, ws := range perWorker {
+			coh.Checked += ws.checked
+			coh.Violations += ws.violations
+		}
+		rep.Coherence = coh
+	}
+	return rep, nil
+}
+
+func predictWarmup(o Options) fgservice.PredictRequest {
+	return fgservice.PredictRequest{App: o.App, Config: baseConfig(o, sizeStrings(o.BaseBytes)[1])}
+}
+
+// runOp issues one op and records its outcome. The coherence floor is
+// loaded before the request is sent: any recalibration published by
+// then must be visible in the response's storeVersion.
+func (r *Runner) runOp(o op, ws *workerStats) {
+	floor := r.floor.Load()
+	start := time.Now()
+	status, body, err := r.target.Do(http.MethodPost, o.path, []byte(o.body))
+	seconds := time.Since(start).Seconds()
+	if err != nil {
+		ws.transport++
+		return
+	}
+	ws.lat[o.path] = append(ws.lat[o.path], seconds)
+	ws.status[status]++
+	if status >= 400 {
+		ws.errs[o.path]++
+		return
+	}
+	if r.opts.Coherence > 0 && (o.path == "/predict" || o.path == "/select") {
+		var v versionedResponse
+		if json.Unmarshal(body, &v) == nil {
+			ws.checked++
+			if v.StoreVersion < floor {
+				ws.violations++
+			}
+		}
+	}
+}
+
+// assemble merges the per-worker recorders into the report.
+func (r *Runner) assemble(perWorker []*workerStats, elapsed time.Duration) (Report, error) {
+	rep := Report{
+		Seed:             r.opts.Seed,
+		Requests:         len(r.ops),
+		Concurrency:      r.opts.Concurrency,
+		Mix:              r.opts.Mix,
+		App:              r.opts.App,
+		WorkloadChecksum: r.checksum,
+		DurationSeconds:  elapsed.Seconds(),
+		Endpoints:        make(map[string]LatencyStats),
+		StatusCounts:     make(map[string]int),
+	}
+	byPath := make(map[string][]float64)
+	errsByPath := make(map[string]int)
+	var all []float64
+	totalErrs := 0
+	for _, ws := range perWorker {
+		for path, lats := range ws.lat {
+			byPath[path] = append(byPath[path], lats...)
+			all = append(all, lats...)
+		}
+		for path, n := range ws.errs {
+			errsByPath[path] += n
+			totalErrs += n
+		}
+		for code, n := range ws.status {
+			rep.StatusCounts[fmt.Sprintf("%d", code)] += n
+		}
+		rep.TransportErrors += ws.transport
+	}
+	for path, lats := range byPath {
+		st, err := summarizeLatencies(lats, errsByPath[path])
+		if err != nil {
+			return Report{}, fmt.Errorf("loadgen: summarizing %s: %w", path, err)
+		}
+		rep.Endpoints[path] = st
+	}
+	overall, err := summarizeLatencies(all, totalErrs)
+	if err != nil {
+		return Report{}, fmt.Errorf("loadgen: summarizing overall latencies: %w", err)
+	}
+	rep.Overall = overall
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(len(all)) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+func summarizeLatencies(seconds []float64, errors int) (LatencyStats, error) {
+	st := LatencyStats{Count: len(seconds), Errors: errors}
+	if len(seconds) == 0 {
+		return st, nil
+	}
+	st.ErrorRate = float64(errors) / float64(len(seconds))
+	st.MeanMs = stats.Mean(seconds) * 1e3
+	max, err := stats.Max(seconds)
+	if err != nil {
+		return st, err
+	}
+	st.MaxMs = max * 1e3
+	for _, q := range []struct {
+		q   float64
+		dst *float64
+	}{{0.50, &st.P50Ms}, {0.95, &st.P95Ms}, {0.99, &st.P99Ms}} {
+		v, err := stats.Quantile(seconds, q.q)
+		if err != nil {
+			return st, err
+		}
+		*q.dst = v * 1e3
+	}
+	return st, nil
+}
+
+// recalSamples is how many drifted runs one coherence batch posts: the
+// store's default MinSamples plus one for slack, so every batch clears
+// the auto-recalibration gate.
+const recalSamples = 6
+
+// predictView is the component slice of a /predict response the
+// coordinator scales its drifted observations from.
+type predictView struct {
+	Tdisk    time.Duration `json:"tdiskNs"`
+	Tnetwork time.Duration `json:"tnetworkNs"`
+	Tcompute time.Duration `json:"tcomputeNs"`
+}
+
+// ingestView is the slice of a /runs response the coordinator needs.
+type ingestView struct {
+	Recalibrated bool   `json:"recalibrated"`
+	StoreVersion uint64 `json:"storeVersion"`
+}
+
+// driveRecalibrations runs the coherence batches: each batch reads the
+// current prediction for the calibration config, posts enough uniformly
+// drifted observations (alternating 2× slower / 2× faster, so the
+// profile stays bounded) to trigger a recalibration, and publishes the
+// resulting store version as the workers' monotonicity floor.
+func (r *Runner) driveRecalibrations(coh *CoherenceReport) {
+	cfg := baseConfig(r.opts, sizeStrings(r.opts.BaseBytes)[1])
+	for b := 0; b < r.opts.Coherence; b++ {
+		factor := 2.0
+		if b%2 == 1 {
+			factor = 0.5
+		}
+		pv, ok := r.currentPrediction(cfg, coh)
+		if !ok {
+			continue
+		}
+		for i := 0; i < recalSamples; i++ {
+			run := marshalOp("/runs", fgservice.RunRequest{
+				App:      r.opts.App,
+				Config:   cfg,
+				Tdisk:    scaleDur(atLeastMs(pv.Tdisk), factor),
+				Tnetwork: scaleDur(atLeastMs(pv.Tnetwork), factor),
+				Tcompute: scaleDur(atLeastMs(pv.Tcompute), factor),
+			})
+			status, body, err := post(r.target, run.path, run.body)
+			if err != nil || status != http.StatusOK {
+				coh.Errors++
+				continue
+			}
+			var iv ingestView
+			if json.Unmarshal(body, &iv) != nil {
+				coh.Errors++
+				continue
+			}
+			if iv.Recalibrated {
+				r.recals.Add(1)
+				raiseFloor(&r.floor, iv.StoreVersion)
+			}
+		}
+	}
+}
+
+// currentPrediction fetches the model's current view of the calibration
+// config, so the batch's drifted observations are relative to what the
+// service would predict right now.
+func (r *Runner) currentPrediction(cfg fgservice.ConfigRequest, coh *CoherenceReport) (predictView, bool) {
+	req := marshalOp("/predict", fgservice.PredictRequest{App: r.opts.App, Config: cfg})
+	status, body, err := post(r.target, req.path, req.body)
+	if err != nil || status != http.StatusOK {
+		coh.Errors++
+		return predictView{}, false
+	}
+	var pv predictView
+	if json.Unmarshal(body, &pv) != nil {
+		coh.Errors++
+		return predictView{}, false
+	}
+	return pv, true
+}
+
+// atLeastMs floors a component at 1ms so a variant predicting a zero
+// component still yields a valid positive observation to scale.
+func atLeastMs(d time.Duration) time.Duration {
+	if d < time.Millisecond {
+		return time.Millisecond
+	}
+	return d
+}
+
+// raiseFloor lifts the monotonic floor to v if it is higher.
+func raiseFloor(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Target issues one HTTP request against the service under test and
+// returns the status code and response body. The two implementations
+// differ only in transport: in-process dispatch straight into an
+// http.Handler (no sockets, so latency measures the serve path itself)
+// or a real client against a remote base URL.
+type Target interface {
+	Do(method, path string, body []byte) (status int, respBody []byte, err error)
+}
+
+// NewHandlerTarget wraps an http.Handler — typically
+// fgservice.Server.Handler() — as an in-process target. Requests never
+// touch the network, so recorded latencies isolate handler cost
+// (prediction arithmetic, ranking, cache lookups) from transport noise.
+func NewHandlerTarget(h http.Handler) Target { return &handlerTarget{h: h} }
+
+type handlerTarget struct{ h http.Handler }
+
+func (t *handlerTarget) Do(method, path string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequest(method, "http://in-process"+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rec := &responseRecorder{header: make(http.Header)}
+	t.h.ServeHTTP(rec, req)
+	return rec.status(), rec.body.Bytes(), nil
+}
+
+// responseRecorder is the minimal in-memory http.ResponseWriter the
+// in-process target serves into. (net/http/httptest's recorder would
+// do, but importing httptest from non-test code drags test-server
+// machinery into every binary linking this package.)
+type responseRecorder struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.body.Write(p)
+}
+
+func (r *responseRecorder) status() int {
+	if r.code == 0 {
+		return http.StatusOK
+	}
+	return r.code
+}
+
+// NewHTTPTarget builds a target for a running service at baseURL (e.g.
+// "http://localhost:8080"). A nil client selects a default with a 60s
+// per-request timeout.
+func NewHTTPTarget(baseURL string, client *http.Client) Target {
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &httpTarget{base: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+type httpTarget struct {
+	base   string
+	client *http.Client
+}
+
+// maxResponseBody bounds how much of a response the harness buffers; a
+// full /select ranking is a few kilobytes, so 4MB is pure safety slack.
+const maxResponseBody = 4 << 20
+
+func (t *httpTarget) Do(method, path string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequest(method, t.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBody))
+	if err != nil {
+		return resp.StatusCode, nil, fmt.Errorf("reading %s %s response: %w", method, path, err)
+	}
+	return resp.StatusCode, b, nil
+}

@@ -1,0 +1,252 @@
+// Package servecache is the request-path scaling layer of the
+// prediction service: a sharded, concurrency-safe, version-pinned cache
+// with single-flight coalescing of duplicate in-flight computations.
+//
+// The service's steady state is many concurrent requests asking the same
+// few questions — "predict kmeans on this configuration", "rank replicas
+// for this dataset" — against profile state that changes only when a
+// recalibration lands. The cache exploits exactly that shape:
+//
+//   - Entries are keyed by an opaque request key (the caller renders
+//     app, variant, configuration, and dataset spec into it) and pinned
+//     to the version of the state they were computed from (the
+//     profile.Store snapshot version, composed with any other input
+//     epoch the caller folds in). A Get at a different version never
+//     returns the entry: recalibration invalidates by moving the
+//     version, so a post-recalibration read cannot observe a
+//     pre-recalibration answer.
+//   - Duplicate in-flight work coalesces: the first Get for a
+//     (key, version) runs the fill function, concurrent Gets for the
+//     same pair wait for that one computation. Fill errors are returned
+//     to every waiter but never cached, so transient failures retry.
+//   - The key space is sharded over independently locked maps, so
+//     unrelated requests never contend on one mutex, and each shard is
+//     bounded: inserts over the cap first drop entries made stale by a
+//     version move, then arbitrary completed entries.
+//
+// Every cache reports hits, misses, coalesced waits, invalidations, and
+// evictions through internal/metrics under its Name label.
+package servecache
+
+import (
+	"hash/maphash"
+	"sync"
+
+	"freerideg/internal/metrics"
+)
+
+// DefaultShards is the shard count used when Options.Shards is zero:
+// enough to keep independent request keys off one mutex without
+// meaningfully growing the footprint of small caches.
+const DefaultShards = 16
+
+// DefaultMaxEntries bounds a cache's total entry count when
+// Options.MaxEntries is zero.
+const DefaultMaxEntries = 4096
+
+// Options configure a Cache.
+type Options struct {
+	// Name labels the cache's metric series (e.g. "predict", "select").
+	Name string
+	// Shards is the number of independently locked shards; values are
+	// rounded up to a power of two. Zero selects DefaultShards.
+	Shards int
+	// MaxEntries bounds the cache's total entry count (split evenly
+	// across shards). Zero selects DefaultMaxEntries.
+	MaxEntries int
+}
+
+// entry is one cached (or in-flight) computation. val and err are
+// written once, before done is closed; waiters read them only after
+// <-done, so the fields need no lock.
+type entry[V any] struct {
+	version uint64
+	done    chan struct{}
+	val     V
+	err     error
+}
+
+// shard is one independently locked slice of the key space.
+type shard[V any] struct {
+	mu sync.Mutex
+	m  map[string]*entry[V]
+}
+
+// Cache is a sharded single-flight cache of V values pinned to input
+// versions. The zero value is not usable; use New.
+type Cache[V any] struct {
+	shards []shard[V]
+	mask   uint64
+	seed   maphash.Seed
+	perMax int
+
+	hits          *metrics.Counter
+	misses        *metrics.Counter
+	coalesced     *metrics.Counter
+	invalidations *metrics.Counter
+	evictions     *metrics.Counter
+	entries       *metrics.Gauge
+}
+
+// New builds a cache with the given options.
+func New[V any](opts Options) *Cache[V] {
+	n := opts.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	max := opts.MaxEntries
+	if max <= 0 {
+		max = DefaultMaxEntries
+	}
+	perMax := max / shards
+	if perMax < 1 {
+		perMax = 1
+	}
+	label := metrics.Label{Key: "cache", Value: opts.Name}
+	c := &Cache[V]{
+		shards: make([]shard[V], shards),
+		mask:   uint64(shards - 1),
+		seed:   maphash.MakeSeed(),
+		perMax: perMax,
+		hits: metrics.GetCounter("fg_servecache_hits_total",
+			"Cache reads answered from a completed entry at the live version.", label),
+		misses: metrics.GetCounter("fg_servecache_misses_total",
+			"Cache reads that ran the fill computation.", label),
+		coalesced: metrics.GetCounter("fg_servecache_coalesced_total",
+			"Cache reads that waited on another request's in-flight fill.", label),
+		invalidations: metrics.GetCounter("fg_servecache_invalidations_total",
+			"Cache entries discarded because the input version moved.", label),
+		evictions: metrics.GetCounter("fg_servecache_evictions_total",
+			"Cache entries dropped by the per-shard size bound.", label),
+		entries: metrics.GetGauge("fg_servecache_entries",
+			"Entries currently held (completed or in flight).", label),
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*entry[V])
+	}
+	return c
+}
+
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	return &c.shards[maphash.String(c.seed, key)&c.mask]
+}
+
+// Get returns the value cached for key at version, running fill to
+// compute it on a miss. Concurrent Gets for the same (key, version)
+// coalesce onto one fill; a Get at a different version replaces the
+// entry (the old computation's result is never served to it). Fill
+// errors propagate to every coalesced waiter and are not cached.
+func (c *Cache[V]) Get(key string, version uint64, fill func() (V, error)) (V, error) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if e, ok := sh.m[key]; ok {
+		if e.version == version {
+			sh.mu.Unlock()
+			select {
+			case <-e.done:
+				c.hits.Inc()
+			default:
+				c.coalesced.Inc()
+				<-e.done
+			}
+			return e.val, e.err
+		}
+		c.invalidations.Inc()
+		c.entries.Add(-1)
+		delete(sh.m, key)
+	}
+	c.misses.Inc()
+	e := &entry[V]{version: version, done: make(chan struct{})}
+	sh.m[key] = e
+	c.entries.Add(1)
+	c.evictLocked(sh, e)
+	sh.mu.Unlock()
+
+	e.val, e.err = fill()
+	close(e.done)
+	if e.err != nil {
+		sh.mu.Lock()
+		// Only remove the entry if it is still ours: a concurrent Get at
+		// a newer version may already have replaced it.
+		if sh.m[key] == e {
+			delete(sh.m, key)
+			c.entries.Add(-1)
+		}
+		sh.mu.Unlock()
+	}
+	return e.val, e.err
+}
+
+// evictLocked enforces the per-shard bound after an insert: first drop
+// completed entries stale relative to the just-inserted version, then
+// arbitrary completed entries. In-flight entries (waiters hold their
+// pointer) and the fresh entry survive.
+func (c *Cache[V]) evictLocked(sh *shard[V], keep *entry[V]) {
+	if len(sh.m) <= c.perMax {
+		return
+	}
+	for _, stale := range []bool{true, false} {
+		for k, e := range sh.m {
+			if len(sh.m) <= c.perMax {
+				return
+			}
+			if e == keep || !done(e.done) {
+				continue
+			}
+			if stale && e.version >= keep.version {
+				continue
+			}
+			delete(sh.m, k)
+			c.evictions.Inc()
+			c.entries.Add(-1)
+		}
+	}
+}
+
+func done(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// Len reports the number of entries currently held across all shards
+// (completed and in flight).
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time read of the cache's counters.
+type Stats struct {
+	Hits          float64
+	Misses        float64
+	Coalesced     float64
+	Invalidations float64
+	Evictions     float64
+}
+
+// Stats reads the cache's metric counters. Note that counters are
+// shared per (metric, cache-name) series: two caches built with the
+// same Name report joint totals.
+func (c *Cache[V]) Stats() Stats {
+	return Stats{
+		Hits:          c.hits.Value(),
+		Misses:        c.misses.Value(),
+		Coalesced:     c.coalesced.Value(),
+		Invalidations: c.invalidations.Value(),
+		Evictions:     c.evictions.Value(),
+	}
+}

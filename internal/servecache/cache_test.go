@@ -1,0 +1,227 @@
+package servecache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetCachesAtVersion(t *testing.T) {
+	c := New[int](Options{Name: "test-basic"})
+	fills := 0
+	fill := func() (int, error) { fills++; return 42, nil }
+	for i := 0; i < 5; i++ {
+		v, err := c.Get("k", 7, fill)
+		if err != nil || v != 42 {
+			t.Fatalf("Get = %d, %v", v, err)
+		}
+	}
+	if fills != 1 {
+		t.Fatalf("fill ran %d times, want 1", fills)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestVersionMoveInvalidates(t *testing.T) {
+	c := New[int](Options{Name: "test-invalidate"})
+	base := c.Stats()
+	val := 1
+	fill := func() (int, error) { return val, nil }
+	if v, _ := c.Get("k", 1, fill); v != 1 {
+		t.Fatalf("v1 read = %d", v)
+	}
+	val = 2
+	// Same key, moved version: the old entry must not be served.
+	if v, _ := c.Get("k", 2, fill); v != 2 {
+		t.Fatalf("post-move read = %d, want 2 (stale entry served)", v)
+	}
+	// And a re-read at the old version must not see the new entry either.
+	val = 3
+	if v, _ := c.Get("k", 1, fill); v != 3 {
+		t.Fatalf("old-version re-read = %d, want a fresh fill", v)
+	}
+	st := c.Stats()
+	if got := st.Invalidations - base.Invalidations; got != 2 {
+		t.Fatalf("invalidations = %v, want 2", got)
+	}
+	if got := st.Misses - base.Misses; got != 3 {
+		t.Fatalf("misses = %v, want 3", got)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New[int](Options{Name: "test-errors"})
+	boom := errors.New("boom")
+	calls := 0
+	if _, err := c.Get("k", 1, func() (int, error) { calls++; return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed fill left an entry (Len = %d)", c.Len())
+	}
+	if v, err := c.Get("k", 1, func() (int, error) { calls++; return 9, nil }); err != nil || v != 9 {
+		t.Fatalf("retry after error: %d, %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("fill calls = %d, want 2", calls)
+	}
+}
+
+// TestCoalescing proves duplicate in-flight Gets run one fill: N
+// concurrent readers of one cold key all block on the first fill, which
+// is held open until every reader has arrived.
+func TestCoalescing(t *testing.T) {
+	c := New[string](Options{Name: "test-coalesce"})
+	base := c.Stats()
+	const readers = 8
+	var fills atomic.Int32
+	arrived := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Get("hot", 3, func() (string, error) {
+				fills.Add(1)
+				close(arrived) // the fill is in flight; let the others race in
+				<-release
+				return "value", nil
+			})
+			if err != nil || v != "value" {
+				t.Errorf("Get = %q, %v", v, err)
+			}
+		}()
+	}
+	<-arrived
+	// Wait until every other reader is parked on the in-flight entry.
+	for c.Stats().Coalesced-base.Coalesced < readers-1 {
+	}
+	close(release)
+	wg.Wait()
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("fill ran %d times, want 1", n)
+	}
+	st := c.Stats()
+	if got := st.Coalesced - base.Coalesced; got != readers-1 {
+		t.Fatalf("coalesced = %v, want %d", got, readers-1)
+	}
+	if got := st.Misses - base.Misses; got != 1 {
+		t.Fatalf("misses = %v, want 1", got)
+	}
+}
+
+func TestEvictionBoundsEntries(t *testing.T) {
+	c := New[int](Options{Name: "test-evict", Shards: 1, MaxEntries: 8})
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if _, err := c.Get(k, 1, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Len(); n > 8 {
+		t.Fatalf("Len = %d, want <= 8", n)
+	}
+	if ev := c.Stats().Evictions; ev < 42 {
+		t.Fatalf("evictions = %v, want >= 42", ev)
+	}
+}
+
+func TestEvictionPrefersStaleVersions(t *testing.T) {
+	c := New[int](Options{Name: "test-evict-stale", Shards: 1, MaxEntries: 4})
+	for i := 0; i < 4; i++ {
+		k := fmt.Sprintf("old%d", i)
+		c.Get(k, 1, func() (int, error) { return i, nil })
+	}
+	// Insert fresh entries at a newer version; the stale ones must go
+	// first, so the newest insert still hits afterwards.
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("new%d", i)
+		c.Get(k, 2, func() (int, error) { return 100 + i, nil })
+	}
+	fills := 0
+	v, err := c.Get("new2", 2, func() (int, error) { fills++; return -1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fills != 0 || v != 102 {
+		t.Fatalf("fresh entry was evicted before stale ones (v=%d fills=%d)", v, fills)
+	}
+}
+
+// TestConcurrentVersionChurn is the package-local race soak: readers
+// hammer a small key space while a writer advances the version,
+// asserting every read observes the value computed for its own version
+// — the cache-coherence contract recalibration relies on.
+func TestConcurrentVersionChurn(t *testing.T) {
+	c := New[uint64](Options{Name: "test-churn", MaxEntries: 64})
+	var version atomic.Uint64
+	version.Store(1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			version.Add(1)
+		}
+		close(stop)
+	}()
+	const readers = 8
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ver := version.Load()
+				key := fmt.Sprintf("key%d", i%4)
+				got, err := c.Get(key, ver, func() (uint64, error) { return ver, nil })
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				// The entry must carry the version the reader asked for:
+				// anything older is a stale serve, anything newer means the
+				// version pin is broken.
+				if got != ver {
+					t.Errorf("reader %d: read version %d at version %d", r, got, ver)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	c := New[int](Options{Name: "bench-hit"})
+	c.Get("k", 1, func() (int, error) { return 1, nil })
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.Get("k", 1, func() (int, error) { return 1, nil }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkGetMiss(b *testing.B) {
+	c := New[int](Options{Name: "bench-miss"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A moving version makes every read a miss.
+		if _, err := c.Get("k", uint64(i), func() (int, error) { return i, nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,3 +19,9 @@ fi
 cat "$out"
 
 go run ./cmd/fgbench -in "$out" -out BENCH_sweep.json
+
+# Serve-path benchmark: fgload A/Bs an in-process cold server (response
+# cache disabled) against a warm one on a read-heavy mix and writes the
+# latency quantiles, cache counters, and cold/warm speedups.
+go run ./cmd/fgload -requests 3000 -concurrency 8 -seed 1 -base-size 16MB \
+    -mix "predict=8,select=2" -compare -out BENCH_serve.json

@@ -21,13 +21,18 @@ go vet ./...
 # state dependencies surface instead of calcifying.
 go test -race -shuffle=on ./...
 
+# The serve path (response cache, handlers, load harness) gets a second
+# racing pass: -count=2 reruns every test in-process so state leaked by
+# a first run (cache entries, shared metric counters) breaks the second.
+go test -race -count=2 -shuffle=on ./internal/fgservice/ ./internal/servecache/ ./internal/loadgen/
+
 # Benchmark smoke pass: compile and run every Benchmark* exactly once so
 # the tracked perf suite can't rot between `make bench` refreshes.
 go test -run='^$' -bench=. -benchtime=1x ./...
 
 # Fuzz regression mode: -run='^Fuzz' replays each target's seed corpus
 # (f.Add seeds plus files under testdata/fuzz/) as ordinary tests.
-go test -run='^Fuzz' ./internal/simgrid/
+go test -run='^Fuzz' ./internal/simgrid/ ./internal/fgservice/
 
 # Every command must build — a broken main is invisible to `go test`.
 go build ./cmd/...
@@ -37,5 +42,11 @@ go build ./cmd/...
 # moved between two /metrics scrapes, and shut down gracefully. A small
 # base size keeps the self-profiling simulation quick.
 go run ./cmd/fgserved -selfcheck -base-size 64MB
+
+# fgload smoke: a short seeded load run with interleaved recalibrations
+# against an in-process server. fgload exits nonzero on any transport
+# error, 5xx, or cache-coherence violation, so this line is the gate
+# that the serve-path cache stays coherent under concurrent load.
+go run ./cmd/fgload -requests 120 -concurrency 6 -seed 1 -base-size 16MB -coherence-batches 2 -out /dev/null
 
 echo "check: OK"
