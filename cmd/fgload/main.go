@@ -22,6 +22,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strconv"
@@ -86,6 +88,9 @@ type output struct {
 	// the cheap /predict arithmetic is dominated by HTTP overhead either
 	// way, while the ranking behind /select is where the cache pays.
 	EndpointSpeedupMean map[string]float64 `json:"endpointSpeedupMean,omitempty"`
+	// BatchAB is the -batch-ab measurement: N sequential singular calls
+	// versus one N-item batch call, both on a cold cache.
+	BatchAB *loadgen.BatchAB `json:"batchAB,omitempty"`
 }
 
 func main() {
@@ -99,6 +104,7 @@ func main() {
 		baseSize  = cliutil.Bytes("base-size", 64*units.MB, "mid-point dataset size; generated sizes span 0.5x..2x")
 		coherence = flag.Int("coherence-batches", 0, "drift-driven recalibration batches interleaved with the reads (asserts cache coherence)")
 		compare   = flag.Bool("compare", false, "A/B an in-process cold (cache disabled) run against a warm one and report the speedup")
+		batchAB   = flag.Int("batch-ab", 0, "measure N sequential singular calls vs one N-item batch call on a cold cache over a loopback listener (0 = off)")
 		out       = flag.String("out", "", "report file (empty = stdout)")
 	)
 	flag.Parse()
@@ -162,6 +168,17 @@ func main() {
 		rep.Run = &runOutput{Report: report}
 	}
 
+	if *batchAB > 0 {
+		if *addr != "" {
+			fail(fmt.Errorf("-batch-ab manages its own servers; it cannot be combined with -addr"))
+		}
+		ab, err := loadgen.RunBatchAB(newLoopbackTarget, opts, *batchAB)
+		if err != nil {
+			fail(err)
+		}
+		rep.BatchAB = &ab
+	}
+
 	js, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fail(err)
@@ -181,6 +198,33 @@ func main() {
 			fail(err)
 		}
 	}
+	if ab := rep.BatchAB; ab != nil {
+		if ab.Predict.ItemErrors > 0 || ab.Select.ItemErrors > 0 {
+			fail(fmt.Errorf("batch A/B saw item errors: predict=%d select=%d",
+				ab.Predict.ItemErrors, ab.Select.ItemErrors))
+		}
+	}
+}
+
+// newLoopbackTarget stands up a fresh cold-cache server behind a real
+// loopback listener for one batch A/B side. Unlike the in-process
+// handler target, every sequential request here pays the transport the
+// batch plane amortizes — connection handling, HTTP framing, and a
+// request-scoped timeout goroutine — which is exactly the overhead a
+// caller fanning 64 singular calls at a deployed fgserved would pay.
+func newLoopbackTarget() (loadgen.Target, func(), error) {
+	srv, err := fgservice.New(fgservice.Options{MaxInFlight: 4})
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	cleanup := func() { _ = hs.Close() }
+	return loadgen.NewHTTPTarget("http://"+ln.Addr().String(), nil), cleanup, nil
 }
 
 // runInProcess stands up a fresh server (cache on or off) and drives
@@ -225,6 +269,9 @@ func gate(r *runOutput) error {
 		if c, err := strconv.Atoi(code); err == nil && c >= 500 && n > 0 {
 			return fmt.Errorf("%d responses with status %s", n, code)
 		}
+	}
+	if r.BatchItemErrors > 0 {
+		return fmt.Errorf("%d of %d batch items answered with a per-item error", r.BatchItemErrors, r.BatchItems)
 	}
 	if coh := r.Coherence; coh != nil {
 		if coh.Errors > 0 {

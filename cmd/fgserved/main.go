@@ -16,7 +16,8 @@
 // Example:
 //
 //	fgserved -addr :8080 -base-size 256MB
-//	fgserved -selfcheck   # start, probe every endpoint, shut down
+//	fgserved -selfcheck              # start, probe every endpoint, shut down
+//	fgserved -pprof localhost:6060   # net/http/pprof on a separate listener
 package main
 
 import (
@@ -48,6 +49,7 @@ func main() {
 		inflight  = flag.Int("max-inflight", 0, "max concurrently handled requests (0 = 4x GOMAXPROCS); excess gets 503")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request handling timeout")
 		grace     = flag.Duration("grace", 15*time.Second, "graceful shutdown grace period")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
 		selfcheck = flag.Bool("selfcheck", false, "start on an ephemeral port, probe every endpoint, shut down (the make check smoke step)")
 	)
 	flag.Parse()
@@ -85,6 +87,15 @@ func main() {
 		}
 		fmt.Println("fgserved: selfcheck OK")
 		return
+	}
+
+	if *pprofAddr != "" {
+		dbgAddr, closePprof, err := servePprof(*pprofAddr)
+		if err != nil {
+			fail(fmt.Errorf("pprof listener: %w", err))
+		}
+		defer closePprof()
+		fmt.Printf("fgserved: pprof on http://%s/debug/pprof/\n", dbgAddr)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// pprofHandler builds the debug mux served on the -pprof listener. The
+// profiles live on their own mux and listener — never the service mux —
+// so the production address exposes nothing under /debug and the
+// profiling port can stay firewalled to operators.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// servePprof starts the pprof listener on addr and returns the bound
+// address (addr may carry port 0) and a closer for shutdown. Serve
+// errors after Close are expected and dropped; pprof is an operator
+// aid, not part of the service's availability contract.
+func servePprof(addr string) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{
+		Handler:           pprofHandler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), srv.Close, nil
+}

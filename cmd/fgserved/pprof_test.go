@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestPprofListenerServesHeapProfile is the -pprof smoke: the debug
+// listener comes up on an ephemeral port, answers /debug/pprof/heap,
+// and exposes nothing at the mux root outside /debug/pprof/.
+func TestPprofListenerServesHeapProfile(t *testing.T) {
+	addr, closeFn, err := servePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("servePprof: %v", err)
+	}
+	defer closeFn()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(fmt.Sprintf("http://%s/debug/pprof/heap", addr))
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/heap: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading heap profile: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("heap profile status = %d, want 200", resp.StatusCode)
+	}
+	if len(body) == 0 {
+		t.Fatal("heap profile body is empty")
+	}
+
+	resp, err = client.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatalf("GET /healthz on pprof listener: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/healthz on pprof listener status = %d, want 404 (service endpoints must not leak onto the debug mux)", resp.StatusCode)
+	}
+}

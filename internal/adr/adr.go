@@ -199,6 +199,7 @@ type Replica struct {
 type Registry struct {
 	mu       sync.RWMutex
 	replicas map[string][]Replica
+	version  uint64
 }
 
 // NewRegistry returns an empty replica registry.
@@ -227,7 +228,17 @@ func (r *Registry) Register(rep Replica) error {
 		}
 	}
 	r.replicas[name] = append(r.replicas[name], rep)
+	r.version++
 	return nil
+}
+
+// Version counts successful registrations: a cheap monotonic signal
+// consumers (the grid rank engine) use to detect that the replica
+// catalog changed without re-reading and comparing its content.
+func (r *Registry) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
 }
 
 // Replicas returns the replicas of a dataset sorted by site name.

@@ -1,0 +1,204 @@
+package fgservice
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"freerideg/internal/apps"
+	"freerideg/internal/metrics"
+	"freerideg/internal/units"
+)
+
+// The batch serve plane: POST /predict/batch and /select/batch accept
+// up to MaxBatchItems requests in one HTTP exchange. The profile-store
+// snapshot version and estimator epoch are resolved once per batch, the
+// items fan across the server's persistent worker pool, and one
+// response array streams back. Each item still goes through the
+// versioned response cache individually, so a batch both benefits from
+// and fills the same cache the singular endpoints use.
+//
+// What a batch amortizes versus N sequential requests: N-1 HTTP
+// round-trips with their per-request handler stack (timeout handler,
+// instrumentation, concurrency limiter), N-1 body decodes and response
+// encodes, and N-1 snapshot-version resolutions.
+
+// MaxBatchItems bounds one batch request's item count. 256 items of the
+// largest legitimate item shape stay well under MaxRequestBody, and a
+// larger batch holds the concurrency limiter slot for too long.
+const MaxBatchItems = 256
+
+// Batch metrics: request/item volume and how many items failed.
+var (
+	batchRequests = metrics.GetCounter("fg_batch_requests_total",
+		"Batch requests accepted on /predict/batch and /select/batch.")
+	batchItems = metrics.GetCounter("fg_batch_items_total",
+		"Items evaluated across all batch requests.")
+	batchItemErrors = metrics.GetCounter("fg_batch_item_errors_total",
+		"Batch items that answered with a per-item error.")
+)
+
+// PredictBatchRequest carries up to MaxBatchItems predict requests.
+type PredictBatchRequest struct {
+	Items []PredictRequest `json:"items"`
+}
+
+// PredictBatchItem is one item's outcome: exactly one of Response and
+// Error is set. Status mirrors the HTTP status the singular endpoint
+// would have answered with.
+type PredictBatchItem struct {
+	Response *PredictResponse `json:"response,omitempty"`
+	Error    *apiError        `json:"error,omitempty"`
+}
+
+// PredictBatchResponse answers one batch. StoreVersion is the snapshot
+// version every item in the batch was served at.
+type PredictBatchResponse struct {
+	StoreVersion uint64             `json:"storeVersion"`
+	Items        []PredictBatchItem `json:"items"`
+}
+
+// SelectBatchRequest carries up to MaxBatchItems select requests.
+type SelectBatchRequest struct {
+	Items []SelectRequest `json:"items"`
+}
+
+// SelectBatchItem is one item's outcome (see PredictBatchItem).
+type SelectBatchItem struct {
+	Response *SelectResponse `json:"response,omitempty"`
+	Error    *apiError       `json:"error,omitempty"`
+}
+
+// SelectBatchResponse answers one batch.
+type SelectBatchResponse struct {
+	StoreVersion uint64            `json:"storeVersion"`
+	Items        []SelectBatchItem `json:"items"`
+}
+
+// checkBatchSize validates the item count shared by both batch
+// endpoints.
+func checkBatchSize(n int) error {
+	switch {
+	case n == 0:
+		return errors.New("batch: items is empty")
+	case n > MaxBatchItems:
+		return fmt.Errorf("batch: %d items exceeds the limit of %d", n, MaxBatchItems)
+	}
+	return nil
+}
+
+// itemError renders one item's failure the way the singular endpoint
+// would have: the same message with the same status code.
+func itemError(status int, err error) *apiError {
+	batchItemErrors.Inc()
+	return &apiError{Error: err.Error(), Status: status}
+}
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	var req PredictBatchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := checkBatchSize(len(req.Items)); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	batchRequests.Inc()
+	batchItems.Add(float64(len(req.Items)))
+
+	// One snapshot resolution for the whole batch: every item is served
+	// (and cached) at this version.
+	ver := s.store.Snapshot().Version()
+	resp := PredictBatchResponse{
+		StoreVersion: ver,
+		Items:        make([]PredictBatchItem, len(req.Items)),
+	}
+	s.batchPool.Run(len(req.Items), 0, func(i int) {
+		resp.Items[i] = s.predictBatchItem(req.Items[i], ver)
+	})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// predictBatchItem evaluates one batch item, mirroring handlePredict's
+// validation order and status codes.
+func (s *Server) predictBatchItem(item PredictRequest, ver uint64) PredictBatchItem {
+	v, err := s.requestVariant(item.Variant)
+	if err != nil {
+		return PredictBatchItem{Error: itemError(http.StatusBadRequest, err)}
+	}
+	cfg, err := item.Config.Config()
+	if err != nil {
+		return PredictBatchItem{Error: itemError(http.StatusBadRequest, err)}
+	}
+	if err := cfg.Validate(); err != nil {
+		return PredictBatchItem{Error: itemError(http.StatusBadRequest, err)}
+	}
+	if _, err := apps.Get(item.App); err != nil {
+		return PredictBatchItem{Error: itemError(http.StatusNotFound, err)}
+	}
+	out, err := s.predictResponseAt(item.App, v, cfg, ver)
+	if err != nil {
+		return PredictBatchItem{Error: itemError(errorStatus(err), err)}
+	}
+	return PredictBatchItem{Response: &out}
+}
+
+func (s *Server) handleSelectBatch(w http.ResponseWriter, r *http.Request) {
+	var req SelectBatchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := checkBatchSize(len(req.Items)); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	batchRequests.Inc()
+	batchItems.Add(float64(len(req.Items)))
+
+	ver := s.store.Snapshot().Version()
+	resp := SelectBatchResponse{
+		StoreVersion: ver,
+		Items:        make([]SelectBatchItem, len(req.Items)),
+	}
+	s.batchPool.Run(len(req.Items), 0, func(i int) {
+		resp.Items[i] = s.selectBatchItem(req.Items[i], ver)
+	})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// selectBatchItem evaluates one batch item, mirroring handleSelect's
+// validation order, status codes, and per-request Limit truncation.
+func (s *Server) selectBatchItem(item SelectRequest, ver uint64) SelectBatchItem {
+	v, err := s.requestVariant(item.Variant)
+	if err != nil {
+		return SelectBatchItem{Error: itemError(http.StatusBadRequest, err)}
+	}
+	total, err := units.ParseBytes(item.Size)
+	if err != nil {
+		return SelectBatchItem{Error: itemError(http.StatusBadRequest, err)}
+	}
+	var deadline time.Duration
+	if item.Deadline != "" {
+		deadline, err = time.ParseDuration(item.Deadline)
+		if err != nil || deadline <= 0 {
+			return SelectBatchItem{Error: itemError(http.StatusBadRequest,
+				fmt.Errorf("deadline %q: want a positive Go duration", item.Deadline))}
+		}
+	}
+	if _, err := apps.Get(item.App); err != nil {
+		return SelectBatchItem{Error: itemError(http.StatusNotFound, err)}
+	}
+	out, err := s.selectResponseAt(item.App, v, total, deadline, ver)
+	if err != nil {
+		return SelectBatchItem{Error: itemError(errorStatus(err), err)}
+	}
+	// out is this item's copy of the (possibly cached, shared) value;
+	// Limit truncates only this item's view of the ranking.
+	if item.Limit > 0 && item.Limit < len(out.Candidates) {
+		out.Candidates = out.Candidates[:item.Limit]
+	}
+	return SelectBatchItem{Response: &out}
+}

@@ -1,0 +1,413 @@
+package fgservice
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"freerideg/internal/metrics"
+)
+
+const batchPredictItem = `{"app":"kmeans","config":{"cluster":"pentium-myrinet",` +
+	`"dataNodes":4,"computeNodes":8,"bandwidth":"100MB","datasetBytes":"1.4GB"}}`
+
+// TestPredictBatchMatchesSingular pins the batch plane to the singular
+// endpoint: a good item's response must be exactly the /predict answer,
+// and bad items must answer with the same status the singular endpoint
+// would have, without failing the batch.
+func TestPredictBatchMatchesSingular(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+
+	want := predictResponseOf(t, h, batchPredictItem)
+
+	body := fmt.Sprintf(`{"items":[%s,%s,%s,%s]}`,
+		batchPredictItem,
+		`{"app":"no-such-app","config":{"cluster":"pentium-myrinet","dataNodes":1,"computeNodes":1,"bandwidth":"1MB","datasetBytes":"1MB"}}`,
+		`{"app":"kmeans","config":{"cluster":"pentium-myrinet","dataNodes":8,"computeNodes":4,"bandwidth":"100MB","datasetBytes":"1GB"}}`,
+		`{"app":"kmeans","variant":"bogus","config":{"cluster":"pentium-myrinet","dataNodes":1,"computeNodes":1,"bandwidth":"1MB","datasetBytes":"1MB"}}`)
+	rec := postJSON(t, h, "/predict/batch", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/predict/batch status %d: %s", rec.Code, rec.Body)
+	}
+	var resp PredictBatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 4 {
+		t.Fatalf("batch answered %d items, want 4", len(resp.Items))
+	}
+	if resp.Items[0].Response == nil || resp.Items[0].Error != nil {
+		t.Fatalf("good item answered with error: %+v", resp.Items[0].Error)
+	}
+	if *resp.Items[0].Response != want {
+		t.Fatalf("batch item differs from singular /predict:\n%+v\nvs\n%+v", *resp.Items[0].Response, want)
+	}
+	if resp.StoreVersion != want.StoreVersion {
+		t.Fatalf("batch StoreVersion %d, item served at %d", resp.StoreVersion, want.StoreVersion)
+	}
+	for i, wantStatus := range map[int]int{1: http.StatusNotFound, 2: http.StatusBadRequest, 3: http.StatusBadRequest} {
+		item := resp.Items[i]
+		if item.Error == nil {
+			t.Fatalf("bad item %d answered without error: %+v", i, item.Response)
+		}
+		if item.Error.Status != wantStatus {
+			t.Fatalf("bad item %d status %d (%s), want %d", i, item.Error.Status, item.Error.Error, wantStatus)
+		}
+	}
+}
+
+// TestSelectBatchMatchesSingular pins select batches the same way,
+// including the per-item Limit truncation.
+func TestSelectBatchMatchesSingular(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+
+	single := postJSON(t, h, "/select", `{"app":"kmeans","size":"512MB"}`)
+	if single.Code != http.StatusOK {
+		t.Fatalf("/select status %d: %s", single.Code, single.Body)
+	}
+	var want SelectResponse
+	if err := json.Unmarshal(single.Body.Bytes(), &want); err != nil {
+		t.Fatal(err)
+	}
+
+	body := `{"items":[` +
+		`{"app":"kmeans","size":"512MB"},` +
+		`{"app":"kmeans","size":"512MB","limit":2},` +
+		`{"app":"kmeans","size":"not-a-size"},` +
+		`{"app":"kmeans","size":"512MB","deadline":"-3s"}]}`
+	rec := postJSON(t, h, "/select/batch", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/select/batch status %d: %s", rec.Code, rec.Body)
+	}
+	var resp SelectBatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Items) != 4 {
+		t.Fatalf("batch answered %d items, want 4", len(resp.Items))
+	}
+	got := resp.Items[0].Response
+	if got == nil {
+		t.Fatalf("good item answered with error: %+v", resp.Items[0].Error)
+	}
+	if got.StoreVersion != want.StoreVersion || len(got.Candidates) != len(want.Candidates) ||
+		*got.Selected != *want.Selected {
+		t.Fatalf("batch item differs from singular /select:\n%+v\nvs\n%+v", got, want)
+	}
+	for i := range want.Candidates {
+		if got.Candidates[i] != want.Candidates[i] {
+			t.Fatalf("candidate %d differs: %+v vs %+v", i, got.Candidates[i], want.Candidates[i])
+		}
+	}
+	if limited := resp.Items[1].Response; limited == nil || len(limited.Candidates) != 2 {
+		t.Fatalf("limit item: %+v", resp.Items[1])
+	}
+	for _, i := range []int{2, 3} {
+		if resp.Items[i].Error == nil || resp.Items[i].Error.Status != http.StatusBadRequest {
+			t.Fatalf("bad item %d: %+v", i, resp.Items[i])
+		}
+	}
+}
+
+// TestBatchSizeRejected: an empty batch and an oversized batch are
+// whole-request 400s.
+func TestBatchSizeRejected(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	if rec := postJSON(t, h, "/predict/batch", `{"items":[]}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", rec.Code)
+	}
+	items := make([]string, MaxBatchItems+1)
+	for i := range items {
+		items[i] = `{"app":"kmeans","size":"1MB"}`
+	}
+	over := `{"items":[` + strings.Join(items, ",") + `]}`
+	if rec := postJSON(t, h, "/select/batch", over); rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d, want 400", rec.Code)
+	}
+}
+
+// TestBatchFillsAndHitsResponseCache: batch items go through the same
+// versioned response cache as singular requests — duplicates inside one
+// batch collapse to one fill, and a later singular request hits what
+// the batch filled.
+func TestBatchFillsAndHitsResponseCache(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	hits := cacheCounter(t, "fg_servecache_hits_total", "predict")
+	misses := cacheCounter(t, "fg_servecache_misses_total", "predict")
+	h0, m0 := hits.Value(), misses.Value()
+
+	items := make([]string, 8)
+	for i := range items {
+		items[i] = batchPredictItem
+	}
+	rec := postJSON(t, h, "/predict/batch", `{"items":[`+strings.Join(items, ",")+`]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/predict/batch status %d: %s", rec.Code, rec.Body)
+	}
+	if got := misses.Value() - m0; got != 1 {
+		t.Fatalf("8 identical batch items filled %v times, want 1 (single-flight)", got)
+	}
+	if got := hits.Value() - h0; got != 7 {
+		t.Fatalf("8 identical batch items hit %v times, want 7", got)
+	}
+	if rec := postJSON(t, h, "/predict", batchPredictItem); rec.Code != http.StatusOK {
+		t.Fatalf("/predict status %d", rec.Code)
+	}
+	if got := hits.Value() - h0; got != 8 {
+		t.Fatalf("singular request after batch: hits moved %v, want 8", got)
+	}
+}
+
+// TestBatchSelectCoherenceUnderEpochBumps extends the serve-path
+// coherence guarantee to the batch plane: while recalibrations land
+// concurrently, no batch item may answer from a store snapshot older
+// than the last recalibration that completed before its batch was sent.
+func TestBatchSelectCoherenceUnderEpochBumps(t *testing.T) {
+	// A roomy concurrency bound: this test measures coherence, not the
+	// load-shedding limiter (which would 503 the writer on small hosts).
+	s, err := New(Options{Store: testStore(t), MaxInFlight: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	var floor atomic.Uint64
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			halveProfile(t, s)
+			floor.Store(s.store.Snapshot().Version())
+			// Interleave estimator bumps so the select-cache version moves
+			// through both of its components.
+			ob := fmt.Sprintf(`{"site":"osu-repository","cluster":"pentium-myrinet",`+
+				`"bytes":"%dMB","elapsed":"%dms"}`, 5+i%7, 400+50*(i%9))
+			if rec := postJSON(t, h, "/observe", ob); rec.Code != http.StatusOK {
+				t.Errorf("/observe status %d: %s", rec.Code, rec.Body)
+				return
+			}
+		}
+	}()
+
+	body := `{"items":[{"app":"kmeans","size":"512MB"},{"app":"kmeans","size":"512MB","limit":1},` +
+		`{"app":"kmeans","size":"256MB"}]}`
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 25; i++ {
+				min := floor.Load()
+				rec := postJSON(t, h, "/select/batch", body)
+				if rec.Code != http.StatusOK {
+					t.Errorf("/select/batch status %d: %s", rec.Code, rec.Body)
+					return
+				}
+				var resp SelectBatchResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					t.Error(err)
+					return
+				}
+				for j, item := range resp.Items {
+					if item.Error != nil {
+						t.Errorf("item %d failed: %+v", j, item.Error)
+						return
+					}
+					if item.Response.StoreVersion < min {
+						t.Errorf("item %d served store version %d < recalibration floor %d",
+							j, item.Response.StoreVersion, min)
+						return
+					}
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+}
+
+// TestBatchMetricsMove smoke-checks the fg_batch_* series.
+func TestBatchMetricsMove(t *testing.T) {
+	s := testServer(t)
+	h := s.Handler()
+	reqs := metrics.GetCounter("fg_batch_requests_total", "")
+	items := metrics.GetCounter("fg_batch_items_total", "")
+	errs := metrics.GetCounter("fg_batch_item_errors_total", "")
+	r0, i0, e0 := reqs.Value(), items.Value(), errs.Value()
+	body := fmt.Sprintf(`{"items":[%s,{"app":"no-such-app","config":{"cluster":"c","dataNodes":1,`+
+		`"computeNodes":1,"bandwidth":"1MB","datasetBytes":"1MB"}}]}`, batchPredictItem)
+	if rec := postJSON(t, h, "/predict/batch", body); rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if reqs.Value()-r0 != 1 || items.Value()-i0 != 2 || errs.Value()-e0 != 1 {
+		t.Fatalf("batch counters moved (%v, %v, %v), want (1, 2, 1)",
+			reqs.Value()-r0, items.Value()-i0, errs.Value()-e0)
+	}
+}
+
+// discardRW is a ResponseWriter without a growing body buffer, so the
+// writeJSON allocation gate measures writeJSON and not the recorder.
+type discardRW struct{ h http.Header }
+
+func (d *discardRW) Header() http.Header         { return d.h }
+func (d *discardRW) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardRW) WriteHeader(int)             {}
+
+// TestWriteJSONPooledAllocs is the hot-path allocation gate for the
+// response encoder: with pooled encode state, writing a typical
+// response must stay within a handful of allocations (header values,
+// encoder scratch) instead of allocating a fresh encoder and buffer
+// every call.
+func TestWriteJSONPooledAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector")
+	}
+	resp := PredictResponse{App: "kmeans", Variant: "global", Pretty: "t_d=1s"}
+	w := &discardRW{h: make(http.Header)}
+	per := testing.AllocsPerRun(200, func() {
+		writeJSON(w, http.StatusOK, resp)
+	})
+	if per > 6.0 {
+		t.Errorf("writeJSON allocates %.1f objects per call, want <= 6", per)
+	}
+}
+
+// TestWriteJSONCountsEncodeFailures: an unencodable value must count,
+// not silently truncate the response.
+func TestWriteJSONCountsEncodeFailures(t *testing.T) {
+	failures := metrics.GetCounter("fg_http_encode_failures_total", "")
+	f0 := failures.Value()
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]any{"bad": func() {}})
+	if failures.Value()-f0 != 1 {
+		t.Fatalf("encode failures moved %v, want 1", failures.Value()-f0)
+	}
+	var env apiError
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("error envelope is not JSON: %v\n%s", err, rec.Body)
+	}
+	if env.Status != http.StatusInternalServerError {
+		t.Fatalf("envelope status %d, want 500", env.Status)
+	}
+}
+
+// TestWriteJSONSetsContentLength: the pooled path must declare the
+// response length it buffered.
+func TestWriteJSONSetsContentLength(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, apiError{Error: "x", Status: 400})
+	cl := rec.Header().Get("Content-Length")
+	if cl == "" {
+		t.Fatal("Content-Length not set")
+	}
+	if want := fmt.Sprint(rec.Body.Len()); cl != want {
+		t.Fatalf("Content-Length %s, body is %s bytes", cl, want)
+	}
+}
+
+// BenchmarkPredictBatch measures a 64-item batch through the full
+// handler stack against 64 sequential singular requests — the
+// amortization the batch plane exists for.
+func BenchmarkPredictBatch(b *testing.B) {
+	items := make([]string, 64)
+	for i := range items {
+		items[i] = fmt.Sprintf(`{"app":"kmeans","config":{"cluster":"pentium-myrinet",`+
+			`"dataNodes":4,"computeNodes":8,"bandwidth":"%dMB","datasetBytes":"1.4GB"}}`, 50+i)
+	}
+	batchBody := `{"items":[` + strings.Join(items, ",") + `]}`
+
+	post := func(b *testing.B, h http.Handler, path, body string) {
+		b.Helper()
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("%s status %d: %s", path, rec.Code, rec.Body)
+		}
+	}
+
+	b.Run("batch-64", func(b *testing.B) {
+		h := benchServer(b).Handler()
+		post(b, h, "/predict/batch", batchBody)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, h, "/predict/batch", batchBody)
+		}
+	})
+	b.Run("sequential-64", func(b *testing.B) {
+		h := benchServer(b).Handler()
+		for _, item := range items {
+			post(b, h, "/predict", item)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, item := range items {
+				post(b, h, "/predict", item)
+			}
+		}
+	})
+}
+
+// BenchmarkSelectBatch is the select-side pairing of
+// BenchmarkPredictBatch, with distinct sizes so every item ranks.
+func BenchmarkSelectBatch(b *testing.B) {
+	items := make([]string, 64)
+	for i := range items {
+		items[i] = fmt.Sprintf(`{"app":"kmeans","size":"%dMB"}`, 128+8*i)
+	}
+	batchBody := `{"items":[` + strings.Join(items, ",") + `]}`
+
+	post := func(b *testing.B, h http.Handler, path, body string) {
+		b.Helper()
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("%s status %d: %s", path, rec.Code, rec.Body)
+		}
+	}
+
+	b.Run("batch-64", func(b *testing.B) {
+		h := benchServer(b).Handler()
+		post(b, h, "/select/batch", batchBody)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, h, "/select/batch", batchBody)
+		}
+	})
+	b.Run("sequential-64", func(b *testing.B) {
+		h := benchServer(b).Handler()
+		for _, item := range items {
+			post(b, h, "/select", item)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, item := range items {
+				post(b, h, "/select", item)
+			}
+		}
+	})
+}

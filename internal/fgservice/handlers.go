@@ -1,10 +1,13 @@
 package fgservice
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
 
 	"freerideg/internal/apps"
@@ -243,12 +246,56 @@ type apiError struct {
 	Status int    `json:"status"`
 }
 
+// encodeFailures counts responses whose JSON encoding failed — the
+// errors the old writeJSON silently dropped. An encode failure is a
+// server bug (every response type here is a plain struct), so it is
+// worth a counter and a 500 rather than a truncated 200.
+var encodeFailures = metrics.GetCounter("fg_http_encode_failures_total",
+	"Responses dropped because JSON encoding of the response value failed.")
+
+// encodeState is one pooled response-rendering unit: a buffer plus an
+// encoder permanently bound to it, so the serve hot path allocates no
+// encoder or buffer per request. States whose buffer ballooned (an
+// unusually large ranking) are not returned to the pool.
+type encodeState struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encodeStates = sync.Pool{New: func() any {
+	st := new(encodeState)
+	// Encoder+SetIndent (not MarshalIndent) keeps the historical wire
+	// bytes: two-space indent and a trailing newline.
+	st.enc = json.NewEncoder(&st.buf)
+	st.enc.SetIndent("", "  ")
+	return st
+}}
+
+const maxPooledEncodeBuf = 64 << 10
+
+// writeJSON renders v into a pooled buffer and writes it with a correct
+// Content-Length. Encoding errors are counted and turn into a 500 error
+// envelope instead of being silently dropped mid-stream — possible
+// because nothing has been written to w before the buffer is complete.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	st := encodeStates.Get().(*encodeState)
+	defer func() {
+		if st.buf.Cap() <= maxPooledEncodeBuf {
+			encodeStates.Put(st)
+		}
+	}()
+	st.buf.Reset()
+	if err := st.enc.Encode(v); err != nil {
+		encodeFailures.Inc()
+		st.buf.Reset()
+		fmt.Fprintf(&st.buf, "{\n  \"error\": %q,\n  \"status\": 500\n}\n",
+			"encoding response: "+err.Error())
+		status = http.StatusInternalServerError
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(st.buf.Len()))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(st.buf.Bytes())
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
@@ -359,7 +406,13 @@ func predictKey(app string, v core.Variant, cfg core.Config) string {
 // pinned to the profile store snapshot version. Inputs are validated by
 // the handler; only successful computations are cached.
 func (s *Server) predictResponse(app string, v core.Variant, cfg core.Config) (PredictResponse, error) {
-	ver := s.store.Snapshot().Version()
+	return s.predictResponseAt(app, v, cfg, s.store.Snapshot().Version())
+}
+
+// predictResponseAt is predictResponse against a caller-resolved
+// snapshot version: the batch plane resolves the version once and
+// serves every item in the batch at it.
+func (s *Server) predictResponseAt(app string, v core.Variant, cfg core.Config, ver uint64) (PredictResponse, error) {
 	if s.predictCache == nil {
 		return s.computePredict(app, v, cfg, ver)
 	}
@@ -447,7 +500,13 @@ func selectKey(app string, v core.Variant, total units.Bytes, deadline time.Dura
 // estimator, so the cache version is the snapshot version plus the
 // observation epoch (see Server.estEpoch for why the sum is sound).
 func (s *Server) selectResponse(app string, v core.Variant, total units.Bytes, deadline time.Duration) (SelectResponse, error) {
-	snapVer := s.store.Snapshot().Version()
+	return s.selectResponseAt(app, v, total, deadline, s.store.Snapshot().Version())
+}
+
+// selectResponseAt is selectResponse against a caller-resolved snapshot
+// version; the estimator epoch is still read live (it changes only via
+// /observe, which the batch plane does not serve).
+func (s *Server) selectResponseAt(app string, v core.Variant, total units.Bytes, deadline time.Duration, snapVer uint64) (SelectResponse, error) {
 	if s.selectCache == nil {
 		return s.computeSelect(app, v, total, deadline, snapVer)
 	}
@@ -457,34 +516,55 @@ func (s *Server) selectResponse(app string, v core.Variant, total units.Bytes, d
 	})
 }
 
-// computeSelect is the cold path: build the per-request selection
-// service (replica layouts, live bandwidths, offers) and rank — or,
-// with a deadline, capacity-plan — the candidates.
+// computeSelect is the cold path: resolve the dataset's persistent
+// selection service, refresh its live bandwidths, and rank — or, with a
+// deadline, capacity-plan — the candidates on the shared incremental
+// rank engine. The per-dataset service mutex serializes refresh+rank,
+// so the engine never sees a half-updated topology; the engine reuses
+// every cached prediction whose bandwidth and predictor are unchanged.
 func (s *Server) computeSelect(app string, v core.Variant, total units.Bytes, deadline time.Duration, ver uint64) (SelectResponse, error) {
 	spec, err := bench.Dataset(app, total)
 	if err != nil {
 		return SelectResponse{}, withStatus(http.StatusBadRequest, err)
 	}
-	pred, err := s.predictor(app)
+	// Ensures the app is profiled and in the store before ranking.
+	if _, err := s.predictor(app); err != nil {
+		return SelectResponse{}, withStatus(http.StatusInternalServerError, err)
+	}
+	// The cached source resolves the store's latest snapshot per ranking
+	// round — a recalibration between requests re-ranks with fresh
+	// profiles — while keeping the predictor pointer stable per version,
+	// which is the engine's recompute-everything signal.
+	pred, err := s.source(app).Predictor()
 	if err != nil {
 		return SelectResponse{}, withStatus(http.StatusInternalServerError, err)
 	}
-	svc, err := s.selectionService(spec)
+	ss, err := s.selectionService(spec)
 	if err != nil {
 		return SelectResponse{}, withStatus(http.StatusInternalServerError, err)
 	}
-	// The source resolves the store's latest snapshot each ranking round,
-	// so a recalibration between requests re-ranks with fresh profiles.
-	// The pinned predictor stays as the fallback, though the predictor()
-	// call above guarantees the app is in the store by now.
-	sel := &grid.Selector{
-		Predictor: pred,
-		Source:    s.store.NewSource(app, AppModelLookup(app)),
-		Variant:   v,
+	ss.mu.Lock()
+	// Refresh bandwidths only when the estimator moved since the last
+	// ranking: the epoch is loaded before the refresh, so a concurrent
+	// /observe at worst re-triggers the refresh on the next request,
+	// never lets a stale estimate survive one.
+	if ep := s.estEpoch.Load() + 1; ss.bwEpoch != ep {
+		for _, site := range s.opts.Sites {
+			if err := ss.svc.SetBandwidth(site.Name, site.Cluster, s.pathBandwidth(site)); err != nil {
+				ss.mu.Unlock()
+				return SelectResponse{}, withStatus(http.StatusInternalServerError, err)
+			}
+		}
+		ss.bwEpoch = ep
+	}
+	ranked, err := s.engine.Rank(ss.svc, spec.Name, pred, v, 1)
+	ss.mu.Unlock()
+	if err != nil {
+		return SelectResponse{}, withStatus(statusForRankError(err), err)
 	}
 	resp := SelectResponse{App: app, Dataset: spec.Name, StoreVersion: ver, Size: total}
 	if deadline > 0 {
-		cand, err := grid.PlanCapacity(sel, svc, spec.Name, deadline)
+		cand, err := grid.PlanFromRanked(ranked, deadline)
 		if err != nil {
 			return SelectResponse{}, withStatus(statusForRankError(err), err)
 		}
@@ -492,10 +572,6 @@ func (s *Server) computeSelect(app string, v core.Variant, total units.Bytes, de
 		resp.Selected = &c
 		resp.Candidates = []SelectCandidate{c}
 		return resp, nil
-	}
-	ranked, err := sel.Rank(svc, spec.Name)
-	if err != nil {
-		return SelectResponse{}, withStatus(statusForRankError(err), err)
 	}
 	resp.Candidates = make([]SelectCandidate, len(ranked))
 	for i, cand := range ranked {
@@ -623,7 +699,9 @@ func (s *Server) Handler() http.Handler {
 	lim := s.lim
 	mux := http.NewServeMux()
 	mux.Handle("/predict", s.instrument("/predict", lim, http.MethodPost, s.handlePredict))
+	mux.Handle("/predict/batch", s.instrument("/predict/batch", lim, http.MethodPost, s.handlePredictBatch))
 	mux.Handle("/select", s.instrument("/select", lim, http.MethodPost, s.handleSelect))
+	mux.Handle("/select/batch", s.instrument("/select/batch", lim, http.MethodPost, s.handleSelectBatch))
 	mux.Handle("/observe", s.instrument("/observe", lim, http.MethodPost, s.handleObserve))
 	mux.Handle("/runs", s.instrument("/runs", lim, http.MethodPost, s.handleRuns))
 	mux.Handle("/profiles", s.instrument("/profiles", nil, http.MethodGet, s.handleProfiles))

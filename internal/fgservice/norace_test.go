@@ -1,0 +1,5 @@
+//go:build !race
+
+package fgservice
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package fgservice
+
+// raceEnabled skips allocation gates under the race detector: sync.Pool
+// deliberately drops pooled items at random when racing, so pooled-path
+// allocation counts are not meaningful there.
+const raceEnabled = true

@@ -35,6 +35,7 @@ import (
 	"freerideg/internal/profile"
 	"freerideg/internal/servecache"
 	"freerideg/internal/units"
+	"freerideg/internal/workpool"
 )
 
 // Site is one repository site of the service's replica topology. Its
@@ -127,6 +128,22 @@ type Server struct {
 	mu    sync.Mutex
 	preds map[string]*predEntry
 
+	// engine is the incremental rank engine behind /select: candidate
+	// tables are cached per (dataset, variant) and only predictions
+	// whose inputs changed are recomputed between requests.
+	engine *grid.RankEngine
+
+	// selMu guards the persistent per-dataset selection services and
+	// the per-app predictor sources the engine ranks with. Keeping one
+	// Service per dataset (instead of rebuilding per request) is what
+	// lets the engine reuse its enumerated tables across requests.
+	selMu   sync.Mutex
+	selSvcs map[string]*selService
+	sources map[string]*profile.Source
+
+	// batchPool fans batch-endpoint items across persistent workers.
+	batchPool *workpool.Pool
+
 	// Response caches, keyed by the rendered request and pinned to the
 	// store snapshot version (selections also fold in estEpoch). Nil
 	// when Options.DisableCache is set.
@@ -195,14 +212,18 @@ func New(opts Options) (*Server, error) {
 	// has no measured link calibration for; measured values win.
 	store.SeedLinks(h.Links())
 	s := &Server{
-		opts:    opts,
-		variant: variant,
-		harness: h,
-		est:     grid.NewBandwidthEstimator(0),
-		store:   store,
-		start:   time.Now(),
-		lim:     newLimiter(opts.MaxInFlight),
-		preds:   make(map[string]*predEntry),
+		opts:      opts,
+		variant:   variant,
+		harness:   h,
+		est:       grid.NewBandwidthEstimator(0),
+		store:     store,
+		start:     time.Now(),
+		lim:       newLimiter(opts.MaxInFlight),
+		preds:     make(map[string]*predEntry),
+		engine:    grid.NewRankEngine(),
+		selSvcs:   make(map[string]*selService),
+		sources:   make(map[string]*profile.Source),
+		batchPool: workpool.New(0),
 	}
 	if !opts.DisableCache {
 		s.predictCache = servecache.New[PredictResponse](servecache.Options{
@@ -335,12 +356,35 @@ func (s *Server) pathBandwidth(site Site) units.Rate {
 	return site.Bandwidth
 }
 
-// selectionService builds the per-request information service for one
-// dataset spec: replicas partitioned per site, current bandwidths, and
-// the configured compute offers. Building it per request keeps the
-// shared server state immutable under concurrency (the estimator
-// synchronizes itself).
-func (s *Server) selectionService(spec adr.DatasetSpec) (*grid.Service, error) {
+// selService is one dataset's persistent selection state: the grid
+// information service (replica layouts, offers, bandwidths) built once
+// and reused by every request for that dataset. Its mutex serializes
+// bandwidth refresh + ranking, so the rank engine never observes a
+// half-updated topology.
+type selService struct {
+	mu  sync.Mutex
+	svc *grid.Service
+	// bwEpoch is 1 + the estimator epoch the service's bandwidths were
+	// last refreshed against (0 = never since build). Distinct rankings
+	// at the same epoch — e.g. the items of one cold batch — share a
+	// single refresh instead of re-walking every site per request.
+	bwEpoch uint64
+}
+
+// selectionService returns the persistent selection service for one
+// dataset spec, building (and caching) it on first use. Replica
+// partitioning is the expensive part; reusing the service also gives
+// the rank engine a stable topology to cache candidate tables against.
+func (s *Server) selectionService(spec adr.DatasetSpec) (*selService, error) {
+	s.selMu.Lock()
+	if ss, ok := s.selSvcs[spec.Name]; ok {
+		s.selMu.Unlock()
+		return ss, nil
+	}
+	s.selMu.Unlock()
+
+	// Build outside the map lock: partitioning a large dataset is real
+	// work and unrelated datasets should not wait on it.
 	svc := grid.NewService()
 	for _, site := range s.opts.Sites {
 		layout, err := adr.Partition(spec, site.StorageNodes, adr.RoundRobin)
@@ -364,5 +408,40 @@ func (s *Server) selectionService(spec adr.DatasetSpec) (*grid.Service, error) {
 			return nil, err
 		}
 	}
-	return svc, nil
+
+	s.selMu.Lock()
+	defer s.selMu.Unlock()
+	if ss, ok := s.selSvcs[spec.Name]; ok {
+		// A concurrent request built it first; use that one so the rank
+		// engine keys on a single Service value per dataset.
+		return ss, nil
+	}
+	if len(s.selSvcs) >= maxSelServices {
+		for k := range s.selSvcs {
+			delete(s.selSvcs, k)
+			break
+		}
+	}
+	ss := &selService{svc: svc}
+	s.selSvcs[spec.Name] = ss
+	return ss, nil
+}
+
+// maxSelServices bounds the per-dataset service cache the same way the
+// rank engine bounds its tables: the legitimate dataset vocabulary is
+// small, the bound only caps hostile request streams.
+const maxSelServices = 512
+
+// source returns the live predictor source for one app, cached so the
+// rank engine sees a stable predictor pointer per store version (the
+// pointer changing is the engine's recompute-everything signal).
+func (s *Server) source(app string) *profile.Source {
+	s.selMu.Lock()
+	defer s.selMu.Unlock()
+	if src, ok := s.sources[app]; ok {
+		return src
+	}
+	src := s.store.NewSource(app, AppModelLookup(app))
+	s.sources[app] = src
+	return src
 }

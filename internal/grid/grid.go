@@ -9,7 +9,6 @@ package grid
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
@@ -44,6 +43,11 @@ type Service struct {
 	Replicas  *adr.Registry
 	offers    []ComputeOffer
 	bandwidth map[[2]string]units.Rate
+	// topo counts structural changes owned by the service itself: offers
+	// added and bandwidth entries for previously unknown paths. Updating
+	// an existing path's bandwidth is not structural — the rank engine
+	// handles it incrementally per pair.
+	topo uint64
 }
 
 // NewService returns an empty information service.
@@ -60,7 +64,17 @@ func (s *Service) AddOffer(o ComputeOffer) error {
 		return fmt.Errorf("grid: invalid compute offer %+v", o)
 	}
 	s.offers = append(s.offers, o)
+	s.topo++
 	return nil
+}
+
+// TopologyVersion is a monotonic fingerprint of the service's feasible
+// candidate structure: it moves whenever an offer is added, a replica is
+// registered, or a bandwidth entry appears for a new site→cluster path.
+// Both terms are monotonic, so the sum can never repeat for a different
+// structure. Updating an existing path's bandwidth does not move it.
+func (s *Service) TopologyVersion() uint64 {
+	return s.topo + s.Replicas.Version()
 }
 
 // Offers lists the registered compute offers.
@@ -75,7 +89,13 @@ func (s *Service) SetBandwidth(site, cluster string, b units.Rate) error {
 	if b <= 0 {
 		return fmt.Errorf("grid: non-positive bandwidth %v for %s->%s", b, site, cluster)
 	}
-	s.bandwidth[[2]string{site, cluster}] = b
+	key := [2]string{site, cluster}
+	if _, known := s.bandwidth[key]; !known {
+		// A new path can make pairs feasible that were not enumerated:
+		// that is a structural change, unlike an update in place.
+		s.topo++
+	}
+	s.bandwidth[key] = b
 	return nil
 }
 
@@ -102,7 +122,10 @@ type PredictorSource interface {
 	Predictor() (*core.Predictor, error)
 }
 
-// Selector ranks candidates using an application's predictor.
+// Selector ranks candidates using an application's predictor. Ranking
+// runs on a per-selector RankEngine, so repeated Rank calls against the
+// same service reuse the enumerated candidate table and every
+// prediction whose inputs did not change.
 type Selector struct {
 	// Predictor is seeded with the application's base profile, link
 	// calibrations, and (for cross-cluster offers) scaling factors.
@@ -118,6 +141,15 @@ type Selector struct {
 	// independent). Values < 1 select GOMAXPROCS; 1 forces strictly
 	// serial evaluation. The ranking is identical either way.
 	Parallel int
+
+	engOnce sync.Once
+	eng     *RankEngine
+}
+
+// Engine returns the selector's rank engine, creating it on first use.
+func (s *Selector) Engine() *RankEngine {
+	s.engOnce.Do(func() { s.eng = NewRankEngine() })
+	return s.eng
 }
 
 // minParallelRank is the candidate count below which Rank stays serial:
@@ -145,16 +177,18 @@ func (s *Selector) Rank(svc *Service, dataset string) ([]Candidate, error) {
 	if pred == nil {
 		return nil, errors.New("grid: selector without predictor")
 	}
+	return s.Engine().Rank(svc, dataset, pred, s.Variant, s.Parallel)
+}
+
+// rankSerial is the reference implementation Rank is pinned against: a
+// full, strictly serial enumerate-and-predict round with no caching.
+// The determinism test asserts the engine's output is byte-identical to
+// this path under every invalidation pattern.
+func rankSerial(svc *Service, dataset string, pred *core.Predictor, variant core.Variant) ([]Candidate, error) {
 	replicas := svc.Replicas.Replicas(dataset)
 	if len(replicas) == 0 {
 		return nil, fmt.Errorf("grid: no replicas of dataset %q", dataset)
 	}
-	// Enumerate the feasible pairs first (cheap filtering), then predict
-	// them — concurrently on larger grids, since Predictor.Predict is a
-	// pure function of its arguments. Results are collected by index, so
-	// the candidate order (and therefore the stable-sorted ranking and
-	// the reported "last" prediction error) is identical to a serial
-	// evaluation.
 	var pairs []Candidate
 	for _, rep := range replicas {
 		for _, off := range svc.Offers() {
@@ -174,53 +208,15 @@ func (s *Selector) Rank(svc *Service, dataset string) ([]Candidate, error) {
 			}})
 		}
 	}
-	rankRounds.Inc()
-	rankCandidates.Add(float64(len(pairs)))
-	errs := make([]error, len(pairs))
-	predict := func(i int) {
-		p, err := pred.Predict(pairs[i].Config, s.Variant)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		pairs[i].Prediction = p
-	}
-	workers := s.Parallel
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(pairs) {
-		workers = len(pairs)
-	}
-	if workers > 1 && len(pairs) >= minParallelRank {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					predict(i)
-				}
-			}()
-		}
-		for i := range pairs {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	} else {
-		for i := range pairs {
-			predict(i)
-		}
-	}
 	out := make([]Candidate, 0, len(pairs))
 	var lastErr error
-	for i, cand := range pairs {
-		if errs[i] != nil {
-			lastErr = errs[i]
+	for _, cand := range pairs {
+		p, err := pred.Predict(cand.Config, variant)
+		if err != nil {
+			lastErr = err
 			continue
 		}
+		cand.Prediction = p
 		out = append(out, cand)
 	}
 	if len(out) == 0 {

@@ -28,6 +28,19 @@ func PlanCapacity(sel *Selector, svc *Service, dataset string, deadline time.Dur
 	if err != nil {
 		return Candidate{}, err
 	}
+	return PlanFromRanked(ranked, deadline)
+}
+
+// PlanFromRanked applies PlanCapacity's cheapest-that-meets-the-deadline
+// policy to an already ranked candidate list, so callers that rank
+// through an engine (the prediction service) need not re-rank to plan.
+func PlanFromRanked(ranked []Candidate, deadline time.Duration) (Candidate, error) {
+	if deadline <= 0 {
+		return Candidate{}, fmt.Errorf("grid: non-positive deadline %v", deadline)
+	}
+	if len(ranked) == 0 {
+		return Candidate{}, ErrNoCandidates
+	}
 	var best Candidate
 	found := false
 	cost := func(c Candidate) int { return c.Config.DataNodes + c.Config.ComputeNodes }

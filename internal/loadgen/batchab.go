@@ -1,0 +1,166 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"freerideg/internal/fgservice"
+)
+
+// BatchABSide is one endpoint's batch-vs-sequential measurement: the
+// wall time of n sequential singular requests against one n-item batch
+// request, both on a fresh server with a cold cache. Times are the
+// minimum over the A/B's iterations — the standard way to strip
+// scheduler noise from a deterministic workload.
+type BatchABSide struct {
+	SequentialMs float64 `json:"sequentialMs"`
+	BatchMs      float64 `json:"batchMs"`
+	Speedup      float64 `json:"speedup"`
+	ItemErrors   int     `json:"itemErrors"`
+}
+
+// BatchAB is the batch-amortization A/B report fgload embeds in
+// BENCH_serve.json.
+type BatchAB struct {
+	Items      int         `json:"items"`
+	Iterations int         `json:"iterations"`
+	Seed       int64       `json:"seed"`
+	Predict    BatchABSide `json:"predict"`
+	Select     BatchABSide `json:"select"`
+}
+
+// batchABIterations balances noise-stripping against harness runtime.
+const batchABIterations = 5
+
+// RunBatchAB measures what the batch plane amortizes: n seeded requests
+// issued as n sequential singular calls versus one n-item batch call.
+// newTarget must yield a fresh server per call — every measurement side
+// starts with a cold response cache, so the comparison isolates
+// per-request overhead (connection handling, HTTP dispatch,
+// decode/encode, snapshot resolution) rather than cache warmth: both
+// sides compute and fill the same entries in the same order. The
+// returned cleanup (may be nil) tears the server down after the side's
+// measurement; fgload passes a target backed by a real loopback
+// listener so the per-request transport cost the batch plane exists to
+// amortize is part of what is timed.
+func RunBatchAB(newTarget func() (Target, func(), error), opts Options, n int) (BatchAB, error) {
+	opts = opts.withDefaults()
+	if n < 1 {
+		return BatchAB{}, fmt.Errorf("loadgen: batch A/B needs >= 1 items, got %d", n)
+	}
+	// The item streams reuse the workload generators, so the A/B sees
+	// the duplicate-heavy request vocabulary a real mix produces.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	sizes := sizeStrings(opts.BaseBytes)
+	predictItems := make([]op, n)
+	preq := fgservice.PredictBatchRequest{Items: make([]fgservice.PredictRequest, n)}
+	for i := 0; i < n; i++ {
+		preq.Items[i] = predictReq(rng, opts, sizes)
+		predictItems[i] = marshalOp("/predict", preq.Items[i])
+	}
+	predictBatch := marshalOp("/predict/batch", preq)
+
+	selectItems := make([]op, n)
+	sreq := fgservice.SelectBatchRequest{Items: make([]fgservice.SelectRequest, n)}
+	for i := 0; i < n; i++ {
+		sreq.Items[i] = selectReq(rng, opts, sizes)
+		selectItems[i] = marshalOp("/select", sreq.Items[i])
+	}
+	selectBatch := marshalOp("/select/batch", sreq)
+
+	ab := BatchAB{Items: n, Iterations: batchABIterations, Seed: opts.Seed}
+	var err error
+	if ab.Predict, err = runBatchABSide(newTarget, opts, predictItems, predictBatch); err != nil {
+		return BatchAB{}, fmt.Errorf("loadgen: predict batch A/B: %w", err)
+	}
+	if ab.Select, err = runBatchABSide(newTarget, opts, selectItems, selectBatch); err != nil {
+		return BatchAB{}, fmt.Errorf("loadgen: select batch A/B: %w", err)
+	}
+	return ab, nil
+}
+
+func runBatchABSide(newTarget func() (Target, func(), error), opts Options, items []op, batch op) (BatchABSide, error) {
+	side := BatchABSide{SequentialMs: -1, BatchMs: -1}
+	for iter := 0; iter < batchABIterations; iter++ {
+		// Sequential side: n singular requests on a fresh server.
+		err := withWarmTarget(newTarget, opts, func(tgt Target) error {
+			start := time.Now()
+			for _, it := range items {
+				status, body, err := post(tgt, it.path, it.body)
+				if err != nil {
+					return err
+				}
+				if status != http.StatusOK {
+					return fmt.Errorf("%s: status %d: %s", it.path, status, body)
+				}
+			}
+			if ms := time.Since(start).Seconds() * 1e3; side.SequentialMs < 0 || ms < side.SequentialMs {
+				side.SequentialMs = ms
+			}
+			return nil
+		})
+		if err != nil {
+			return side, err
+		}
+
+		// Batch side: one request with the same items on a fresh server.
+		err = withWarmTarget(newTarget, opts, func(tgt Target) error {
+			start := time.Now()
+			status, body, err := post(tgt, batch.path, batch.body)
+			if err != nil {
+				return err
+			}
+			if status != http.StatusOK {
+				return fmt.Errorf("%s: status %d: %s", batch.path, status, body)
+			}
+			if ms := time.Since(start).Seconds() * 1e3; side.BatchMs < 0 || ms < side.BatchMs {
+				side.BatchMs = ms
+			}
+			var bv batchView
+			if err := json.Unmarshal(body, &bv); err != nil {
+				return fmt.Errorf("%s: parsing batch response: %w", batch.path, err)
+			}
+			if len(bv.Items) != len(items) {
+				return fmt.Errorf("%s: %d items answered, want %d", batch.path, len(bv.Items), len(items))
+			}
+			for _, item := range bv.Items {
+				if item.Error != nil {
+					side.ItemErrors++
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return side, err
+		}
+	}
+	if side.BatchMs > 0 {
+		side.Speedup = side.SequentialMs / side.BatchMs
+	}
+	return side, nil
+}
+
+// withWarmTarget builds a fresh target, runs the uncounted warmup
+// predict (so neither side's measurement includes the one-off
+// self-profiling simulation), invokes fn, and tears the target down.
+func withWarmTarget(newTarget func() (Target, func(), error), opts Options, fn func(Target) error) error {
+	tgt, cleanup, err := newTarget()
+	if err != nil {
+		return err
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+	warm := marshalOp("/predict", predictWarmup(opts))
+	status, body, err := post(tgt, warm.path, warm.body)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("warmup predict: status %d: %s", status, body)
+	}
+	return fn(tgt)
+}

@@ -29,13 +29,18 @@ import (
 	"freerideg/internal/units"
 )
 
-// Mix holds the relative weights of the four request kinds in the
-// generated workload. The zero value selects DefaultMix.
+// Mix holds the relative weights of the request kinds in the generated
+// workload. The zero value selects DefaultMix. The batch kinds weigh
+// zero by default; because they extend the cumulative weight ranges at
+// the end, a mix without them generates exactly the op stream (and
+// workload checksum) it did before batches existed.
 type Mix struct {
-	Predict int `json:"predict"`
-	Select  int `json:"select"`
-	Observe int `json:"observe"`
-	Runs    int `json:"runs"`
+	Predict      int `json:"predict"`
+	Select       int `json:"select"`
+	Observe      int `json:"observe"`
+	Runs         int `json:"runs"`
+	PredictBatch int `json:"predictBatch,omitempty"`
+	SelectBatch  int `json:"selectBatch,omitempty"`
 }
 
 // DefaultMix is a read-heavy mix: mostly predictions, some selections,
@@ -43,10 +48,12 @@ type Mix struct {
 // write traffic to keep the caches honest without drowning the reads.
 func DefaultMix() Mix { return Mix{Predict: 6, Select: 2, Observe: 1, Runs: 1} }
 
-func (m Mix) total() int { return m.Predict + m.Select + m.Observe + m.Runs }
+func (m Mix) total() int {
+	return m.Predict + m.Select + m.Observe + m.Runs + m.PredictBatch + m.SelectBatch
+}
 
-// ParseMix parses "predict=6,select=2,observe=1,runs=1". Omitted kinds
-// weigh zero; an empty string selects DefaultMix.
+// ParseMix parses "predict=6,select=2,observe=1,runs=1,selectbatch=1".
+// Omitted kinds weigh zero; an empty string selects DefaultMix.
 func ParseMix(s string) (Mix, error) {
 	if strings.TrimSpace(s) == "" {
 		return DefaultMix(), nil
@@ -70,8 +77,12 @@ func ParseMix(s string) (Mix, error) {
 			m.Observe = w
 		case "runs":
 			m.Runs = w
+		case "predictbatch":
+			m.PredictBatch = w
+		case "selectbatch":
+			m.SelectBatch = w
 		default:
-			return Mix{}, fmt.Errorf("loadgen: unknown mix kind %q (want predict, select, observe, or runs)", k)
+			return Mix{}, fmt.Errorf("loadgen: unknown mix kind %q (want predict, select, observe, runs, predictbatch, or selectbatch)", k)
 		}
 	}
 	if m.total() == 0 {
@@ -137,10 +148,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// op is one pre-generated request of the workload.
+// op is one pre-generated request of the workload. items is the batch
+// item count (0 for singular ops), folded into per-run accounting.
 type op struct {
-	path string
-	body string
+	path  string
+	body  string
+	items int
 }
 
 // variants rotates requests across the paper's three model variants
@@ -185,14 +198,19 @@ func schedule(o Options) ([]op, string) {
 	sizes := sizeStrings(o.BaseBytes)
 	ops := make([]op, o.Requests)
 	sum := fnv.New64a()
-	bounds := [4]int{
+	// The batch kinds extend the cumulative ranges at the end: with zero
+	// batch weights the draw bound and every branch are exactly the
+	// pre-batch schedule, so historical seeds keep their checksums.
+	bounds := [6]int{
 		o.Mix.Predict,
 		o.Mix.Predict + o.Mix.Select,
 		o.Mix.Predict + o.Mix.Select + o.Mix.Observe,
+		o.Mix.Predict + o.Mix.Select + o.Mix.Observe + o.Mix.Runs,
+		o.Mix.Predict + o.Mix.Select + o.Mix.Observe + o.Mix.Runs + o.Mix.PredictBatch,
 		o.Mix.total(),
 	}
 	for i := range ops {
-		k := rng.Intn(bounds[3])
+		k := rng.Intn(bounds[5])
 		switch {
 		case k < bounds[0]:
 			ops[i] = predictOp(rng, o, sizes)
@@ -200,8 +218,12 @@ func schedule(o Options) ([]op, string) {
 			ops[i] = selectOp(rng, o, sizes)
 		case k < bounds[2]:
 			ops[i] = observeOp(rng, o, sizes)
-		default:
+		case k < bounds[3]:
 			ops[i] = runsOp(rng, o, sizes)
+		case k < bounds[4]:
+			ops[i] = predictBatchOp(rng, o, sizes)
+		default:
+			ops[i] = selectBatchOp(rng, o, sizes)
 		}
 		sum.Write([]byte(ops[i].path))
 		sum.Write([]byte{0})
@@ -221,13 +243,16 @@ func marshalOp(path string, req any) op {
 	return op{path: path, body: string(b)}
 }
 
-func predictOp(rng *rand.Rand, o Options, sizes []string) op {
+// predictReq draws one predict request; predictOp and the batch
+// generator share it so singular and batched items cover the same
+// request space (and therefore the same cache keys).
+func predictReq(rng *rand.Rand, o Options, sizes []string) fgservice.PredictRequest {
 	dn := []int{1, 2, 4}[rng.Intn(3)]
 	cn := dn * []int{1, 2, 4}[rng.Intn(3)]
 	bw := []string{"50MB", "100MB", "200MB"}[rng.Intn(3)]
 	size := sizes[rng.Intn(len(sizes))]
 	variant := variants[rng.Intn(len(variants))]
-	return marshalOp("/predict", fgservice.PredictRequest{
+	return fgservice.PredictRequest{
 		App:     o.App,
 		Variant: variant,
 		Config: fgservice.ConfigRequest{
@@ -237,10 +262,15 @@ func predictOp(rng *rand.Rand, o Options, sizes []string) op {
 			Bandwidth:    bw,
 			DatasetBytes: size,
 		},
-	})
+	}
 }
 
-func selectOp(rng *rand.Rand, o Options, sizes []string) op {
+func predictOp(rng *rand.Rand, o Options, sizes []string) op {
+	return marshalOp("/predict", predictReq(rng, o, sizes))
+}
+
+// selectReq draws one select request (see predictReq).
+func selectReq(rng *rand.Rand, o Options, sizes []string) fgservice.SelectRequest {
 	size := sizes[rng.Intn(len(sizes))]
 	limit := []int{0, 1, 3}[rng.Intn(3)]
 	variant := variants[rng.Intn(len(variants))]
@@ -250,13 +280,44 @@ func selectOp(rng *rand.Rand, o Options, sizes []string) op {
 		// without ever being unreachable for these dataset sizes.
 		deadline = "2h"
 	}
-	return marshalOp("/select", fgservice.SelectRequest{
+	return fgservice.SelectRequest{
 		App:      o.App,
 		Size:     size,
 		Limit:    limit,
 		Deadline: deadline,
 		Variant:  variant,
-	})
+	}
+}
+
+func selectOp(rng *rand.Rand, o Options, sizes []string) op {
+	return marshalOp("/select", selectReq(rng, o, sizes))
+}
+
+// batchSizes are the seeded item counts batch ops draw from: small
+// enough to stay cheap in a mixed workload, large enough that the
+// amortized plane actually fans out.
+var batchSizes = []int{4, 16, 64}
+
+func predictBatchOp(rng *rand.Rand, o Options, sizes []string) op {
+	n := batchSizes[rng.Intn(len(batchSizes))]
+	items := make([]fgservice.PredictRequest, n)
+	for i := range items {
+		items[i] = predictReq(rng, o, sizes)
+	}
+	out := marshalOp("/predict/batch", fgservice.PredictBatchRequest{Items: items})
+	out.items = n
+	return out
+}
+
+func selectBatchOp(rng *rand.Rand, o Options, sizes []string) op {
+	n := batchSizes[rng.Intn(len(batchSizes))]
+	items := make([]fgservice.SelectRequest, n)
+	for i := range items {
+		items[i] = selectReq(rng, o, sizes)
+	}
+	out := marshalOp("/select/batch", fgservice.SelectBatchRequest{Items: items})
+	out.items = n
+	return out
 }
 
 func observeOp(rng *rand.Rand, o Options, sizes []string) op {

@@ -173,3 +173,87 @@ func TestHandlerTargetRecordsStatusAndBody(t *testing.T) {
 		t.Fatalf("GET: %d, %v", status, err)
 	}
 }
+
+// TestBatchWeightsPreserveLegacyChecksums: a mix without batch kinds
+// must generate exactly the op stream it did before batches existed —
+// adding zero-weight kinds may not shift the rng draw sequence.
+func TestBatchWeightsPreserveLegacyChecksums(t *testing.T) {
+	plain := New(nil, Options{Requests: 300, Seed: 42})
+	explicit := New(nil, Options{Requests: 300, Seed: 42,
+		Mix: Mix{Predict: 6, Select: 2, Observe: 1, Runs: 1, PredictBatch: 0, SelectBatch: 0}})
+	if plain.Checksum() != explicit.Checksum() {
+		t.Fatalf("zero batch weights changed the workload: %s vs %s",
+			plain.Checksum(), explicit.Checksum())
+	}
+	for _, o := range plain.ops {
+		if o.items != 0 {
+			t.Fatalf("batchless mix generated a batch op: %+v", o)
+		}
+	}
+}
+
+// TestBatchScheduleDeterministic: batch ops (including their seeded
+// item counts) are part of the fingerprinted stream.
+func TestBatchScheduleDeterministic(t *testing.T) {
+	opts := Options{Requests: 120, Seed: 9,
+		Mix: Mix{Predict: 4, Select: 2, Observe: 1, Runs: 1, PredictBatch: 2, SelectBatch: 2}}
+	a, b := New(nil, opts), New(nil, opts)
+	if a.Checksum() != b.Checksum() {
+		t.Fatalf("same seed, different batch checksums: %s vs %s", a.Checksum(), b.Checksum())
+	}
+	sawBatch := false
+	sizes := make(map[int]bool)
+	for i := range a.ops {
+		if a.ops[i] != b.ops[i] {
+			t.Fatalf("op %d differs", i)
+		}
+		if a.ops[i].items > 0 {
+			sawBatch = true
+			sizes[a.ops[i].items] = true
+		}
+	}
+	if !sawBatch {
+		t.Fatal("batch-weighted schedule generated no batch ops")
+	}
+	if len(sizes) < 2 {
+		t.Fatalf("batch sizes did not vary: %v", sizes)
+	}
+}
+
+// TestBatchRunInProcess drives a batch-heavy mix end to end: every op
+// answers 200, every batch item succeeds, and the per-item coherence
+// check holds under interleaved recalibrations.
+func TestBatchRunInProcess(t *testing.T) {
+	r := New(testTarget(t), Options{
+		Requests:    80,
+		Concurrency: 4,
+		Seed:        5,
+		BaseBytes:   16 * units.MB,
+		Coherence:   2,
+		Mix:         Mix{Predict: 2, Select: 1, Observe: 1, Runs: 1, PredictBatch: 3, SelectBatch: 3},
+	})
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TransportErrors != 0 || rep.Overall.Errors != 0 {
+		t.Fatalf("batch soak saw errors: transport=%d http=%d status=%v",
+			rep.TransportErrors, rep.Overall.Errors, rep.StatusCounts)
+	}
+	if rep.BatchItems == 0 {
+		t.Fatal("batch mix carried no items")
+	}
+	if rep.BatchItemErrors != 0 {
+		t.Fatalf("%d of %d batch items failed", rep.BatchItemErrors, rep.BatchItems)
+	}
+	coh := rep.Coherence
+	if coh == nil || coh.Checked == 0 {
+		t.Fatalf("no coherence checks ran: %+v", coh)
+	}
+	if coh.Violations != 0 {
+		t.Fatalf("%d batch coherence violations (%+v)", coh.Violations, coh)
+	}
+	if ep, ok := rep.Endpoints["/select/batch"]; !ok || ep.Count == 0 {
+		t.Fatalf("no /select/batch latencies recorded: %v", rep.Endpoints)
+	}
+}

@@ -84,18 +84,26 @@ type Report struct {
 	Endpoints        map[string]LatencyStats `json:"endpoints"`
 	StatusCounts     map[string]int          `json:"statusCounts"`
 	TransportErrors  int                     `json:"transportErrors"`
-	Coherence        *CoherenceReport        `json:"coherence,omitempty"`
+	// BatchItems counts items carried by batch ops; BatchItemErrors
+	// counts items that answered with a per-item error. A batch op's
+	// HTTP status is 200 even when items fail, so batch failures are
+	// only visible here.
+	BatchItems      int              `json:"batchItems,omitempty"`
+	BatchItemErrors int              `json:"batchItemErrors,omitempty"`
+	Coherence       *CoherenceReport `json:"coherence,omitempty"`
 }
 
 // workerStats is one worker's private recorder; workers never share
 // mutable state, so the hot loop takes no locks.
 type workerStats struct {
-	lat        map[string][]float64 // latency seconds per endpoint
-	errs       map[string]int       // status >= 400 per endpoint
-	status     map[int]int
-	transport  int
-	checked    int
-	violations int
+	lat           map[string][]float64 // latency seconds per endpoint
+	errs          map[string]int       // status >= 400 per endpoint
+	status        map[int]int
+	transport     int
+	checked       int
+	violations    int
+	batchItems    int
+	batchItemErrs int
 }
 
 func newWorkerStats() *workerStats {
@@ -110,6 +118,17 @@ func newWorkerStats() *workerStats {
 // coherence check needs.
 type versionedResponse struct {
 	StoreVersion uint64 `json:"storeVersion"`
+}
+
+// batchView is the slice of a batch response the runner needs: each
+// item either failed (Error set) or carries its own storeVersion.
+type batchView struct {
+	Items []struct {
+		Response *versionedResponse `json:"response"`
+		Error    *struct {
+			Status int `json:"status"`
+		} `json:"error"`
+	} `json:"items"`
 }
 
 // Run executes the workload and returns the report. The warmup request
@@ -191,12 +210,36 @@ func (r *Runner) runOp(o op, ws *workerStats) {
 		ws.errs[o.path]++
 		return
 	}
-	if r.opts.Coherence > 0 && (o.path == "/predict" || o.path == "/select") {
-		var v versionedResponse
-		if json.Unmarshal(body, &v) == nil {
-			ws.checked++
-			if v.StoreVersion < floor {
-				ws.violations++
+	switch o.path {
+	case "/predict", "/select":
+		if r.opts.Coherence > 0 {
+			var v versionedResponse
+			if json.Unmarshal(body, &v) == nil {
+				ws.checked++
+				if v.StoreVersion < floor {
+					ws.violations++
+				}
+			}
+		}
+	case "/predict/batch", "/select/batch":
+		ws.batchItems += o.items
+		var bv batchView
+		if json.Unmarshal(body, &bv) != nil {
+			return
+		}
+		for _, item := range bv.Items {
+			if item.Error != nil {
+				ws.batchItemErrs++
+				continue
+			}
+			// The coherence floor applies per item: a batch sent after a
+			// recalibration completed must not carry any pre-recalibration
+			// item, exactly like a singular request.
+			if r.opts.Coherence > 0 && item.Response != nil {
+				ws.checked++
+				if item.Response.StoreVersion < floor {
+					ws.violations++
+				}
 			}
 		}
 	}
@@ -232,6 +275,8 @@ func (r *Runner) assemble(perWorker []*workerStats, elapsed time.Duration) (Repo
 			rep.StatusCounts[fmt.Sprintf("%d", code)] += n
 		}
 		rep.TransportErrors += ws.transport
+		rep.BatchItems += ws.batchItems
+		rep.BatchItemErrors += ws.batchItemErrs
 	}
 	for path, lats := range byPath {
 		st, err := summarizeLatencies(lats, errsByPath[path])

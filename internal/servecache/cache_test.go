@@ -225,3 +225,63 @@ func BenchmarkGetMiss(b *testing.B) {
 		}
 	}
 }
+
+// TestBatchGetsNeverServePreBumpEntries soaks the access pattern the
+// batch serve plane relies on: a "batch" resolves the epoch once and
+// issues many Gets pinned at it while a writer keeps bumping the epoch
+// concurrently. Every item must come back with exactly the value filled
+// for its pinned epoch — in particular, no item of a batch that started
+// after a bump completed may return a pre-bump entry.
+func TestBatchGetsNeverServePreBumpEntries(t *testing.T) {
+	c := New[uint64](Options{Name: "test-batch-bumps", MaxEntries: 128})
+	var epoch atomic.Uint64
+	epoch.Store(1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			epoch.Add(1)
+		}
+		close(stop)
+	}()
+	const readers = 6
+	const batchItems = 16
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for b := 0; ; b++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// floor is the last bump known complete before this batch
+				// resolved its epoch; ver is the batch's single resolution.
+				floor := epoch.Load()
+				ver := epoch.Load()
+				for i := 0; i < batchItems; i++ {
+					key := fmt.Sprintf("item%d", i%5)
+					got, err := c.Get(key, ver, func() (uint64, error) { return ver, nil })
+					if err != nil {
+						t.Errorf("reader %d batch %d: %v", r, b, err)
+						return
+					}
+					if got < floor {
+						t.Errorf("reader %d batch %d item %d: served pre-bump entry %d, floor %d",
+							r, b, i, got, floor)
+						return
+					}
+					if got != ver {
+						t.Errorf("reader %d batch %d item %d: entry version %d, batch pinned %d",
+							r, b, i, got, ver)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}

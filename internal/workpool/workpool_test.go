@@ -1,0 +1,89 @@
+package workpool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversEveryIndexExactlyOnce checks the atomic work-claiming:
+// every index in [0, n) runs exactly once, at every limit shape.
+func TestRunCoversEveryIndexExactlyOnce(t *testing.T) {
+	p := New(4)
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		for _, limit := range []int{0, 1, 2, 8, 100} {
+			hits := make([]atomic.Int32, n+1)
+			p.Run(n, limit, func(i int) { hits[i].Add(1) })
+			for i := 0; i < n; i++ {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("n=%d limit=%d: index %d ran %d times", n, limit, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestRunSerialOnCallingGoroutine pins limit=1 semantics: no helper is
+// recruited, so tasks observe strictly ascending order.
+func TestRunSerialOnCallingGoroutine(t *testing.T) {
+	p := New(8)
+	var order []int
+	p.Run(50, 1, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial run executed index %d at position %d", got, i)
+		}
+	}
+}
+
+// TestNestedRunDoesNotDeadlock drives batches that submit batches from
+// inside their tasks; the submitter-participates design must complete
+// them even when every worker is already busy.
+func TestNestedRunDoesNotDeadlock(t *testing.T) {
+	p := New(2)
+	var total atomic.Int64
+	p.Run(8, 0, func(i int) {
+		p.Run(8, 0, func(j int) {
+			total.Add(1)
+		})
+	})
+	if got := total.Load(); got != 64 {
+		t.Fatalf("nested runs completed %d tasks, want 64", got)
+	}
+}
+
+// TestRunReusesWorkers submits many batches and checks the pool never
+// exceeds its worker budget (recruited helpers <= size), by bounding
+// observed concurrency.
+func TestRunReusesWorkers(t *testing.T) {
+	const size = 3
+	p := New(size)
+	var inFlight, peak atomic.Int32
+	for round := 0; round < 20; round++ {
+		p.Run(64, 0, func(i int) {
+			cur := inFlight.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			inFlight.Add(-1)
+		})
+	}
+	// size helpers plus the submitting goroutine.
+	if got := peak.Load(); got > size+1 {
+		t.Fatalf("observed %d concurrent workers, want <= %d", got, size+1)
+	}
+}
+
+// BenchmarkRunSmallBatch measures the steady-state overhead of fanning
+// a small batch (the ranking-round shape) through the persistent pool.
+func BenchmarkRunSmallBatch(b *testing.B) {
+	p := New(0)
+	var sink atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(48, 0, func(j int) { sink.Add(1) })
+	}
+}

@@ -22,6 +22,8 @@ go run ./cmd/fgbench -in "$out" -out BENCH_sweep.json
 
 # Serve-path benchmark: fgload A/Bs an in-process cold server (response
 # cache disabled) against a warm one on a read-heavy mix and writes the
-# latency quantiles, cache counters, and cold/warm speedups.
+# latency quantiles, cache counters, and cold/warm speedups. -batch-ab
+# adds the batch-plane measurement: 64 sequential singular calls versus
+# one 64-item batch call, both cold, over a real loopback listener.
 go run ./cmd/fgload -requests 3000 -concurrency 8 -seed 1 -base-size 16MB \
-    -mix "predict=8,select=2" -compare -out BENCH_serve.json
+    -mix "predict=8,select=2" -compare -batch-ab 64 -out BENCH_serve.json

@@ -30,6 +30,12 @@ go test -race -count=2 -shuffle=on ./internal/fgservice/ ./internal/servecache/ 
 # the tracked perf suite can't rot between `make bench` refreshes.
 go test -run='^$' -bench=. -benchtime=1x ./...
 
+# Allocation gates (race-free on purpose: the race detector makes
+# sync.Pool drop items at random, so the pooled paths only meet their
+# budgets under a plain build): the warm rank path and the pooled JSON
+# encoder must hold their testing.AllocsPerRun budgets.
+go test -run='Allocs' ./internal/grid/ ./internal/fgservice/
+
 # Fuzz regression mode: -run='^Fuzz' replays each target's seed corpus
 # (f.Add seeds plus files under testdata/fuzz/) as ordinary tests.
 go test -run='^Fuzz' ./internal/simgrid/ ./internal/fgservice/
@@ -48,5 +54,11 @@ go run ./cmd/fgserved -selfcheck -base-size 64MB
 # error, 5xx, or cache-coherence violation, so this line is the gate
 # that the serve-path cache stays coherent under concurrent load.
 go run ./cmd/fgload -requests 120 -concurrency 6 -seed 1 -base-size 16MB -coherence-batches 2 -out /dev/null
+
+# Batch-plane smoke: fold /predict/batch and /select/batch into the mix
+# (per-item errors and per-item coherence are gated the same way) and
+# run a small batch-vs-sequential A/B over a loopback listener.
+go run ./cmd/fgload -requests 120 -concurrency 6 -seed 1 -base-size 16MB -coherence-batches 2 \
+    -mix "predict=4,select=2,observe=1,runs=1,predictbatch=2,selectbatch=2" -batch-ab 16 -out /dev/null
 
 echo "check: OK"
