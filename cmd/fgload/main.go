@@ -27,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"time"
 
 	"freerideg/internal/cliutil"
 	"freerideg/internal/fgservice"
@@ -42,6 +43,7 @@ type cacheCounters struct {
 	Coalesced     float64 `json:"coalesced"`
 	Invalidations float64 `json:"invalidations"`
 	Evictions     float64 `json:"evictions"`
+	Abandoned     float64 `json:"abandoned,omitempty"`
 }
 
 func fromStats(s servecache.Stats) cacheCounters {
@@ -51,6 +53,7 @@ func fromStats(s servecache.Stats) cacheCounters {
 		Coalesced:     s.Coalesced,
 		Invalidations: s.Invalidations,
 		Evictions:     s.Evictions,
+		Abandoned:     s.Abandoned,
 	}
 }
 
@@ -61,6 +64,7 @@ func sub(a, b servecache.Stats) servecache.Stats {
 		Coalesced:     a.Coalesced - b.Coalesced,
 		Invalidations: a.Invalidations - b.Invalidations,
 		Evictions:     a.Evictions - b.Evictions,
+		Abandoned:     a.Abandoned - b.Abandoned,
 	}
 }
 
@@ -106,21 +110,30 @@ func main() {
 		compare   = flag.Bool("compare", false, "A/B an in-process cold (cache disabled) run against a warm one and report the speedup")
 		batchAB   = flag.Int("batch-ab", 0, "measure N sequential singular calls vs one N-item batch call on a cold cache over a loopback listener (0 = off)")
 		out       = flag.String("out", "", "report file (empty = stdout)")
+
+		clientTimeout  = flag.Duration("client-timeout", 0, "per-op client deadline; expired ops count as timeouts, not plain transport errors (0 = unbounded)")
+		expectTimeouts = flag.Bool("expect-timeouts", false, "tolerate client timeouts, 504s, and 503 shedding in the gate (cancellation smoke mode)")
+		goroutineCheck = flag.Bool("goroutine-check", false, "after the run, fail if goroutines have not drained back near the pre-run baseline")
 	)
 	flag.Parse()
+
+	// Baseline before any server or worker goroutines exist; the post-run
+	// check asserts abandoned requests did not strand handler goroutines.
+	baselineGoroutines := runtime.NumGoroutine()
 
 	mix, err := loadgen.ParseMix(*mixFlag)
 	if err != nil {
 		fail(err)
 	}
 	opts := loadgen.Options{
-		Requests:    *requests,
-		Concurrency: *conc,
-		Seed:        *seed,
-		Mix:         mix,
-		App:         *app,
-		BaseBytes:   baseSize.Bytes,
-		Coherence:   *coherence,
+		Requests:      *requests,
+		Concurrency:   *conc,
+		Seed:          *seed,
+		Mix:           mix,
+		App:           *app,
+		BaseBytes:     baseSize.Bytes,
+		Coherence:     *coherence,
+		ClientTimeout: *clientTimeout,
 	}
 
 	rep := output{GoVersion: runtime.Version(), Cores: runtime.NumCPU()}
@@ -194,7 +207,7 @@ func main() {
 	}
 
 	for _, r := range []*runOutput{rep.Run, rep.Cold, rep.Warm} {
-		if err := gate(r); err != nil {
+		if err := gate(r, *expectTimeouts); err != nil {
 			fail(err)
 		}
 	}
@@ -204,6 +217,33 @@ func main() {
 				ab.Predict.ItemErrors, ab.Select.ItemErrors))
 		}
 	}
+	if *goroutineCheck {
+		if err := checkGoroutines(baselineGoroutines); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// checkGoroutines asserts the process drained back near its pre-run
+// goroutine count. Abandoned requests keep their handler goroutines
+// alive only until the handler notices ctx is done, so after a short
+// settle window anything still running is a leak: a handler stuck past
+// its deadline, a limiter slot never released, or a fill goroutine
+// nobody cancelled. The slack term covers runtime-internal goroutines
+// (GC workers, netpoller, timer goroutines) that scale with the
+// machine, not the workload.
+func checkGoroutines(baseline int) error {
+	limit := baseline + 2*runtime.GOMAXPROCS(0) + 8
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > limit && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > limit {
+		return fmt.Errorf("goroutine leak: %d alive after run (baseline %d, limit %d)", n, baseline, limit)
+	}
+	return nil
 }
 
 // newLoopbackTarget stands up a fresh cold-cache server behind a real
@@ -221,7 +261,13 @@ func newLoopbackTarget() (loadgen.Target, func(), error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	go func() { _ = hs.Serve(ln) }()
 	cleanup := func() { _ = hs.Close() }
 	return loadgen.NewHTTPTarget("http://"+ln.Addr().String(), nil), cleanup, nil
@@ -258,19 +304,35 @@ func runInProcess(opts loadgen.Options, conc int, disableCache bool) (*runOutput
 // server-side 5xx responses, or coherence violations. Client-side 4xx
 // are reported but not fatal — a remote target may legitimately reject
 // parts of a mix (e.g. an app it does not know).
-func gate(r *runOutput) error {
+//
+// With expectTimeouts (the cancellation smoke), deadline outcomes are
+// the point of the run, not failures: client-side timeouts and 504
+// answers pass, and only transport errors beyond the timeout count or
+// non-504 5xx statuses still trip the gate.
+func gate(r *runOutput, expectTimeouts bool) error {
 	if r == nil {
 		return nil
 	}
-	if r.TransportErrors > 0 {
+	if hard := r.TransportErrors - r.TransportTimeouts; !expectTimeouts && r.TransportErrors > 0 {
 		return fmt.Errorf("%d requests failed at the transport", r.TransportErrors)
+	} else if hard > 0 {
+		return fmt.Errorf("%d requests failed at the transport beyond the %d expected timeouts", hard, r.TransportTimeouts)
 	}
 	for code, n := range r.StatusCounts {
+		// 504 is the point of the cancellation smoke. 503 is the server
+		// correctly shedding load in the race window where an abandoned
+		// handler (possibly finishing a deliberately-detached profiling
+		// run) still holds its slot while the timed-out client has
+		// already fired its next op — legitimate backpressure, not a
+		// stuck slot (the goroutine check still catches stranding).
+		if expectTimeouts && (code == "504" || code == "503") {
+			continue
+		}
 		if c, err := strconv.Atoi(code); err == nil && c >= 500 && n > 0 {
 			return fmt.Errorf("%d responses with status %s", n, code)
 		}
 	}
-	if r.BatchItemErrors > 0 {
+	if !expectTimeouts && r.BatchItemErrors > 0 {
 		return fmt.Errorf("%d of %d batch items answered with a per-item error", r.BatchItemErrors, r.BatchItems)
 	}
 	if coh := r.Coherence; coh != nil {

@@ -104,9 +104,15 @@ func main() {
 	}
 	httpSrv := &http.Server{
 		Handler: srv.Handler(),
-		// The TimeoutHandler inside Handler() bounds handling; these bound
-		// slow clients.
+		// The middleware inside Handler() bounds handling; these bound
+		// slow clients: a peer that trickles its headers or body, or one
+		// that stops reading the response, must not hold a connection (and
+		// its goroutine) open indefinitely. WriteTimeout is the handling
+		// budget plus slack for actually transmitting the response.
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      *timeout + 15*time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 	fmt.Printf("fgserved: serving on %s (variant %s, shutdown grace %v)\n", ln.Addr(), *variant, *grace)
 

@@ -33,6 +33,11 @@ func servePprof(addr string) (net.Addr, func() error, error) {
 	srv := &http.Server{
 		Handler:           pprofHandler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		// CPU profiles and traces stream for their whole -seconds window;
+		// the write budget must cover the longest reasonable capture.
+		WriteTimeout: 5 * time.Minute,
+		IdleTimeout:  120 * time.Second,
 	}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr(), srv.Close, nil

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"freerideg/internal/apps"
@@ -275,7 +276,7 @@ func (h *Harness) InferredModels() (map[string]core.AppModel, error) {
 				Bandwidth:    middleware.DefaultBandwidth,
 				DatasetBytes: run.bytes,
 			}
-			res, err := h.simulate(name, run.bytes, chunk, cfg, nil)
+			res, err := h.simulate(context.Background(), name, run.bytes, chunk, cfg, nil)
 			if err != nil {
 				return nil, fmt.Errorf("bench: inference profile for %s: %w", name, err)
 			}

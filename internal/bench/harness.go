@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -88,54 +89,67 @@ func (h *Harness) Links() map[string]core.LinkCalibration {
 // deterministic, so equal inputs yield equal results); traced runs
 // always execute — their events cannot be replayed from a cache — but
 // publish their result for later sink-less callers.
-func (h *Harness) simulate(app string, total, chunk units.Bytes, cfg core.Config, sink middleware.Sink) (middleware.SimResult, error) {
+func (h *Harness) simulate(ctx context.Context, app string, total, chunk units.Bytes, cfg core.Config, sink middleware.Sink) (middleware.SimResult, error) {
 	key := simKey{app: app, total: total, chunk: chunk, cfg: cfg}
 	if sink != nil {
-		res, err := h.runSim(app, total, chunk, cfg, sink)
+		res, err := h.runSim(ctx, app, total, chunk, cfg, sink)
 		if err == nil {
 			h.cache.publish(key, res)
 		}
 		return res, err
 	}
-	return h.cache.do(key, func() (middleware.SimResult, error) {
-		return h.runSim(app, total, chunk, cfg, nil)
+	return h.cache.do(ctx, key, func() (middleware.SimResult, error) {
+		return h.runSim(ctx, app, total, chunk, cfg, nil)
 	})
 }
 
 // Simulate runs one application configuration through the harness's
 // worker pool and memo cache — the entry point long-running callers
 // (fgserved) use, so repeated profile requests cost one engine run.
-func (h *Harness) Simulate(app string, total, chunk units.Bytes, cfg core.Config) (middleware.SimResult, error) {
-	return h.simulate(app, total, chunk, cfg, nil)
+// ctx is honored at the cancellation points a simulation has before its
+// bounded engine run: waiting for a worker-pool slot, waiting on a
+// memoized in-flight duplicate, and the moment a slot is acquired. A
+// canceled ctx therefore never starts an engine run, but a run already
+// started completes (its result stays useful to the memo cache).
+func (h *Harness) Simulate(ctx context.Context, app string, total, chunk units.Bytes, cfg core.Config) (middleware.SimResult, error) {
+	return h.simulate(ctx, app, total, chunk, cfg, nil)
 }
 
-// runSim executes one simulation while holding a worker-pool slot.
-func (h *Harness) runSim(app string, total, chunk units.Bytes, cfg core.Config, sink middleware.Sink) (res middleware.SimResult, err error) {
-	h.slot(func() {
-		simStarted.Inc()
-		a, aerr := apps.Get(app)
-		if aerr != nil {
-			err = aerr
-			return
+// runSim executes one simulation while holding a worker-pool slot. The
+// slot wait is context-aware: a canceled caller stops queueing for
+// simulation capacity instead of holding its place in line.
+func (h *Harness) runSim(ctx context.Context, app string, total, chunk units.Bytes, cfg core.Config, sink middleware.Sink) (res middleware.SimResult, err error) {
+	select {
+	case h.sem <- struct{}{}:
+	case <-ctx.Done():
+		return middleware.SimResult{}, ctx.Err()
+	}
+	defer func() { <-h.sem }()
+	if cerr := ctx.Err(); cerr != nil {
+		// The slot and the cancellation raced; prefer the cancellation —
+		// nothing has been simulated yet.
+		return middleware.SimResult{}, cerr
+	}
+	simStarted.Inc()
+	a, err := apps.Get(app)
+	if err != nil {
+		return middleware.SimResult{}, err
+	}
+	spec, err := DatasetChunked(app, total, chunk)
+	if err != nil {
+		return middleware.SimResult{}, err
+	}
+	cost, err := a.Cost(spec)
+	if err != nil {
+		return middleware.SimResult{}, err
+	}
+	res, err = h.grid.SimulateOpts(cost, spec, cfg, middleware.SimOptions{Trace: sink})
+	if err == nil {
+		simCompleted.Inc()
+		if fn := h.observer(); fn != nil {
+			fn(res.Profile)
 		}
-		spec, serr := DatasetChunked(app, total, chunk)
-		if serr != nil {
-			err = serr
-			return
-		}
-		cost, cerr := a.Cost(spec)
-		if cerr != nil {
-			err = cerr
-			return
-		}
-		res, err = h.grid.SimulateOpts(cost, spec, cfg, middleware.SimOptions{Trace: sink})
-		if err == nil {
-			simCompleted.Inc()
-			if fn := h.observer(); fn != nil {
-				fn(res.Profile)
-			}
-		}
-	})
+	}
 	return res, err
 }
 
@@ -167,7 +181,7 @@ func (h *Harness) scalingFactors(e experiment) (core.Scaling, []core.Profile, er
 			Bandwidth:    e.baseBW,
 			DatasetBytes: repDatasetBytes,
 		}
-		res, err := h.simulate(r.app, repDatasetBytes, ChunkFor(repDatasetBytes), cfg, nil)
+		res, err := h.simulate(context.Background(), r.app, repDatasetBytes, ChunkFor(repDatasetBytes), cfg, nil)
 		if err != nil {
 			return fmt.Errorf("bench: representative %s on %s: %w", r.app, r.cluster, err)
 		}
@@ -212,7 +226,7 @@ func (h *Harness) Run(id string) (Figure, error) {
 	}
 	chunk := ChunkFor(e.baseBytes)
 	col := middleware.NewCollector()
-	baseRes, err := h.simulate(e.app, e.baseBytes, chunk, baseCfg, col)
+	baseRes, err := h.simulate(context.Background(), e.app, e.baseBytes, chunk, baseCfg, col)
 	if err != nil {
 		return Figure{}, fmt.Errorf("bench: %s base profile: %w", id, err)
 	}
@@ -277,7 +291,7 @@ func (h *Harness) runCell(e experiment, pred *core.Predictor, chunk units.Bytes,
 		Bandwidth:    e.targetBW,
 		DatasetBytes: e.targetBytes,
 	}
-	actual, err := h.simulate(e.app, e.targetBytes, chunk, cfg, nil)
+	actual, err := h.simulate(context.Background(), e.app, e.targetBytes, chunk, cfg, nil)
 	if err != nil {
 		return Cell{}, fmt.Errorf("bench: %s actual %d-%d: %w", e.id, nc[0], nc[1], err)
 	}

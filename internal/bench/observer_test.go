@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestObserverSeesEachDistinctRunOnce(t *testing.T) {
 	})
 
 	total := 64 * units.MB
-	if _, err := h.Simulate("kmeans", total, ChunkFor(total), observerConfig(total)); err != nil {
+	if _, err := h.Simulate(context.Background(), "kmeans", total, ChunkFor(total), observerConfig(total)); err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 1 {
@@ -47,7 +48,7 @@ func TestObserverSeesEachDistinctRunOnce(t *testing.T) {
 	}
 
 	// An identical run replays from the memo cache: no new observation.
-	if _, err := h.Simulate("kmeans", total, ChunkFor(total), observerConfig(total)); err != nil {
+	if _, err := h.Simulate(context.Background(), "kmeans", total, ChunkFor(total), observerConfig(total)); err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 1 {
@@ -57,7 +58,7 @@ func TestObserverSeesEachDistinctRunOnce(t *testing.T) {
 	// A removed observer sees nothing, even for fresh runs.
 	h.SetObserver(nil)
 	small := 32 * units.MB
-	if _, err := h.Simulate("kmeans", small, ChunkFor(small), observerConfig(small)); err != nil {
+	if _, err := h.Simulate(context.Background(), "kmeans", small, ChunkFor(small), observerConfig(small)); err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 1 {
@@ -80,7 +81,7 @@ func TestObserverFeedsProfileStore(t *testing.T) {
 
 	total := 64 * units.MB
 	for _, app := range []string{"kmeans", "knn"} {
-		if _, err := h.Simulate(app, total, ChunkFor(total), observerConfig(total)); err != nil {
+		if _, err := h.Simulate(context.Background(), app, total, ChunkFor(total), observerConfig(total)); err != nil {
 			t.Fatal(err)
 		}
 	}

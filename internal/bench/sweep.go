@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -65,14 +66,21 @@ func newSimCache() *simCache {
 
 // do returns the memoized result for k, computing it with f on first
 // request. Concurrent callers with the same key block until the single
-// in-flight computation finishes.
-func (c *simCache) do(k simKey, f func() (middleware.SimResult, error)) (middleware.SimResult, error) {
+// in-flight computation finishes; a waiter whose ctx ends abandons the
+// wait (the in-flight run itself is unaffected — its originator's
+// context governs it, and a successful result still lands in the cache
+// for everyone else).
+func (c *simCache) do(ctx context.Context, k simKey, f func() (middleware.SimResult, error)) (middleware.SimResult, error) {
 	c.mu.Lock()
 	if e, ok := c.m[k]; ok {
 		c.mu.Unlock()
 		simCacheHits.Inc()
-		<-e.done
-		return e.res, e.err
+		select {
+		case <-e.done:
+			return e.res, e.err
+		case <-ctx.Done():
+			return middleware.SimResult{}, ctx.Err()
+		}
 	}
 	e := &simEntry{done: make(chan struct{})}
 	c.m[k] = e
@@ -121,15 +129,6 @@ func (h *Harness) SetParallelism(n int) {
 
 // Parallelism reports the current worker-pool bound.
 func (h *Harness) Parallelism() int { return h.par }
-
-// slot runs f while holding one worker-pool slot. Only actual engine
-// executions hold slots; goroutines waiting on a memoized in-flight
-// result do not, so the pool can never deadlock on cache waits.
-func (h *Harness) slot(f func()) {
-	h.sem <- struct{}{}
-	defer func() { <-h.sem }()
-	f()
-}
 
 // fanOut runs n index-addressed tasks on goroutines and returns the
 // first error in index order (matching what a serial loop would have

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"sync"
@@ -79,7 +80,7 @@ func TestSimCacheSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := c.do(key, func() (middleware.SimResult, error) {
+			res, err := c.do(context.Background(), key, func() (middleware.SimResult, error) {
 				calls.Add(1)
 				return want, nil
 			})
@@ -106,13 +107,13 @@ func TestSimCacheErrorNotMemoized(t *testing.T) {
 	c := newSimCache()
 	key := simKey{app: "em"}
 	boom := errors.New("boom")
-	if _, err := c.do(key, func() (middleware.SimResult, error) {
+	if _, err := c.do(context.Background(), key, func() (middleware.SimResult, error) {
 		return middleware.SimResult{}, boom
 	}); !errors.Is(err, boom) {
 		t.Fatalf("first call error = %v, want boom", err)
 	}
 	want := middleware.SimResult{Makespan: 7}
-	res, err := c.do(key, func() (middleware.SimResult, error) { return want, nil })
+	res, err := c.do(context.Background(), key, func() (middleware.SimResult, error) { return want, nil })
 	if err != nil || res != want {
 		t.Fatalf("retry after error = %+v, %v; want %+v, nil", res, err, want)
 	}
@@ -135,7 +136,7 @@ func TestSimulateMemoizesAcrossSinkModes(t *testing.T) {
 		DatasetBytes: total,
 	}
 	col := middleware.NewCollector()
-	traced, err := h.simulate("kmeans", total, ChunkFor(total), cfg, col)
+	traced, err := h.simulate(context.Background(), "kmeans", total, ChunkFor(total), cfg, col)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestSimulateMemoizesAcrossSinkModes(t *testing.T) {
 	if !published {
 		t.Error("traced run did not publish its result to the cache")
 	}
-	cached, err := h.simulate("kmeans", total, ChunkFor(total), cfg, nil)
+	cached, err := h.simulate(context.Background(), "kmeans", total, ChunkFor(total), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

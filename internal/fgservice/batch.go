@@ -1,6 +1,7 @@
 package fgservice
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -95,6 +96,25 @@ func itemError(status int, err error) *apiError {
 	return &apiError{Error: err.Error(), Status: status}
 }
 
+// sweepUnstarted marks every item the canceled batch never claimed with
+// a distinct per-item error (499 for a departed client, 504 for an
+// exhausted deadline), so a partial batch response never carries items
+// that silently look like empty successes. check reports whether item i
+// was evaluated; mark stores the error.
+func sweepUnstarted(ctx context.Context, n int, evaluated func(i int) bool, mark func(i int, e *apiError)) {
+	cause := ctx.Err()
+	if cause == nil {
+		return
+	}
+	err := fmt.Errorf("batch: item not evaluated: %w", cause)
+	status := errorStatus(cause)
+	for i := 0; i < n; i++ {
+		if !evaluated(i) {
+			mark(i, itemError(status, err))
+		}
+	}
+}
+
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	var req PredictBatchRequest
 	if err := decodeJSON(w, r, &req); err != nil {
@@ -115,15 +135,26 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		StoreVersion: ver,
 		Items:        make([]PredictBatchItem, len(req.Items)),
 	}
-	s.batchPool.Run(len(req.Items), 0, func(i int) {
-		resp.Items[i] = s.predictBatchItem(req.Items[i], ver)
-	})
+	ctx := r.Context()
+	if err := s.batchPool.RunCtx(ctx, len(req.Items), s.opts.BatchParallelism, func(i int) {
+		resp.Items[i] = s.predictBatchItem(ctx, req.Items[i], ver)
+	}); err != nil {
+		sweepUnstarted(ctx, len(resp.Items),
+			func(i int) bool { return resp.Items[i].Response != nil || resp.Items[i].Error != nil },
+			func(i int, e *apiError) { resp.Items[i].Error = e })
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // predictBatchItem evaluates one batch item, mirroring handlePredict's
-// validation order and status codes.
-func (s *Server) predictBatchItem(item PredictRequest, ver uint64) PredictBatchItem {
+// validation order and status codes. The leading ctx check closes the
+// race where the pool claimed this index just as the request ended:
+// the item answers the cancellation error instead of computing an
+// answer nobody reads.
+func (s *Server) predictBatchItem(ctx context.Context, item PredictRequest, ver uint64) PredictBatchItem {
+	if err := ctx.Err(); err != nil {
+		return PredictBatchItem{Error: itemError(errorStatus(err), err)}
+	}
 	v, err := s.requestVariant(item.Variant)
 	if err != nil {
 		return PredictBatchItem{Error: itemError(http.StatusBadRequest, err)}
@@ -138,7 +169,7 @@ func (s *Server) predictBatchItem(item PredictRequest, ver uint64) PredictBatchI
 	if _, err := apps.Get(item.App); err != nil {
 		return PredictBatchItem{Error: itemError(http.StatusNotFound, err)}
 	}
-	out, err := s.predictResponseAt(item.App, v, cfg, ver)
+	out, err := s.predictResponseAt(ctx, item.App, v, cfg, ver)
 	if err != nil {
 		return PredictBatchItem{Error: itemError(errorStatus(err), err)}
 	}
@@ -163,15 +194,24 @@ func (s *Server) handleSelectBatch(w http.ResponseWriter, r *http.Request) {
 		StoreVersion: ver,
 		Items:        make([]SelectBatchItem, len(req.Items)),
 	}
-	s.batchPool.Run(len(req.Items), 0, func(i int) {
-		resp.Items[i] = s.selectBatchItem(req.Items[i], ver)
-	})
+	ctx := r.Context()
+	if err := s.batchPool.RunCtx(ctx, len(req.Items), s.opts.BatchParallelism, func(i int) {
+		resp.Items[i] = s.selectBatchItem(ctx, req.Items[i], ver)
+	}); err != nil {
+		sweepUnstarted(ctx, len(resp.Items),
+			func(i int) bool { return resp.Items[i].Response != nil || resp.Items[i].Error != nil },
+			func(i int, e *apiError) { resp.Items[i].Error = e })
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // selectBatchItem evaluates one batch item, mirroring handleSelect's
-// validation order, status codes, and per-request Limit truncation.
-func (s *Server) selectBatchItem(item SelectRequest, ver uint64) SelectBatchItem {
+// validation order, status codes, and per-request Limit truncation (and
+// predictBatchItem's leading ctx check).
+func (s *Server) selectBatchItem(ctx context.Context, item SelectRequest, ver uint64) SelectBatchItem {
+	if err := ctx.Err(); err != nil {
+		return SelectBatchItem{Error: itemError(errorStatus(err), err)}
+	}
 	v, err := s.requestVariant(item.Variant)
 	if err != nil {
 		return SelectBatchItem{Error: itemError(http.StatusBadRequest, err)}
@@ -191,7 +231,7 @@ func (s *Server) selectBatchItem(item SelectRequest, ver uint64) SelectBatchItem
 	if _, err := apps.Get(item.App); err != nil {
 		return SelectBatchItem{Error: itemError(http.StatusNotFound, err)}
 	}
-	out, err := s.selectResponseAt(item.App, v, total, deadline, ver)
+	out, err := s.selectResponseAt(ctx, item.App, v, total, deadline, ver)
 	if err != nil {
 		return SelectBatchItem{Error: itemError(errorStatus(err), err)}
 	}

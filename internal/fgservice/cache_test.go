@@ -1,6 +1,7 @@
 package fgservice
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -179,7 +180,7 @@ func TestCacheHitLatencyAdvantage(t *testing.T) {
 	app, v := "kmeans", core.GlobalReduction
 	total := 512 * units.MB
 	// Prime.
-	if _, err := s.selectResponse(app, v, total, 0); err != nil {
+	if _, err := s.selectResponse(context.Background(), app, v, total, 0); err != nil {
 		t.Fatal(err)
 	}
 	const iters = 300
@@ -194,13 +195,13 @@ func TestCacheHitLatencyAdvantage(t *testing.T) {
 		return ds[iters/2]
 	}
 	warm := median(func() {
-		if _, err := s.selectResponse(app, v, total, 0); err != nil {
+		if _, err := s.selectResponse(context.Background(), app, v, total, 0); err != nil {
 			t.Fatal(err)
 		}
 	})
 	ver := s.store.Snapshot().Version()
 	cold := median(func() {
-		if _, err := s.computeSelect(app, v, total, 0, ver); err != nil {
+		if _, err := s.computeSelect(context.Background(), app, v, total, 0, ver); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -286,13 +287,13 @@ func BenchmarkPredictWarm(b *testing.B) {
 	s := benchServer(b)
 	cfg := core.Config{Cluster: "pentium-myrinet", DataNodes: 1, ComputeNodes: 2,
 		Bandwidth: 100 * units.MBPerSec, DatasetBytes: units.GB}
-	if _, err := s.predictResponse("kmeans", core.GlobalReduction, cfg); err != nil {
+	if _, err := s.predictResponse(context.Background(), "kmeans", core.GlobalReduction, cfg); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.predictResponse("kmeans", core.GlobalReduction, cfg); err != nil {
+		if _, err := s.predictResponse(context.Background(), "kmeans", core.GlobalReduction, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -305,7 +306,7 @@ func BenchmarkPredictCold(b *testing.B) {
 	ver := s.store.Snapshot().Version()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.computePredict("kmeans", core.GlobalReduction, cfg, ver); err != nil {
+		if _, err := s.computePredict(context.Background(), "kmeans", core.GlobalReduction, cfg, ver); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -313,13 +314,13 @@ func BenchmarkPredictCold(b *testing.B) {
 
 func BenchmarkSelectWarm(b *testing.B) {
 	s := benchServer(b)
-	if _, err := s.selectResponse("kmeans", core.GlobalReduction, 512*units.MB, 0); err != nil {
+	if _, err := s.selectResponse(context.Background(), "kmeans", core.GlobalReduction, 512*units.MB, 0); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.selectResponse("kmeans", core.GlobalReduction, 512*units.MB, 0); err != nil {
+		if _, err := s.selectResponse(context.Background(), "kmeans", core.GlobalReduction, 512*units.MB, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -330,7 +331,7 @@ func BenchmarkSelectCold(b *testing.B) {
 	ver := s.store.Snapshot().Version()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.computeSelect("kmeans", core.GlobalReduction, 512*units.MB, 0, ver); err != nil {
+		if _, err := s.computeSelect(context.Background(), "kmeans", core.GlobalReduction, 512*units.MB, 0, ver); err != nil {
 			b.Fatal(err)
 		}
 	}

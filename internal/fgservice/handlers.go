@@ -2,6 +2,7 @@ package fgservice
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -317,8 +318,25 @@ func withStatus(status int, err error) error {
 	return &statusError{status: status, err: err}
 }
 
-// errorStatus extracts a statusError's code, falling back to 500.
+// StatusClientClosedRequest is the non-standard 499 status (the nginx
+// convention) a request answers when its client disconnected before the
+// response was ready. The body never reaches that client; the status
+// exists so metrics, logs, and batch per-item errors can tell "the
+// caller left" apart from "the work failed" and from a 504 deadline.
+const StatusClientClosedRequest = 499
+
+// errorStatus maps a computation failure to its HTTP status. Context
+// errors are classified first — a deadline that expired inside a
+// statusError-wrapped path is still a 504, not whatever status the
+// wrapping layer assumed for generic failure — then statusError's
+// explicit code, falling back to 500.
 func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	}
 	var se *statusError
 	if errors.As(err, &se) {
 		return se.status
@@ -386,7 +404,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	resp, err := s.predictResponse(req.App, v, cfg)
+	resp, err := s.predictResponse(r.Context(), req.App, v, cfg)
 	if err != nil {
 		writeError(w, errorStatus(err), err)
 		return
@@ -405,26 +423,27 @@ func predictKey(app string, v core.Variant, cfg core.Config) string {
 // predictResponse serves one prediction through the response cache,
 // pinned to the profile store snapshot version. Inputs are validated by
 // the handler; only successful computations are cached.
-func (s *Server) predictResponse(app string, v core.Variant, cfg core.Config) (PredictResponse, error) {
-	return s.predictResponseAt(app, v, cfg, s.store.Snapshot().Version())
+func (s *Server) predictResponse(ctx context.Context, app string, v core.Variant, cfg core.Config) (PredictResponse, error) {
+	return s.predictResponseAt(ctx, app, v, cfg, s.store.Snapshot().Version())
 }
 
 // predictResponseAt is predictResponse against a caller-resolved
 // snapshot version: the batch plane resolves the version once and
-// serves every item in the batch at it.
-func (s *Server) predictResponseAt(app string, v core.Variant, cfg core.Config, ver uint64) (PredictResponse, error) {
+// serves every item in the batch at it. ctx bounds only this request's
+// wait; a fill another request depends on is never canceled by it.
+func (s *Server) predictResponseAt(ctx context.Context, app string, v core.Variant, cfg core.Config, ver uint64) (PredictResponse, error) {
 	if s.predictCache == nil {
-		return s.computePredict(app, v, cfg, ver)
+		return s.computePredict(ctx, app, v, cfg, ver)
 	}
-	return s.predictCache.Get(predictKey(app, v, cfg), ver, func() (PredictResponse, error) {
-		return s.computePredict(app, v, cfg, ver)
+	return s.predictCache.Get(ctx, predictKey(app, v, cfg), ver, func(ctx context.Context) (PredictResponse, error) {
+		return s.computePredict(ctx, app, v, cfg, ver)
 	})
 }
 
 // computePredict is the cold path: resolve the app's predictor (which
 // may self-profile an unknown app) and run the prediction arithmetic.
-func (s *Server) computePredict(app string, v core.Variant, cfg core.Config, ver uint64) (PredictResponse, error) {
-	pred, err := s.predictor(app)
+func (s *Server) computePredict(ctx context.Context, app string, v core.Variant, cfg core.Config, ver uint64) (PredictResponse, error) {
+	pred, err := s.predictor(ctx, app)
 	if err != nil {
 		return PredictResponse{}, withStatus(http.StatusInternalServerError, err)
 	}
@@ -476,7 +495,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	resp, err := s.selectResponse(req.App, v, total, deadline)
+	resp, err := s.selectResponse(r.Context(), req.App, v, total, deadline)
 	if err != nil {
 		writeError(w, errorStatus(err), err)
 		return
@@ -499,20 +518,20 @@ func selectKey(app string, v core.Variant, total units.Bytes, deadline time.Dura
 // ranking depends on the profile store and on the live bandwidth
 // estimator, so the cache version is the snapshot version plus the
 // observation epoch (see Server.estEpoch for why the sum is sound).
-func (s *Server) selectResponse(app string, v core.Variant, total units.Bytes, deadline time.Duration) (SelectResponse, error) {
-	return s.selectResponseAt(app, v, total, deadline, s.store.Snapshot().Version())
+func (s *Server) selectResponse(ctx context.Context, app string, v core.Variant, total units.Bytes, deadline time.Duration) (SelectResponse, error) {
+	return s.selectResponseAt(ctx, app, v, total, deadline, s.store.Snapshot().Version())
 }
 
 // selectResponseAt is selectResponse against a caller-resolved snapshot
 // version; the estimator epoch is still read live (it changes only via
 // /observe, which the batch plane does not serve).
-func (s *Server) selectResponseAt(app string, v core.Variant, total units.Bytes, deadline time.Duration, snapVer uint64) (SelectResponse, error) {
+func (s *Server) selectResponseAt(ctx context.Context, app string, v core.Variant, total units.Bytes, deadline time.Duration, snapVer uint64) (SelectResponse, error) {
 	if s.selectCache == nil {
-		return s.computeSelect(app, v, total, deadline, snapVer)
+		return s.computeSelect(ctx, app, v, total, deadline, snapVer)
 	}
 	ver := snapVer + s.estEpoch.Load()
-	return s.selectCache.Get(selectKey(app, v, total, deadline), ver, func() (SelectResponse, error) {
-		return s.computeSelect(app, v, total, deadline, snapVer)
+	return s.selectCache.Get(ctx, selectKey(app, v, total, deadline), ver, func(ctx context.Context) (SelectResponse, error) {
+		return s.computeSelect(ctx, app, v, total, deadline, snapVer)
 	})
 }
 
@@ -522,13 +541,13 @@ func (s *Server) selectResponseAt(app string, v core.Variant, total units.Bytes,
 // rank engine. The per-dataset service mutex serializes refresh+rank,
 // so the engine never sees a half-updated topology; the engine reuses
 // every cached prediction whose bandwidth and predictor are unchanged.
-func (s *Server) computeSelect(app string, v core.Variant, total units.Bytes, deadline time.Duration, ver uint64) (SelectResponse, error) {
+func (s *Server) computeSelect(ctx context.Context, app string, v core.Variant, total units.Bytes, deadline time.Duration, ver uint64) (SelectResponse, error) {
 	spec, err := bench.Dataset(app, total)
 	if err != nil {
 		return SelectResponse{}, withStatus(http.StatusBadRequest, err)
 	}
 	// Ensures the app is profiled and in the store before ranking.
-	if _, err := s.predictor(app); err != nil {
+	if _, err := s.predictor(ctx, app); err != nil {
 		return SelectResponse{}, withStatus(http.StatusInternalServerError, err)
 	}
 	// The cached source resolves the store's latest snapshot per ranking
@@ -557,7 +576,7 @@ func (s *Server) computeSelect(app string, v core.Variant, total units.Bytes, de
 		}
 		ss.bwEpoch = ep
 	}
-	ranked, err := s.engine.Rank(ss.svc, spec.Name, pred, v, 1)
+	ranked, err := s.engine.Rank(ctx, ss.svc, spec.Name, pred, v, 1)
 	ss.mu.Unlock()
 	if err != nil {
 		return SelectResponse{}, withStatus(statusForRankError(err), err)
@@ -707,7 +726,10 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/profiles", s.instrument("/profiles", nil, http.MethodGet, s.handleProfiles))
 	mux.Handle("/healthz", s.instrument("/healthz", nil, http.MethodGet, s.handleHealthz))
 	mux.Handle("/metrics", metrics.Default().Handler())
-	return http.TimeoutHandler(mux, s.opts.RequestTimeout, "request timed out\n")
+	// No http.TimeoutHandler wrapper: instrument enforces the per-request
+	// deadline budget itself and answers a JSON 504 envelope (the old
+	// wrapper wrote a plain-text body no client of this API could parse).
+	return mux
 }
 
 func toCandidate(cand grid.Candidate) SelectCandidate {

@@ -1,6 +1,8 @@
 package fgservice
 
 import (
+	"bytes"
+	"context"
 	"net/http"
 	"runtime"
 	"time"
@@ -43,20 +45,66 @@ func (l *limiter) release() { <-l.slots }
 // /healthz uses to report degraded state while load is being shed.
 func (l *limiter) saturated() bool { return len(l.slots) == cap(l.slots) }
 
-// statusRecorder captures the response status for the request counters.
-type statusRecorder struct {
-	http.ResponseWriter
+// bufferedResponse is the private ResponseWriter a handler goroutine
+// renders into. The middleware goroutine owns the real ResponseWriter:
+// it either flushes the buffer after the handler finishes, or abandons
+// the buffer and answers the timeout/cancel envelope itself. The two
+// goroutines never touch the buffer concurrently — the handler's last
+// write happens-before the flush (channel close), and an abandoned
+// buffer is only ever written by the handler.
+type bufferedResponse struct {
+	header http.Header
+	buf    bytes.Buffer
 	status int
 }
 
-func (r *statusRecorder) WriteHeader(code int) {
-	r.status = code
-	r.ResponseWriter.WriteHeader(code)
+func newBufferedResponse() *bufferedResponse {
+	return &bufferedResponse{header: make(http.Header)}
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.status == 0 {
+		b.status = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	return b.buf.Write(p)
+}
+
+// flush copies the buffered response onto the real writer and reports
+// the status it carried.
+func (b *bufferedResponse) flush(w http.ResponseWriter) int {
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	dst := w.Header()
+	for k, vs := range b.header {
+		dst[k] = vs
+	}
+	w.WriteHeader(b.status)
+	_, _ = w.Write(b.buf.Bytes())
+	return b.status
 }
 
 // instrument wraps one endpoint with method filtering, the concurrency
 // bound (nil lim admits everything — /healthz must answer even under
-// load), the test-only slowdown, and per-endpoint request metrics.
+// load), deadline/cancellation propagation, the test-only slowdown, and
+// per-endpoint request metrics.
+//
+// Every admitted request runs its handler under a context derived from
+// the client's (so a disconnect cancels it) bounded by the server's
+// RequestTimeout budget. The handler renders into a private buffer on
+// its own goroutine; if the context ends first, the middleware answers
+// the JSON timeout/cancel envelope immediately and the handler — whose
+// context is the same, now-canceled one — unwinds cooperatively,
+// releasing its limiter slot the moment it returns rather than holding
+// it for a full computation nobody is waiting on.
 func (s *Server) instrument(path string, lim *limiter, method string, h http.HandlerFunc) http.Handler {
 	label := metrics.Label{Key: "path", Value: path}
 	requests := metrics.GetCounter("fg_http_requests_total",
@@ -65,6 +113,10 @@ func (s *Server) instrument(path string, lim *limiter, method string, h http.Han
 		"HTTP responses with status >= 400, by endpoint.", label)
 	throttled := metrics.GetCounter("fg_http_throttled_total",
 		"HTTP requests rejected with 503 by the concurrency bound, by endpoint.", label)
+	canceled := metrics.GetCounter("fg_requests_canceled_total",
+		"Requests abandoned because the client disconnected mid-handling, by endpoint.", label)
+	deadlineExceeded := metrics.GetCounter("fg_requests_deadline_exceeded_total",
+		"Requests that exhausted the per-request deadline budget and answered 504, by endpoint.", label)
 	latency := metrics.GetHistogram("fg_http_request_seconds",
 		"HTTP request handling latency in seconds, by endpoint.", nil, label)
 	inflight := metrics.GetGauge("fg_http_inflight_requests",
@@ -79,29 +131,86 @@ func (s *Server) instrument(path string, lim *limiter, method string, h http.Han
 				&methodError{method: r.Method, want: method, path: path})
 			return
 		}
-		if lim != nil {
-			if !lim.tryAcquire() {
-				throttled.Inc()
-				errs.Inc()
-				writeError(w, http.StatusServiceUnavailable, errOverloaded)
-				return
-			}
-			defer lim.release()
-		}
-		inflight.Add(1)
-		defer inflight.Add(-1)
-		// The test-only slowdown models handler work, which only the
-		// bounded endpoints do; a delayed health probe would observe the
-		// world after the load it is meant to report has drained.
-		if s.delay > 0 && lim != nil {
-			time.Sleep(s.delay)
-		}
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		start := time.Now()
-		h(rec, r)
-		latency.Observe(time.Since(start).Seconds())
-		if rec.status >= 400 {
+		if lim != nil && !lim.tryAcquire() {
+			throttled.Inc()
 			errs.Inc()
+			writeError(w, http.StatusServiceUnavailable, errOverloaded)
+			return
+		}
+		ctx, cancelReq := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		r = r.WithContext(ctx)
+		inflight.Add(1)
+		start := time.Now()
+
+		br := newBufferedResponse()
+		done := make(chan struct{})
+		go func() {
+			defer func() {
+				// Released here — not in the middleware — so the slot and
+				// inflight gauge track the handler's actual lifetime even
+				// when the middleware answered early. A cooperative handler
+				// unwinds promptly once ctx ends, so an abandoned request
+				// frees its slot in microseconds, not at the full deadline.
+				if lim != nil {
+					lim.release()
+				}
+				inflight.Add(-1)
+				cancelReq()
+			}()
+			// Registered after the release defer so it runs before it
+			// (LIFO): done must close before cancelReq fires, or the
+			// middleware could observe the release's own cancellation and
+			// misreport a completed request as canceled.
+			defer close(done)
+			// The test-only slowdown models handler work, which only the
+			// bounded endpoints do; a delayed health probe would observe the
+			// world after the load it is meant to report has drained. It is
+			// context-aware like any other handler work.
+			if s.delay > 0 && lim != nil {
+				select {
+				case <-time.After(s.delay):
+				case <-ctx.Done():
+					// The request died mid-delay: running the handler now
+					// would do real work — cache fills, profiling runs — on
+					// behalf of nobody, perturbing shared state long after
+					// the middleware has answered. Render the same envelope
+					// a cooperative handler would and unwind.
+					err := ctx.Err()
+					writeError(br, errorStatus(err), err)
+					return
+				}
+			}
+			h(br, r)
+		}()
+
+		var status int
+		select {
+		case <-done:
+			status = br.flush(w)
+		case <-ctx.Done():
+			select {
+			case <-done:
+				// The handler finished in the same instant the context
+				// ended; its complete response wins — it is already paid
+				// for and still deliverable.
+				status = br.flush(w)
+			default:
+				// The handler is still running against the same canceled
+				// context; its buffered output is abandoned, never flushed.
+				err := ctx.Err()
+				status = errorStatus(err)
+				writeError(w, status, err)
+			}
+		}
+		latency.Observe(time.Since(start).Seconds())
+		if status >= 400 {
+			errs.Inc()
+		}
+		switch status {
+		case http.StatusGatewayTimeout:
+			deadlineExceeded.Inc()
+		case StatusClientClosedRequest:
+			canceled.Inc()
 		}
 	})
 }

@@ -22,6 +22,7 @@
 package fgservice
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -74,6 +75,11 @@ type Options struct {
 	// MaxInFlight bounds concurrently handled requests (default
 	// 4×GOMAXPROCS via the HTTP middleware); excess requests get 503.
 	MaxInFlight int
+	// BatchParallelism bounds how many items of one batch request are
+	// evaluated concurrently (0 = the batch pool's full width). Tests pin
+	// it to 1 so item claiming is strictly serial and a mid-batch
+	// cancellation cuts the batch at a deterministic point.
+	BatchParallelism int
 	// RequestTimeout bounds one request's handling time (default 30s).
 	RequestTimeout time.Duration
 	// DisableCache turns the response cache off: every request runs the
@@ -281,7 +287,13 @@ func (s *Server) Store() *profile.Store { return s.store }
 // so the stale cache entry is rebuilt from the fresh snapshot on the
 // next request. (Pinning to the per-app version would miss those
 // shared-calibration changes.)
-func (s *Server) predictor(app string) (*core.Predictor, error) {
+//
+// ctx bounds only this caller's wait. The build itself — profiling
+// simulation included — runs detached on its own goroutine: its result
+// lands in the store either way, so a request that times out while the
+// app self-profiles does not poison the coalesced waiters (or the next
+// request) with its cancellation, and the work is never repeated.
+func (s *Server) predictor(ctx context.Context, app string) (*core.Predictor, error) {
 	a, err := apps.Get(app)
 	if err != nil {
 		return nil, err
@@ -296,33 +308,45 @@ func (s *Server) predictor(app string) (*core.Predictor, error) {
 		// self-profiling run is in flight (the app has no profile yet);
 		// both mean: wait for that entry.
 		s.mu.Unlock()
-		<-e.done
-		return e.pred, e.err
+		select {
+		case <-e.done:
+			return e.pred, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	e := &predEntry{done: make(chan struct{}), version: ver}
 	s.preds[app] = e
 	s.mu.Unlock()
 
-	e.pred, e.err = s.buildPredictor(app, a.Model, snap, known)
-	if e.err == nil && !known {
-		// Adoption advanced the store; pin the entry to the post-adoption
-		// snapshot. Concurrent requests read e.version under mu, so write
-		// it there too.
-		s.mu.Lock()
-		e.version = s.store.Snapshot().Version()
-		s.mu.Unlock()
-	}
-	close(e.done)
-	if e.err != nil {
-		// Failed profiling is not cached: a later request may succeed
-		// (e.g. after a transient harness error) and must be able to retry.
-		s.mu.Lock()
-		if s.preds[app] == e {
-			delete(s.preds, app)
+	go func() {
+		e.pred, e.err = s.buildPredictor(app, a.Model, snap, known)
+		if e.err == nil && !known {
+			// Adoption advanced the store; pin the entry to the
+			// post-adoption snapshot. Concurrent requests read e.version
+			// under mu, so write it there too.
+			s.mu.Lock()
+			e.version = s.store.Snapshot().Version()
+			s.mu.Unlock()
 		}
-		s.mu.Unlock()
+		close(e.done)
+		if e.err != nil {
+			// Failed profiling is not cached: a later request may succeed
+			// (e.g. after a transient harness error) and must be able to
+			// retry.
+			s.mu.Lock()
+			if s.preds[app] == e {
+				delete(s.preds, app)
+			}
+			s.mu.Unlock()
+		}
+	}()
+	select {
+	case <-e.done:
+		return e.pred, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
-	return e.pred, e.err
 }
 
 func (s *Server) buildPredictor(app string, m core.AppModel, snap *profile.Snapshot, known bool) (*core.Predictor, error) {
@@ -336,7 +360,11 @@ func (s *Server) buildPredictor(app string, m core.AppModel, snap *profile.Snaps
 		Bandwidth:    s.opts.BaseBandwidth,
 		DatasetBytes: s.opts.BaseBytes,
 	}
-	res, err := s.harness.Simulate(app, s.opts.BaseBytes, bench.ChunkFor(s.opts.BaseBytes), cfg)
+	// Background, deliberately: the profiling run is shared state in the
+	// making (its profile is adopted into the store for every future
+	// request), so no single request's deadline should be able to abort
+	// it half-way.
+	res, err := s.harness.Simulate(context.Background(), app, s.opts.BaseBytes, bench.ChunkFor(s.opts.BaseBytes), cfg)
 	if err != nil {
 		return nil, fmt.Errorf("fgservice: profiling %s: %w", app, err)
 	}

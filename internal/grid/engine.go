@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"slices"
@@ -136,11 +137,19 @@ func (e *RankEngine) table(key tableKey) *rankTable {
 // workers recomputing predictions (see Selector.Parallel); the returned
 // slice is owned by the caller.
 //
+// ctx is checked between candidate predictions: a canceled round stops
+// recomputing and returns ctx.Err(). The table stays consistent — every
+// pair whose recomputation was skipped remains marked dirty, so the
+// next round recomputes exactly the predictions this one abandoned.
+//
 // The caller must not mutate svc concurrently with Rank (the same
 // contract Service already has for readers).
-func (e *RankEngine) Rank(svc *Service, dataset string, pred *core.Predictor, variant core.Variant, parallel int) ([]Candidate, error) {
+func (e *RankEngine) Rank(ctx context.Context, svc *Service, dataset string, pred *core.Predictor, variant core.Variant, parallel int) ([]Candidate, error) {
 	if pred == nil {
 		return nil, errors.New("grid: selector without predictor")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	t := e.table(tableKey{dataset: dataset, variant: variant})
 	t.mu.Lock()
@@ -177,6 +186,10 @@ func (e *RankEngine) Rank(svc *Service, dataset string, pred *core.Predictor, va
 		}
 		if !t.ok[i] || bw != t.pairs[i].Config.Bandwidth {
 			t.pairs[i].Config.Bandwidth = bw
+			// Cleared before the recompute rather than inside it: a round
+			// canceled mid-batch must not leave a prediction computed from
+			// the previous bandwidth marked valid under the new one.
+			t.ok[i] = false
 			t.dirty = append(t.dirty, i)
 		}
 	}
@@ -189,12 +202,14 @@ func (e *RankEngine) Rank(svc *Service, dataset string, pred *core.Predictor, va
 			limit = 1
 		}
 		dirty := t.dirty
-		rankPool.Run(len(dirty), limit, func(j int) {
+		if err := rankPool.RunCtx(ctx, len(dirty), limit, func(j int) {
 			i := dirty[j]
 			p, err := t.pred.Predict(t.pairs[i].Config, variant)
 			t.pairs[i].Prediction, t.errs[i] = p, err
 			t.ok[i] = true
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
 
 	out := make([]Candidate, 0, len(t.pairs))

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestEngineMatchesSerialUnderInvalidations(t *testing.T) {
 
 	check := func(label string) {
 		t.Helper()
-		got, err := eng.Rank(svc, "pts", pred, core.GlobalReduction, 0)
+		got, err := eng.Rank(context.Background(), svc, "pts", pred, core.GlobalReduction, 0)
 		if err != nil {
 			t.Fatalf("%s: engine: %v", label, err)
 		}
@@ -102,7 +103,7 @@ func TestEngineRecomputesOnlyChangedBandwidths(t *testing.T) {
 
 	rank := func() float64 {
 		before := engineRecomputed.Value()
-		if _, err := eng.Rank(svc, "pts", sel.Predictor, core.GlobalReduction, 1); err != nil {
+		if _, err := eng.Rank(context.Background(), svc, "pts", sel.Predictor, core.GlobalReduction, 1); err != nil {
 			t.Fatal(err)
 		}
 		return engineRecomputed.Value() - before
@@ -138,13 +139,13 @@ func TestEngineTablesAreIndependentPerVariant(t *testing.T) {
 	sel := bigSelector(t, 1)
 	eng := NewRankEngine()
 	for _, v := range []core.Variant{core.NoComm, core.ReductionComm, core.GlobalReduction} {
-		if _, err := eng.Rank(svc, "pts", sel.Predictor, v, 1); err != nil {
+		if _, err := eng.Rank(context.Background(), svc, "pts", sel.Predictor, v, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
 	before := engineRecomputed.Value()
 	for _, v := range []core.Variant{core.NoComm, core.ReductionComm, core.GlobalReduction} {
-		if _, err := eng.Rank(svc, "pts", sel.Predictor, v, 1); err != nil {
+		if _, err := eng.Rank(context.Background(), svc, "pts", sel.Predictor, v, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -166,7 +167,7 @@ func TestEngineErrorCandidatesStayExcluded(t *testing.T) {
 	}
 	eng := NewRankEngine()
 	for round := 0; round < 2; round++ {
-		if _, err := eng.Rank(svc, "pts", pred, core.GlobalReduction, 1); err == nil {
+		if _, err := eng.Rank(context.Background(), svc, "pts", pred, core.GlobalReduction, 1); err == nil {
 			t.Fatalf("round %d: all-failing grid ranked without error", round)
 		}
 	}
@@ -176,7 +177,7 @@ func TestEngineErrorCandidatesStayExcluded(t *testing.T) {
 		t.Fatal(err)
 	}
 	fixed.Links["A"] = core.LinkCalibration{W: 1e-8, L: 0}
-	ranked, err := eng.Rank(svc, "pts", fixed, core.GlobalReduction, 1)
+	ranked, err := eng.Rank(context.Background(), svc, "pts", fixed, core.GlobalReduction, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestEngineTableBound(t *testing.T) {
 		if err := svc.Replicas.Register(adr.Replica{Site: "site0", Cluster: "A", StorageNodes: 2, Layout: layout}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := eng.Rank(svc, name, sel.Predictor, core.GlobalReduction, 1); err != nil {
+		if _, err := eng.Rank(context.Background(), svc, name, sel.Predictor, core.GlobalReduction, 1); err != nil {
 			t.Fatal(err)
 		}
 	}

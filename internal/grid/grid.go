@@ -7,6 +7,7 @@
 package grid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -167,6 +168,14 @@ var ErrNoCandidates = errors.New("grid: no feasible (replica, configuration) pai
 // site-to-cluster bandwidth is known, and the predictor covers the
 // offer's cluster.
 func (s *Selector) Rank(svc *Service, dataset string) ([]Candidate, error) {
+	return s.RankCtx(context.Background(), svc, dataset)
+}
+
+// RankCtx is Rank under a caller-supplied context: the ranking checks
+// ctx between candidate predictions and returns ctx.Err() once it is
+// done, so a serve-path caller whose request was canceled or timed out
+// stops burning prediction work mid-round.
+func (s *Selector) RankCtx(ctx context.Context, svc *Service, dataset string) ([]Candidate, error) {
 	pred := s.Predictor
 	if s.Source != nil {
 		var err error
@@ -177,7 +186,7 @@ func (s *Selector) Rank(svc *Service, dataset string) ([]Candidate, error) {
 	if pred == nil {
 		return nil, errors.New("grid: selector without predictor")
 	}
-	return s.Engine().Rank(svc, dataset, pred, s.Variant, s.Parallel)
+	return s.Engine().Rank(ctx, svc, dataset, pred, s.Variant, s.Parallel)
 }
 
 // rankSerial is the reference implementation Rank is pinned against: a

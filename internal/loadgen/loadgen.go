@@ -15,6 +15,7 @@
 package loadgen
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -119,6 +120,15 @@ type Options struct {
 	// Cluster is the compute cluster every generated config targets
 	// (default: the calibrated Pentium/Myrinet testbed cluster).
 	Cluster string
+	// ClientTimeout, when positive, bounds each scheduled op with a
+	// per-request context deadline — the knob cancellation soaks use to
+	// abandon requests mid-handling. It deliberately does not apply to
+	// the warmup request or the coherence coordinator, whose exchanges
+	// must complete for the run to mean anything. Timed-out ops land in
+	// Report.TransportTimeouts (or as 504 statuses when the serve plane
+	// answers first). The op schedule — and therefore the workload
+	// checksum — is independent of it.
+	ClientTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -354,7 +364,8 @@ func scaleDur(d time.Duration, f float64) string {
 }
 
 // post is the shared POST-JSON helper for the warmup request and the
-// recalibration coordinator.
+// recalibration coordinator — the exchanges that must complete, so they
+// run unbounded rather than under Options.ClientTimeout.
 func post(t Target, path, body string) (int, []byte, error) {
-	return t.Do(http.MethodPost, path, []byte(body))
+	return t.Do(context.Background(), http.MethodPost, path, []byte(body))
 }

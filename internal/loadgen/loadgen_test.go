@@ -1,8 +1,10 @@
 package loadgen
 
 import (
+	"context"
 	"net/http"
 	"testing"
+	"time"
 
 	"freerideg/internal/fgservice"
 	"freerideg/internal/units"
@@ -161,14 +163,14 @@ func TestHandlerTargetRecordsStatusAndBody(t *testing.T) {
 		w.WriteHeader(http.StatusTeapot)
 		w.Write([]byte("short and stout"))
 	}))
-	status, body, err := tgt.Do(http.MethodPost, "/x", []byte("{}"))
+	status, body, err := tgt.Do(context.Background(), http.MethodPost, "/x", []byte("{}"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if status != http.StatusTeapot || string(body) != "short and stout" {
 		t.Fatalf("got %d %q", status, body)
 	}
-	status, _, err = tgt.Do(http.MethodGet, "/x", nil)
+	status, _, err = tgt.Do(context.Background(), http.MethodGet, "/x", nil)
 	if err != nil || status != http.StatusMethodNotAllowed {
 		t.Fatalf("GET: %d, %v", status, err)
 	}
@@ -255,5 +257,62 @@ func TestBatchRunInProcess(t *testing.T) {
 	}
 	if ep, ok := rep.Endpoints["/select/batch"]; !ok || ep.Count == 0 {
 		t.Fatalf("no /select/batch latencies recorded: %v", rep.Endpoints)
+	}
+}
+
+// TestCancellationSoak hammers the serve plane with a client deadline
+// tight enough that many requests are abandoned mid-handling. Run under
+// -race (scripts/check.sh does) it is the concurrency gate on the
+// cancellation paths: waiter abandonment, fill adoption, last-waiter-out
+// fill cancellation, and batch item sweeping all interleave here. The
+// assertions pin the contract: an abandoned request surfaces as a 499 or
+// 504 JSON answer — never a transport error, a plain-text body, or a
+// stray 5xx — and the run itself always completes.
+func TestCancellationSoak(t *testing.T) {
+	r := New(testTarget(t), Options{
+		Requests:      200,
+		Concurrency:   8,
+		Seed:          11,
+		BaseBytes:     16 * units.MB,
+		ClientTimeout: 500 * time.Microsecond,
+		Mix:           Mix{Predict: 3, Select: 3, Observe: 1, Runs: 1, PredictBatch: 1, SelectBatch: 1},
+	})
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-process dispatch never fails at the transport: the middleware
+	// answers the envelope itself when the context ends.
+	if rep.TransportErrors != rep.TransportTimeouts {
+		t.Fatalf("non-timeout transport errors: transport=%d timeouts=%d",
+			rep.TransportErrors, rep.TransportTimeouts)
+	}
+	for code, n := range rep.StatusCounts {
+		switch code {
+		case "200", "499", "504":
+		case "503":
+			// Legitimate shedding: a timed-out client fires its next op
+			// while the abandoned handler still holds its slot for the
+			// instant it takes to unwind (or to finish a detached
+			// profiling run). The limiter answering 503 in that window
+			// is backpressure working, not a stuck slot.
+		default:
+			t.Errorf("%d responses with unexpected status %s under client timeouts", n, code)
+		}
+	}
+	if rep.Overall.Count != 200 {
+		t.Fatalf("run did not complete: %d of 200 ops recorded", rep.Overall.Count)
+	}
+}
+
+// TestClientTimeoutPreservesChecksum: ClientTimeout changes when ops are
+// abandoned, never which ops are generated — the seeded schedule (and
+// its fingerprint) must be bit-identical with and without it.
+func TestClientTimeoutPreservesChecksum(t *testing.T) {
+	plain := New(nil, Options{Requests: 300, Seed: 42})
+	timed := New(nil, Options{Requests: 300, Seed: 42, ClientTimeout: time.Millisecond})
+	if plain.Checksum() != timed.Checksum() {
+		t.Fatalf("ClientTimeout perturbed the workload checksum: %s vs %s",
+			plain.Checksum(), timed.Checksum())
 	}
 }

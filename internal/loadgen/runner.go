@@ -1,8 +1,11 @@
 package loadgen
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -84,6 +87,12 @@ type Report struct {
 	Endpoints        map[string]LatencyStats `json:"endpoints"`
 	StatusCounts     map[string]int          `json:"statusCounts"`
 	TransportErrors  int                     `json:"transportErrors"`
+	// TransportTimeouts is the subset of TransportErrors where the
+	// client's own deadline (Options.ClientTimeout) expired before a
+	// status arrived — expected casualties of a cancellation soak, which
+	// gates tolerate separately from genuine transport failures. (Ops the
+	// serve plane timed out first appear as 504 statuses instead.)
+	TransportTimeouts int `json:"transportTimeouts,omitempty"`
 	// BatchItems counts items carried by batch ops; BatchItemErrors
 	// counts items that answered with a per-item error. A batch op's
 	// HTTP status is 200 even when items fail, so batch failures are
@@ -100,6 +109,7 @@ type workerStats struct {
 	errs          map[string]int       // status >= 400 per endpoint
 	status        map[int]int
 	transport     int
+	timeouts      int
 	checked       int
 	violations    int
 	batchItems    int
@@ -197,11 +207,20 @@ func predictWarmup(o Options) fgservice.PredictRequest {
 // then must be visible in the response's storeVersion.
 func (r *Runner) runOp(o op, ws *workerStats) {
 	floor := r.floor.Load()
+	ctx := context.Background()
+	if r.opts.ClientTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.opts.ClientTimeout)
+		defer cancel()
+	}
 	start := time.Now()
-	status, body, err := r.target.Do(http.MethodPost, o.path, []byte(o.body))
+	status, body, err := r.target.Do(ctx, http.MethodPost, o.path, []byte(o.body))
 	seconds := time.Since(start).Seconds()
 	if err != nil {
 		ws.transport++
+		if isTimeout(err) {
+			ws.timeouts++
+		}
 		return
 	}
 	ws.lat[o.path] = append(ws.lat[o.path], seconds)
@@ -275,6 +294,7 @@ func (r *Runner) assemble(perWorker []*workerStats, elapsed time.Duration) (Repo
 			rep.StatusCounts[fmt.Sprintf("%d", code)] += n
 		}
 		rep.TransportErrors += ws.transport
+		rep.TransportTimeouts += ws.timeouts
 		rep.BatchItems += ws.batchItems
 		rep.BatchItemErrors += ws.batchItemErrs
 	}
@@ -407,6 +427,18 @@ func atLeastMs(d time.Duration) time.Duration {
 		return time.Millisecond
 	}
 	return d
+}
+
+// isTimeout classifies a transport error as a client-deadline expiry:
+// either the context deadline itself or a net.Error that reports
+// Timeout (the http.Client surfaces both shapes depending on where in
+// the exchange the deadline landed).
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // raiseFloor lifts the monotonic floor to v if it is higher.

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -13,21 +14,26 @@ import (
 // returns the status code and response body. The two implementations
 // differ only in transport: in-process dispatch straight into an
 // http.Handler (no sockets, so latency measures the serve path itself)
-// or a real client against a remote base URL.
+// or a real client against a remote base URL. ctx bounds the whole
+// exchange; a context that ends mid-request surfaces as the transport
+// error both implementations' callers classify.
 type Target interface {
-	Do(method, path string, body []byte) (status int, respBody []byte, err error)
+	Do(ctx context.Context, method, path string, body []byte) (status int, respBody []byte, err error)
 }
 
 // NewHandlerTarget wraps an http.Handler — typically
 // fgservice.Server.Handler() — as an in-process target. Requests never
 // touch the network, so recorded latencies isolate handler cost
 // (prediction arithmetic, ranking, cache lookups) from transport noise.
+// A ctx deadline reaches the handler as the request context, exactly as
+// a closing client connection would: the serve plane answers its own
+// timeout/cancel envelope rather than the client timing out first.
 func NewHandlerTarget(h http.Handler) Target { return &handlerTarget{h: h} }
 
 type handlerTarget struct{ h http.Handler }
 
-func (t *handlerTarget) Do(method, path string, body []byte) (int, []byte, error) {
-	req, err := http.NewRequest(method, "http://in-process"+path, bytes.NewReader(body))
+func (t *handlerTarget) Do(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, "http://in-process"+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, err
 	}
@@ -90,8 +96,8 @@ type httpTarget struct {
 // full /select ranking is a few kilobytes, so 4MB is pure safety slack.
 const maxResponseBody = 4 << 20
 
-func (t *httpTarget) Do(method, path string, body []byte) (int, []byte, error) {
-	req, err := http.NewRequest(method, t.base+path, bytes.NewReader(body))
+func (t *httpTarget) Do(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, t.base+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, err
 	}

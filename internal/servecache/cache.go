@@ -19,16 +19,26 @@
 //     (key, version) runs the fill function, concurrent Gets for the
 //     same pair wait for that one computation. Fill errors are returned
 //     to every waiter but never cached, so transient failures retry.
+//   - Gets are context-aware. A waiter whose context ends abandons the
+//     wait immediately — without cancelling or perturbing the fill the
+//     other waiters still depend on. The fill itself runs under its own
+//     context, detached from the request that started it: if the
+//     originator departs, the remaining waiters adopt the fill; only
+//     when the last waiter departs is the fill's context canceled, so
+//     no computation keeps running (or holding resources) for an answer
+//     nobody wants.
 //   - The key space is sharded over independently locked maps, so
 //     unrelated requests never contend on one mutex, and each shard is
 //     bounded: inserts over the cap first drop entries made stale by a
 //     version move, then arbitrary completed entries.
 //
-// Every cache reports hits, misses, coalesced waits, invalidations, and
-// evictions through internal/metrics under its Name label.
+// Every cache reports hits, misses, coalesced waits, invalidations,
+// evictions, and abandoned fills through internal/metrics under its
+// Name label.
 package servecache
 
 import (
+	"context"
 	"hash/maphash"
 	"sync"
 
@@ -58,12 +68,20 @@ type Options struct {
 
 // entry is one cached (or in-flight) computation. val and err are
 // written once, before done is closed; waiters read them only after
-// <-done, so the fields need no lock.
+// <-done, so the fields need no lock. waiters, cancel, and abandoned
+// manage the fill's lifetime and are guarded by the shard mutex:
+// waiters counts the Gets currently blocked on done (the originator
+// included), cancel ends the fill's context, and abandoned marks an
+// entry whose fill was canceled because its last waiter departed — a
+// later Get must start fresh rather than join a doomed computation.
 type entry[V any] struct {
-	version uint64
-	done    chan struct{}
-	val     V
-	err     error
+	version   uint64
+	done      chan struct{}
+	val       V
+	err       error
+	waiters   int
+	cancel    context.CancelFunc
+	abandoned bool
 }
 
 // shard is one independently locked slice of the key space.
@@ -85,6 +103,7 @@ type Cache[V any] struct {
 	coalesced     *metrics.Counter
 	invalidations *metrics.Counter
 	evictions     *metrics.Counter
+	abandoned     *metrics.Counter
 	entries       *metrics.Gauge
 }
 
@@ -122,6 +141,8 @@ func New[V any](opts Options) *Cache[V] {
 			"Cache entries discarded because the input version moved.", label),
 		evictions: metrics.GetCounter("fg_servecache_evictions_total",
 			"Cache entries dropped by the per-shard size bound.", label),
+		abandoned: metrics.GetCounter("fg_servecache_abandoned_total",
+			"In-flight fills canceled because every waiter departed.", label),
 		entries: metrics.GetGauge("fg_servecache_entries",
 			"Entries currently held (completed or in flight).", label),
 	}
@@ -140,45 +161,104 @@ func (c *Cache[V]) shardFor(key string) *shard[V] {
 // coalesce onto one fill; a Get at a different version replaces the
 // entry (the old computation's result is never served to it). Fill
 // errors propagate to every coalesced waiter and are not cached.
-func (c *Cache[V]) Get(key string, version uint64, fill func() (V, error)) (V, error) {
+//
+// ctx bounds only this caller's wait, never the shared fill: a Get
+// whose context ends returns ctx.Err() immediately while the fill (and
+// every other waiter) continues. The fill receives its own context,
+// canceled only when the last interested waiter has departed — so a
+// fill started by a request that later timed out is adopted by the
+// waiters that still want the answer, and a fill nobody wants anymore
+// stops claiming work instead of running to completion unobserved.
+func (c *Cache[V]) Get(ctx context.Context, key string, version uint64, fill func(context.Context) (V, error)) (V, error) {
+	// A Get whose context is already dead must not touch the cache at
+	// all: counting a miss and launching a fill that its only waiter
+	// abandons in the same breath wastes a detached computation and
+	// perturbs the shared hit/miss/abandoned accounting.
+	if err := ctx.Err(); err != nil {
+		var zero V
+		return zero, err
+	}
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	if e, ok := sh.m[key]; ok {
-		if e.version == version {
-			sh.mu.Unlock()
-			select {
-			case <-e.done:
+		if e.version == version && !e.abandoned {
+			if isDone(e.done) {
+				sh.mu.Unlock()
 				c.hits.Inc()
-			default:
-				c.coalesced.Inc()
-				<-e.done
+				return e.val, e.err
 			}
-			return e.val, e.err
+			e.waiters++
+			sh.mu.Unlock()
+			c.coalesced.Inc()
+			return c.wait(ctx, sh, key, e)
 		}
-		c.invalidations.Inc()
+		// Either the version moved or the previous fill was abandoned
+		// mid-flight; both mean the entry cannot serve this Get.
+		if !e.abandoned {
+			c.invalidations.Inc()
+		}
 		c.entries.Add(-1)
 		delete(sh.m, key)
 	}
 	c.misses.Inc()
-	e := &entry[V]{version: version, done: make(chan struct{})}
+	fillCtx, cancel := context.WithCancel(context.Background())
+	e := &entry[V]{version: version, done: make(chan struct{}), waiters: 1, cancel: cancel}
 	sh.m[key] = e
 	c.entries.Add(1)
 	c.evictLocked(sh, e)
 	sh.mu.Unlock()
 
-	e.val, e.err = fill()
-	close(e.done)
-	if e.err != nil {
-		sh.mu.Lock()
-		// Only remove the entry if it is still ours: a concurrent Get at
-		// a newer version may already have replaced it.
+	go func() {
+		defer cancel()
+		e.val, e.err = fill(fillCtx)
+		close(e.done)
+		if e.err != nil {
+			sh.mu.Lock()
+			// Only remove the entry if it is still ours: a concurrent Get
+			// at a newer version may already have replaced it, and an
+			// abandoning waiter may already have dropped it.
+			if sh.m[key] == e {
+				delete(sh.m, key)
+				c.entries.Add(-1)
+			}
+			sh.mu.Unlock()
+		}
+	}()
+	return c.wait(ctx, sh, key, e)
+}
+
+// wait blocks until e completes or ctx ends. An abandoning waiter
+// decrements the refcount; the last one out cancels the fill's context
+// and marks the entry abandoned so later Gets start a fresh fill
+// instead of joining a canceled one.
+func (c *Cache[V]) wait(ctx context.Context, sh *shard[V], key string, e *entry[V]) (V, error) {
+	select {
+	case <-e.done:
+		return e.val, e.err
+	case <-ctx.Done():
+	}
+	// The cancellation may have raced completion; a completed fill wins
+	// (the value is already paid for and the response may still be
+	// deliverable).
+	select {
+	case <-e.done:
+		return e.val, e.err
+	default:
+	}
+	sh.mu.Lock()
+	e.waiters--
+	if e.waiters == 0 && !isDone(e.done) {
+		e.abandoned = true
+		e.cancel()
+		c.abandoned.Inc()
 		if sh.m[key] == e {
 			delete(sh.m, key)
 			c.entries.Add(-1)
 		}
-		sh.mu.Unlock()
 	}
-	return e.val, e.err
+	sh.mu.Unlock()
+	var zero V
+	return zero, ctx.Err()
 }
 
 // evictLocked enforces the per-shard bound after an insert: first drop
@@ -194,7 +274,7 @@ func (c *Cache[V]) evictLocked(sh *shard[V], keep *entry[V]) {
 			if len(sh.m) <= c.perMax {
 				return
 			}
-			if e == keep || !done(e.done) {
+			if e == keep || !isDone(e.done) {
 				continue
 			}
 			if stale && e.version >= keep.version {
@@ -207,7 +287,7 @@ func (c *Cache[V]) evictLocked(sh *shard[V], keep *entry[V]) {
 	}
 }
 
-func done(ch chan struct{}) bool {
+func isDone(ch chan struct{}) bool {
 	select {
 	case <-ch:
 		return true
@@ -236,6 +316,7 @@ type Stats struct {
 	Coalesced     float64
 	Invalidations float64
 	Evictions     float64
+	Abandoned     float64
 }
 
 // Stats reads the cache's metric counters. Note that counters are
@@ -248,5 +329,6 @@ func (c *Cache[V]) Stats() Stats {
 		Coalesced:     c.coalesced.Value(),
 		Invalidations: c.invalidations.Value(),
 		Evictions:     c.evictions.Value(),
+		Abandoned:     c.abandoned.Value(),
 	}
 }

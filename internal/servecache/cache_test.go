@@ -1,6 +1,7 @@
 package servecache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -11,9 +12,9 @@ import (
 func TestGetCachesAtVersion(t *testing.T) {
 	c := New[int](Options{Name: "test-basic"})
 	fills := 0
-	fill := func() (int, error) { fills++; return 42, nil }
+	fill := func(context.Context) (int, error) { fills++; return 42, nil }
 	for i := 0; i < 5; i++ {
-		v, err := c.Get("k", 7, fill)
+		v, err := c.Get(context.Background(), "k", 7, fill)
 		if err != nil || v != 42 {
 			t.Fatalf("Get = %d, %v", v, err)
 		}
@@ -30,18 +31,18 @@ func TestVersionMoveInvalidates(t *testing.T) {
 	c := New[int](Options{Name: "test-invalidate"})
 	base := c.Stats()
 	val := 1
-	fill := func() (int, error) { return val, nil }
-	if v, _ := c.Get("k", 1, fill); v != 1 {
+	fill := func(context.Context) (int, error) { return val, nil }
+	if v, _ := c.Get(context.Background(), "k", 1, fill); v != 1 {
 		t.Fatalf("v1 read = %d", v)
 	}
 	val = 2
 	// Same key, moved version: the old entry must not be served.
-	if v, _ := c.Get("k", 2, fill); v != 2 {
+	if v, _ := c.Get(context.Background(), "k", 2, fill); v != 2 {
 		t.Fatalf("post-move read = %d, want 2 (stale entry served)", v)
 	}
 	// And a re-read at the old version must not see the new entry either.
 	val = 3
-	if v, _ := c.Get("k", 1, fill); v != 3 {
+	if v, _ := c.Get(context.Background(), "k", 1, fill); v != 3 {
 		t.Fatalf("old-version re-read = %d, want a fresh fill", v)
 	}
 	st := c.Stats()
@@ -57,13 +58,13 @@ func TestErrorsAreNotCached(t *testing.T) {
 	c := New[int](Options{Name: "test-errors"})
 	boom := errors.New("boom")
 	calls := 0
-	if _, err := c.Get("k", 1, func() (int, error) { calls++; return 0, boom }); !errors.Is(err, boom) {
+	if _, err := c.Get(context.Background(), "k", 1, func(context.Context) (int, error) { calls++; return 0, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 	if c.Len() != 0 {
 		t.Fatalf("failed fill left an entry (Len = %d)", c.Len())
 	}
-	if v, err := c.Get("k", 1, func() (int, error) { calls++; return 9, nil }); err != nil || v != 9 {
+	if v, err := c.Get(context.Background(), "k", 1, func(context.Context) (int, error) { calls++; return 9, nil }); err != nil || v != 9 {
 		t.Fatalf("retry after error: %d, %v", v, err)
 	}
 	if calls != 2 {
@@ -86,7 +87,7 @@ func TestCoalescing(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := c.Get("hot", 3, func() (string, error) {
+			v, err := c.Get(context.Background(), "hot", 3, func(context.Context) (string, error) {
 				fills.Add(1)
 				close(arrived) // the fill is in flight; let the others race in
 				<-release
@@ -119,7 +120,7 @@ func TestEvictionBoundsEntries(t *testing.T) {
 	c := New[int](Options{Name: "test-evict", Shards: 1, MaxEntries: 8})
 	for i := 0; i < 50; i++ {
 		k := fmt.Sprintf("k%d", i)
-		if _, err := c.Get(k, 1, func() (int, error) { return i, nil }); err != nil {
+		if _, err := c.Get(context.Background(), k, 1, func(context.Context) (int, error) { return i, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -135,16 +136,16 @@ func TestEvictionPrefersStaleVersions(t *testing.T) {
 	c := New[int](Options{Name: "test-evict-stale", Shards: 1, MaxEntries: 4})
 	for i := 0; i < 4; i++ {
 		k := fmt.Sprintf("old%d", i)
-		c.Get(k, 1, func() (int, error) { return i, nil })
+		c.Get(context.Background(), k, 1, func(context.Context) (int, error) { return i, nil })
 	}
 	// Insert fresh entries at a newer version; the stale ones must go
 	// first, so the newest insert still hits afterwards.
 	for i := 0; i < 3; i++ {
 		k := fmt.Sprintf("new%d", i)
-		c.Get(k, 2, func() (int, error) { return 100 + i, nil })
+		c.Get(context.Background(), k, 2, func(context.Context) (int, error) { return 100 + i, nil })
 	}
 	fills := 0
-	v, err := c.Get("new2", 2, func() (int, error) { fills++; return -1, nil })
+	v, err := c.Get(context.Background(), "new2", 2, func(context.Context) (int, error) { fills++; return -1, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestConcurrentVersionChurn(t *testing.T) {
 				}
 				ver := version.Load()
 				key := fmt.Sprintf("key%d", i%4)
-				got, err := c.Get(key, ver, func() (uint64, error) { return ver, nil })
+				got, err := c.Get(context.Background(), key, ver, func(context.Context) (uint64, error) { return ver, nil })
 				if err != nil {
 					t.Errorf("reader %d: %v", r, err)
 					return
@@ -204,11 +205,11 @@ func TestConcurrentVersionChurn(t *testing.T) {
 
 func BenchmarkGetHit(b *testing.B) {
 	c := New[int](Options{Name: "bench-hit"})
-	c.Get("k", 1, func() (int, error) { return 1, nil })
+	c.Get(context.Background(), "k", 1, func(context.Context) (int, error) { return 1, nil })
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			if _, err := c.Get("k", 1, func() (int, error) { return 1, nil }); err != nil {
+			if _, err := c.Get(context.Background(), "k", 1, func(context.Context) (int, error) { return 1, nil }); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -220,7 +221,7 @@ func BenchmarkGetMiss(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		// A moving version makes every read a miss.
-		if _, err := c.Get("k", uint64(i), func() (int, error) { return i, nil }); err != nil {
+		if _, err := c.Get(context.Background(), "k", uint64(i), func(context.Context) (int, error) { return i, nil }); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -264,7 +265,7 @@ func TestBatchGetsNeverServePreBumpEntries(t *testing.T) {
 				ver := epoch.Load()
 				for i := 0; i < batchItems; i++ {
 					key := fmt.Sprintf("item%d", i%5)
-					got, err := c.Get(key, ver, func() (uint64, error) { return ver, nil })
+					got, err := c.Get(context.Background(), key, ver, func(context.Context) (uint64, error) { return ver, nil })
 					if err != nil {
 						t.Errorf("reader %d batch %d: %v", r, b, err)
 						return

@@ -1,0 +1,128 @@
+package servecache
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestWaiterCancelDoesNotPoisonFill pins the shared-fill contract: a
+// coalesced waiter whose context ends departs with its own ctx error
+// while the fill — and the waiters still interested — are untouched.
+func TestWaiterCancelDoesNotPoisonFill(t *testing.T) {
+	c := New[string](Options{Name: "cancel-test-waiter"})
+	// Counters live in the process-global metrics registry keyed by the
+	// cache name, so under -count=2 a rerun sees the first run's totals:
+	// assert deltas, never absolute values.
+	base := c.Stats()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	fill := func(ctx context.Context) (string, error) {
+		close(started)
+		<-release
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
+		return "value", nil
+	}
+
+	origDone := make(chan error, 1)
+	var origVal string
+	go func() {
+		v, err := c.Get(context.Background(), "k", 1, fill)
+		origVal = v
+		origDone <- err
+	}()
+	<-started
+
+	// A second waiter coalesces, then abandons the wait.
+	waitCtx, cancelWait := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err := c.Get(waitCtx, "k", 1, func(context.Context) (string, error) {
+			t.Error("coalesced Get ran a second fill")
+			return "", nil
+		})
+		waiterDone <- err
+	}()
+	// The waiter must be counted before it can depart; poll the coalesced
+	// counter rather than sleeping blind.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Coalesced == base.Coalesced {
+		if time.Now().After(deadline) {
+			t.Fatal("second Get never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancelWait()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning waiter returned %v, want context.Canceled", err)
+	}
+
+	// The originator is still waiting; the fill still completes cleanly.
+	close(release)
+	if err := <-origDone; err != nil {
+		t.Fatalf("originator poisoned by the abandoning waiter: %v", err)
+	}
+	if origVal != "value" {
+		t.Fatalf("originator got %q, want %q", origVal, "value")
+	}
+	if got := c.Stats().Abandoned - base.Abandoned; got != 0 {
+		t.Fatalf("fill with a remaining waiter counted as abandoned (%v)", got)
+	}
+	// And the completed value is served to later Gets.
+	v, err := c.Get(context.Background(), "k", 1, func(context.Context) (string, error) {
+		return "recomputed", nil
+	})
+	if err != nil || v != "value" {
+		t.Fatalf("post-fill Get = %q, %v; want cached %q", v, err, "value")
+	}
+}
+
+// TestLastWaiterOutCancelsFill pins the other half: when every waiter
+// has departed, the fill's context is canceled (the computation stops
+// claiming work), the abandonment is counted, and a later Get at the
+// same version starts a fresh fill instead of joining the doomed one.
+func TestLastWaiterOutCancelsFill(t *testing.T) {
+	c := New[string](Options{Name: "cancel-test-last"})
+	base := c.Stats() // global registry: compare deltas (see above)
+	fillCanceled := make(chan struct{})
+	started := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := c.Get(ctx, "k", 1, func(fillCtx context.Context) (string, error) {
+			close(started)
+			<-fillCtx.Done() // the fill only ends when its own context is canceled
+			close(fillCanceled)
+			return "", fillCtx.Err()
+		})
+		got <- err
+	}()
+	<-started
+
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("sole waiter returned %v, want context.Canceled", err)
+	}
+	select {
+	case <-fillCanceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("fill context was never canceled after the last waiter departed")
+	}
+	if got := c.Stats().Abandoned - base.Abandoned; got != 1 {
+		t.Fatalf("Abandoned moved %v, want 1", got)
+	}
+
+	// A fresh Get at the same (key, version) must not join the abandoned
+	// entry: it runs its own fill and succeeds.
+	v, err := c.Get(context.Background(), "k", 1, func(context.Context) (string, error) {
+		return "fresh", nil
+	})
+	if err != nil || v != "fresh" {
+		t.Fatalf("Get after abandoned fill = %q, %v; want fresh fill", v, err)
+	}
+}

@@ -24,22 +24,30 @@
 package workpool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
 // batch is one Run call's shared work descriptor. Workers claim indices
-// [0, n) by incrementing next; wg counts recruited helpers.
+// [0, n) by incrementing next; wg counts recruited helpers. ctx, when it
+// becomes done, stops workers from claiming further indices — indices
+// already claimed always run to completion, so fn never observes a
+// half-abandoned unit.
 type batch struct {
 	next atomic.Int64
 	n    int64
 	fn   func(i int)
+	ctx  context.Context
 	wg   sync.WaitGroup
 }
 
 func (b *batch) drain() {
 	for {
+		if b.ctx.Err() != nil {
+			return
+		}
 		i := b.next.Add(1) - 1
 		if i >= b.n {
 			return
@@ -87,14 +95,28 @@ func (p *Pool) start() {
 // size + 1. fn must be safe for concurrent invocation with distinct
 // indices.
 func (p *Pool) Run(n, limit int, fn func(i int)) {
+	_ = p.RunCtx(context.Background(), n, limit, fn)
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx is done, no
+// goroutine working the batch claims another index. Indices claimed
+// before the cancellation landed still run to completion, and RunCtx
+// returns only after every claimed call has finished — so fn results
+// written for claimed indices are always complete when RunCtx returns.
+// The returned error is ctx.Err() when the batch was cut short (some
+// index never ran), nil when every index completed.
+func (p *Pool) RunCtx(ctx context.Context, n, limit int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if limit == 1 || n == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	helpers := p.size
 	if limit > 1 && limit-1 < helpers {
@@ -105,12 +127,15 @@ func (p *Pool) Run(n, limit int, fn func(i int)) {
 	}
 	if helpers <= 0 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	p.once.Do(p.start)
-	b := &batch{n: int64(n), fn: fn}
+	b := &batch{n: int64(n), fn: fn, ctx: ctx}
 	for h := 0; h < helpers; h++ {
 		b.wg.Add(1)
 		select {
@@ -125,4 +150,11 @@ func (p *Pool) Run(n, limit int, fn func(i int)) {
 	}
 	b.drain()
 	b.wg.Wait()
+	// The batch was cut short only if cancellation landed before the
+	// last index was claimed; a batch whose claims all happened before
+	// ctx fired completed normally.
+	if b.next.Load() < b.n && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return nil
 }

@@ -61,4 +61,14 @@ go run ./cmd/fgload -requests 120 -concurrency 6 -seed 1 -base-size 16MB -cohere
 go run ./cmd/fgload -requests 120 -concurrency 6 -seed 1 -base-size 16MB -coherence-batches 2 \
     -mix "predict=4,select=2,observe=1,runs=1,predictbatch=2,selectbatch=2" -batch-ab 16 -out /dev/null
 
+# Cancellation smoke: the same seeded mix under a client deadline tight
+# enough to abandon requests mid-handling. -expect-timeouts keeps
+# 499/504 outcomes (the point of the run) and 503 shedding (timed-out
+# clients refire before abandoned slots unwind) from tripping the gate,
+# anything else still exits nonzero, and -goroutine-check asserts the
+# abandoned requests drained instead of stranding handler goroutines.
+go run ./cmd/fgload -requests 200 -concurrency 8 -seed 7 -base-size 16MB -client-timeout 2ms \
+    -mix "predict=3,select=3,observe=1,runs=1,predictbatch=1,selectbatch=1" \
+    -expect-timeouts -goroutine-check -out /dev/null
+
 echo "check: OK"
