@@ -27,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"freerideg/internal/cliutil"
@@ -329,11 +330,12 @@ func gate(r *runOutput, expectTimeouts bool) error {
 			continue
 		}
 		if c, err := strconv.Atoi(code); err == nil && c >= 500 && n > 0 {
-			return fmt.Errorf("%d responses with status %s", n, code)
+			return withFailedIDs(fmt.Errorf("%d responses with status %s", n, code), r.FailedRequestIDs)
 		}
 	}
 	if !expectTimeouts && r.BatchItemErrors > 0 {
-		return fmt.Errorf("%d of %d batch items answered with a per-item error", r.BatchItemErrors, r.BatchItems)
+		return withFailedIDs(fmt.Errorf("%d of %d batch items answered with a per-item error",
+			r.BatchItemErrors, r.BatchItems), r.FailedRequestIDs)
 	}
 	if coh := r.Coherence; coh != nil {
 		if coh.Errors > 0 {
@@ -344,6 +346,19 @@ func gate(r *runOutput, expectTimeouts bool) error {
 		}
 	}
 	return nil
+}
+
+// withFailedIDs appends a bounded sample of failed-request correlation
+// IDs to a gate failure, so the operator can pull the exact traces from
+// the target's /debug/requests ring.
+func withFailedIDs(err error, ids []string) error {
+	if len(ids) == 0 {
+		return err
+	}
+	if len(ids) > 8 {
+		ids = ids[:8]
+	}
+	return fmt.Errorf("%w (sample failed request IDs: %s)", err, strings.Join(ids, ", "))
 }
 
 func fail(err error) { cliutil.Fatal("fgload", err) }

@@ -12,6 +12,11 @@
 //	POST /observe  feed an observed transfer into the bandwidth estimator
 //	GET  /healthz  liveness
 //	GET  /metrics  Prometheus text metrics
+//	GET  /debug/requests  recent/slowest/errored request traces (see -trace-sample)
+//
+// Every response carries an X-FG-Request-ID header (error envelopes
+// echo it as requestId); -slow-request-threshold logs a span breakdown
+// for requests over the threshold.
 //
 // Example:
 //
@@ -51,17 +56,24 @@ func main() {
 		grace     = flag.Duration("grace", 15*time.Second, "graceful shutdown grace period")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
 		selfcheck = flag.Bool("selfcheck", false, "start on an ephemeral port, probe every endpoint, shut down (the make check smoke step)")
+
+		slowThreshold = flag.Duration("slow-request-threshold", 0, "log one structured line with a span breakdown for every request at least this slow (0 = off)")
+		traceSample   = flag.Int("trace-sample", 0, "trace one request in N into /debug/requests (0 or 1 = every request, negative = off)")
+		traceRing     = flag.Int("trace-ring", 0, "completed traces retained for /debug/requests (0 = default 256)")
 	)
 	flag.Parse()
 
 	opts := fgservice.Options{
-		Variant:          *variant,
-		BaseDataNodes:    basePair.Data,
-		BaseComputeNodes: basePair.Compute,
-		BaseBandwidth:    baseBW.Rate,
-		BaseBytes:        baseSize.Bytes,
-		MaxInFlight:      *inflight,
-		RequestTimeout:   *timeout,
+		Variant:              *variant,
+		BaseDataNodes:        basePair.Data,
+		BaseComputeNodes:     basePair.Compute,
+		BaseBandwidth:        baseBW.Rate,
+		BaseBytes:            baseSize.Bytes,
+		MaxInFlight:          *inflight,
+		RequestTimeout:       *timeout,
+		SlowRequestThreshold: *slowThreshold,
+		TraceSample:          *traceSample,
+		TraceRing:            *traceRing,
 	}
 	if *profiles != "" {
 		store, err := profile.Open(*profiles, profile.Options{

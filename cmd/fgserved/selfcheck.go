@@ -29,7 +29,9 @@ func runSelfcheck(srv *fgservice.Server, grace time.Duration) error {
 	base := "http://" + ln.Addr().String()
 	client := &http.Client{Timeout: 2 * time.Minute}
 
-	probe := func(method, path, body string) (string, error) {
+	// do issues one request and returns status, body, and headers; probe
+	// is the 200-or-fail wrapper most steps use.
+	do := func(method, path, body string) (int, string, http.Header, error) {
 		var req *http.Request
 		var err error
 		if method == http.MethodGet {
@@ -41,21 +43,28 @@ func runSelfcheck(srv *fgservice.Server, grace time.Duration) error {
 			}
 		}
 		if err != nil {
-			return "", err
+			return 0, "", nil, err
 		}
 		resp, err := client.Do(req)
 		if err != nil {
-			return "", fmt.Errorf("%s %s: %w", method, path, err)
+			return 0, "", nil, fmt.Errorf("%s %s: %w", method, path, err)
 		}
 		defer resp.Body.Close()
 		out, err := io.ReadAll(resp.Body)
 		if err != nil {
+			return 0, "", nil, err
+		}
+		return resp.StatusCode, string(out), resp.Header, nil
+	}
+	probe := func(method, path, body string) (string, error) {
+		status, out, _, err := do(method, path, body)
+		if err != nil {
 			return "", err
 		}
-		if resp.StatusCode != http.StatusOK {
-			return "", fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, out)
+		if status != http.StatusOK {
+			return "", fmt.Errorf("%s %s: status %d: %s", method, path, status, out)
 		}
-		return string(out), nil
+		return out, nil
 	}
 
 	if _, err := probe(http.MethodGet, "/healthz", ""); err != nil {
@@ -121,6 +130,45 @@ func runSelfcheck(srv *fgservice.Server, grace time.Duration) error {
 	}
 	if !recalibrated {
 		return fmt.Errorf("posted runs did not recalibrate the kmeans profile: %s", profilesOut)
+	}
+
+	// Request-ID correlation: every response carries X-FG-Request-ID, an
+	// error envelope echoes the same ID in its requestId field, and a
+	// traced request's ID round-trips into the /debug/requests ring.
+	status, _, hdr, err := do(http.MethodPost, "/predict", predictBody)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("correlation probe /predict: status %d", status)
+	}
+	reqID := hdr.Get("X-FG-Request-ID")
+	if reqID == "" {
+		return fmt.Errorf("/predict response carries no X-FG-Request-ID header")
+	}
+	status, eout, ehdr, err := do(http.MethodPost, "/predict", "{nope")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusBadRequest {
+		return fmt.Errorf("malformed /predict: status %d, want 400", status)
+	}
+	var env struct {
+		RequestID string `json:"requestId"`
+	}
+	if err := json.Unmarshal([]byte(eout), &env); err != nil {
+		return fmt.Errorf("400 body is not a JSON envelope: %w: %s", err, eout)
+	}
+	if env.RequestID == "" || env.RequestID != ehdr.Get("X-FG-Request-ID") {
+		return fmt.Errorf("error envelope requestId %q does not match X-FG-Request-ID header %q",
+			env.RequestID, ehdr.Get("X-FG-Request-ID"))
+	}
+	dbg, err := probe(http.MethodGet, "/debug/requests", "")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(dbg, reqID) {
+		return fmt.Errorf("request %s not present in /debug/requests", reqID)
 	}
 
 	after, err := probe(http.MethodGet, "/metrics", "")

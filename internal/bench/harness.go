@@ -10,6 +10,7 @@ import (
 	"freerideg/internal/apps"
 	"freerideg/internal/core"
 	"freerideg/internal/middleware"
+	"freerideg/internal/reqtrace"
 	"freerideg/internal/stats"
 	"freerideg/internal/units"
 )
@@ -112,7 +113,20 @@ func (h *Harness) simulate(ctx context.Context, app string, total, chunk units.B
 // canceled ctx therefore never starts an engine run, but a run already
 // started completes (its result stays useful to the memo cache).
 func (h *Harness) Simulate(ctx context.Context, app string, total, chunk units.Bytes, cfg core.Config) (middleware.SimResult, error) {
-	return h.simulate(ctx, app, total, chunk, cfg, nil)
+	// Traced requests record one span per Simulate call, annotated with
+	// the app — a memo hit shows up as a near-zero-duration simulate
+	// span, an actual engine run as the dominant one.
+	sp := reqtrace.Child(ctx, "simulate")
+	res, err := h.simulate(ctx, app, total, chunk, cfg, nil)
+	if sp.Traced() {
+		if err != nil {
+			sp.Annotate("app=" + app + " err")
+		} else {
+			sp.Annotate("app=" + app)
+		}
+	}
+	sp.End()
+	return res, err
 }
 
 // runSim executes one simulation while holding a worker-pool slot. The

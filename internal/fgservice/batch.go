@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"freerideg/internal/apps"
 	"freerideg/internal/metrics"
+	"freerideg/internal/reqtrace"
 	"freerideg/internal/units"
 )
 
@@ -90,10 +92,33 @@ func checkBatchSize(n int) error {
 }
 
 // itemError renders one item's failure the way the singular endpoint
-// would have: the same message with the same status code.
+// would have: the same message with the same status code. Per-item
+// envelopes carry no requestId — the batch's single ID rides the
+// response header and identifies every item.
 func itemError(status int, err error) *apiError {
 	batchItemErrors.Inc()
 	return &apiError{Error: err.Error(), Status: status}
+}
+
+// itemSpan opens one batch item's span under the request's handler span
+// and returns the derived context the item's cache/rank/simulate spans
+// nest under. finish annotates the span with the positional index and
+// the item's outcome ("i=3 ok", "i=7 status=404").
+func itemSpan(ctx context.Context, i int) (context.Context, func(errStatus int)) {
+	ictx, sp := reqtrace.StartSpan(ctx, "item")
+	if !sp.Traced() {
+		return ctx, func(int) {}
+	}
+	return ictx, func(errStatus int) {
+		note := "i=" + strconv.Itoa(i)
+		if errStatus != 0 {
+			note += " status=" + strconv.Itoa(errStatus)
+		} else {
+			note += " ok"
+		}
+		sp.Annotate(note)
+		sp.End()
+	}
 }
 
 // sweepUnstarted marks every item the canceled batch never claimed with
@@ -137,13 +162,19 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx := r.Context()
 	if err := s.batchPool.RunCtx(ctx, len(req.Items), s.opts.BatchParallelism, func(i int) {
-		resp.Items[i] = s.predictBatchItem(ctx, req.Items[i], ver)
+		ictx, finish := itemSpan(ctx, i)
+		resp.Items[i] = s.predictBatchItem(ictx, req.Items[i], ver)
+		if e := resp.Items[i].Error; e != nil {
+			finish(e.Status)
+		} else {
+			finish(0)
+		}
 	}); err != nil {
 		sweepUnstarted(ctx, len(resp.Items),
 			func(i int) bool { return resp.Items[i].Response != nil || resp.Items[i].Error != nil },
 			func(i int, e *apiError) { resp.Items[i].Error = e })
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSONCtx(ctx, w, http.StatusOK, resp)
 }
 
 // predictBatchItem evaluates one batch item, mirroring handlePredict's
@@ -196,13 +227,19 @@ func (s *Server) handleSelectBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx := r.Context()
 	if err := s.batchPool.RunCtx(ctx, len(req.Items), s.opts.BatchParallelism, func(i int) {
-		resp.Items[i] = s.selectBatchItem(ctx, req.Items[i], ver)
+		ictx, finish := itemSpan(ctx, i)
+		resp.Items[i] = s.selectBatchItem(ictx, req.Items[i], ver)
+		if e := resp.Items[i].Error; e != nil {
+			finish(e.Status)
+		} else {
+			finish(0)
+		}
 	}); err != nil {
 		sweepUnstarted(ctx, len(resp.Items),
 			func(i int) bool { return resp.Items[i].Response != nil || resp.Items[i].Error != nil },
 			func(i int, e *apiError) { resp.Items[i].Error = e })
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSONCtx(ctx, w, http.StatusOK, resp)
 }
 
 // selectBatchItem evaluates one batch item, mirroring handleSelect's

@@ -18,6 +18,7 @@ import (
 	"freerideg/internal/grid"
 	"freerideg/internal/metrics"
 	"freerideg/internal/profile"
+	"freerideg/internal/reqtrace"
 	"freerideg/internal/units"
 )
 
@@ -239,12 +240,16 @@ type HealthResponse struct {
 	StoreVersion  uint64   `json:"storeVersion"`
 }
 
-// apiError is the JSON error envelope every handler uses: the message
-// plus the HTTP status it rode in on, so callers (and the load harness)
-// can classify failures without re-parsing transport state.
+// apiError is the JSON error envelope every handler uses: the message,
+// the HTTP status it rode in on (so callers and the load harness can
+// classify failures without re-parsing transport state), and the
+// request ID — the same value as the X-FG-Request-ID response header —
+// so a client-reported failure is matchable to server-side traces and
+// slow-request logs.
 type apiError struct {
-	Error  string `json:"error"`
-	Status int    `json:"status"`
+	Error     string `json:"error"`
+	Status    int    `json:"status"`
+	RequestID string `json:"requestId,omitempty"`
 }
 
 // encodeFailures counts responses whose JSON encoding failed — the
@@ -299,8 +304,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_, _ = w.Write(st.buf.Bytes())
 }
 
+// writeJSONCtx is writeJSON with an "encode" span on traced requests —
+// the success-path variant handlers use so a trace shows how long
+// response rendering took next to the work itself.
+func writeJSONCtx(ctx context.Context, w http.ResponseWriter, status int, v any) {
+	sp := reqtrace.Child(ctx, "encode")
+	writeJSON(w, status, v)
+	sp.End()
+}
+
+// writeError renders the error envelope. The request ID comes from the
+// response header the middleware stamped before the handler ran — both
+// the real ResponseWriter and the buffered one carry it — so every
+// envelope (including the middleware's own 499/504 ones) correlates.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, apiError{Error: err.Error(), Status: status})
+	writeJSON(w, status, apiError{
+		Error:     err.Error(),
+		Status:    status,
+		RequestID: w.Header().Get(reqtrace.Header),
+	})
 }
 
 // statusError carries the HTTP status a computation failure maps to, so
@@ -355,6 +377,8 @@ const MaxRequestBody = 1 << 20
 // after the first JSON value is an error. Every failure is a client
 // error (400), never a 500.
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	sp := reqtrace.Child(r.Context(), "decode")
+	defer sp.End()
 	r.Body = http.MaxBytesReader(w, r.Body, MaxRequestBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -409,7 +433,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorStatus(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSONCtx(r.Context(), w, http.StatusOK, resp)
 }
 
 // predictKey renders the cache key for one prediction. %g round-trips
@@ -505,7 +529,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if req.Limit > 0 && req.Limit < len(resp.Candidates) {
 		resp.Candidates = resp.Candidates[:req.Limit]
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSONCtx(r.Context(), w, http.StatusOK, resp)
 }
 
 // selectKey renders the cache key for one ranking. Limit is deliberately
@@ -568,13 +592,16 @@ func (s *Server) computeSelect(ctx context.Context, app string, v core.Variant, 
 	// /observe at worst re-triggers the refresh on the next request,
 	// never lets a stale estimate survive one.
 	if ep := s.estEpoch.Load() + 1; ss.bwEpoch != ep {
+		bsp := reqtrace.Child(ctx, "bandwidth-refresh")
 		for _, site := range s.opts.Sites {
 			if err := ss.svc.SetBandwidth(site.Name, site.Cluster, s.pathBandwidth(site)); err != nil {
 				ss.mu.Unlock()
+				bsp.End()
 				return SelectResponse{}, withStatus(http.StatusInternalServerError, err)
 			}
 		}
 		ss.bwEpoch = ep
+		bsp.End()
 	}
 	ranked, err := s.engine.Rank(ctx, ss.svc, spec.Name, pred, v, 1)
 	ss.mu.Unlock()
@@ -636,7 +663,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if bw, _, err := s.est.Estimate(req.Site, req.Cluster); err == nil {
 		resp.Bandwidth = bw.String()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSONCtx(r.Context(), w, http.StatusOK, resp)
 }
 
 // handleRuns ingests one observed run as a calibration sample: drift is
@@ -662,7 +689,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	writeJSONCtx(r.Context(), w, http.StatusOK, res)
 }
 
 // handleProfiles reports the live store: every profile with its version,
@@ -712,6 +739,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, code, resp)
 }
 
+// handleDebugRequests serves the completed-trace ring: recent requests,
+// the slowest since startup, and the most recent errored ones, each with
+// its full span tree (see reqtrace.RingSnapshot for the schema).
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.traceRing.Snapshot())
+}
+
 // Handler assembles the service mux: instrumented, concurrency-bounded,
 // per-request-timed handlers plus the metrics exposition.
 func (s *Server) Handler() http.Handler {
@@ -725,6 +759,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/runs", s.instrument("/runs", lim, http.MethodPost, s.handleRuns))
 	mux.Handle("/profiles", s.instrument("/profiles", nil, http.MethodGet, s.handleProfiles))
 	mux.Handle("/healthz", s.instrument("/healthz", nil, http.MethodGet, s.handleHealthz))
+	mux.Handle("/debug/requests", s.instrument("/debug/requests", nil, http.MethodGet, s.handleDebugRequests))
 	mux.Handle("/metrics", metrics.Default().Handler())
 	// No http.TimeoutHandler wrapper: instrument enforces the per-request
 	// deadline budget itself and answers a JSON 504 envelope (the old

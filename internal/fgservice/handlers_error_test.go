@@ -148,8 +148,9 @@ func TestHandlerErrorPaths(t *testing.T) {
 				t.Fatalf("status = %d, want %d (%s)", rec.Code, tc.status, rec.Body)
 			}
 			var apiErr struct {
-				Error  string `json:"error"`
-				Status int    `json:"status"`
+				Error     string `json:"error"`
+				Status    int    `json:"status"`
+				RequestID string `json:"requestId"`
 			}
 			if err := json.Unmarshal(rec.Body.Bytes(), &apiErr); err != nil {
 				t.Fatalf("error body is not the apiError envelope: %v (%s)", err, rec.Body)
@@ -159,6 +160,13 @@ func TestHandlerErrorPaths(t *testing.T) {
 			}
 			if !strings.Contains(apiErr.Error, tc.contains) {
 				t.Errorf("error %q does not mention %q", apiErr.Error, tc.contains)
+			}
+			// Every error envelope correlates: a non-empty requestId that
+			// matches the X-FG-Request-ID response header exactly.
+			hdrID := rec.Header().Get("X-FG-Request-ID")
+			if apiErr.RequestID == "" || hdrID == "" || apiErr.RequestID != hdrID {
+				t.Errorf("requestId %q vs X-FG-Request-ID header %q: want equal and non-empty",
+					apiErr.RequestID, hdrID)
 			}
 			if got := errorCounter(tc.path).Value() - errsBefore; got != 1 {
 				t.Errorf("fg_http_errors_total{path=%s} moved by %v, want 1", tc.path, got)

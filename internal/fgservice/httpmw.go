@@ -3,11 +3,15 @@ package fgservice
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"io"
 	"net/http"
 	"runtime"
+	"strings"
 	"time"
 
 	"freerideg/internal/metrics"
+	"freerideg/internal/reqtrace"
 )
 
 // limiter bounds concurrently handled requests with the same
@@ -124,6 +128,13 @@ func (s *Server) instrument(path string, lim *limiter, method string, h http.Han
 
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		requests.Inc()
+		// Every request — including ones rejected below — gets an ID,
+		// echoed in the response header and readable by writeError for
+		// the error envelope. The shared slice is assigned into the
+		// header map directly (instead of via Set) so the ID costs
+		// exactly two allocations: the string and this slice.
+		idv := []string{reqtrace.NewID()}
+		w.Header()[reqtrace.Header] = idv
 		if r.Method != method {
 			errs.Inc()
 			w.Header().Set("Allow", method)
@@ -138,11 +149,24 @@ func (s *Server) instrument(path string, lim *limiter, method string, h http.Han
 			return
 		}
 		ctx, cancelReq := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
-		r = r.WithContext(ctx)
+		// Tracing rides only the bounded endpoints (the ones doing real
+		// work) and only when sampling selects the request; the ID above
+		// is unconditional. The middleware selects on ctx — the trace
+		// context derives from it, so the deadline is shared.
+		var tr *reqtrace.Trace
+		hctx := ctx
+		var hspan reqtrace.Span
+		if lim != nil && s.sampleTrace() {
+			tr = reqtrace.New(idv[0], path)
+			hctx = reqtrace.WithTrace(ctx, tr)
+			hctx, hspan = reqtrace.StartSpan(hctx, "handler")
+		}
+		r = r.WithContext(hctx)
 		inflight.Add(1)
 		start := time.Now()
 
 		br := newBufferedResponse()
+		br.header[reqtrace.Header] = idv
 		done := make(chan struct{})
 		go func() {
 			defer func() {
@@ -177,10 +201,12 @@ func (s *Server) instrument(path string, lim *limiter, method string, h http.Han
 					// a cooperative handler would and unwind.
 					err := ctx.Err()
 					writeError(br, errorStatus(err), err)
+					hspan.End()
 					return
 				}
 			}
 			h(br, r)
+			hspan.End()
 		}()
 
 		var status int
@@ -202,7 +228,8 @@ func (s *Server) instrument(path string, lim *limiter, method string, h http.Han
 				writeError(w, status, err)
 			}
 		}
-		latency.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		latency.Observe(elapsed.Seconds())
 		if status >= 400 {
 			errs.Inc()
 		}
@@ -212,7 +239,55 @@ func (s *Server) instrument(path string, lim *limiter, method string, h http.Han
 		case StatusClientClosedRequest:
 			canceled.Inc()
 		}
+		if tr != nil {
+			rec := tr.Finish(status, elapsed)
+			s.traceRing.Add(rec)
+			if thr := s.opts.SlowRequestThreshold; thr > 0 && elapsed >= thr {
+				s.logSlowRequest(rec)
+			}
+		}
 	})
+}
+
+// sampleTrace decides whether the next bounded-endpoint request gets a
+// span tree: a negative TraceSample disables tracing, 0 or 1 traces
+// every request, n > 1 traces one in n (the counter is server-wide, so
+// the sampled fraction holds across endpoints).
+func (s *Server) sampleTrace() bool {
+	n := s.opts.TraceSample
+	switch {
+	case n < 0:
+		return false
+	case n <= 1:
+		return true
+	}
+	return s.traceSeq.Add(1)%uint64(n) == 1
+}
+
+// logSlowRequest emits the one-line over-threshold report: the request
+// identity, outcome, total latency, and the span breakdown (name,
+// duration, and note per span, parentage by nesting order).
+func (s *Server) logSlowRequest(rec reqtrace.Record) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "slow_request id=%s path=%s status=%d duration=%s spans=%d breakdown=\"",
+		rec.ID, rec.Path, rec.Status, rec.DurationNs, len(rec.Spans))
+	for i, sp := range rec.Spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(sp.Name)
+		b.WriteByte(':')
+		b.WriteString(sp.DurationNs.String())
+		if sp.Note != "" {
+			b.WriteByte('[')
+			b.WriteString(sp.Note)
+			b.WriteByte(']')
+		}
+	}
+	b.WriteString("\"\n")
+	s.slowLogMu.Lock()
+	_, _ = io.WriteString(s.slowLog, b.String())
+	s.slowLogMu.Unlock()
 }
 
 type methodError struct {

@@ -8,13 +8,18 @@
 //
 // Endpoints:
 //
-//	POST /predict  profile + target config -> T̂_disk/T̂_network/T̂_compute
-//	POST /select   dataset -> ranked (replica, configuration) candidates
-//	POST /observe  feed a TransferSample into the bandwidth estimator
-//	POST /runs     ingest an observed run breakdown as a calibration sample
-//	GET  /profiles live profile store content, versions, and drift state
-//	GET  /healthz  liveness + readiness
-//	GET  /metrics  Prometheus text exposition of the process registry
+//	POST /predict        profile + target config -> T̂_disk/T̂_network/T̂_compute
+//	POST /select         dataset -> ranked (replica, configuration) candidates
+//	POST /observe        feed a TransferSample into the bandwidth estimator
+//	POST /runs           ingest an observed run breakdown as a calibration sample
+//	GET  /profiles       live profile store content, versions, and drift state
+//	GET  /healthz        liveness + readiness
+//	GET  /debug/requests completed request traces (recent / slowest / errored)
+//	GET  /metrics        Prometheus text exposition of the process registry
+//
+// Every response carries an X-FG-Request-ID header (error envelopes
+// repeat it in their requestId field), and sampled requests record a
+// reqtrace span tree retained for GET /debug/requests.
 //
 // Profiles live in a versioned profile.Store rather than a pinned
 // document: observed runs posted to /runs recalibrate them, and every
@@ -24,6 +29,8 @@ package fgservice
 import (
 	"context"
 	"fmt"
+	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +41,7 @@ import (
 	"freerideg/internal/core"
 	"freerideg/internal/grid"
 	"freerideg/internal/profile"
+	"freerideg/internal/reqtrace"
 	"freerideg/internal/servecache"
 	"freerideg/internal/units"
 	"freerideg/internal/workpool"
@@ -89,6 +97,22 @@ type Options struct {
 	// CacheEntries bounds each response cache's entry count (default
 	// servecache.DefaultMaxEntries).
 	CacheEntries int
+	// TraceSample selects which requests on the bounded endpoints get a
+	// full reqtrace span tree: 0 (the default) traces every request,
+	// n > 1 traces one in n, and any negative value disables tracing
+	// entirely. Request IDs are issued regardless — sampling governs
+	// only span recording.
+	TraceSample int
+	// TraceRing bounds the completed-trace ring served by
+	// GET /debug/requests (default reqtrace.DefaultRingCapacity).
+	TraceRing int
+	// SlowRequestThreshold, when positive, emits a one-line structured
+	// log (to SlowLogWriter) for every traced request whose total
+	// latency meets or exceeds it, with the request's span breakdown.
+	SlowRequestThreshold time.Duration
+	// SlowLogWriter receives slow-request log lines; nil selects
+	// os.Stderr. Writes are serialized by the server.
+	SlowLogWriter io.Writer
 }
 
 // DefaultSites returns the demo replica topology.
@@ -167,6 +191,16 @@ type Server struct {
 	// draining is set once shutdown begins; /healthz reports degraded.
 	draining atomic.Bool
 
+	// traceRing retains completed request traces for /debug/requests;
+	// traceSeq drives 1-in-N sampling when Options.TraceSample > 1.
+	traceRing *reqtrace.Ring
+	traceSeq  atomic.Uint64
+
+	// slowLog receives the one-line slow-request reports; slowLogMu
+	// serializes them so concurrent slow requests don't interleave.
+	slowLogMu sync.Mutex
+	slowLog   io.Writer
+
 	// delay artificially slows request handling; tests set it to prove
 	// in-flight requests survive graceful shutdown.
 	delay time.Duration
@@ -230,6 +264,11 @@ func New(opts Options) (*Server, error) {
 		selSvcs:   make(map[string]*selService),
 		sources:   make(map[string]*profile.Source),
 		batchPool: workpool.New(0),
+		traceRing: reqtrace.NewRing(opts.TraceRing),
+		slowLog:   opts.SlowLogWriter,
+	}
+	if s.slowLog == nil {
+		s.slowLog = os.Stderr
 	}
 	if !opts.DisableCache {
 		s.predictCache = servecache.New[PredictResponse](servecache.Options{
@@ -319,8 +358,13 @@ func (s *Server) predictor(ctx context.Context, app string) (*core.Predictor, er
 	s.preds[app] = e
 	s.mu.Unlock()
 
+	// Detached from the request's deadline (see above), but adopting its
+	// trace: when the originating request is traced, the self-profiling
+	// simulation shows up as a span in its tree — exactly the request
+	// whose latency that profiling run explains.
+	bctx := reqtrace.Adopt(context.Background(), ctx)
 	go func() {
-		e.pred, e.err = s.buildPredictor(app, a.Model, snap, known)
+		e.pred, e.err = s.buildPredictor(bctx, app, a.Model, snap, known)
 		if e.err == nil && !known {
 			// Adoption advanced the store; pin the entry to the
 			// post-adoption snapshot. Concurrent requests read e.version
@@ -349,7 +393,12 @@ func (s *Server) predictor(ctx context.Context, app string) (*core.Predictor, er
 	}
 }
 
-func (s *Server) buildPredictor(app string, m core.AppModel, snap *profile.Snapshot, known bool) (*core.Predictor, error) {
+// buildPredictor resolves (or self-profiles) app's predictor. ctx is
+// deadline-free by construction — the caller detaches it so no single
+// request can abort the shared profiling run half-way — but may carry a
+// request trace, attributing the simulation span to the request that
+// triggered it.
+func (s *Server) buildPredictor(ctx context.Context, app string, m core.AppModel, snap *profile.Snapshot, known bool) (*core.Predictor, error) {
 	if known {
 		return snap.Predictor(app, m)
 	}
@@ -360,11 +409,7 @@ func (s *Server) buildPredictor(app string, m core.AppModel, snap *profile.Snaps
 		Bandwidth:    s.opts.BaseBandwidth,
 		DatasetBytes: s.opts.BaseBytes,
 	}
-	// Background, deliberately: the profiling run is shared state in the
-	// making (its profile is adopted into the store for every future
-	// request), so no single request's deadline should be able to abort
-	// it half-way.
-	res, err := s.harness.Simulate(context.Background(), app, s.opts.BaseBytes, bench.ChunkFor(s.opts.BaseBytes), cfg)
+	res, err := s.harness.Simulate(ctx, app, s.opts.BaseBytes, bench.ChunkFor(s.opts.BaseBytes), cfg)
 	if err != nil {
 		return nil, fmt.Errorf("fgservice: profiling %s: %w", app, err)
 	}

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"strconv"
 	"sync"
 
 	"freerideg/internal/core"
 	"freerideg/internal/metrics"
+	"freerideg/internal/reqtrace"
 	"freerideg/internal/workpool"
 )
 
@@ -151,16 +153,24 @@ func (e *RankEngine) Rank(ctx context.Context, svc *Service, dataset string, pre
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// On a traced request the round records one span annotated with how
+	// much of the table it reused; the note is only assembled when a
+	// trace is listening, keeping the warm round's allocation profile
+	// (result slice only) intact.
+	sp := reqtrace.Child(ctx, "rank")
+	defer sp.End()
 	t := e.table(tableKey{dataset: dataset, variant: variant})
 	t.mu.Lock()
 	defer t.mu.Unlock()
 
+	rebuilt := false
 	topo := svc.TopologyVersion()
 	if t.svc != svc || t.topo != topo {
 		if err := t.enumerate(svc, dataset); err != nil {
 			return nil, err
 		}
 		t.svc, t.topo = svc, topo
+		rebuilt = true
 	}
 	if t.pred != pred {
 		for i := range t.ok {
@@ -195,6 +205,17 @@ func (e *RankEngine) Rank(ctx context.Context, svc *Service, dataset string, pre
 	}
 	engineReused.Add(float64(len(t.pairs) - len(t.dirty)))
 	engineRecomputed.Add(float64(len(t.dirty)))
+	if sp.Traced() {
+		note := "pairs=" + strconv.Itoa(len(t.pairs)) +
+			" reused=" + strconv.Itoa(len(t.pairs)-len(t.dirty)) +
+			" recomputed=" + strconv.Itoa(len(t.dirty))
+		if rebuilt {
+			note += " rebuilt"
+		} else {
+			note += " table-reused"
+		}
+		sp.Annotate(note)
+	}
 
 	if len(t.dirty) > 0 {
 		limit := parallel

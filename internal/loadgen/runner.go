@@ -100,7 +100,21 @@ type Report struct {
 	BatchItems      int              `json:"batchItems,omitempty"`
 	BatchItemErrors int              `json:"batchItemErrors,omitempty"`
 	Coherence       *CoherenceReport `json:"coherence,omitempty"`
+	// FailedRequestIDs samples the X-FG-Request-ID correlation IDs of
+	// non-2xx responses (read from the error envelope's requestId field),
+	// capped at maxFailedIDs. Each ID addresses the serve plane's
+	// /debug/requests ring, so a gate failure can name the exact requests
+	// to pull traces for.
+	FailedRequestIDs []string `json:"failedRequestIds,omitempty"`
 }
+
+// Bounds on the failed-request-ID sample: a few per worker so one
+// stuck worker cannot monopolize the sample, a few dozen overall so
+// the report stays readable under a total outage.
+const (
+	maxFailedIDsPerWorker = 8
+	maxFailedIDs          = 32
+)
 
 // workerStats is one worker's private recorder; workers never share
 // mutable state, so the hot loop takes no locks.
@@ -114,6 +128,21 @@ type workerStats struct {
 	violations    int
 	batchItems    int
 	batchItemErrs int
+	failedIDs     []string
+}
+
+// recordFailedID samples the correlation ID out of one error response's
+// envelope, up to the per-worker cap.
+func (ws *workerStats) recordFailedID(body []byte) {
+	if len(ws.failedIDs) >= maxFailedIDsPerWorker {
+		return
+	}
+	var env struct {
+		RequestID string `json:"requestId"`
+	}
+	if json.Unmarshal(body, &env) == nil && env.RequestID != "" {
+		ws.failedIDs = append(ws.failedIDs, env.RequestID)
+	}
 }
 
 func newWorkerStats() *workerStats {
@@ -227,6 +256,7 @@ func (r *Runner) runOp(o op, ws *workerStats) {
 	ws.status[status]++
 	if status >= 400 {
 		ws.errs[o.path]++
+		ws.recordFailedID(body)
 		return
 	}
 	switch o.path {
@@ -297,6 +327,12 @@ func (r *Runner) assemble(perWorker []*workerStats, elapsed time.Duration) (Repo
 		rep.TransportTimeouts += ws.timeouts
 		rep.BatchItems += ws.batchItems
 		rep.BatchItemErrors += ws.batchItemErrs
+		for _, id := range ws.failedIDs {
+			if len(rep.FailedRequestIDs) >= maxFailedIDs {
+				break
+			}
+			rep.FailedRequestIDs = append(rep.FailedRequestIDs, id)
+		}
 	}
 	for path, lats := range byPath {
 		st, err := summarizeLatencies(lats, errsByPath[path])

@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// finite reports whether v is a usable number for a report field.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// checkOrdered pins the quantile ordering contract on one summary:
+// every latency field is finite and P50 <= P95 <= P99 <= Max.
+func checkOrdered(t *testing.T, st LatencyStats) {
+	t.Helper()
+	for name, v := range map[string]float64{
+		"meanMs": st.MeanMs, "p50Ms": st.P50Ms, "p95Ms": st.P95Ms,
+		"p99Ms": st.P99Ms, "maxMs": st.MaxMs, "errorRate": st.ErrorRate,
+	} {
+		if !finite(v) {
+			t.Errorf("%s = %v, want finite", name, v)
+		}
+	}
+	if st.P50Ms > st.P95Ms || st.P95Ms > st.P99Ms || st.P99Ms > st.MaxMs {
+		t.Errorf("quantiles out of order: %+v", st)
+	}
+}
+
+// TestSummarizeLatenciesDegenerate pins the percentile semantics for
+// sample sizes the interpolation formula degenerates on. A short or
+// error-heavy run must still render a well-formed report: every
+// latency field defined, finite, and ordered.
+func TestSummarizeLatenciesDegenerate(t *testing.T) {
+	// n=0: an endpoint that recorded nothing (every request was a
+	// transport error) summarizes to all-zero stats, not NaN or an error.
+	st, err := summarizeLatencies(nil, 0)
+	if err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	if st.Count != 0 || st.P50Ms != 0 || st.P95Ms != 0 || st.P99Ms != 0 || st.MaxMs != 0 || st.ErrorRate != 0 {
+		t.Fatalf("n=0: want all-zero stats, got %+v", st)
+	}
+	checkOrdered(t, st)
+
+	// n=1: every quantile is the single sample.
+	st, err = summarizeLatencies([]float64{0.010}, 1)
+	if err != nil {
+		t.Fatalf("n=1: %v", err)
+	}
+	checkOrdered(t, st)
+	for name, v := range map[string]float64{"p50Ms": st.P50Ms, "p95Ms": st.P95Ms, "p99Ms": st.P99Ms, "maxMs": st.MaxMs} {
+		if v != 10 {
+			t.Errorf("n=1: %s = %v, want 10", name, v)
+		}
+	}
+	if st.ErrorRate != 1 {
+		t.Errorf("n=1: errorRate = %v, want 1", st.ErrorRate)
+	}
+
+	// n=2: interpolated quantiles land strictly between the samples and
+	// stay ordered; Max is the larger sample.
+	st, err = summarizeLatencies([]float64{0.020, 0.010}, 0)
+	if err != nil {
+		t.Fatalf("n=2: %v", err)
+	}
+	checkOrdered(t, st)
+	if st.P50Ms < 10 || st.P50Ms > 20 || st.MaxMs != 20 {
+		t.Errorf("n=2: p50 %v (want within [10,20]), max %v (want 20)", st.P50Ms, st.MaxMs)
+	}
+}
+
+// failingTarget answers the warmup with a 200 and every scheduled op
+// with a 400 envelope carrying a unique requestId, so the runner's
+// failed-ID sampling has something to capture.
+type failingTarget struct{ calls atomic.Int64 }
+
+func (ft *failingTarget) Do(_ context.Context, _, _ string, _ []byte) (int, []byte, error) {
+	n := ft.calls.Add(1)
+	if n == 1 { // the warmup /predict must succeed for Run to proceed
+		return 200, []byte(`{}`), nil
+	}
+	body := fmt.Sprintf(`{"error":"induced","status":400,"requestId":"fg-test-%d"}`, n)
+	return 400, []byte(body), nil
+}
+
+// TestFailedRequestIDsSampled: non-2xx responses contribute their
+// envelope requestId to the report, bounded per worker and overall, so
+// a failing gate can name traceable requests without flooding the
+// report under a total outage.
+func TestFailedRequestIDsSampled(t *testing.T) {
+	r := New(&failingTarget{}, Options{Requests: 100, Concurrency: 4, Seed: 1})
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overall.Errors != 100 {
+		t.Fatalf("errors = %d, want 100", rep.Overall.Errors)
+	}
+	// 4 workers × the per-worker cap of 8 exactly fills the overall cap.
+	if len(rep.FailedRequestIDs) != maxFailedIDs {
+		t.Fatalf("sampled %d failed IDs, want %d", len(rep.FailedRequestIDs), maxFailedIDs)
+	}
+	seen := make(map[string]bool)
+	for _, id := range rep.FailedRequestIDs {
+		if id == "" || seen[id] {
+			t.Errorf("failed ID %q: want unique and non-empty", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestFailedRequestIDsAbsentOnCleanRun: a clean run's report omits the
+// field entirely (it is omitempty, so the JSON stays unchanged for
+// consumers of healthy reports).
+func TestFailedRequestIDsAbsentOnCleanRun(t *testing.T) {
+	r := New(testTarget(t), Options{Requests: 20, Concurrency: 2, Seed: 1})
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overall.Errors != 0 {
+		t.Fatalf("clean run reported %d errors", rep.Overall.Errors)
+	}
+	if len(rep.FailedRequestIDs) != 0 {
+		t.Fatalf("clean run sampled failed IDs: %v", rep.FailedRequestIDs)
+	}
+}

@@ -135,6 +135,27 @@ func (h *Histogram) Count() uint64 {
 	return h.count
 }
 
+// histSnapshot is a point-in-time copy of a histogram's state, taken
+// under h.mu so exposition can format it with no lock held. bounds are
+// immutable after construction and shared, not copied.
+type histSnapshot struct {
+	bounds []float64
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+func (h *Histogram) snapshot() histSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return histSnapshot{
+		bounds: h.bounds,
+		counts: append([]uint64(nil), h.counts...),
+		sum:    h.sum,
+		count:  h.count,
+	}
+}
+
 // family is every series registered under one metric name.
 type family struct {
 	name, help string
@@ -284,50 +305,75 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// famSnapshot is one family's exposition-ready state: series pointers
+// copied out under r.mu (the live series map may grow concurrently)
+// with keys pre-sorted.
+type famSnapshot struct {
+	name, help string
+	kind       kind
+	keys       []string
+	series     []any
+}
+
 // WritePrometheus renders every registered series in Prometheus text
 // exposition format, deterministically ordered (families by name, series
 // by label string).
+//
+// No registry or histogram lock is held while writing to w: a stalled
+// scrape client must never block hot-path Observe/Add calls or new
+// series registration. Everything mutable is snapshotted first —
+// family and series maps under r.mu, each histogram's buckets/sum/count
+// under its own mu — and the formatting works from the copies.
 func (r *Registry) WritePrometheus(w io.Writer) {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for n := range r.families {
 		names = append(names, n)
 	}
-	fams := make([]*family, 0, len(names))
 	sort.Strings(names)
+	fams := make([]famSnapshot, 0, len(names))
 	for _, n := range names {
-		fams = append(fams, r.families[n])
+		fam := r.families[n]
+		fs := famSnapshot{
+			name: fam.name,
+			help: fam.help,
+			kind: fam.kind,
+			keys: make([]string, 0, len(fam.series)),
+		}
+		for k := range fam.series {
+			fs.keys = append(fs.keys, k)
+		}
+		sort.Strings(fs.keys)
+		fs.series = make([]any, len(fs.keys))
+		for i, k := range fs.keys {
+			fs.series[i] = fam.series[k]
+		}
+		fams = append(fams, fs)
 	}
 	r.mu.Unlock()
 
 	for _, fam := range fams {
 		fmt.Fprintf(w, "# HELP %s %s\n", fam.name, fam.help)
 		fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.kind)
-		keys := make([]string, 0, len(fam.series))
-		for k := range fam.series {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			switch m := fam.series[k].(type) {
+		for i, k := range fam.keys {
+			switch m := fam.series[i].(type) {
 			case *Counter:
 				fmt.Fprintf(w, "%s%s %s\n", fam.name, k, formatFloat(m.Value()))
 			case *Gauge:
 				fmt.Fprintf(w, "%s%s %s\n", fam.name, k, formatFloat(m.Value()))
 			case *Histogram:
-				m.mu.Lock()
+				snap := m.snapshot()
 				cum := uint64(0)
-				for i, bound := range m.bounds {
-					cum += m.counts[i]
+				for j, bound := range snap.bounds {
+					cum += snap.counts[j]
 					le := mergeLabelKey(k, `le="`+formatFloat(bound)+`"`)
 					fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, le, cum)
 				}
-				cum += m.counts[len(m.bounds)]
+				cum += snap.counts[len(snap.bounds)]
 				le := mergeLabelKey(k, `le="+Inf"`)
 				fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, le, cum)
-				fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, k, formatFloat(m.sum))
-				fmt.Fprintf(w, "%s_count%s %d\n", fam.name, k, m.count)
-				m.mu.Unlock()
+				fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, k, formatFloat(snap.sum))
+				fmt.Fprintf(w, "%s_count%s %d\n", fam.name, k, snap.count)
 			}
 		}
 	}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stallWriter blocks every Write until release is closed — a scrape
+// client that accepted the TCP connection and then stopped reading.
+type stallWriter struct {
+	first   chan struct{} // closed on the first Write
+	release chan struct{}
+	once    sync.Once
+}
+
+func (w *stallWriter) Write(p []byte) (int, error) {
+	w.once.Do(func() { close(w.first) })
+	<-w.release
+	return len(p), nil
+}
+
+// TestScrapeDoesNotBlockObserves pins the exposition locking contract:
+// WritePrometheus must not hold any histogram's mutex (nor the registry
+// mutex) across writes to the scrape client, so a stalled client cannot
+// stall hot-path Observe calls or new-series registration.
+func TestScrapeDoesNotBlockObserves(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("fg_req_seconds", "latency", nil)
+	h.Observe(0.01)
+	c := r.Counter("fg_requests_total", "requests")
+
+	w := &stallWriter{first: make(chan struct{}), release: make(chan struct{})}
+	scrapeDone := make(chan struct{})
+	go func() {
+		r.WritePrometheus(w)
+		close(scrapeDone)
+	}()
+
+	select {
+	case <-w.first:
+	case <-time.After(5 * time.Second):
+		t.Fatal("scrape never wrote anything")
+	}
+
+	// The scrape is now stalled mid-write. Every hot-path operation must
+	// still complete promptly.
+	opsDone := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			h.Observe(float64(i) * 0.001)
+			c.Inc()
+		}
+		// Registration takes r.mu; it must not be held by the scrape.
+		r.Counter("fg_registered_mid_scrape_total", "late registration")
+		r.Histogram("fg_late_seconds", "late histogram", nil).Observe(1)
+		close(opsDone)
+	}()
+
+	select {
+	case <-opsDone:
+	case <-time.After(5 * time.Second):
+		close(w.release)
+		t.Fatal("observe/registration blocked behind a stalled scrape writer")
+	}
+
+	close(w.release)
+	select {
+	case <-scrapeDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("scrape never finished after release")
+	}
+}
+
+// TestScrapeSnapshotConsistent checks a scrape taken while observes race
+// still renders a self-consistent histogram (count equals the +Inf
+// cumulative bucket) — the snapshot is atomic per series.
+func TestScrapeSnapshotConsistent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("fg_s", "help", []float64{0.5})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Observe(0.25)
+				h.Observe(0.75)
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		out := r.Expose()
+		var inf, count string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, `fg_s_bucket{le="+Inf"} `) {
+				inf = strings.TrimPrefix(line, `fg_s_bucket{le="+Inf"} `)
+			}
+			if strings.HasPrefix(line, "fg_s_count ") {
+				count = strings.TrimPrefix(line, "fg_s_count ")
+			}
+		}
+		if inf == "" || count == "" || inf != count {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("inconsistent snapshot: +Inf bucket %q vs count %q\n%s", inf, count, out)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package reqtrace
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package reqtrace
+
+// raceEnabled skips allocation gates under the race detector, which
+// instruments every context access and perturbs the counts.
+const raceEnabled = true

@@ -1,0 +1,301 @@
+// Package reqtrace is the request-scoped tracing layer of the serve
+// plane: a context-carried, allocation-conscious span tree per HTTP
+// request, plus the request-ID scheme every response and error envelope
+// carries.
+//
+// The grid performance-prediction literature is unanimous that
+// per-request measured breakdowns — not aggregates — are the raw
+// material of a predictor. The middleware's event tracing already gives
+// that to the execution pipeline; this package gives it to the serving
+// layer: the instrument middleware opens a root span per sampled
+// request, each layer the request crosses (handler decode/encode, the
+// response cache, the rank engine, the workpool, simulation fills)
+// records child spans through the context, and completed traces land in
+// a bounded in-memory Ring served by GET /debug/requests.
+//
+// Design constraints, in order:
+//
+//   - An UNSAMPLED request must cost almost nothing: StartSpan/Child on
+//     a context without a trace are allocation-free no-ops, and the only
+//     per-request cost is the ID itself (one string) plus its response
+//     header slot. The serve hot path's allocation gates pin this.
+//   - A sampled request's spans are appended to one trace-owned slice
+//     under one mutex — no per-span goroutines, channels, or maps.
+//   - Work that deliberately detaches from the request's deadline (cache
+//     fills, self-profiling simulations) still attributes its spans to
+//     the originating request via Adopt, which carries the trace
+//     reference — and nothing else — onto a fresh context.
+package reqtrace
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Header is the response header carrying the request ID, in canonical
+// MIME form so http.Header.Set never re-canonicalizes (wire clients may
+// spell it X-FG-Request-ID; header names are case-insensitive).
+const Header = "X-Fg-Request-Id"
+
+// idSeq numbers requests process-wide; idPrefix makes IDs from
+// different process runs distinguishable in shared logs.
+var (
+	idSeq    atomic.Uint64
+	idPrefix = func() string {
+		// Nanos truncated to 32 bits: enough to tell two restarts apart,
+		// short enough to keep IDs readable.
+		return "fg-" + strconv.FormatUint(uint64(time.Now().UnixNano())&0xffffffff, 16)
+	}()
+)
+
+// NewID returns a fresh request ID ("fg-<bootstamp>-<seq>"). One
+// allocation: the returned string.
+func NewID() string {
+	var buf [40]byte
+	b := append(buf[:0], idPrefix...)
+	b = append(b, '-')
+	b = strconv.AppendUint(b, idSeq.Add(1), 10)
+	return string(b)
+}
+
+// span is one recorded interval. start/end are offsets from the trace's
+// start; end < 0 marks a span not yet ended.
+type span struct {
+	name   string
+	parent int32
+	start  time.Duration
+	end    time.Duration
+	note   string
+}
+
+// maxSpans bounds one trace's span count so a pathological request (a
+// full 256-item batch of cache misses, say) cannot grow a trace without
+// limit; spans past the cap are counted and reported in the root note.
+const maxSpans = 1024
+
+// Trace is one request's span tree. spans[0] is the root span, opened
+// by New. A Trace is safe for concurrent use: coalesced cache fills and
+// detached profiling runs record spans from their own goroutines.
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu       sync.Mutex
+	spans    []span
+	dropped  int
+	finished bool
+}
+
+// New opens a trace: the root span (named after the request path) starts
+// immediately.
+func New(id, name string) *Trace {
+	t := &Trace{id: id, start: time.Now(), spans: make([]span, 1, 8)}
+	t.spans[0] = span{name: name, parent: -1, end: -1}
+	return t
+}
+
+// ID returns the trace's request ID.
+func (t *Trace) ID() string { return t.id }
+
+// startSpan appends a child of parent and returns its index (-1 when
+// the trace is finished or full — the returned Span no-ops).
+func (t *Trace) startSpan(parent int32, name string) int32 {
+	off := time.Since(t.start)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.finished {
+		return -1
+	}
+	if len(t.spans) >= maxSpans {
+		t.dropped++
+		return -1
+	}
+	t.spans = append(t.spans, span{name: name, parent: parent, start: off, end: -1})
+	return int32(len(t.spans) - 1)
+}
+
+// Span is a handle on one recorded interval. The zero value (no trace
+// in the context) no-ops everywhere, so callers never branch on whether
+// tracing is on.
+type Span struct {
+	t   *Trace
+	idx int32
+}
+
+// Traced reports whether the span records anywhere — the guard callers
+// use before building an expensive annotation string.
+func (s Span) Traced() bool { return s.t != nil && s.idx >= 0 }
+
+// Annotate attaches a note to the span (outcomes like "hit", "miss",
+// "i=3 ok"). Later notes append, space-separated.
+func (s Span) Annotate(note string) {
+	if !s.Traced() {
+		return
+	}
+	s.t.mu.Lock()
+	sp := &s.t.spans[s.idx]
+	if sp.note == "" {
+		sp.note = note
+	} else {
+		sp.note += " " + note
+	}
+	s.t.mu.Unlock()
+}
+
+// End closes the span. Ending twice keeps the first end time.
+func (s Span) End() {
+	if !s.Traced() {
+		return
+	}
+	off := time.Since(s.t.start)
+	s.t.mu.Lock()
+	if sp := &s.t.spans[s.idx]; sp.end < 0 {
+		sp.end = off
+	}
+	s.t.mu.Unlock()
+}
+
+// ctxKey carries a ctxRef — the trace plus the index of the span that
+// is "current" (the parent of the next StartSpan) — through a context.
+type ctxKey struct{}
+
+type ctxRef struct {
+	t    *Trace
+	span int32
+}
+
+// WithTrace attaches t to ctx with the root span current.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, ctxRef{t: t})
+}
+
+// FromContext returns the trace carried by ctx (nil when untraced).
+func FromContext(ctx context.Context) *Trace {
+	ref, _ := ctx.Value(ctxKey{}).(ctxRef)
+	return ref.t
+}
+
+// StartSpan opens a child of ctx's current span and returns a derived
+// context with the new span current — use it when downstream calls
+// should nest under this span. On an untraced context it returns ctx
+// unchanged and a no-op Span, without allocating.
+func StartSpan(ctx context.Context, name string) (context.Context, Span) {
+	ref, ok := ctx.Value(ctxKey{}).(ctxRef)
+	if !ok {
+		return ctx, Span{}
+	}
+	idx := ref.t.startSpan(ref.span, name)
+	if idx < 0 {
+		return ctx, Span{}
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxRef{t: ref.t, span: idx}), Span{t: ref.t, idx: idx}
+}
+
+// Child opens a child of ctx's current span without deriving a new
+// context — the cheap form for leaf spans (a decode, an encode, a rank
+// round) whose callees don't record spans of their own.
+func Child(ctx context.Context, name string) Span {
+	ref, ok := ctx.Value(ctxKey{}).(ctxRef)
+	if !ok {
+		return Span{}
+	}
+	idx := ref.t.startSpan(ref.span, name)
+	if idx < 0 {
+		return Span{}
+	}
+	return Span{t: ref.t, idx: idx}
+}
+
+// Adopt returns dst carrying src's trace reference and current span.
+// It is the bridge for deliberately-detached work: a cache fill or
+// self-profiling run that must not inherit the request's deadline
+// (dst is typically context.Background()) still records its spans into
+// the originating request's trace. When src is untraced, dst is
+// returned unchanged.
+func Adopt(dst, src context.Context) context.Context {
+	if ref, ok := src.Value(ctxKey{}).(ctxRef); ok {
+		return context.WithValue(dst, ctxKey{}, ref)
+	}
+	return dst
+}
+
+// SpanRecord is one span of a completed trace as served by
+// GET /debug/requests. Parent is the index of the parent span within
+// Record.Spans (-1 for the root at index 0); StartNs is the offset from
+// the request's start.
+type SpanRecord struct {
+	Name       string        `json:"name"`
+	Parent     int           `json:"parent"`
+	StartNs    time.Duration `json:"startNs"`
+	DurationNs time.Duration `json:"durationNs"`
+	Note       string        `json:"note,omitempty"`
+}
+
+// Record is one completed request trace: the ID (as echoed in
+// X-FG-Request-ID), the HTTP outcome, and the span tree.
+type Record struct {
+	ID         string        `json:"id"`
+	Path       string        `json:"path"`
+	Status     int           `json:"status"`
+	Start      time.Time     `json:"start"`
+	DurationNs time.Duration `json:"durationNs"`
+	Spans      []SpanRecord  `json:"spans"`
+}
+
+// Finish closes the root span with the request's measured duration and
+// status and snapshots the trace into a Record. Spans still open (work
+// the middleware abandoned at a deadline) are clamped to the root
+// duration and marked unfinished; spans recorded after Finish are
+// ignored. Finish is idempotent in effect but intended to be called
+// once, by the middleware.
+func (t *Trace) Finish(status int, d time.Duration) Record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.finished = true
+	t.spans[0].end = d
+	rec := Record{
+		ID:         t.id,
+		Path:       t.spans[0].name,
+		Status:     status,
+		Start:      t.start,
+		DurationNs: d,
+		Spans:      make([]SpanRecord, len(t.spans)),
+	}
+	for i, sp := range t.spans {
+		end, note := sp.end, sp.note
+		if end < 0 {
+			end = d
+			if note == "" {
+				note = "unfinished"
+			} else {
+				note += " unfinished"
+			}
+		}
+		dur := end - sp.start
+		if dur < 0 {
+			dur = 0
+		}
+		rec.Spans[i] = SpanRecord{
+			Name:       sp.name,
+			Parent:     int(sp.parent),
+			StartNs:    sp.start,
+			DurationNs: dur,
+			Note:       note,
+		}
+	}
+	if t.dropped > 0 {
+		rec.Spans[0].Note = appendNote(rec.Spans[0].Note,
+			"dropped "+strconv.Itoa(t.dropped)+" spans over the per-trace cap")
+	}
+	return rec
+}
+
+func appendNote(note, extra string) string {
+	if note == "" {
+		return extra
+	}
+	return note + " " + extra
+}

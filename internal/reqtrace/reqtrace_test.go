@@ -1,0 +1,265 @@
+package reqtrace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewIDUnique(t *testing.T) {
+	const n = 1000
+	seen := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		id := NewID()
+		if !strings.HasPrefix(id, "fg-") {
+			t.Fatalf("NewID() = %q, want fg- prefix", id)
+		}
+		if seen[id] {
+			t.Fatalf("NewID() repeated %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := New("fg-test-1", "/predict/batch")
+	ctx := WithTrace(context.Background(), tr)
+
+	hctx, handler := StartSpan(ctx, "handler")
+	decode := Child(hctx, "decode")
+	decode.End()
+	ictx, item := StartSpan(hctx, "item")
+	item.Annotate("i=0")
+	fill := Child(ictx, "fill")
+	fill.Annotate("miss")
+	fill.End()
+	item.Annotate("ok")
+	item.End()
+	handler.End()
+
+	rec := tr.Finish(200, 5*time.Millisecond)
+	if rec.ID != "fg-test-1" || rec.Path != "/predict/batch" || rec.Status != 200 {
+		t.Fatalf("record header = %q %q %d", rec.ID, rec.Path, rec.Status)
+	}
+	if rec.DurationNs != 5*time.Millisecond {
+		t.Fatalf("root duration = %v", rec.DurationNs)
+	}
+	names := make([]string, len(rec.Spans))
+	for i, sp := range rec.Spans {
+		names[i] = sp.Name
+	}
+	want := []string{"/predict/batch", "handler", "decode", "item", "fill"}
+	if len(names) != len(want) {
+		t.Fatalf("spans = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("spans = %v, want %v", names, want)
+		}
+	}
+	// Parent chain: root -1, handler under root, decode+item under
+	// handler, fill under item.
+	wantParents := []int{-1, 0, 1, 1, 3}
+	for i, sp := range rec.Spans {
+		if sp.Parent != wantParents[i] {
+			t.Fatalf("span %d (%s) parent = %d, want %d", i, sp.Name, sp.Parent, wantParents[i])
+		}
+	}
+	if rec.Spans[4].Note != "miss" {
+		t.Fatalf("fill note = %q", rec.Spans[4].Note)
+	}
+	if rec.Spans[3].Note != "i=0 ok" {
+		t.Fatalf("item note = %q", rec.Spans[3].Note)
+	}
+}
+
+func TestUntracedContextNoOps(t *testing.T) {
+	ctx := context.Background()
+	c2, sp := StartSpan(ctx, "x")
+	if c2 != ctx {
+		t.Fatal("StartSpan on untraced ctx derived a new context")
+	}
+	if sp.Traced() {
+		t.Fatal("StartSpan on untraced ctx returned a live span")
+	}
+	sp.Annotate("ignored")
+	sp.End()
+	if c := Child(ctx, "y"); c.Traced() {
+		t.Fatal("Child on untraced ctx returned a live span")
+	}
+	if Adopt(context.Background(), ctx) != context.Background() {
+		t.Fatal("Adopt from untraced ctx should return dst unchanged")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("FromContext on untraced ctx")
+	}
+}
+
+func TestUntracedZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(200, func() {
+		c, sp := StartSpan(ctx, "x")
+		_ = c
+		sp.End()
+		Child(ctx, "y").End()
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced span ops allocate %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestAdoptCarriesTraceNotDeadline(t *testing.T) {
+	tr := New("fg-test-2", "/predict")
+	reqCtx, cancel := context.WithCancel(WithTrace(context.Background(), tr))
+	hctx, _ := StartSpan(reqCtx, "handler")
+	detached := Adopt(context.Background(), hctx)
+	cancel()
+	if detached.Err() != nil {
+		t.Fatal("Adopt leaked the source context's cancellation")
+	}
+	sp := Child(detached, "fill")
+	if !sp.Traced() {
+		t.Fatal("Adopt dropped the trace reference")
+	}
+	sp.End()
+	rec := tr.Finish(200, time.Millisecond)
+	// fill must be a child of handler (index 1), not the root.
+	last := rec.Spans[len(rec.Spans)-1]
+	if last.Name != "fill" || last.Parent != 1 {
+		t.Fatalf("adopted span = %+v, want fill under handler", last)
+	}
+}
+
+func TestFinishClampsOpenSpans(t *testing.T) {
+	tr := New("fg-test-3", "/predict")
+	ctx := WithTrace(context.Background(), tr)
+	_, sp := StartSpan(ctx, "handler")
+	_ = sp // never ended: simulates work abandoned at a deadline
+	rec := tr.Finish(504, 2*time.Millisecond)
+	h := rec.Spans[1]
+	if !strings.Contains(h.Note, "unfinished") {
+		t.Fatalf("open span note = %q, want unfinished marker", h.Note)
+	}
+	if h.StartNs+h.DurationNs > rec.DurationNs {
+		t.Fatalf("clamped span extends past root: start %v dur %v root %v",
+			h.StartNs, h.DurationNs, rec.DurationNs)
+	}
+	// Spans recorded after Finish are ignored.
+	late := Child(ctx, "late")
+	if late.Traced() {
+		t.Fatal("span recorded after Finish")
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	tr := New("fg-test-4", "/x")
+	ctx := WithTrace(context.Background(), tr)
+	for i := 0; i < maxSpans+10; i++ {
+		Child(ctx, "s").End()
+	}
+	rec := tr.Finish(200, time.Millisecond)
+	if len(rec.Spans) != maxSpans {
+		t.Fatalf("spans = %d, want cap %d", len(rec.Spans), maxSpans)
+	}
+	if !strings.Contains(rec.Spans[0].Note, "dropped") {
+		t.Fatalf("root note = %q, want dropped marker", rec.Spans[0].Note)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New("fg-test-5", "/x")
+	ctx := WithTrace(context.Background(), tr)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sctx, sp := StartSpan(ctx, "outer")
+				Child(sctx, "inner").End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	rec := tr.Finish(200, time.Millisecond)
+	if got := len(rec.Spans); got != 1+8*50*2 {
+		t.Fatalf("spans = %d, want %d", got, 1+8*50*2)
+	}
+}
+
+func TestRingRecentRotation(t *testing.T) {
+	r := NewRing(8) // 1 slow + 1 err reserved, 6 recent
+	for i := 0; i < 10; i++ {
+		r.Add(Record{ID: NewID(), Status: 200, DurationNs: time.Duration(i)})
+	}
+	snap := r.Snapshot()
+	if len(snap.Recent) != 6 {
+		t.Fatalf("recent = %d, want 6", len(snap.Recent))
+	}
+	// Newest first: durations 9, 8, ... 4.
+	for i, rec := range snap.Recent {
+		if rec.DurationNs != time.Duration(9-i) {
+			t.Fatalf("recent[%d] duration = %d, want %d", i, rec.DurationNs, 9-i)
+		}
+	}
+	if len(snap.Errored) != 0 {
+		t.Fatalf("errored = %d, want 0", len(snap.Errored))
+	}
+}
+
+func TestRingSlowestSurvivesFastBurst(t *testing.T) {
+	r := NewRing(64) // 8 slowest slots
+	slow := Record{ID: "slow", Status: 200, DurationNs: time.Hour}
+	r.Add(slow)
+	for i := 0; i < 1000; i++ {
+		r.Add(Record{ID: "fast", Status: 200, DurationNs: time.Microsecond})
+	}
+	snap := r.Snapshot()
+	if len(snap.Slowest) == 0 || snap.Slowest[0].ID != "slow" {
+		t.Fatalf("slowest section lost the slow trace: %+v", snap.Slowest)
+	}
+	for i := 1; i < len(snap.Slowest); i++ {
+		if snap.Slowest[i].DurationNs > snap.Slowest[i-1].DurationNs {
+			t.Fatal("slowest section not sorted slowest-first")
+		}
+	}
+}
+
+func TestRingErroredReservation(t *testing.T) {
+	r := NewRing(64) // 8 errored slots
+	r.Add(Record{ID: "err-old", Status: 504, DurationNs: time.Millisecond})
+	for i := 0; i < 1000; i++ {
+		r.Add(Record{ID: "ok", Status: 200, DurationNs: time.Millisecond})
+	}
+	r.Add(Record{ID: "err-new", Status: 500, DurationNs: time.Millisecond})
+	snap := r.Snapshot()
+	if len(snap.Errored) != 2 {
+		t.Fatalf("errored = %d, want 2", len(snap.Errored))
+	}
+	if snap.Errored[0].ID != "err-new" || snap.Errored[1].ID != "err-old" {
+		t.Fatalf("errored order = %q, %q; want newest first", snap.Errored[0].ID, snap.Errored[1].ID)
+	}
+	// The old error survived 1000 successes that rotated the recent
+	// section many times over.
+	for _, rec := range snap.Recent {
+		if rec.ID == "err-old" {
+			t.Fatal("err-old should have rotated out of recent (that's what the reservation is for)")
+		}
+	}
+}
+
+func TestRingErroredRotation(t *testing.T) {
+	r := NewRing(8) // 1 errored slot
+	r.Add(Record{ID: "e1", Status: 500})
+	r.Add(Record{ID: "e2", Status: 503})
+	snap := r.Snapshot()
+	if len(snap.Errored) != 1 || snap.Errored[0].ID != "e2" {
+		t.Fatalf("errored = %+v, want just e2 (most recent)", snap.Errored)
+	}
+}

@@ -1,0 +1,140 @@
+package reqtrace
+
+import "sync"
+
+// DefaultRingCapacity is the total trace count a Ring retains when
+// built with capacity <= 0.
+const DefaultRingCapacity = 256
+
+// Ring retains completed request traces in bounded memory. Capacity is
+// split three ways so the traces an operator actually wants survive
+// traffic volume:
+//
+//   - recent (3/4): the last N completed requests, overwritten
+//     round-robin — the "what is the service doing right now" view.
+//   - slowest (1/8): the N slowest requests seen since startup; a new
+//     trace displaces the current fastest resident only if it is
+//     slower. A burst of fast requests can never flush the trace of
+//     the one pathological request worth diagnosing.
+//   - errored (1/8): the most recent N requests with status >= 400,
+//     overwritten round-robin — errors are rare relative to traffic,
+//     so without the reservation they would rotate out of the recent
+//     section long before anyone looks.
+//
+// One trace may appear in more than one section (a slow failed request
+// is legitimately all three); Snapshot reports the sections separately
+// rather than deduplicating, so each section's retention policy stays
+// legible to the reader.
+type Ring struct {
+	mu      sync.Mutex
+	recent  []Record
+	next    int
+	slowest []Record
+	errored []Record
+	errNext int
+	slowCap int
+	errCap  int
+}
+
+// NewRing builds a ring retaining up to capacity traces total
+// (DefaultRingCapacity when capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	slowCap := capacity / 8
+	errCap := capacity / 8
+	// Tiny rings (tests use capacity 4) still reserve one slot each.
+	if slowCap < 1 {
+		slowCap = 1
+	}
+	if errCap < 1 {
+		errCap = 1
+	}
+	recentCap := capacity - slowCap - errCap
+	if recentCap < 1 {
+		recentCap = 1
+	}
+	return &Ring{
+		recent:  make([]Record, 0, recentCap),
+		slowest: make([]Record, 0, slowCap),
+		errored: make([]Record, 0, errCap),
+		slowCap: slowCap,
+		errCap:  errCap,
+	}
+}
+
+// Add retains rec per the section policies above.
+func (r *Ring) Add(rec Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.recent) < cap(r.recent) {
+		r.recent = append(r.recent, rec)
+	} else {
+		r.recent[r.next] = rec
+		r.next = (r.next + 1) % cap(r.recent)
+	}
+	if len(r.slowest) < r.slowCap {
+		r.slowest = append(r.slowest, rec)
+	} else {
+		fastest := 0
+		for i := 1; i < len(r.slowest); i++ {
+			if r.slowest[i].DurationNs < r.slowest[fastest].DurationNs {
+				fastest = i
+			}
+		}
+		if rec.DurationNs > r.slowest[fastest].DurationNs {
+			r.slowest[fastest] = rec
+		}
+	}
+	if rec.Status >= 400 {
+		if len(r.errored) < r.errCap {
+			r.errored = append(r.errored, rec)
+		} else {
+			r.errored[r.errNext] = rec
+			r.errNext = (r.errNext + 1) % r.errCap
+		}
+	}
+}
+
+// RingSnapshot is the JSON document GET /debug/requests serves: each
+// retention section reported separately, newest-first for the
+// round-robin sections, slowest-first for the slowest section.
+type RingSnapshot struct {
+	Recent  []Record `json:"recent"`
+	Slowest []Record `json:"slowest"`
+	Errored []Record `json:"errored"`
+}
+
+// Snapshot copies the ring's current contents.
+func (r *Ring) Snapshot() RingSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RingSnapshot{
+		Recent:  newestFirst(r.recent, r.next),
+		Slowest: slowestFirst(r.slowest),
+		Errored: newestFirst(r.errored, r.errNext),
+	}
+}
+
+// newestFirst linearizes a round-robin buffer (next is the index the
+// next Add would overwrite, i.e. the oldest resident once full).
+func newestFirst(buf []Record, next int) []Record {
+	out := make([]Record, 0, len(buf))
+	for i := 0; i < len(buf); i++ {
+		// Walk backwards from the most recently written slot.
+		idx := (next - 1 - i + 2*len(buf)) % len(buf)
+		out = append(out, buf[idx])
+	}
+	return out
+}
+
+func slowestFirst(buf []Record) []Record {
+	out := append([]Record(nil), buf...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].DurationNs > out[j-1].DurationNs; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

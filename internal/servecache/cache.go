@@ -41,8 +41,10 @@ import (
 	"context"
 	"hash/maphash"
 	"sync"
+	"time"
 
 	"freerideg/internal/metrics"
+	"freerideg/internal/reqtrace"
 )
 
 // DefaultShards is the shard count used when Options.Shards is zero:
@@ -82,6 +84,11 @@ type entry[V any] struct {
 	waiters   int
 	cancel    context.CancelFunc
 	abandoned bool
+	// touched is the UnixNano of the last Get that served or joined
+	// this entry, guarded by the shard mutex. The stamp is taken once
+	// per Get by the caller — never inside the eviction loop — and
+	// orders eviction oldest-first among completed entries.
+	touched int64
 }
 
 // shard is one independently locked slice of the key space.
@@ -97,6 +104,9 @@ type Cache[V any] struct {
 	mask   uint64
 	seed   maphash.Seed
 	perMax int
+	// spanName labels this cache's request-trace spans ("cache:predict");
+	// prebuilt so the traced path concatenates nothing per Get.
+	spanName string
 
 	hits          *metrics.Counter
 	misses        *metrics.Counter
@@ -127,10 +137,11 @@ func New[V any](opts Options) *Cache[V] {
 	}
 	label := metrics.Label{Key: "cache", Value: opts.Name}
 	c := &Cache[V]{
-		shards: make([]shard[V], shards),
-		mask:   uint64(shards - 1),
-		seed:   maphash.MakeSeed(),
-		perMax: perMax,
+		shards:   make([]shard[V], shards),
+		mask:     uint64(shards - 1),
+		seed:     maphash.MakeSeed(),
+		perMax:   perMax,
+		spanName: "cache:" + opts.Name,
 		hits: metrics.GetCounter("fg_servecache_hits_total",
 			"Cache reads answered from a completed entry at the live version.", label),
 		misses: metrics.GetCounter("fg_servecache_misses_total",
@@ -178,19 +189,28 @@ func (c *Cache[V]) Get(ctx context.Context, key string, version uint64, fill fun
 		var zero V
 		return zero, err
 	}
+	// One wall-clock read per Get, taken here (the caller of the
+	// eviction loop) and reused for every touch stamp below.
+	now := time.Now().UnixNano()
+	sp := reqtrace.Child(ctx, c.spanName)
+	defer sp.End()
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	if e, ok := sh.m[key]; ok {
 		if e.version == version && !e.abandoned {
 			if isDone(e.done) {
+				e.touched = now
 				sh.mu.Unlock()
 				c.hits.Inc()
+				sp.Annotate("hit")
 				return e.val, e.err
 			}
 			e.waiters++
+			e.touched = now
 			sh.mu.Unlock()
 			c.coalesced.Inc()
-			return c.wait(ctx, sh, key, e)
+			sp.Annotate("coalesced")
+			return c.wait(ctx, sh, key, e, sp)
 		}
 		// Either the version moved or the previous fill was abandoned
 		// mid-flight; both mean the entry cannot serve this Get.
@@ -201,8 +221,12 @@ func (c *Cache[V]) Get(ctx context.Context, key string, version uint64, fill fun
 		delete(sh.m, key)
 	}
 	c.misses.Inc()
-	fillCtx, cancel := context.WithCancel(context.Background())
-	e := &entry[V]{version: version, done: make(chan struct{}), waiters: 1, cancel: cancel}
+	sp.Annotate("miss")
+	// The fill context is detached from the request's deadline on
+	// purpose, but adopts its trace: the fill's span lands in the trace
+	// of the request that started it even if that request departs.
+	fillCtx, cancel := context.WithCancel(reqtrace.Adopt(context.Background(), ctx))
+	e := &entry[V]{version: version, done: make(chan struct{}), waiters: 1, cancel: cancel, touched: now}
 	sh.m[key] = e
 	c.entries.Add(1)
 	c.evictLocked(sh, e)
@@ -210,7 +234,14 @@ func (c *Cache[V]) Get(ctx context.Context, key string, version uint64, fill fun
 
 	go func() {
 		defer cancel()
-		e.val, e.err = fill(fillCtx)
+		// StartSpan (not Child): work the fill fans out to — predictor
+		// builds, simulations — must nest under the fill span.
+		fctx, fsp := reqtrace.StartSpan(fillCtx, "fill")
+		e.val, e.err = fill(fctx)
+		if e.err != nil {
+			fsp.Annotate("err")
+		}
+		fsp.End()
 		close(e.done)
 		if e.err != nil {
 			sh.mu.Lock()
@@ -224,14 +255,14 @@ func (c *Cache[V]) Get(ctx context.Context, key string, version uint64, fill fun
 			sh.mu.Unlock()
 		}
 	}()
-	return c.wait(ctx, sh, key, e)
+	return c.wait(ctx, sh, key, e, sp)
 }
 
 // wait blocks until e completes or ctx ends. An abandoning waiter
 // decrements the refcount; the last one out cancels the fill's context
 // and marks the entry abandoned so later Gets start a fresh fill
 // instead of joining a canceled one.
-func (c *Cache[V]) wait(ctx context.Context, sh *shard[V], key string, e *entry[V]) (V, error) {
+func (c *Cache[V]) wait(ctx context.Context, sh *shard[V], key string, e *entry[V], sp reqtrace.Span) (V, error) {
 	select {
 	case <-e.done:
 		return e.val, e.err
@@ -247,7 +278,8 @@ func (c *Cache[V]) wait(ctx context.Context, sh *shard[V], key string, e *entry[
 	}
 	sh.mu.Lock()
 	e.waiters--
-	if e.waiters == 0 && !isDone(e.done) {
+	last := e.waiters == 0 && !isDone(e.done)
+	if last {
 		e.abandoned = true
 		e.cancel()
 		c.abandoned.Inc()
@@ -257,33 +289,48 @@ func (c *Cache[V]) wait(ctx context.Context, sh *shard[V], key string, e *entry[
 		}
 	}
 	sh.mu.Unlock()
+	if last {
+		sp.Annotate("abandoned")
+	} else {
+		sp.Annotate("abandoned-wait")
+	}
 	var zero V
 	return zero, ctx.Err()
 }
 
-// evictLocked enforces the per-shard bound after an insert: first drop
-// completed entries stale relative to the just-inserted version, then
-// arbitrary completed entries. In-flight entries (waiters hold their
-// pointer) and the fresh entry survive.
+// evictLocked enforces the per-shard bound after an insert. Victims are
+// completed entries only (in-flight entries have waiters holding their
+// pointer; the fresh entry always survives), ordered by: stale entries
+// (version behind the just-inserted one) first, then oldest last-touch
+// first — so a hot, recently read entry is the last to go, rather than
+// whichever entry map iteration happens to visit (which could evict the
+// hottest key by chance, repeatedly). No clock reads here: touch stamps
+// come from Get.
 func (c *Cache[V]) evictLocked(sh *shard[V], keep *entry[V]) {
-	if len(sh.m) <= c.perMax {
-		return
-	}
-	for _, stale := range []bool{true, false} {
+	for len(sh.m) > c.perMax {
+		var (
+			victimKey   string
+			victim      *entry[V]
+			victimStale bool
+		)
 		for k, e := range sh.m {
-			if len(sh.m) <= c.perMax {
-				return
-			}
 			if e == keep || !isDone(e.done) {
 				continue
 			}
-			if stale && e.version >= keep.version {
-				continue
+			stale := e.version < keep.version
+			switch {
+			case victim == nil,
+				stale && !victimStale,
+				stale == victimStale && e.touched < victim.touched:
+				victimKey, victim, victimStale = k, e, stale
 			}
-			delete(sh.m, k)
-			c.evictions.Inc()
-			c.entries.Add(-1)
 		}
+		if victim == nil {
+			return
+		}
+		delete(sh.m, victimKey)
+		c.evictions.Inc()
+		c.entries.Add(-1)
 	}
 }
 

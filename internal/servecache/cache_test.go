@@ -7,6 +7,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"freerideg/internal/reqtrace"
 )
 
 func TestGetCachesAtVersion(t *testing.T) {
@@ -285,4 +288,68 @@ func TestBatchGetsNeverServePreBumpEntries(t *testing.T) {
 		}(r)
 	}
 	wg.Wait()
+}
+
+// TestEvictionSparesRecentlyTouched pins the recency contract: under
+// insert pressure at one version, the victim order is oldest last-touch
+// first, so an entry read just before the burst survives it while the
+// untouched entries rotate out.
+func TestEvictionSparesRecentlyTouched(t *testing.T) {
+	c := New[int](Options{Name: "test-evict-recency", Shards: 1, MaxEntries: 4})
+	for i := 0; i < 4; i++ {
+		k := fmt.Sprintf("k%d", i)
+		c.Get(context.Background(), k, 1, func(context.Context) (int, error) { return i, nil })
+	}
+	// Touch k0 strictly later than the initial inserts (the sleep
+	// guarantees a newer stamp even on a coarse clock).
+	time.Sleep(2 * time.Millisecond)
+	if v, err := c.Get(context.Background(), "k0", 1, func(context.Context) (int, error) { return -1, nil }); err != nil || v != 0 {
+		t.Fatalf("warm-up read of k0 = %d, %v", v, err)
+	}
+	time.Sleep(2 * time.Millisecond)
+	// An insert burst at the same version: each insert must evict the
+	// oldest-touched completed entry — k1, k2, k3 — never the
+	// just-read k0.
+	for i := 0; i < 3; i++ {
+		k := fmt.Sprintf("burst%d", i)
+		c.Get(context.Background(), k, 1, func(context.Context) (int, error) { return 100 + i, nil })
+	}
+	fills := 0
+	v, err := c.Get(context.Background(), "k0", 1, func(context.Context) (int, error) { fills++; return -1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fills != 0 || v != 0 {
+		t.Fatalf("just-read entry k0 was evicted by the burst (v=%d fills=%d)", v, fills)
+	}
+}
+
+// TestGetRecordsTraceSpans checks the cache's reqtrace integration: a
+// miss records a cache span annotated "miss" plus a "fill" span in the
+// originating request's trace (via the detached fill context), and a
+// hit records "hit".
+func TestGetRecordsTraceSpans(t *testing.T) {
+	c := New[int](Options{Name: "traced", Shards: 1})
+	tr := reqtrace.New("fg-test-cache", "/predict")
+	ctx := reqtrace.WithTrace(context.Background(), tr)
+	if _, err := c.Get(ctx, "k", 1, func(context.Context) (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(ctx, "k", 1, func(context.Context) (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	rec := tr.Finish(200, time.Millisecond)
+	var notes []string
+	for _, sp := range rec.Spans[1:] {
+		notes = append(notes, sp.Name+"="+sp.Note)
+	}
+	want := []string{"cache:traced=miss", "fill=", "cache:traced=hit"}
+	if len(notes) != len(want) {
+		t.Fatalf("spans = %v, want %v", notes, want)
+	}
+	for i := range want {
+		if notes[i] != want[i] {
+			t.Fatalf("spans = %v, want %v", notes, want)
+		}
+	}
 }

@@ -26,8 +26,11 @@ package workpool
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"freerideg/internal/reqtrace"
 )
 
 // batch is one Run call's shared work descriptor. Workers claim indices
@@ -109,6 +112,23 @@ func (p *Pool) RunCtx(ctx context.Context, n, limit int, fn func(i int)) error {
 	if n <= 0 {
 		return nil
 	}
+	// On a traced request the fan-out gets one span covering the whole
+	// batch (per-item spans are the caller's concern — only it knows
+	// what an item means). Untraced, Child is a free no-op.
+	sp := reqtrace.Child(ctx, "workpool")
+	err := p.runCtx(ctx, n, limit, fn)
+	if sp.Traced() {
+		note := "n=" + strconv.Itoa(n)
+		if err != nil {
+			note += " cut-short"
+		}
+		sp.Annotate(note)
+	}
+	sp.End()
+	return err
+}
+
+func (p *Pool) runCtx(ctx context.Context, n, limit int, fn func(i int)) error {
 	if limit == 1 || n == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {

@@ -36,6 +36,20 @@ go test -run='^$' -bench=. -benchtime=1x ./...
 # encoder must hold their testing.AllocsPerRun budgets.
 go test -run='Allocs' ./internal/grid/ ./internal/fgservice/
 
+# Metrics scrape-vs-observe regression, explicitly under the race
+# detector: a scrape stalled on a slow writer must never block
+# observers or registration — the exposition formats from snapshots
+# taken under the locks, never while holding them.
+go test -race -run 'TestScrape' -count=1 ./internal/metrics/
+
+# Request-tracing smoke: the span-tree acceptance test (a forced-miss
+# /predict/batch trace shows root → handler → item → fill → simulate
+# and is retrievable from /debug/requests by its X-FG-Request-ID) plus
+# the reqtrace package under the race detector. The fgserved selfcheck
+# below re-proves the ID round-trip over real TCP.
+go test -race -run 'TestPredictBatchTraceTree|TestTimeoutEnvelopeCarriesRequestID' -count=1 ./internal/fgservice/
+go test -race -count=1 ./internal/reqtrace/
+
 # Fuzz regression mode: -run='^Fuzz' replays each target's seed corpus
 # (f.Add seeds plus files under testdata/fuzz/) as ordinary tests.
 go test -run='^Fuzz' ./internal/simgrid/ ./internal/fgservice/
@@ -45,7 +59,9 @@ go build ./cmd/...
 
 # fgserved smoke: start the service on an ephemeral port, drive every
 # endpoint over real TCP, assert the request/instrumentation counters
-# moved between two /metrics scrapes, and shut down gracefully. A small
+# moved between two /metrics scrapes, that every response carries an
+# X-FG-Request-ID which round-trips into /debug/requests (error
+# envelopes echo it as requestId), and shut down gracefully. A small
 # base size keeps the self-profiling simulation quick.
 go run ./cmd/fgserved -selfcheck -base-size 64MB
 
